@@ -1,0 +1,83 @@
+// ABL-COW — §2.3's design claim: copy-on-write page-map inheritance
+// "maximizes sharing" and beats eager copying. This ablation forks worlds
+// of growing resident size under varying write fractions and measures:
+// wall time of fork+writes with lazy COW vs an eager deep copy, and the
+// fraction of pages whose copy the COW scheme avoided entirely.
+//
+//   $ ablation_cow_vs_eager [--trials=5]
+#include <iostream>
+
+#include "pagestore/page_table.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+
+namespace {
+
+PageTable make_parent(std::size_t pages) {
+  PageTable t(4096, pages);
+  std::vector<std::uint8_t> payload(64, 0xAB);
+  for (std::size_t p = 0; p < pages; ++p) t.write(p * 4096, payload);
+  return t;
+}
+
+/// Fork + write `k` pages, COW style.
+double cow_us(const PageTable& parent, std::size_t k) {
+  std::vector<std::uint8_t> one{1};
+  Stopwatch sw;
+  PageTable child = parent.fork();
+  for (std::size_t p = 0; p < k; ++p) child.write(p * 4096, one);
+  return sw.elapsed_us();
+}
+
+/// Eager: deep-copy every resident page at fork time, then write.
+double eager_us(const PageTable& parent, std::size_t k) {
+  std::vector<std::uint8_t> one{1};
+  Stopwatch sw;
+  PageTable child = parent.fork();
+  // Touch every page to force the copy immediately (what a non-COW fork
+  // does in one memcpy storm).
+  for (std::size_t p = 0; p < parent.num_pages(); ++p)
+    child.write_page(p);
+  for (std::size_t p = 0; p < k; ++p) child.write(p * 4096, one);
+  return sw.elapsed_us();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 5));
+
+  std::cout << "COW vs eager world forks (4 KiB pages, medians over "
+            << trials << " trials)\n";
+  TablePrinter table({"pages", "write_frac", "cow_us", "eager_us",
+                      "speedup", "copies_avoided"});
+  for (std::size_t pages : {64u, 256u, 1024u}) {
+    PageTable parent = make_parent(pages);
+    for (double frac : {0.0, 0.2, 0.5, 1.0}) {
+      const auto k = static_cast<std::size_t>(frac * static_cast<double>(pages));
+      std::vector<double> cow, eager;
+      for (int t = 0; t < trials; ++t) {
+        cow.push_back(cow_us(parent, k));
+        eager.push_back(eager_us(parent, k));
+      }
+      const double c = summarize(cow).median;
+      const double e = summarize(eager).median;
+      table.add_row(
+          {TablePrinter::num(static_cast<std::int64_t>(pages)),
+           TablePrinter::num(frac, 1), TablePrinter::num(c, 1),
+           TablePrinter::num(e, 1), TablePrinter::num(c > 0 ? e / c : 0.0, 1),
+           TablePrinter::num(static_cast<std::int64_t>(pages - k))});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nShape to verify: COW wins by about 1/write-fraction; at "
+               "write fraction 1.0 the two converge (everything is copied "
+               "anyway) — which is why the paper's 0.2-0.5 observed "
+               "fractions make COW the right default.\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// §5 related-work ablation: page-based Multiple Worlds vs Wilson's
+// value-based "Alternate Universes". The paper's claim, measured:
+// page-based "trades a higher startup cost against cheaper referencing
+// from that point on".
+//
+//   $ ablation_page_vs_value [--trials=7]
+#include <iostream>
+
+#include "pagestore/overlay_store.hpp"
+#include "pagestore/page_table.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 7));
+  const std::size_t objects = 4096;  // 64-bit objects in the world
+
+  // Page-based world: objects packed 512 per 4K page.
+  PageTable pages(4096, objects / 512 + 1);
+  for (std::size_t i = 0; i < objects; ++i) {
+    std::int64_t v = static_cast<std::int64_t>(i);
+    pages.write(i * 8, std::span<const std::uint8_t>(
+                           reinterpret_cast<const std::uint8_t*>(&v), 8));
+  }
+  // Value-based world with the same contents.
+  OverlayStore values;
+  for (std::size_t i = 0; i < objects; ++i)
+    values.store(i, static_cast<std::int64_t>(i));
+
+  std::cout << "A. Fork (startup) cost\n";
+  TablePrinter forks({"mechanism", "fork_us(median)"});
+  {
+    std::vector<double> page_us, value_us;
+    for (int t = 0; t < trials * 100; ++t) {
+      Stopwatch sw;
+      auto child = pages.fork();
+      page_us.push_back(sw.elapsed_us());
+      Stopwatch sw2;
+      auto vchild = values.fork();
+      value_us.push_back(sw2.elapsed_us());
+    }
+    forks.add_row({"page-based (map copy)",
+                   TablePrinter::num(summarize(page_us).median, 3)});
+    forks.add_row({"value-based (O(1) overlay)",
+                   TablePrinter::num(summarize(value_us).median, 3)});
+  }
+  forks.print(std::cout);
+
+  std::cout << "\nB. Referencing cost after the fork (1e5 random reads), "
+               "by speculation depth\n";
+  TablePrinter reads({"chain_depth", "page_read_us", "value_read_us",
+                      "value/page"});
+  const int n_reads = 100000;
+  for (std::size_t depth : {1u, 4u, 16u, 64u}) {
+    // Build a speculation line of the given depth; each level writes a
+    // few objects (a realistic speculative write set).
+    PageTable pline = pages.fork();
+    OverlayStore vline = values.fork();
+    for (std::size_t d = 1; d < depth; ++d) {
+      pline = pline.fork();
+      vline = vline.fork();
+      for (std::size_t k = 0; k < 8; ++k) {
+        std::int64_t v = static_cast<std::int64_t>(d * 1000 + k);
+        pline.write((d * 31 + k) % objects * 8,
+                    std::span<const std::uint8_t>(
+                        reinterpret_cast<const std::uint8_t*>(&v), 8));
+        vline.store((d * 31 + k) % objects, v);
+      }
+    }
+    std::vector<double> pus, vus;
+    for (int t = 0; t < trials; ++t) {
+      std::uint64_t x = 0x9e3779b9;
+      Stopwatch sp;
+      std::int64_t sink = 0;
+      for (int r = 0; r < n_reads; ++r) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        std::int64_t v;
+        pline.read((x >> 33) % objects * 8,
+                   std::span<std::uint8_t>(
+                       reinterpret_cast<std::uint8_t*>(&v), 8));
+        sink += v;
+      }
+      pus.push_back(sp.elapsed_us());
+      x = 0x9e3779b9;
+      Stopwatch sv;
+      for (int r = 0; r < n_reads; ++r) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        sink += vline.load((x >> 33) % objects);
+      }
+      vus.push_back(sv.elapsed_us());
+      if (sink == 42) std::cout << "";  // keep the loops alive
+    }
+    const double p = summarize(pus).median;
+    const double v = summarize(vus).median;
+    reads.add_row({TablePrinter::num(static_cast<std::int64_t>(depth)),
+                   TablePrinter::num(p, 0), TablePrinter::num(v, 0),
+                   TablePrinter::num(v / p, 1)});
+  }
+  reads.print(std::cout);
+  std::cout << "\nShape to verify (§5): value-based forks are ~O(1) and "
+               "beat page-map copies at startup; page-based reads are flat "
+               "while value-based reads degrade with speculation depth — "
+               "\"a higher startup cost against cheaper referencing from "
+               "that point on\". Page-based wins for the paper's "
+               "larger-grained parallelism.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// The abstract's second problem, made measurable: "(2) combinatorial
+// explosion in the amount of state which must be preserved. These are
+// solved by process management and an application of 'copy-on-write'
+// virtual memory management."
+//
+// k *concurrent, unresolved* speculative groups each message one observer:
+// the observer splits per undecided sender, so its live copies grow
+// toward 2^k — the combinatorial explosion is real at the *process* level.
+// What COW buys: each copy shares its pages with the lineage, so the
+// memory actually materialized grows only with the (tiny) per-copy write
+// sets, not with copies x address-space-size. The table shows both curves
+// plus the naive full-copy cost that an eager implementation would pay.
+//
+//   $ combinatorial_state [--maxk=7]
+#include <iostream>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "worlds/spec_runtime.hpp"
+
+using namespace mw;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int maxk = static_cast<int>(cli.get_int("maxk", 7));
+
+  std::cout << "Observer splitting under k concurrent unresolved "
+               "speculations (observer state: 64 KiB resident)\n";
+  TablePrinter table({"groups_k", "live_copies", "pages_materialized",
+                      "cow_kb", "naive_full_copy_kb"});
+  for (int k = 1; k <= maxk; ++k) {
+    SpecConfig cfg;
+    cfg.page_size = 1024;
+    cfg.num_pages = 96;
+    SpecRuntime rt(cfg);
+
+    // The observer holds a 64 KiB resident state and notes each message
+    // with a single page write — a realistic "append to a log" handler.
+    LogicalId obs = rt.spawn_root(
+        "observer",
+        [](ProcCtx& ctx, const Message&) {
+          const int n = ctx.space().load<int>(0) + 1;
+          ctx.space().store<int>(0, n);
+        },
+        [](ProcCtx& ctx) {
+          for (int p = 0; p < 64; ++p)
+            ctx.space().store<int>(static_cast<std::uint64_t>(p) * 1024, p);
+        });
+
+    // k independent parents, each with 2 alternatives; every alternative
+    // messages the observer and then... nothing: the races stay undecided.
+    for (int g = 0; g < k; ++g) {
+      LogicalId parent = rt.spawn_root("p" + std::to_string(g));
+      rt.spawn_alternatives(
+          parent,
+          {AltSpec{"a",
+                   [obs](ProcCtx& ctx) { ctx.send_text(obs, "hello"); },
+                   nullptr},
+           AltSpec{"b", nullptr, nullptr}});
+      rt.run();  // deliver before the next group spawns
+    }
+
+    const auto copies = rt.live_copies(obs);
+    // Pages actually materialized across every observer copy: count
+    // *distinct* Page objects via sharing with the first copy as baseline.
+    std::size_t total_resident = 0;
+    std::size_t shared_with_first = 0;
+    for (Pid c : copies) {
+      total_resident += rt.world_of(c).space().table().resident_pages();
+      if (c != copies.front())
+        shared_with_first +=
+            rt.world_of(c).space().table().shared_pages_with(
+                rt.world_of(copies.front()).space().table());
+    }
+    // Materialized = total resident minus pages shared with the baseline
+    // copy (an under-count of sharing between non-first copies, so this
+    // *over-estimates* COW memory — still orders below naive).
+    const std::size_t materialized = total_resident - shared_with_first;
+    const std::size_t naive_kb = copies.size() * 64;  // full 64 KiB each
+    table.add_row(
+        {TablePrinter::num(static_cast<std::int64_t>(k)),
+         TablePrinter::num(static_cast<std::int64_t>(copies.size())),
+         TablePrinter::num(static_cast<std::int64_t>(materialized)),
+         TablePrinter::num(static_cast<std::int64_t>(materialized)),
+         TablePrinter::num(static_cast<std::int64_t>(naive_kb))});
+  }
+  table.print(std::cout);
+  std::cout << "\nShape to verify: live copies grow ~2^k (the paper's "
+               "combinatorial explosion at the process level) while COW "
+               "memory grows orders of magnitude slower than the naive "
+               "copies x 64 KiB — the abstract's claim that COW makes "
+               "Multiple Worlds affordable.\n";
+  return 0;
+}

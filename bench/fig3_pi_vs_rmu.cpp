@@ -1,0 +1,104 @@
+// FIG3 — reproduces Figure 3: PI as a function of R_μ with R_o = 0.5.
+//
+// Two columns are produced for each R_μ: the paper's analytic line
+// PI = R_μ/(1+R_o), and a *measured* PI from actually racing synthetic
+// alternatives through the speculation runtime with the block overhead
+// arranged so R_o ≈ 0.5. The measured points landing on the analytic line
+// is the reproduction.
+//
+//   $ fig3_pi_vs_rmu [--alts=4] [--points=11]
+#include <iostream>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "model/perf_model.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+
+namespace {
+
+/// Builds alternative durations with mean/best exactly `r_mu`: the best
+/// runs `base`; the others share the excess evenly.
+std::vector<VDuration> durations_for(double r_mu, int alts, VDuration base) {
+  std::vector<VDuration> d(static_cast<std::size_t>(alts));
+  d[0] = base;
+  const double total = r_mu * static_cast<double>(alts) *
+                       static_cast<double>(base);
+  const double rest = (total - static_cast<double>(base)) / (alts - 1);
+  for (int i = 1; i < alts; ++i) d[static_cast<std::size_t>(i)] =
+      static_cast<VDuration>(rest);
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int alts = static_cast<int>(cli.get_int("alts", 4));
+  const int points = static_cast<int>(cli.get_int("points", 11));
+
+  // Calibrate the block overhead once: an empty race with the calibrated
+  // cost model and a fixed parent size.
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = static_cast<std::size_t>(alts);  // dispersion, not queueing
+  cfg.cost = CostModel::calibrated_hp();
+  cfg.num_pages = 256;
+
+  auto run_block = [&](const std::vector<VDuration>& durations) {
+    Runtime rt(cfg);
+    World root = rt.make_root("fig3");
+    for (int p = 0; p < 16; ++p)
+      root.space().store<double>(static_cast<std::uint64_t>(p) * 4096, 1.0);
+    std::vector<Alternative> a;
+    for (std::size_t i = 0; i < durations.size(); ++i) {
+      const VDuration dur = durations[i];
+      a.push_back(Alternative{"alt" + std::to_string(i), nullptr,
+                              [dur](AltContext& ctx) {
+                                // One page of private state: a realistic
+                                // write fraction.
+                                ctx.space().store<int>(0, 1);
+                                ctx.work(dur);
+                              },
+                              nullptr});
+    }
+    return run_alternatives(rt, root, a);
+  };
+
+  // Overhead calibration run (all durations equal): the critical-path
+  // overhead is whatever the block adds on top of the winner's own work.
+  AltOutcome probe = run_block(std::vector<VDuration>(
+      static_cast<std::size_t>(alts), vt_ms(100)));
+  const VDuration overhead = probe.elapsed - vt_ms(100);
+  // Pick the best-case duration so that R_o = overhead/best = 0.5.
+  const auto base = static_cast<VDuration>(2 * overhead);
+
+  TablePrinter table({"R_mu", "PI_analytic", "PI_measured", "R_o_meas"});
+  for (int k = 0; k < points; ++k) {
+    const double r_mu = 1.0 + 4.0 * k / (points - 1);  // [1, 5]
+    auto durations = durations_for(r_mu, alts, base);
+    AltOutcome out = run_block(durations);
+
+    std::vector<double> secs;
+    for (VDuration d : durations) secs.push_back(vt_to_sec(d));
+    const double pi_measured = tau_mean(secs) / vt_to_sec(out.elapsed);
+    // Critical-path overhead: block elapsed minus the winner's own work.
+    const double r_o_meas =
+        (vt_to_sec(out.elapsed) - tau_best(secs)) / tau_best(secs);
+    table.add_row({TablePrinter::num(r_mu),
+                   TablePrinter::num(performance_improvement(r_mu, 0.5)),
+                   TablePrinter::num(pi_measured),
+                   TablePrinter::num(r_o_meas)});
+  }
+
+  std::cout << "Figure 3: PI as a function of R_mu (R_o = 0.5), " << alts
+            << " alternatives\n";
+  table.print(std::cout);
+  std::cout << "\nPaper shape to verify: a straight line of slope "
+               "1/(1+R_o) = 0.67; break-even (PI = 1) at R_mu = 1.5;\n"
+               "measured points track the analytic line.\n";
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Microbenchmarks of the speculation substrate's primitive operations:
+// page writes (with and without a COW break), world fork and commit,
+// message delivery decisions, unification, and one Jenkins–Traub
+// iteration's worth of polynomial work. These are the constants behind
+// every τ(overhead) term.
+#include <benchmark/benchmark.h>
+
+#include "core/world.hpp"
+#include "msg/mailbox.hpp"
+#include "num/jenkins_traub.hpp"
+#include "num/workload.hpp"
+#include "pagestore/page_table.hpp"
+#include "prolog/solver.hpp"
+#include "prolog/unify.hpp"
+#include "worlds/spec_runtime.hpp"
+
+namespace mw {
+namespace {
+
+void BM_PageWriteOwned(benchmark::State& state) {
+  PageTable t(4096, 64);
+  std::vector<std::uint8_t> data(64, 1);
+  t.write(0, data);  // allocate once
+  for (auto _ : state) {
+    t.write(0, data);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_PageWriteOwned);
+
+void BM_PageWriteCowBreak(benchmark::State& state) {
+  PageTable parent(4096, 64);
+  std::vector<std::uint8_t> data(64, 1);
+  parent.write(0, data);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageTable child = parent.fork();
+    state.ResumeTiming();
+    child.write(0, data);  // one 4 KiB copy
+    benchmark::DoNotOptimize(child);
+  }
+}
+BENCHMARK(BM_PageWriteCowBreak);
+
+void BM_WorldFork(benchmark::State& state) {
+  const auto resident = static_cast<std::size_t>(state.range(0));
+  PageTable parent(4096, 2048);
+  std::vector<std::uint8_t> one{1};
+  for (std::size_t p = 0; p < resident; ++p) parent.write(p * 4096, one);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parent.fork());
+  }
+}
+BENCHMARK(BM_WorldFork)->Arg(16)->Arg(160)->Arg(1600);
+
+void BM_WorldCommit(benchmark::State& state) {
+  PageTable parent(4096, 256);
+  std::vector<std::uint8_t> one{1};
+  for (std::size_t p = 0; p < 64; ++p) parent.write(p * 4096, one);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PageTable child = parent.fork();
+    child.write(0, one);
+    state.ResumeTiming();
+    parent.adopt(std::move(child));
+    benchmark::DoNotOptimize(parent);
+  }
+}
+BENCHMARK(BM_WorldCommit);
+
+void BM_MailboxPushPop(benchmark::State& state) {
+  Mailbox mb;
+  for (auto _ : state) {
+    mb.push(Message::of_text("ping"));
+    benchmark::DoNotOptimize(mb.pop());
+  }
+}
+BENCHMARK(BM_MailboxPushPop);
+
+void BM_Unify(benchmark::State& state) {
+  using namespace prolog;
+  TermPtr a = parse_term("f(X, g(Y, [1,2,3|T]), h(Z))");
+  TermPtr b = parse_term("f(a, g(b, [1,2,3,4,5]), h(c))");
+  for (auto _ : state) {
+    Bindings env;
+    Trail trail;
+    benchmark::DoNotOptimize(unify(a, b, env, trail));
+  }
+}
+BENCHMARK(BM_Unify);
+
+void BM_PrologInference(benchmark::State& state) {
+  using namespace prolog;
+  Program p = Program::parse(
+      "append([], L, L). append([H|T], L, [H|R]) :- append(T, L, R).");
+  Solver s(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.solve("append([1,2,3,4], [5,6], X)"));
+  }
+}
+BENCHMARK(BM_PrologInference);
+
+void BM_SpecRuntimeMessageRoundTrip(benchmark::State& state) {
+  // One certain-to-certain message through the DES: send + deliver +
+  // handler dispatch.
+  SpecRuntime rt;
+  std::uint64_t handled = 0;
+  LogicalId echo = rt.spawn_root(
+      "echo", [&handled](ProcCtx&, const Message&) { ++handled; });
+  for (auto _ : state) {
+    rt.send_external_text(echo, "ping");
+    rt.run();
+  }
+  benchmark::DoNotOptimize(handled);
+}
+BENCHMARK(BM_SpecRuntimeMessageRoundTrip);
+
+void BM_SpecRuntimeSplitAndResolve(benchmark::State& state) {
+  // The full Figure-2 cycle: spawn two alternatives, speculative message
+  // splits the observer, winner syncs, cascade resolves everything.
+  for (auto _ : state) {
+    SpecRuntime rt;
+    LogicalId obs = rt.spawn_root("obs", [](ProcCtx&, const Message&) {});
+    LogicalId parent = rt.spawn_root("parent");
+    rt.spawn_alternatives(
+        parent,
+        {AltSpec{"talker",
+                 [obs](ProcCtx& ctx) {
+                   ctx.send_text(obs, "m");
+                   ctx.after(vt_ms(1), [](ProcCtx& c) { c.try_sync(); });
+                 },
+                 nullptr},
+         AltSpec{"quiet", nullptr, nullptr}});
+    rt.run();
+    benchmark::DoNotOptimize(rt.stats().splits);
+  }
+}
+BENCHMARK(BM_SpecRuntimeSplitAndResolve);
+
+void BM_JenkinsTraubAttempt(benchmark::State& state) {
+  Rng rng(5);
+  WorkloadConfig cfg;
+  cfg.degree = static_cast<int>(state.range(0));
+  cfg.clusters = 1;
+  cfg.cluster_gap = 0.05;
+  PolyWorkload w = make_clustered_poly(rng, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jenkins_traub(w.poly));
+  }
+}
+BENCHMARK(BM_JenkinsTraubAttempt)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace mw
+
+BENCHMARK_MAIN();

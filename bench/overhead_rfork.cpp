@@ -1,0 +1,73 @@
+// OVH-RFORK — reproduces the §3.4 distributed measurements:
+//
+//   "An rfork() of a 70K process requires slightly less than a second, and
+//    network delays gave us an observed average execution time of about
+//    1.3 seconds; we used a special-purpose remote-execution protocol
+//    which uses a network file system... The major cost was creating a
+//    checkpoint of the process."
+//
+// Plus the cited alternative [23]: on-demand state management, swept over
+// the touched-page fraction (locality).
+//
+//   $ overhead_rfork
+#include <iostream>
+
+#include "dist/rfork.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+
+namespace {
+
+AddressSpace process_of_kb(std::size_t kb) {
+  AddressSpace as(4096, 1024);
+  const std::size_t pages = kb * 1024 / 4096;
+  for (std::size_t p = 0; p < pages; ++p)
+    as.store<int>(p * 4096, static_cast<int>(p) + 1);
+  return as;
+}
+
+}  // namespace
+
+int main() {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+
+  std::cout << "A. Full-copy rfork via the NFS protocol, by process size\n";
+  TablePrinter full({"size_kb", "checkpoint_s", "transfer_s", "restore_s",
+                     "total_s"});
+  for (std::size_t kb : {16u, 35u, 70u, 140u, 280u}) {
+    AddressSpace as = process_of_kb(kb);
+    RforkResult r = forker.full_copy(as);
+    full.add_row({TablePrinter::num(static_cast<std::int64_t>(kb)),
+                  TablePrinter::num(vt_to_sec(r.checkpoint_cost)),
+                  TablePrinter::num(vt_to_sec(r.transfer_cost)),
+                  TablePrinter::num(vt_to_sec(r.restore_cost)),
+                  TablePrinter::num(vt_to_sec(r.total_elapsed))});
+  }
+  full.print(std::cout);
+  std::cout << "(paper: 70 KB in ~1 s host work, ~1.3 s observed through "
+               "the network protocol; the checkpoint dominates)\n\n";
+
+  std::cout << "B. Ablation: on-demand page migration vs full copy "
+               "(70 KB process)\n";
+  AddressSpace as = process_of_kb(70);
+  const RforkResult base = forker.full_copy(as);
+  TablePrinter od({"strategy", "start_s", "total_s", "kb_shipped"});
+  od.add_row({"full copy", TablePrinter::num(vt_to_sec(base.start_elapsed)),
+              TablePrinter::num(vt_to_sec(base.total_elapsed)),
+              TablePrinter::num(
+                  static_cast<std::int64_t>(base.bytes_shipped / 1024))});
+  for (double frac : {0.1, 0.2, 0.5, 0.8, 1.0}) {
+    RforkResult r = forker.on_demand(as, frac);
+    od.add_row({"on-demand " + TablePrinter::num(frac, 1),
+                TablePrinter::num(vt_to_sec(r.start_elapsed)),
+                TablePrinter::num(vt_to_sec(r.total_elapsed)),
+                TablePrinter::num(
+                    static_cast<std::int64_t>(r.bytes_shipped / 1024))});
+  }
+  od.print(std::cout);
+  std::cout << "(shape: on-demand starts orders of magnitude sooner; with "
+               "locality (low touched fraction) it also wins end-to-end — "
+               "the \"more sophisticated migration schemes\" of [23])\n";
+  return 0;
+}

@@ -1,0 +1,124 @@
+// APP-PROLOG — §4.2's qualitative claim made quantitative: OR-parallel
+// committed-choice execution against the sequential engine, across
+// programs whose clause order is favourable or adversarial, and across
+// processor counts and spawn depths (the granularity knob).
+//
+//   $ prolog_or_parallel
+#include <iostream>
+
+#include "prolog/or_parallel.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+using namespace mw::prolog;
+
+namespace {
+
+RuntimeConfig virtual_config(std::size_t procs) {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = procs;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  return cfg;
+}
+
+std::string queens_program(int n) {
+  std::string board = "[1";
+  for (int i = 2; i <= n; ++i) board += "," + std::to_string(i);
+  board += "]";
+  return R"(
+    select(X, [X|T], T).
+    select(X, [H|T], [H|R]) :- select(X, T, R).
+    perm([], []).
+    perm(L, [H|T]) :- select(H, L, R), perm(R, T).
+    safe([]).
+    safe([Q|Qs]) :- safe(Qs, Q, 1), safe(Qs).
+    safe([], _, _).
+    safe([Q|Qs], Q0, D) :-
+      Q =\= Q0 + D, Q =\= Q0 - D, D1 is D + 1, safe(Qs, Q0, D1).
+    queens(Qs) :- perm()" + board + R"(, Qs), safe(Qs).
+  )";
+}
+
+// Adversarial clause order: a deep dead-end branch listed before the
+// answer. Sequential Prolog must exhaust it; OR-parallel explores both.
+const char* kDeadFirst = R"(
+  n(z).
+  n(s(X)) :- n(X).
+  deep(X) :- n(X), impossible(X).
+  impossible(never_matches).
+  answer(X) :- deep(X).
+  answer(found).
+)";
+
+struct Case {
+  std::string name;
+  std::string program;
+  std::string query;
+  std::uint64_t budget;
+};
+
+}  // namespace
+
+int main() {
+  const std::vector<Case> cases = {
+      {"queens-5", queens_program(5), "queens(Qs)", 0},
+      {"queens-6", queens_program(6), "queens(Qs)", 0},
+      {"dead-branch-first", kDeadFirst, "answer(X)", 3000},
+  };
+
+  std::cout << "OR-parallel committed choice vs sequential SLD "
+               "(ticks = inferences on the critical path)\n";
+  TablePrinter table({"program", "procs", "depth", "seq_inf", "par_ticks",
+                      "speedup", "total_inf", "worlds"});
+  for (const Case& c : cases) {
+    Program prog = Program::parse(c.program);
+    for (std::size_t procs : {1u, 2u, 4u, 8u}) {
+      Runtime rt(virtual_config(procs));
+      OrParallelConfig ocfg;
+      ocfg.spawn_depth = 2;
+      ocfg.max_inferences = c.budget;
+      auto r = solve_or_parallel(rt, prog, c.query, ocfg);
+      table.add_row(
+          {c.name, TablePrinter::num(static_cast<std::int64_t>(procs)),
+           TablePrinter::num(static_cast<std::int64_t>(ocfg.spawn_depth)),
+           TablePrinter::num(
+               static_cast<std::int64_t>(r.sequential_inferences)),
+           r.success ? TablePrinter::num(static_cast<std::int64_t>(r.elapsed))
+                     : "fail",
+           r.success && r.elapsed > 0
+               ? TablePrinter::num(
+                     static_cast<double>(r.sequential_inferences) /
+                     static_cast<double>(r.elapsed))
+               : "-",
+           TablePrinter::num(static_cast<std::int64_t>(r.total_inferences)),
+           TablePrinter::num(static_cast<std::int64_t>(r.worlds_spawned))});
+    }
+  }
+  table.print(std::cout);
+
+  std::cout << "\nGranularity ablation (queens-6, 4 procs): spawn depth vs "
+               "response and throughput\n";
+  TablePrinter depth_table({"depth", "par_ticks", "total_inf", "worlds"});
+  Program q6 = Program::parse(queens_program(6));
+  for (int depth : {1, 2, 3, 4}) {
+    Runtime rt(virtual_config(4));
+    OrParallelConfig ocfg;
+    ocfg.spawn_depth = depth;
+    auto r = solve_or_parallel(rt, q6, "queens(Qs)", ocfg);
+    depth_table.add_row(
+        {TablePrinter::num(static_cast<std::int64_t>(depth)),
+         r.success ? TablePrinter::num(static_cast<std::int64_t>(r.elapsed))
+                   : "fail",
+         TablePrinter::num(static_cast<std::int64_t>(r.total_inferences)),
+         TablePrinter::num(static_cast<std::int64_t>(r.worlds_spawned))});
+  }
+  depth_table.print(std::cout);
+  std::cout << "\nShape to verify: speedup >= 1 grows with procs on "
+               "adversarial clause order (dead-branch-first gains most); "
+               "deeper spawning buys response time at the cost of total "
+               "work — the paper's granularity trade (§4.2).\n";
+  return 0;
+}

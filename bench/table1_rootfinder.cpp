@@ -1,0 +1,151 @@
+// TAB1 — reproduces Table I: "Parallel Rootfinder".
+//
+// The paper ran the complex Jenkins–Traub zero finder with several random
+// starting angles on a two-processor Ardent Titan, applying 1..6 processes.
+// Columns: procs (alternatives), max/min/avg (sequential per-angle CPU
+// time), fails (angle choices that failed to find all roots), par
+// (wall-clock of the parallel race, overheads included).
+//
+// Substitution (DESIGN.md): the Titan's inputs are unpublished, so the
+// workload is the documented clustered-root family; times are virtual
+// ticks calibrated to land in the paper's ~4-second range. The shape to
+// check against the paper: par tracks min + overhead once procs >= 2, par
+// beats avg (speculation wins), and par for procs > processors grows only
+// via queueing.
+//
+//   $ table1_rootfinder [--seed=8] [--procs=2] [--maxn=6] [--ms-per-iter=7]
+#include <iostream>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "model/perf_model.hpp"
+#include "num/jenkins_traub.hpp"
+#include "num/workload.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cli.get_int("seed", 8));
+  const auto processors = static_cast<std::size_t>(cli.get_int("procs", 2));
+  const int maxn = static_cast<int>(cli.get_int("maxn", 6));
+  const VDuration ms_per_iter = vt_ms(cli.get_int("ms-per-iter", 7));
+
+  Rng rng(seed);
+  PolyWorkload w = make_clustered_poly(rng);
+
+  // The angle pool: deterministic "random choices" shared across rows, so
+  // row n races the first n angles — like giving the Titan more processes.
+  Rng angle_rng = rng.split(99);
+  std::vector<double> angles;
+  for (int i = 0; i < maxn; ++i)
+    angles.push_back(angle_rng.next_double_in(0.0, 360.0));
+
+  // Sequential per-angle times (one attempt run to completion each).
+  struct Attempt {
+    bool ok = false;
+    VDuration time = 0;
+  };
+  std::vector<Attempt> attempts;
+  for (double a : angles) {
+    JtConfig jt;
+    jt.start_angle_deg = a;
+    RootResult r = jenkins_traub(w.poly, jt);
+    attempts.push_back(
+        {r.converged, static_cast<VDuration>(r.iterations) * ms_per_iter});
+  }
+
+  TablePrinter table({"procs", "max", "min", "avg", "fails", "par"});
+  for (int n = 1; n <= maxn; ++n) {
+    double mx = 0, mn = 1e18, sum = 0;
+    int fails = 0;
+    for (int i = 0; i < n; ++i) {
+      const double sec = vt_to_sec(attempts[static_cast<std::size_t>(i)].time);
+      mx = std::max(mx, sec);
+      mn = std::min(mn, sec);
+      sum += sec;
+      if (!attempts[static_cast<std::size_t>(i)].ok) ++fails;
+    }
+
+    // The parallel race: n alternatives on `processors` virtual CPUs with
+    // the calibrated HP overhead model.
+    RuntimeConfig cfg;
+    cfg.backend = AltBackend::kVirtual;
+    cfg.processors = processors;
+    // The Titan ran a timesharing UNIX: processes beyond the processor
+    // count slow everyone down — the effect behind the paper's 8.61 s row.
+    cfg.sched = RuntimeConfig::Sched::kProcessorSharing;
+    cfg.cost = CostModel::calibrated_hp();
+    Runtime rt(cfg);
+    World root = rt.make_root("table1");
+    // A realistically-sized parent: ~32 resident pages of coefficients.
+    for (int p = 0; p < 32; ++p)
+      root.space().store<double>(static_cast<std::uint64_t>(p) * 4096, 1.0);
+
+    std::vector<Alternative> alts;
+    for (int i = 0; i < n; ++i) {
+      const double angle = angles[static_cast<std::size_t>(i)];
+      alts.push_back(Alternative{
+          "angle" + std::to_string(i), nullptr,
+          [&, angle](AltContext& ctx) {
+            JtConfig jt;
+            jt.start_angle_deg = angle;
+            RootResult r = jenkins_traub(w.poly, jt);
+            ctx.work(static_cast<VDuration>(r.iterations) * ms_per_iter);
+            if (!r.converged) ctx.fail(r.note);
+          },
+          nullptr});
+    }
+    AltOutcome out = run_alternatives(rt, root, alts);
+
+    table.add_row({TablePrinter::num(static_cast<std::int64_t>(n)),
+                   TablePrinter::num(mx), TablePrinter::num(mn),
+                   TablePrinter::num(sum / n),
+                   TablePrinter::num(static_cast<std::int64_t>(fails)),
+                   out.failed ? "fail" : TablePrinter::num(vt_to_sec(out.elapsed))});
+  }
+
+  std::cout << "Table I: Parallel Rootfinder (degree-" << w.poly.degree()
+            << " polynomial, " << processors
+            << " virtual processors, seed " << seed << ")\n";
+  table.print(std::cout);
+  std::cout << "\nAll times in (virtual) seconds. Paper shape to verify: "
+               "par ~= min + overhead while procs <= processors (the\n"
+               "speculative race beats avg); beyond that, timesharing "
+               "slows every process down (the paper's 8.61 s at procs=5\n"
+               "on 2 CPUs: \"performance in the 4 process case would be "
+               "much better if there had been more than two processors\").\n";
+
+  // Aggregate over a domain of inputs, as §3.3's domain analysis asks.
+  std::vector<std::vector<double>> times;
+  std::vector<double> overheads;
+  Rng batch_rng(seed + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    Rng sub = batch_rng.split(static_cast<std::uint64_t>(trial) + 1);
+    PolyWorkload bw = make_clustered_poly(sub);
+    std::vector<double> row;
+    for (int i = 0; i < 4; ++i) {
+      JtConfig jt;
+      jt.start_angle_deg = angles[static_cast<std::size_t>(i)];
+      RootResult r = jenkins_traub(bw.poly, jt);
+      // A failed angle is a very long effective time (retry elsewhere).
+      row.push_back(r.converged
+                        ? vt_to_sec(static_cast<VDuration>(r.iterations) *
+                                    ms_per_iter)
+                        : 60.0);
+    }
+    times.push_back(std::move(row));
+    overheads.push_back(0.2);  // ~fork+commit+elimination at this scale
+  }
+  DomainStats d = domain_analysis(times, overheads);
+  std::cout << "\nDomain analysis over 8 random polynomials, 4 angles "
+               "(PI = tau(Cmean)/(tau(Cbest)+tau(overhead))):\n";
+  std::cout << "  mean PI " << TablePrinter::num(d.mean_pi) << ", min "
+            << TablePrinter::num(d.min_pi) << ", max "
+            << TablePrinter::num(d.max_pi) << ", inputs improved "
+            << TablePrinter::num(d.fraction_improved * 100.0, 0) << "%\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// The §2.2 language preprocessor as a command-line tool: reads C++ with
+// ALT_BLOCK regions, writes translated C++ to stdout.
+//
+//   $ altc_tool input.cpp.in [--rt=rt] [--world=world] > output.cpp
+//   $ echo '...' | altc_tool -
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "altc/altc.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  mw::Cli cli(argc, argv);
+  if (cli.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: altc_tool <file|-> [--rt=expr] [--world=expr]\n");
+    return 2;
+  }
+  std::string source;
+  const std::string& path = cli.positional()[0];
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    source = ss.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "altc_tool: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  }
+
+  auto r = mw::altc::translate(source, cli.get("rt", "rt"),
+                               cli.get("world", "world"));
+  if (!r.ok) {
+    std::fprintf(stderr, "altc_tool: %s\n", r.error.c_str());
+    return 1;
+  }
+  std::fputs(r.output.c_str(), stdout);
+  std::fprintf(stderr, "altc_tool: translated %d block(s)\n",
+               r.blocks_translated);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// The full Multiple Worlds machinery end to end (§2.4.2, Figure 2): two
+// speculative alternatives message a downstream logger process while their
+// race is undecided. The logger splits into world copies, buffers its
+// teletype output, and everything resolves when one alternative
+// synchronizes — only the winner's output ever reaches the screen.
+//
+//   $ speculative_pipeline
+#include <cstdio>
+
+#include "io/spec_console.hpp"
+#include "worlds/spec_runtime.hpp"
+
+using namespace mw;
+
+int main() {
+  SpecRuntime rt;
+  Teletype tty;
+  SpeculativeConsole console(rt.processes(), tty);
+
+  // The logger: an ordinary process that prints whatever it is told. Its
+  // output goes through the speculative console, so a message from an
+  // undecided world is buffered, not printed.
+  LogicalId logger = rt.spawn_root(
+      "logger", [&](ProcCtx& ctx, const Message& m) {
+        console.write(ctx.pid(), ctx.predicates(), "log: " + m.text());
+      });
+
+  // When a logger copy's assumptions all come true, its buffered output
+  // becomes observable.
+  rt.on_copy_certain = [&](Pid pid) { console.flush(pid); };
+
+  LogicalId parent = rt.spawn_root("coordinator");
+  std::printf("spawning two alternatives; both report progress to the "
+              "logger while speculative...\n");
+  rt.spawn_alternatives(
+      parent,
+      {AltSpec{"route-a",
+               [&](ProcCtx& ctx) {
+                 ctx.send_text(logger, "route A: starting");
+                 // Route A takes 8 ms of simulated work, then succeeds.
+                 ctx.after(vt_ms(8), [&, logger](ProcCtx& c) {
+                   c.send_text(logger, "route A: solved it");
+                   c.after(vt_ms(1), [](ProcCtx& c2) { c2.try_sync(); });
+                 });
+               },
+               nullptr},
+       AltSpec{"route-b",
+               [&](ProcCtx& ctx) {
+                 ctx.send_text(logger, "route B: starting");
+                 // Route B would need 50 ms; it loses and is eliminated.
+                 ctx.after(vt_ms(50), [&, logger](ProcCtx& c) {
+                   c.send_text(logger, "route B: solved it");
+                   c.after(vt_ms(1), [](ProcCtx& c2) { c2.try_sync(); });
+                 });
+               },
+               nullptr}});
+
+  rt.run();
+
+  std::printf("\nsimulation stats:\n");
+  const auto& s = rt.stats();
+  std::printf("  messages sent %llu, accepted %llu, ignored %llu, "
+              "pruned %llu\n",
+              static_cast<unsigned long long>(s.sent),
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.ignored),
+              static_cast<unsigned long long>(s.pruned));
+  std::printf("  logger splits: %llu, world copies eliminated: %llu\n",
+              static_cast<unsigned long long>(s.splits),
+              static_cast<unsigned long long>(s.eliminated_copies));
+  std::printf("  logger copies still alive: %zu\n",
+              rt.live_copies(logger).size());
+
+  std::printf("\nteletype output (only the winner's world is visible):\n");
+  for (const auto& line : tty.output()) std::printf("  %s\n", line.c_str());
+  std::printf("\nlines from losing worlds discarded unprinted: %llu\n",
+              static_cast<unsigned long long>(console.discarded_lines()));
+  return 0;
+}

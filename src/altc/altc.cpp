@@ -1,0 +1,301 @@
+#include "altc/altc.hpp"
+
+#include <cctype>
+
+namespace mw::altc {
+
+namespace {
+
+/// Cursor over the source with brace-aware scanning. This is a lexical
+/// preprocessor: it understands C++ only as far as strings, comments and
+/// brace nesting — the same contract as the C preprocessor the paper
+/// assumes.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& src) : src_(src) {}
+
+  bool at_end() const { return pos_ >= src_.size(); }
+  std::size_t pos() const { return pos_; }
+  void seek(std::size_t p) { pos_ = p; }
+
+  /// Finds the next occurrence of `token` at the current level (outside
+  /// strings/comments); npos if none.
+  std::size_t find(const std::string& token) {
+    for (std::size_t i = pos_; i + token.size() <= src_.size(); ++i) {
+      i = skip_noncode(i);
+      if (i + token.size() > src_.size()) return std::string::npos;
+      if (src_.compare(i, token.size(), token) == 0) {
+        // Token boundary: not part of a longer identifier.
+        const bool left_ok =
+            i == 0 || !(std::isalnum(static_cast<unsigned char>(src_[i - 1])) ||
+                        src_[i - 1] == '_');
+        const std::size_t after = i + token.size();
+        const bool right_ok =
+            after >= src_.size() ||
+            !(std::isalnum(static_cast<unsigned char>(src_[after])) ||
+              src_[after] == '_');
+        if (left_ok && right_ok) return i;
+      }
+    }
+    return std::string::npos;
+  }
+
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+  }
+
+  bool accept(const std::string& tok) {
+    const std::size_t saved = pos_;
+    skip_ws();
+    if (src_.compare(pos_, tok.size(), tok) == 0) {
+      pos_ += tok.size();
+      return true;
+    }
+    pos_ = saved;  // no match: leave the source (incl. whitespace) intact
+    return false;
+  }
+
+  /// Reads an identifier.
+  std::string ident() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '_'))
+      ++pos_;
+    return src_.substr(start, pos_ - start);
+  }
+
+  /// Reads a "..." string literal; empty on failure.
+  std::string string_lit() {
+    skip_ws();
+    if (pos_ >= src_.size() || src_[pos_] != '"') return {};
+    std::size_t start = ++pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) return {};
+    std::string out = src_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  /// Reads a balanced (...) group, returning the inside.
+  bool paren_group(std::string* out) {
+    skip_ws();
+    if (pos_ >= src_.size() || src_[pos_] != '(') return false;
+    return balanced('(', ')', out);
+  }
+
+  /// Reads a balanced {...} group, returning the inside.
+  bool brace_group(std::string* out) {
+    skip_ws();
+    if (pos_ >= src_.size() || src_[pos_] != '{') return false;
+    return balanced('{', '}', out);
+  }
+
+ private:
+  /// Positions `i` past any comment/string starting there; returns the
+  /// first code position >= i.
+  std::size_t skip_noncode(std::size_t i) {
+    for (;;) {
+      if (i + 1 < src_.size() && src_[i] == '/' && src_[i + 1] == '/') {
+        while (i < src_.size() && src_[i] != '\n') ++i;
+      } else if (i + 1 < src_.size() && src_[i] == '/' && src_[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < src_.size() &&
+               !(src_[i] == '*' && src_[i + 1] == '/'))
+          ++i;
+        i = std::min(i + 2, src_.size());
+      } else if (i < src_.size() && (src_[i] == '"' || src_[i] == '\'')) {
+        const char q = src_[i++];
+        while (i < src_.size() && src_[i] != q) {
+          if (src_[i] == '\\') ++i;
+          ++i;
+        }
+        if (i < src_.size()) ++i;
+      } else {
+        return i;
+      }
+    }
+  }
+
+  bool balanced(char open, char close, std::string* out) {
+    std::size_t depth = 0;
+    const std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      const std::size_t code = skip_noncode(pos_);
+      if (code != pos_) {
+        pos_ = code;
+        continue;
+      }
+      if (src_[pos_] == open) ++depth;
+      if (src_[pos_] == close) {
+        --depth;
+        if (depth == 0) {
+          *out = src_.substr(start + 1, pos_ - start - 1);
+          ++pos_;
+          return true;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+struct AltDef {
+  std::string label;
+  std::string guard;  // empty = none
+  std::string body;
+};
+
+std::string emit_block(const std::string& name, const std::string& timeout,
+                       bool synchronous, const std::vector<AltDef>& alts,
+                       const std::string& on_fail,
+                       const std::string& runtime_expr,
+                       const std::string& world_expr) {
+  std::string out;
+  out += "{\n  std::vector<mw::Alternative> name_alts__;\n";
+  for (const AltDef& a : alts) {
+    out += "  name_alts__.push_back(mw::Alternative{\"" + a.label + "\", ";
+    if (a.guard.empty()) {
+      out += "nullptr, ";
+    } else {
+      out += "[&](const mw::World& w) { return (" + a.guard + "); }, ";
+    }
+    out += "[&](mw::AltContext& ctx) {" + a.body + "}, nullptr});\n";
+  }
+  out += "  mw::AltOptions name_opts__;\n";
+  if (!timeout.empty()) out += "  name_opts__.timeout = (" + timeout + ");\n";
+  out += std::string("  name_opts__.elimination = mw::Elimination::") +
+         (synchronous ? "kSynchronous" : "kAsynchronous") + ";\n";
+  out += "  mw::AltOutcome " + name + " = mw::run_alternatives(" +
+         runtime_expr + ", " + world_expr + ", name_alts__, name_opts__);\n";
+  if (!on_fail.empty()) {
+    out += "  if (" + name + ".failed) {" + on_fail + "}\n";
+  }
+  out += "}";
+  // Uniquify the scratch identifiers per block name.
+  std::string unique;
+  for (std::size_t i = 0; i < out.size();) {
+    if (out.compare(i, 6, "name_a") == 0 || out.compare(i, 6, "name_o") == 0) {
+      unique += name + out.substr(i + 4, 5);  // name + "alts__"/"opts__"...
+      i += 9;
+    } else {
+      unique += out[i++];
+    }
+  }
+  return unique;
+}
+
+}  // namespace
+
+TranslateResult translate(const std::string& source,
+                          const std::string& runtime_expr,
+                          const std::string& world_expr) {
+  TranslateResult res;
+  res.output = source;
+
+  std::string out;
+  Scanner sc(source);
+  std::size_t copied = 0;
+  for (;;) {
+    sc.seek(copied);
+    const std::size_t at = sc.find("ALT_BLOCK");
+    if (at == std::string::npos) break;
+    out += source.substr(copied, at - copied);
+    sc.seek(at + std::string("ALT_BLOCK").size());
+
+    std::string name;
+    if (!sc.paren_group(&name)) {
+      res.error = "ALT_BLOCK: expected (name)";
+      return res;
+    }
+    std::string timeout;
+    bool synchronous = false;
+    for (;;) {
+      if (sc.accept("timeout")) {
+        if (!sc.paren_group(&timeout)) {
+          res.error = "timeout: expected (expr)";
+          return res;
+        }
+      } else if (sc.accept("sync")) {
+        synchronous = true;
+      } else if (sc.accept("async")) {
+        synchronous = false;
+      } else {
+        break;
+      }
+    }
+    std::string region;
+    if (!sc.brace_group(&region)) {
+      res.error = "ALT_BLOCK: expected { alternatives }";
+      return res;
+    }
+
+    // Parse the alternatives inside the region.
+    std::vector<AltDef> alts;
+    Scanner inner(region);
+    for (;;) {
+      inner.skip_ws();
+      if (inner.at_end()) break;
+      if (!inner.accept("alternative")) {
+        res.error = "expected `alternative` in block '" + name + "'";
+        return res;
+      }
+      std::string label_group;
+      if (!inner.paren_group(&label_group)) {
+        res.error = "alternative: expected (\"label\")";
+        return res;
+      }
+      Scanner lg(label_group);
+      AltDef def;
+      def.label = lg.string_lit();
+      if (def.label.empty()) {
+        res.error = "alternative: label must be a string literal";
+        return res;
+      }
+      if (inner.accept("guard")) {
+        if (!inner.paren_group(&def.guard)) {
+          res.error = "guard: expected (expr)";
+          return res;
+        }
+      }
+      if (!inner.brace_group(&def.body)) {
+        res.error = "alternative '" + def.label + "': expected { body }";
+        return res;
+      }
+      alts.push_back(std::move(def));
+    }
+    if (alts.empty()) {
+      res.error = "ALT_BLOCK '" + name + "' has no alternatives";
+      return res;
+    }
+
+    std::string on_fail;
+    if (sc.accept("ON_FAIL")) {
+      if (!sc.brace_group(&on_fail)) {
+        res.error = "ON_FAIL: expected { body }";
+        return res;
+      }
+    }
+
+    out += emit_block(name, timeout, synchronous, alts, on_fail,
+                      runtime_expr, world_expr);
+    ++res.blocks_translated;
+    copied = sc.pos();
+  }
+  out += source.substr(copied);
+  res.output = std::move(out);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace mw::altc

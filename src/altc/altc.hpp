@@ -1,0 +1,46 @@
+// altc — the §2.2 language preprocessor: "a language preprocessor applied
+// to a program with mutually exclusive alternatives would generate (in
+// pseudo-C): switch (alt_spawn(n)) { case 0: ... }".
+//
+// This is that preprocessor for C++: it scans a source file for alt-block
+// DSL regions and rewrites each into a run_alternatives call against this
+// library. Everything outside the regions passes through untouched.
+//
+// DSL:
+//
+//   ALT_BLOCK(name) [timeout(<ticks-expr>)] [sync|async] {
+//     alternative("label") [guard(<bool-expr-over w>)] {
+//       ... C++ statements, `ctx` in scope ...
+//     }
+//     alternative("label2") { ... }
+//   } ON_FAIL {
+//     ... C++ statements run when the block fails ...
+//   }
+//
+// generates (schematically):
+//
+//   {
+//     mw::AltOutcome name = mw::run_alternatives(rt, world, {...}, opts);
+//     if (name.failed) { ...ON_FAIL body... }
+//   }
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mw::altc {
+
+struct TranslateResult {
+  bool ok = false;
+  std::string output;        // translated source (valid even on error: input)
+  std::string error;         // first error message
+  int blocks_translated = 0;
+};
+
+/// Translates every ALT_BLOCK region in `source`. `runtime_expr` and
+/// `world_expr` name the mw::Runtime and mw::World in scope at each block.
+TranslateResult translate(const std::string& source,
+                          const std::string& runtime_expr = "rt",
+                          const std::string& world_expr = "world");
+
+}  // namespace mw::altc

@@ -1,0 +1,37 @@
+#include "core/alt_context.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace mw {
+
+void AltContext::work(VDuration ticks) {
+  work_ += ticks;
+  checkpoint();
+}
+
+void AltContext::compute(VDuration ticks) {
+  work_ += ticks;
+  if (!virtual_) {
+    // Burn roughly `ticks` microseconds of CPU so wall-clock runs exhibit
+    // the same relative costs the virtual schedule models.
+    Stopwatch sw;
+    volatile std::uint64_t sink = 0;
+    while (sw.elapsed_us() < static_cast<double>(ticks)) {
+      std::uint64_t acc = sink;
+      for (int i = 0; i < 64; ++i) acc += static_cast<std::uint64_t>(i) * 2654435761u;
+      sink = acc;
+      if (cancel_ && cancel_->cancelled()) throw CancelledError{};
+    }
+  }
+  checkpoint();
+}
+
+void AltContext::checkpoint() {
+  if (cancel_ && cancel_->cancelled()) throw CancelledError{};
+}
+
+void AltContext::fail(std::string reason) {
+  throw AltFailed{std::move(reason)};
+}
+
+}  // namespace mw

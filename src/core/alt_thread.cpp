@@ -1,0 +1,232 @@
+// The wall-clock thread backend for alternative blocks: one OS thread per
+// alternative, at-most-once synchronization by CAS, cooperative
+// elimination. On a multi-core host this delivers real response-time wins;
+// semantics are identical to the virtual backend.
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mw {
+
+namespace internal {
+
+AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
+                                   const std::vector<Alternative>& alts,
+                                   const AltOptions& opts) {
+  const std::size_t n = alts.size();
+  AltOutcome out;
+  out.alts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.alts[i].index = i + 1;
+    out.alts[i].name = alts[i].name;
+  }
+  if (n == 0) {
+    out.failed = true;
+    out.failure = AltFailure::kNoAlternatives;
+    return out;
+  }
+
+  const std::uint64_t group = rt.next_alt_group();
+  ProcessTable& table = rt.processes();
+  Stopwatch block_clock;
+
+  std::vector<std::size_t> spawned;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((opts.guard_phases & kGuardPreSpawn) && alts[i].guard &&
+        !alts[i].guard(parent)) {
+      continue;
+    }
+    spawned.push_back(i);
+    out.alts[i].spawned = true;
+  }
+  if (spawned.empty()) {
+    out.failed = true;
+    out.failure = AltFailure::kAllFailed;
+    return out;
+  }
+  const std::size_t m = spawned.size();
+
+  // Spawn: fork the worlds up front (serial, charged as setup), then start
+  // one thread per alternative; the OS plays the role of the processors.
+  std::vector<Pid> sibling_pids;
+  sibling_pids.reserve(m);
+  for (std::size_t i : spawned)
+    sibling_pids.push_back(table.create(parent.pid(), group, alts[i].name));
+
+  Stopwatch setup_clock;
+  std::vector<World> worlds;
+  worlds.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    worlds.push_back(parent.fork_alternative(sibling_pids[k], sibling_pids));
+    table.set_status(sibling_pids[k], ProcStatus::kRunning);
+  }
+  out.overhead.setup = static_cast<VDuration>(setup_clock.elapsed_us());
+
+  enum class End { kPending, kSynced, kAborted, kCancelled };
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable cv;
+    // CAS arbiter for the at-most-once sync (§2.2.1). The parent never
+    // reads this directly; it waits for `synced`, which the winning thread
+    // publishes under the mutex *after* its results are in place.
+    std::atomic<int> race{-1};
+    int synced = -1;
+    std::size_t done = 0;
+  } shared;
+
+  std::vector<CancelToken> cancels(m);
+  std::vector<Bytes> results(m);
+  std::vector<End> ends(m, End::kPending);
+
+  std::vector<std::thread> threads;
+  threads.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    threads.emplace_back([&, k] {
+      const std::size_t i = spawned[k];
+      const Alternative& alt = alts[i];
+      World& child = worlds[k];
+      AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), &cancels[k],
+                     /*virtual_mode=*/false);
+      End end = End::kAborted;
+      try {
+        bool success = true;
+        if ((opts.guard_phases & kGuardInChild) && alt.guard &&
+            !alt.guard(child)) {
+          success = false;
+        } else {
+          alt.body(ctx);
+        }
+        if (success && (opts.guard_phases & kGuardAtSync) && alt.guard &&
+            !alt.guard(child)) {
+          success = false;
+        }
+        if (success && alt.accept && !alt.accept(child)) success = false;
+        if (success) {
+          int expected = -1;
+          end = shared.race.compare_exchange_strong(expected,
+                                                    static_cast<int>(k))
+                    ? End::kSynced
+                    : End::kCancelled;  // lost the race: eliminated
+        }
+      } catch (const CancelledError&) {
+        end = End::kCancelled;
+      } catch (const AltFailed&) {
+        end = End::kAborted;
+      } catch (const std::exception&) {
+        end = End::kAborted;
+      }
+      results[k] = ctx.result();
+      {
+        std::lock_guard<std::mutex> lk(shared.mu);
+        ends[k] = end;
+        if (end == End::kSynced) shared.synced = static_cast<int>(k);
+        ++shared.done;
+      }
+      shared.cv.notify_all();
+    });
+  }
+
+  // alt_wait in the parent: blocked until a child synchronizes, every child
+  // ends, or the timeout elapses.
+  int wk = -1;
+  bool all_done = false;
+  {
+    std::unique_lock<std::mutex> lk(shared.mu);
+    auto decided = [&] { return shared.synced >= 0 || shared.done == m; };
+    if (opts.timeout == kVTimeMax) {
+      shared.cv.wait(lk, decided);
+    } else {
+      shared.cv.wait_for(lk, std::chrono::microseconds(opts.timeout),
+                         decided);
+    }
+    wk = shared.synced;
+    all_done = shared.done == m;
+  }
+
+  if (wk < 0 && !all_done) {
+    // Timeout. Cancel everyone and wait out the stragglers; if a child
+    // synchronized while the timeout fired, the at-most-once sync stands
+    // and it is honoured as the winner.
+    for (auto& c : cancels) c.request();
+    for (auto& t : threads) t.join();
+    threads.clear();
+    std::lock_guard<std::mutex> lk(shared.mu);
+    wk = shared.synced;
+    if (wk < 0) {
+      out.failed = true;
+      out.failure = AltFailure::kTimeout;
+    }
+  }
+
+  if (wk >= 0) {
+    // Eliminate the losing siblings (cooperative: they unwind at their next
+    // checkpoint). Asynchronous elimination resumes the parent immediately;
+    // synchronous waits for their termination first (§2.2.1).
+    Stopwatch elim_clock;
+    for (std::size_t k = 0; k < m; ++k)
+      if (static_cast<int>(k) != wk) cancels[k].request();
+    if (opts.elimination == Elimination::kSynchronous) {
+      std::unique_lock<std::mutex> lk(shared.mu);
+      shared.cv.wait(lk, [&] { return shared.done == m; });
+    }
+    out.overhead.elimination = static_cast<VDuration>(elim_clock.elapsed_us());
+
+    const auto wku = static_cast<std::size_t>(wk);
+    const std::size_t wi = spawned[wku];
+    out.winner = wi;
+    out.winner_name = alts[wi].name;
+    out.alts[wi].pages_copied = worlds[wku].space().table().stats().pages_copied;
+
+    Stopwatch commit_clock;
+    table.set_status(sibling_pids[wku], ProcStatus::kSynced);
+    out.result = std::move(results[wku]);
+    parent.commit_from(std::move(worlds[wku]));
+    out.overhead.commit = static_cast<VDuration>(commit_clock.elapsed_us());
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+  } else if (all_done) {
+    out.failed = true;
+    out.failure = AltFailure::kAllFailed;
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+  } else {
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+  }
+
+  // Join everything before the worlds vector goes out of scope. Under
+  // asynchronous elimination the response time was already recorded; this
+  // join is the throughput cost the paper accepts.
+  for (auto& t : threads) t.join();
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = spawned[k];
+    AltReport& rep = out.alts[i];
+    rep.pid = sibling_pids[k];
+    rep.ran = true;
+    if (static_cast<int>(k) != wk)
+      rep.pages_copied = worlds[k].space().table().stats().pages_copied;
+    rep.success = static_cast<int>(k) == wk;
+    switch (ends[k]) {
+      case End::kSynced:
+        break;  // already kSynced (or eliminated, if it raced a timeout)
+      case End::kAborted:
+        table.set_status(sibling_pids[k], ProcStatus::kFailed);
+        break;
+      case End::kPending:
+      case End::kCancelled:
+        table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace internal
+
+}  // namespace mw

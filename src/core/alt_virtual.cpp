@@ -1,0 +1,211 @@
+// The deterministic virtual-time backend for alternative blocks.
+//
+// Bodies execute serially on the calling thread, accounting virtual work
+// through AltContext::work/compute; the recorded tasks are then laid out on
+// the configured number of virtual processors (proc/vsched) and the
+// overhead model (proc/cost_model) charges spawn, COW-copy, commit and
+// elimination costs exactly where the paper's τ(overhead) analysis puts
+// them. The result is bit-reproducible on any host.
+#include <exception>
+#include <utility>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "proc/vsched.hpp"
+#include "util/check.hpp"
+
+namespace mw {
+
+namespace internal {
+
+AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
+                                    const std::vector<Alternative>& alts,
+                                    const AltOptions& opts) {
+  const std::size_t n = alts.size();
+  AltOutcome out;
+  out.alts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.alts[i].index = i + 1;
+    out.alts[i].name = alts[i].name;
+  }
+  if (n == 0) {
+    out.failed = true;
+    out.failure = AltFailure::kNoAlternatives;
+    return out;
+  }
+
+  const CostModel& cost = rt.config().cost;
+  const std::uint64_t group = rt.next_alt_group();
+  ProcessTable& table = rt.processes();
+
+  // Phase 0: optional serial guard evaluation in the parent (§2.2 —
+  // improves throughput at the expense of response time: rejected
+  // alternatives are never spawned, but the checks serialize).
+  std::vector<std::size_t> spawned;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((opts.guard_phases & kGuardPreSpawn) && alts[i].guard &&
+        !alts[i].guard(parent)) {
+      continue;
+    }
+    spawned.push_back(i);
+    out.alts[i].spawned = true;
+  }
+  if (spawned.empty()) {
+    out.failed = true;
+    out.failure = AltFailure::kAllFailed;
+    return out;
+  }
+
+  // Phase 1: spawn. Fork costs are serial in the parent; child i becomes
+  // ready only after the parent has forked children 0..i.
+  std::vector<Pid> sibling_pids;
+  sibling_pids.reserve(spawned.size());
+  for (std::size_t i : spawned) {
+    sibling_pids.push_back(table.create(parent.pid(), group, alts[i].name));
+  }
+  const std::size_t resident = parent.space().table().resident_pages();
+  const VDuration fork_cost = cost.fork_cost(resident);
+  std::vector<VTime> ready(spawned.size());
+  for (std::size_t k = 0; k < spawned.size(); ++k) {
+    out.overhead.setup += fork_cost;
+    ready[k] = static_cast<VTime>(fork_cost) * static_cast<VTime>(k + 1);
+  }
+
+  // Phase 2: run each body to its sync/abort point, recording virtual work
+  // and COW copying. Worlds are kept so the winner can be committed.
+  struct Ran {
+    World world;
+    Bytes result;
+    VDuration duration = 0;
+    bool success = false;
+    std::uint64_t pages_copied = 0;
+  };
+  std::vector<Ran> ran;
+  ran.reserve(spawned.size());
+
+  for (std::size_t k = 0; k < spawned.size(); ++k) {
+    const std::size_t i = spawned[k];
+    const Alternative& alt = alts[i];
+    World child = parent.fork_alternative(sibling_pids[k], sibling_pids);
+    table.set_status(sibling_pids[k], ProcStatus::kRunning);
+    AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), nullptr,
+                   /*virtual_mode=*/true);
+    bool success = true;
+    if ((opts.guard_phases & kGuardInChild) && alt.guard &&
+        !alt.guard(child)) {
+      success = false;
+    } else {
+      try {
+        alt.body(ctx);
+      } catch (const AltFailed&) {
+        success = false;
+      } catch (const std::exception&) {
+        success = false;
+      }
+    }
+    if (success && (opts.guard_phases & kGuardAtSync) && alt.guard &&
+        !alt.guard(child)) {
+      success = false;
+    }
+    if (success && alt.accept && !alt.accept(child)) success = false;
+
+    const std::uint64_t copied = child.space().table().stats().pages_copied;
+    Ran r{std::move(child), ctx.result(),
+          ctx.accounted_work() +
+              cost.cow_copy_per_page * static_cast<VDuration>(copied),
+          success, copied};
+    out.alts[i].pages_copied = copied;
+    out.overhead.copying +=
+        cost.cow_copy_per_page * static_cast<VDuration>(copied);
+    ran.push_back(std::move(r));
+  }
+
+  // Phase 3: schedule on the virtual processors.
+  std::vector<VirtualTask> tasks(spawned.size());
+  for (std::size_t k = 0; k < spawned.size(); ++k) {
+    tasks[k] = VirtualTask{sibling_pids[k], ready[k], ran[k].duration,
+                           ran[k].success};
+  }
+  ScheduleOutcome sched =
+      rt.config().sched == RuntimeConfig::Sched::kProcessorSharing
+          ? ps_schedule(rt.config().processors, tasks)
+          : list_schedule(rt.config().processors, tasks);
+
+  const bool winner_in_time =
+      sched.winner_index.has_value() && sched.winner_finish <= opts.timeout;
+
+  // Phase 4: statuses, commit, elimination.
+  for (std::size_t k = 0; k < spawned.size(); ++k) {
+    const std::size_t i = spawned[k];
+    AltReport& rep = out.alts[i];
+    const TaskSchedule& s = sched.tasks[k];
+    rep.pid = sibling_pids[k];
+    rep.ran = s.ran;
+    rep.start = s.start;
+    rep.finish = s.finish;
+    rep.success = winner_in_time && sched.winner_index == k;
+  }
+
+  if (winner_in_time) {
+    const std::size_t wk = *sched.winner_index;
+    const std::size_t wi = spawned[wk];
+    out.winner = wi;
+    out.winner_name = alts[wi].name;
+    out.result = std::move(ran[wk].result);
+
+    // alt_wait rendezvous: absorb the child's changed pages.
+    const std::size_t changed =
+        ran[wk].world.space().table().diff(parent.space().table()).size();
+    out.overhead.commit = cost.commit_cost(changed);
+    table.set_status(sibling_pids[wk], ProcStatus::kSynced);
+    parent.commit_from(std::move(ran[wk].world));
+
+    // Eliminate the siblings. Issue costs always land on the parent;
+    // synchronous elimination additionally waits for each termination.
+    const std::size_t victims = spawned.size() - 1;
+    out.overhead.elimination = cost.elimination_cost(
+        victims, opts.elimination == Elimination::kSynchronous);
+    for (std::size_t k = 0; k < spawned.size(); ++k) {
+      if (k == wk) continue;
+      // A sibling that aborted on its own (guard/body failure) before the
+      // winner synchronized reached kFailed by itself; the rest are killed.
+      if (!ran[k].success && sched.tasks[k].ran &&
+          sched.tasks[k].finish <= sched.winner_finish) {
+        table.set_status(sibling_pids[k], ProcStatus::kFailed);
+      } else {
+        table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+      }
+    }
+    out.elapsed = sched.winner_finish + out.overhead.commit +
+                  out.overhead.elimination;
+    return out;
+  }
+
+  // Failure: either every alternative aborted, or the parent timed out.
+  out.failed = true;
+  VTime last_finish = 0;
+  for (const auto& s : sched.tasks) last_finish = std::max(last_finish, s.finish);
+  if (!sched.winner_index.has_value() && last_finish <= opts.timeout) {
+    // All aborted before the timeout; the parent learns of failure when the
+    // last child does, and nothing is left to eliminate.
+    out.failure = AltFailure::kAllFailed;
+    out.elapsed = last_finish;
+    for (std::size_t k = 0; k < spawned.size(); ++k)
+      table.set_status(sibling_pids[k], ProcStatus::kFailed);
+  } else {
+    // Timed out with children still running (or succeeding too late): the
+    // parent returns from alt_wait, fails, and kills everything.
+    out.failure = AltFailure::kTimeout;
+    out.overhead.elimination = cost.elimination_cost(
+        spawned.size(), opts.elimination == Elimination::kSynchronous);
+    out.elapsed = opts.timeout + out.overhead.elimination;
+    for (std::size_t k = 0; k < spawned.size(); ++k)
+      table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+}  // namespace mw

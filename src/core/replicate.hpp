@@ -1,0 +1,127 @@
+// Replication × speculation (§5): "Transparent replication can easily be
+// combined with the use of parallel execution of several alternatives for
+// increases in performance, reliability, or both" (after Cooper's CIRCUS
+// and Goldberg & Jefferson's process cloning).
+//
+// Two modes over the same alternative-block machinery:
+//  * kFirstWins  — latency hedging: k identical replicas race; the first
+//    successful one commits. Useful when per-replica time varies (runtime
+//    jitter, fault injection): response time becomes min over replicas.
+//  * kMajority   — reliability: ALL replicas run to completion; a result
+//    value wins only if more than half of the replicas produced it. The
+//    winning replica's world commits. Detects (does not merely mask)
+//    value-corrupting faults.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+
+enum class ReplicaMode { kFirstWins, kMajority };
+
+struct ReplicateOptions {
+  ReplicaMode mode = ReplicaMode::kFirstWins;
+  AltOptions alt;  // timeout / elimination / guard phases
+};
+
+template <typename T>
+struct ReplicateResult {
+  std::optional<T> value;
+  /// Replicas that produced the winning value (majority mode) or 1.
+  int agreeing = 0;
+  /// Replicas that completed with *some* value.
+  int completed = 0;
+  AltOutcome outcome;
+};
+
+/// Runs `body` as `k` replicas against copies of `parent`'s state; on
+/// success, exactly one replica's world is committed into `parent`.
+/// The body receives its replica number (1..k) as the second argument.
+template <typename T>
+ReplicateResult<T> replicate(Runtime& rt, World& parent,
+                             std::function<T(AltContext&, int)> body, int k,
+                             const ReplicateOptions& opts = {}) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  ReplicateResult<T> out;
+
+  std::vector<Alternative> alts;
+  alts.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const int replica = i + 1;
+    alts.push_back(Alternative{
+        "replica" + std::to_string(replica), nullptr,
+        [body, replica](AltContext& ctx) {
+          T value = body(ctx, replica);
+          std::uint8_t buf[sizeof(T)];
+          std::memcpy(buf, &value, sizeof(T));
+          ctx.set_result(std::span<const std::uint8_t>(buf, sizeof(T)));
+        },
+        nullptr});
+  }
+
+  if (opts.mode == ReplicaMode::kFirstWins) {
+    out.outcome = run_alternatives(rt, parent, alts, opts.alt);
+    if (!out.outcome.failed && out.outcome.result.size() == sizeof(T)) {
+      T v;
+      std::memcpy(&v, out.outcome.result.data(), sizeof(T));
+      out.value = v;
+      out.agreeing = 1;
+      out.completed = 1;
+    }
+    return out;
+  }
+
+  // Majority: every replica must finish, so run them as k *separate*
+  // single-alternative blocks, each against its own COW clone of the
+  // parent (which absorbs that replica's state on success). Vote on the
+  // byte representation, then commit one agreeing replica's world —
+  // never re-executing a body, since non-determinism is exactly what
+  // majority voting is there to catch.
+  std::map<std::string, int> votes;
+  std::vector<Bytes> results(static_cast<std::size_t>(k));
+  std::vector<World> probes;
+  probes.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    World probe =
+        parent.clone_with_predicates(parent.predicates(), "replica-probe");
+    AltOutcome o = run_alternatives(
+        rt, probe, {alts[static_cast<std::size_t>(i)]}, opts.alt);
+    if (!o.failed && o.result.size() == sizeof(T)) {
+      results[static_cast<std::size_t>(i)] = o.result;
+      ++votes[std::string(o.result.begin(), o.result.end())];
+      ++out.completed;
+    }
+    probes.push_back(std::move(probe));
+    out.outcome.elapsed += o.elapsed;  // replicas run on the same plant
+  }
+  for (const auto& [bytes, count] : votes) {
+    if (2 * count <= k) continue;
+    out.agreeing = count;
+    T v;
+    std::memcpy(&v, bytes.data(), sizeof(T));
+    out.value = v;
+    for (int i = 0; i < k; ++i) {
+      const auto& r = results[static_cast<std::size_t>(i)];
+      if (!r.empty() && std::string(r.begin(), r.end()) == bytes) {
+        // The probe already absorbed this replica's state.
+        parent.commit_from(std::move(probes[static_cast<std::size_t>(i)]));
+        break;
+      }
+    }
+    break;
+  }
+  // Hygiene: the probe processes are done either way.
+  for (const World& p : probes)
+    rt.processes().set_status(p.pid(), ProcStatus::kEliminated);
+  return out;
+}
+
+}  // namespace mw

@@ -1,0 +1,128 @@
+// Runtime: configuration and shared services (process table, alt-group id
+// allocation, deterministic seeding) for alternative-block execution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "core/alt.hpp"
+#include "core/world.hpp"
+#include "proc/cost_model.hpp"
+#include "proc/process_table.hpp"
+#include "util/rng.hpp"
+
+namespace mw {
+
+struct RuntimeConfig {
+  AltBackend backend = AltBackend::kVirtual;
+
+  /// World geometry. 256 pages of 4 KiB = a 1 MiB address space, roughly
+  /// the era's process sizes; benches override.
+  std::size_t page_size = 4096;
+  std::size_t num_pages = 256;
+
+  /// Virtual processors for the kVirtual scheduler (the paper's Table I
+  /// machine had 2). The thread backend lets the OS schedule.
+  std::size_t processors = 2;
+
+  /// Virtual scheduling policy: run-to-completion FCFS, or timesharing
+  /// (egalitarian processor sharing — what the paper's UNIX machines ran;
+  /// required to reproduce Table I's behaviour when processes outnumber
+  /// processors).
+  enum class Sched { kFcfs, kProcessorSharing };
+  Sched sched = Sched::kFcfs;
+
+  /// Per-operation overhead charges for the kVirtual backend.
+  CostModel cost = CostModel::calibrated_hp();
+
+  /// Root seed; every alternative derives an independent stream.
+  std::uint64_t seed = 1;
+};
+
+/// Aggregate speculation accounting across a runtime's lifetime: the
+/// throughput ledger behind the paper's response-time-vs-throughput trade.
+struct RuntimeStats {
+  std::uint64_t blocks_run = 0;
+  std::uint64_t blocks_won = 0;       // a winner committed
+  std::uint64_t blocks_failed = 0;    // failure alternative selected
+  std::uint64_t alternatives_spawned = 0;
+  std::uint64_t alternatives_eliminated = 0;  // losers killed
+  std::uint64_t alternatives_aborted = 0;     // guard/body failures
+  VDuration total_elapsed = 0;           // sum of block response times
+  VDuration total_overhead = 0;          // sum of charged tau(overhead)
+  /// Work performed by losers: pure throughput cost (virtual backend).
+  VDuration wasted_work = 0;
+
+  /// Fraction of spawned alternatives whose work was discarded.
+  double waste_ratio() const {
+    const auto spawned = static_cast<double>(alternatives_spawned);
+    return spawned > 0
+               ? static_cast<double>(alternatives_eliminated +
+                                     alternatives_aborted) /
+                     spawned
+               : 0.0;
+  }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeConfig config = {}) : config_(config) {}
+
+  const RuntimeConfig& config() const { return config_; }
+  ProcessTable& processes() { return table_; }
+
+  /// Lifetime speculation ledger; updated by every alternative block.
+  const RuntimeStats& stats() const { return stats_; }
+
+  /// Folds a finished block into the ledger (called by the backends;
+  /// thread-safe for nested blocks running on worker threads).
+  void record_outcome(const AltOutcome& out) {
+    std::lock_guard<std::mutex> lk(stats_mu_);
+    ++stats_.blocks_run;
+    if (out.failed) {
+      ++stats_.blocks_failed;
+    } else {
+      ++stats_.blocks_won;
+    }
+    for (const AltReport& a : out.alts) {
+      if (!a.spawned) continue;
+      ++stats_.alternatives_spawned;
+      if (a.success) continue;
+      if (a.pid != kNoPid &&
+          table_.status(a.pid) == ProcStatus::kFailed) {
+        ++stats_.alternatives_aborted;
+      } else {
+        ++stats_.alternatives_eliminated;
+      }
+      if (a.ran && a.finish > a.start) stats_.wasted_work += a.finish - a.start;
+    }
+    stats_.total_elapsed += out.elapsed;
+    stats_.total_overhead += out.overhead.total();
+  }
+
+  /// A fresh root world with the configured geometry.
+  World make_root(std::string label = "root") {
+    return World(table_, config_.page_size, config_.num_pages,
+                 std::move(label));
+  }
+
+  std::uint64_t next_alt_group() {
+    return group_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Deterministic per-(group, alternative) random stream.
+  Rng rng_for(std::uint64_t group, std::size_t alt_index) const {
+    Rng base(config_.seed);
+    return base.split(group * 1000003ull + alt_index);
+  }
+
+ private:
+  RuntimeConfig config_;
+  ProcessTable table_;
+  std::atomic<std::uint64_t> group_counter_{0};
+  std::mutex stats_mu_;
+  RuntimeStats stats_;
+};
+
+}  // namespace mw

@@ -1,0 +1,75 @@
+// Typed convenience layer over alternative blocks: race plain functions
+// that *return a value*, get the winner's value back. State isolation,
+// commit and elimination all still apply — the value travels through the
+// winner's result bytes.
+//
+//   auto r = mw::speculate<double>(rt, {
+//       {"bisect", [](mw::AltContext& ctx) { ... return x; }},
+//       {"newton", [](mw::AltContext& ctx) { ... return y; }},
+//   });
+//   if (r.value) use(*r.value);
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+
+template <typename T>
+struct TypedAlternative {
+  std::string name;
+  /// Returns the alternative's value; throw AltFailed (ctx.fail) to abort.
+  std::function<T(AltContext&)> body;
+  std::function<bool(const World&)> guard;
+};
+
+template <typename T>
+struct SpeculateResult {
+  std::optional<T> value;      // the winner's return value
+  std::string winner_name;
+  AltOutcome outcome;          // full per-alternative report
+};
+
+/// Races `alts` in a throwaway world of `rt` and returns the winner's
+/// value. T must be trivially copyable (it crosses the world boundary as
+/// bytes; worlds do not share heap objects).
+template <typename T>
+SpeculateResult<T> speculate(Runtime& rt,
+                             std::vector<TypedAlternative<T>> alts,
+                             const AltOptions& opts = {}) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "speculate<T> ships the value across worlds as bytes");
+  World scratch = rt.make_root("speculate");
+  std::vector<Alternative> raw;
+  raw.reserve(alts.size());
+  for (auto& a : alts) {
+    raw.push_back(Alternative{
+        std::move(a.name), std::move(a.guard),
+        [body = std::move(a.body)](AltContext& ctx) {
+          T value = body(ctx);
+          std::uint8_t buf[sizeof(T)];
+          std::memcpy(buf, &value, sizeof(T));
+          ctx.set_result(std::span<const std::uint8_t>(buf, sizeof(T)));
+        },
+        nullptr});
+  }
+  SpeculateResult<T> out;
+  out.outcome = run_alternatives(rt, scratch, raw, opts);
+  if (!out.outcome.failed && out.outcome.result.size() == sizeof(T)) {
+    T value;
+    std::memcpy(&value, out.outcome.result.data(), sizeof(T));
+    out.value = value;
+    out.winner_name = out.outcome.winner_name;
+  }
+  return out;
+}
+
+}  // namespace mw

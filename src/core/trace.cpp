@@ -1,0 +1,121 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mw {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const AltOutcome& outcome,
+                            const std::string& block_name) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& name, VTime start, VDuration dur,
+                  int tid, const std::string& args) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"X\",\"ts\":"
+       << start << ",\"dur\":" << dur << ",\"pid\":1,\"tid\":" << tid
+       << ",\"cat\":\"" << json_escape(block_name) << "\"";
+    if (!args.empty()) os << ",\"args\":{" << args << "}";
+    os << "}";
+  };
+
+  for (const AltReport& a : outcome.alts) {
+    if (!a.spawned) {
+      emit(a.name + " (guarded out)", 0, 0,
+           static_cast<int>(a.index), "\"spawned\":false");
+      continue;
+    }
+    std::string status = a.success ? "won" : (a.ran ? "killed" : "cut");
+    emit(a.name + " [" + status + "]", a.start,
+         std::max<VDuration>(a.finish - a.start, 0),
+         static_cast<int>(a.index),
+         "\"pid\":" + std::to_string(a.pid) +
+             ",\"pages_copied\":" + std::to_string(a.pages_copied) +
+             ",\"status\":\"" + status + "\"");
+  }
+
+  // Block-level phases on tid 0.
+  VTime t = 0;
+  if (outcome.overhead.setup > 0) {
+    emit("spawn (fork x" + std::to_string(outcome.alts.size()) + ")", t,
+         outcome.overhead.setup, 0, "");
+  }
+  if (!outcome.failed) {
+    // Winner finish = elapsed - commit - elimination.
+    const VTime winner_finish =
+        outcome.elapsed - outcome.overhead.commit -
+        outcome.overhead.elimination;
+    if (outcome.overhead.commit > 0)
+      emit("commit", winner_finish, outcome.overhead.commit, 0, "");
+    if (outcome.overhead.elimination > 0)
+      emit("eliminate siblings", winner_finish + outcome.overhead.commit,
+           outcome.overhead.elimination, 0, "");
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+std::string to_text_timeline(const AltOutcome& outcome, int width) {
+  VTime horizon = 1;
+  for (const AltReport& a : outcome.alts)
+    horizon = std::max(horizon, a.finish);
+  horizon = std::max(horizon, static_cast<VTime>(outcome.elapsed));
+
+  std::size_t name_w = 4;
+  for (const AltReport& a : outcome.alts)
+    name_w = std::max(name_w, a.name.size());
+
+  auto col = [&](VTime t) {
+    return static_cast<int>(t * (width - 1) / horizon);
+  };
+
+  std::ostringstream os;
+  for (const AltReport& a : outcome.alts) {
+    os << a.name << std::string(name_w - a.name.size(), ' ') << " |";
+    std::string row(static_cast<std::size_t>(width), ' ');
+    if (a.spawned && a.ran) {
+      const int s = col(a.start);
+      const int f = std::max(col(a.finish), s);
+      for (int i = 0; i < s; ++i) row[static_cast<std::size_t>(i)] = '.';
+      for (int i = s; i <= f && i < width; ++i)
+        row[static_cast<std::size_t>(i)] = '#';
+      if (f < width)
+        row[static_cast<std::size_t>(f)] = a.success ? 'W' : 'x';
+    } else if (a.spawned) {
+      const int f = std::min(col(a.finish), width - 1);
+      for (int i = 0; i <= f; ++i) row[static_cast<std::size_t>(i)] = '.';
+    } else {
+      row[0] = '-';
+    }
+    os << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace mw

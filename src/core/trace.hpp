@@ -1,0 +1,29 @@
+// Trace export: renders an AltOutcome's schedule as Chrome trace-event
+// JSON (load in chrome://tracing or https://ui.perfetto.dev) so users can
+// *see* the speculation — who ran where, who was cut in the ready queue,
+// where the commit and elimination costs landed.
+#pragma once
+
+#include <string>
+
+#include "core/alt.hpp"
+
+namespace mw {
+
+/// One complete-event ("ph":"X") per alternative plus marker events for
+/// the block's commit and elimination phases. Times are the outcome's
+/// ticks reported as microseconds.
+std::string to_chrome_trace(const AltOutcome& outcome,
+                            const std::string& block_name = "alt-block");
+
+/// Renders a compact fixed-width text timeline (one row per alternative)
+/// for terminal inspection:
+///
+///   fast   |#####W                |
+///   slow   |############x         |
+///   queued |............          |
+///
+/// '#' running, 'W' won, 'x' killed/aborted, '.' waiting in the queue.
+std::string to_text_timeline(const AltOutcome& outcome, int width = 60);
+
+}  // namespace mw

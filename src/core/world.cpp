@@ -1,0 +1,43 @@
+#include "core/world.hpp"
+
+#include "util/check.hpp"
+
+namespace mw {
+
+World::World(ProcessTable& table, std::size_t page_size,
+             std::size_t num_pages, std::string label)
+    : table_(&table),
+      pid_(table.create(kNoPid, 0, std::move(label))),
+      space_(page_size, num_pages) {
+  table_->set_status(pid_, ProcStatus::kRunning);
+}
+
+World::World(ProcessTable& table, Pid pid, AddressSpace space,
+             PredicateSet preds)
+    : table_(&table), pid_(pid), space_(std::move(space)),
+      preds_(std::move(preds)) {}
+
+World World::fork_alternative(Pid self_pid,
+                              const std::vector<Pid>& sibling_pids) {
+  PredicateSet child_preds =
+      PredicateSet::for_alternative(preds_, self_pid, sibling_pids);
+  return World(*table_, self_pid, space_.fork(), std::move(child_preds));
+}
+
+World World::clone_with_predicates(PredicateSet preds,
+                                   std::string label) const {
+  const Pid pid = table_->create(table_->get(pid_).parent, 0, std::move(label));
+  table_->set_status(pid, ProcStatus::kRunning);
+  return World(*table_, pid, space_.fork(), std::move(preds));
+}
+
+void World::commit_from(World&& child) {
+  MW_CHECK(child.table_ == table_);
+  space_.adopt(std::move(child.space_));
+  // The flow of control through the child "appears to have been seamless,
+  // up to and including maintenance of the process id" — the parent keeps
+  // its own pid; the child's assumptions about itself are now resolved and
+  // do not transfer.
+}
+
+}  // namespace mw

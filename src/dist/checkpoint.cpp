@@ -1,0 +1,75 @@
+#include "dist/checkpoint.hpp"
+
+#include <cstring>
+
+namespace mw {
+
+namespace {
+constexpr std::uint64_t kImageMagic = 0x4d57434b'50543031ull;  // "MWCKPT01"
+}
+
+CheckpointImage take_checkpoint(const AddressSpace& space,
+                                const Registers& regs) {
+  const PageTable& table = space.table();
+  ByteWriter w;
+  w.put_u64(kImageMagic);
+  w.put_u64(table.page_size());
+  w.put_u64(table.num_pages());
+  // Register file ("the bootstrapping routine restores the registers").
+  w.put_u64(regs.pc);
+  w.put_u64(regs.sp);
+  for (std::uint64_t g : regs.gp) w.put_u64(g);
+
+  // Data segments: resident pages only.
+  std::uint64_t resident = 0;
+  for (std::size_t i = 0; i < table.num_pages(); ++i)
+    if (table.peek(i)) ++resident;
+  w.put_u64(resident);
+  for (std::size_t i = 0; i < table.num_pages(); ++i) {
+    const Page* p = table.peek(i);
+    if (!p) continue;
+    w.put_u64(i);
+    w.put_bytes(std::span<const std::uint8_t>(p->data(), p->size()));
+  }
+
+  CheckpointImage img;
+  img.blob = w.take();
+  img.resident_pages = resident;
+  img.page_size = table.page_size();
+  img.total_pages = table.num_pages();
+  return img;
+}
+
+RestoreResult restore_checkpoint(const CheckpointImage& image) {
+  ByteReader r(image.blob);
+  RestoreResult out{AddressSpace(1, 1), Registers{}, false};
+  if (r.get_u64() != kImageMagic) return out;
+  const std::uint64_t page_size = r.get_u64();
+  const std::uint64_t num_pages = r.get_u64();
+  if (!r.ok() || page_size == 0 || num_pages == 0) return out;
+
+  Registers regs;
+  regs.pc = r.get_u64();
+  regs.sp = r.get_u64();
+  for (auto& g : regs.gp) g = r.get_u64();
+  regs.ret = Registers::kRestored;
+
+  AddressSpace space(page_size, num_pages);
+  const std::uint64_t resident = r.get_u64();
+  std::vector<std::uint8_t> buf(page_size);
+  for (std::uint64_t k = 0; k < resident; ++k) {
+    const std::uint64_t idx = r.get_u64();
+    Bytes data = r.get_blob(page_size);
+    if (!r.ok() || idx >= num_pages) return out;
+    std::memcpy(buf.data(), data.data(), page_size);
+    space.write(idx * page_size, buf);
+  }
+  if (!r.ok() || !r.at_end()) return out;
+
+  out.space = std::move(space);
+  out.regs = regs;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace mw

@@ -1,0 +1,56 @@
+// Process checkpoint/restart, after Smith & Ioannidis [19]: "the state of
+// the process was dumped into a file in such a way that the file is
+// executable; a bootstrapping routine restores the registers and data
+// segments and returns control to the caller of the checkpoint routine when
+// this file is executed. A return value is used to distinguish between
+// return of control in the checkpoint and in the calling process."
+#pragma once
+
+#include <cstdint>
+
+#include "pagestore/address_space.hpp"
+#include "util/bytes.hpp"
+
+namespace mw {
+
+/// The modeled register file saved alongside the data segments.
+struct Registers {
+  std::uint64_t pc = 0;
+  std::uint64_t sp = 0;
+  /// The fork-style discriminator: kInCaller after taking a checkpoint,
+  /// kRestored when control returns via the bootstrapping routine.
+  std::uint64_t ret = 0;
+  std::uint64_t gp[8] = {};
+
+  static constexpr std::uint64_t kInCaller = 0;
+  static constexpr std::uint64_t kRestored = 1;
+};
+
+/// A self-describing executable image: header, registers, then the
+/// resident pages (index + contents). Non-resident (zero) pages are not
+/// stored — checkpoint size tracks the *resident* set, which is why the
+/// paper's 70 KB process ships 70 KB, not its full address space.
+struct CheckpointImage {
+  Bytes blob;
+  std::size_t resident_pages = 0;
+  std::size_t page_size = 0;
+  std::size_t total_pages = 0;
+
+  std::size_t size_bytes() const { return blob.size(); }
+};
+
+/// Dumps `space` + `regs`; the caller sees regs.ret == kInCaller.
+CheckpointImage take_checkpoint(const AddressSpace& space,
+                                const Registers& regs);
+
+struct RestoreResult {
+  AddressSpace space;
+  Registers regs;  // regs.ret == Registers::kRestored
+  bool ok = false;
+};
+
+/// The bootstrapping routine: reconstructs the address space and register
+/// file from an image. Returns ok=false on a corrupt image.
+RestoreResult restore_checkpoint(const CheckpointImage& image);
+
+}  // namespace mw

@@ -1,0 +1,57 @@
+// Deterministic network simulator for the distributed case (§3.1: "in the
+// distributed case we must actually copy state for a remote child...
+// latency will still restrain distributed performance").
+//
+// The link model is calibrated to the paper's era: ~10 Mb/s Ethernet
+// (≈1 MB/s effective), millisecond-scale latency, per-message protocol
+// processing cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/des.hpp"
+#include "util/vtime.hpp"
+
+namespace mw {
+
+using NodeId = std::uint32_t;
+
+struct LinkModel {
+  VDuration latency = vt_ms(5);            // one-way propagation + switching
+  double bandwidth_bytes_per_sec = 1.0e6;  // ≈10 Mb/s effective
+  VDuration per_message_overhead = vt_ms(2);  // protocol processing per msg
+
+  /// One-way time to move `bytes` as a single message.
+  VDuration transfer_time(std::size_t bytes) const {
+    const double serialization =
+        static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e6;
+    return latency + per_message_overhead +
+           static_cast<VDuration>(serialization);
+  }
+};
+
+/// Point-to-point message delivery on top of an EventQueue. Messages on the
+/// same (from, to) pair stay FIFO because transfer time is deterministic
+/// and the queue breaks ties by insertion order.
+class NetSim {
+ public:
+  NetSim(EventQueue& queue, LinkModel link) : queue_(queue), link_(link) {}
+
+  const LinkModel& link() const { return link_; }
+
+  /// Schedules `on_delivered` after the link-model transfer time.
+  void send(NodeId from, NodeId to, std::size_t bytes,
+            std::function<void()> on_delivered);
+
+  std::uint64_t messages_sent() const { return messages_; }
+  std::uint64_t bytes_sent() const { return bytes_; }
+
+ private:
+  EventQueue& queue_;
+  LinkModel link_;
+  std::uint64_t messages_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mw

@@ -1,0 +1,55 @@
+#include "io/backing_store.hpp"
+
+#include "util/check.hpp"
+
+namespace mw {
+
+FileId BackingStore::create(const std::string& name, std::size_t pages) {
+  MW_CHECK(!names_.count(name));
+  const FileId id = next_id_++;
+  files_.emplace(id, PageTable(page_size_, pages));
+  names_.emplace(name, id);
+  return id;
+}
+
+std::optional<FileId> BackingStore::lookup(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+const PageTable& BackingStore::file(FileId id) const {
+  auto it = files_.find(id);
+  MW_CHECK(it != files_.end());
+  return it->second;
+}
+
+PageTable& BackingStore::file(FileId id) {
+  auto it = files_.find(id);
+  MW_CHECK(it != files_.end());
+  return it->second;
+}
+
+std::size_t BackingStore::file_pages(FileId id) const {
+  return file(id).num_pages();
+}
+
+void BackingStore::read(FileId id, std::uint64_t off,
+                        std::span<std::uint8_t> dst) const {
+  file(id).read(off, dst);
+  ++const_cast<BackingStore*>(this)->reads_;
+}
+
+void BackingStore::write(FileId id, std::uint64_t off,
+                         std::span<const std::uint8_t> src) {
+  file(id).write(off, src);
+  ++writes_;
+}
+
+PageTable BackingStore::snapshot(FileId id) const { return file(id).fork(); }
+
+void BackingStore::replace(FileId id, PageTable&& pages) {
+  file(id).adopt(std::move(pages));
+}
+
+}  // namespace mw

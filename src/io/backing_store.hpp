@@ -1,0 +1,74 @@
+// BackingStore: the paper's canonical *sink* (§2.1) — a single-level store
+// of named files, each a set of fixed-size pages (MULTICS-style). Page
+// operations are idempotent: retrying a read or rewrite has no observable
+// effect beyond the final state, which is what lets speculation hide sink
+// side effects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pagestore/page_table.hpp"
+
+namespace mw {
+
+using FileId = std::uint32_t;
+inline constexpr FileId kNoFile = 0;
+
+class BackingStore {
+ public:
+  explicit BackingStore(std::size_t page_size) : page_size_(page_size) {}
+
+  std::size_t page_size() const { return page_size_; }
+
+  /// Creates a named file of `pages` zero pages; names are unique.
+  FileId create(const std::string& name, std::size_t pages);
+
+  std::optional<FileId> lookup(const std::string& name) const;
+
+  std::size_t file_pages(FileId id) const;
+
+  /// Byte-addressed access within a file.
+  void read(FileId id, std::uint64_t off, std::span<std::uint8_t> dst) const;
+  void write(FileId id, std::uint64_t off, std::span<const std::uint8_t> src);
+
+  template <typename T>
+  T load(FileId id, std::uint64_t off) const {
+    T v{};
+    read(id, off, std::span<std::uint8_t>(
+                      reinterpret_cast<std::uint8_t*>(&v), sizeof v));
+    return v;
+  }
+  template <typename T>
+  void store(FileId id, std::uint64_t off, const T& v) {
+    write(id, off, std::span<const std::uint8_t>(
+                       reinterpret_cast<const std::uint8_t*>(&v), sizeof v));
+  }
+
+  /// Cheap snapshot of a file's pages (COW) — used by transactions to make
+  /// commit atomic and by tests to diff states.
+  PageTable snapshot(FileId id) const;
+
+  /// Atomically replaces a file's contents with `pages` (same geometry).
+  void replace(FileId id, PageTable&& pages);
+
+  std::uint64_t total_reads() const { return reads_; }
+  std::uint64_t total_writes() const { return writes_; }
+
+ private:
+  const PageTable& file(FileId id) const;
+  PageTable& file(FileId id);
+
+  std::size_t page_size_;
+  std::map<FileId, PageTable> files_;
+  std::map<std::string, FileId> names_;
+  FileId next_id_ = 1;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace mw

@@ -1,0 +1,47 @@
+#include "io/source_gate.hpp"
+
+namespace mw {
+
+SourceGate::SourceGate(ProcessTable& table, GatePolicy policy)
+    : table_(table), policy_(policy) {
+  table_.subscribe([this](Pid pid, ProcStatus, ProcStatus now) {
+    on_status(pid, now);
+  });
+}
+
+bool SourceGate::request(Pid pid, const PredicateSet& preds, Action act) {
+  if (preds.empty()) {
+    act();
+    ++executed_;
+    return true;
+  }
+  if (policy_ == GatePolicy::kReject) {
+    ++rejected_;
+    return false;
+  }
+  deferred_[pid].push_back(std::move(act));
+  return false;  // not yet observable
+}
+
+std::uint64_t SourceGate::deferred_pending() const {
+  std::uint64_t n = 0;
+  for (const auto& [pid, acts] : deferred_) n += acts.size();
+  return n;
+}
+
+void SourceGate::on_status(Pid pid, ProcStatus now) {
+  if (!is_terminal(now)) return;
+  auto it = deferred_.find(pid);
+  if (it == deferred_.end()) return;
+  if (now == ProcStatus::kSynced) {
+    for (auto& act : it->second) {
+      act();
+      ++executed_;
+    }
+  } else {
+    dropped_ += it->second.size();
+  }
+  deferred_.erase(it);
+}
+
+}  // namespace mw

@@ -1,0 +1,52 @@
+// SourceGate — enforcement of the §2.4.2 invariant: "While a process has
+// predicates which are unsatisfied, it is restricted from causing
+// observable side-effects, and thus cannot interface with sources."
+//
+// Wrap any source behind a gate; speculative access attempts are either
+// rejected (kReject — the default, for code that should have used a
+// buffering layer) or recorded as deferred intents that a commit replays
+// (kDefer — a generic version of SpeculativeConsole's write path).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "pred/predicate_set.hpp"
+#include "proc/process_table.hpp"
+#include "util/ids.hpp"
+
+namespace mw {
+
+enum class GatePolicy { kReject, kDefer };
+
+class SourceGate {
+ public:
+  using Action = std::function<void()>;
+
+  SourceGate(ProcessTable& table, GatePolicy policy);
+
+  /// Requests the side effect `act` on behalf of `pid` holding `preds`.
+  /// Certain worlds execute immediately (returns true). Speculative
+  /// worlds: kReject returns false and drops the action; kDefer queues it
+  /// until pid's fate resolves (executed on sync, dropped otherwise).
+  bool request(Pid pid, const PredicateSet& preds, Action act);
+
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t deferred_pending() const;
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void on_status(Pid pid, ProcStatus now);
+
+  ProcessTable& table_;
+  GatePolicy policy_;
+  std::map<Pid, std::vector<Action>> deferred_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mw

@@ -1,0 +1,66 @@
+#include "io/spec_console.hpp"
+
+namespace mw {
+
+SpeculativeConsole::SpeculativeConsole(ProcessTable& table, Teletype& tty)
+    : table_(table), tty_(tty) {
+  table_.subscribe([this](Pid pid, ProcStatus, ProcStatus now) {
+    on_status(pid, now);
+  });
+}
+
+void SpeculativeConsole::write(Pid pid, const PredicateSet& preds,
+                               const std::string& line) {
+  if (preds.empty()) {
+    // A certain world: the side effect is immediately observable.
+    tty_.print(line);
+    return;
+  }
+  pending_[pid].push_back(line);
+}
+
+std::optional<std::string> SpeculativeConsole::read_line(Pid pid) {
+  std::size_t& cursor = read_cursor_[pid];
+  if (cursor < input_history_.size()) {
+    ++replayed_;
+    return input_history_[cursor++];
+  }
+  // One real read at this position; the result is buffered for subsequent
+  // readers of the same data.
+  auto line = tty_.read_line();
+  if (!line.has_value()) return std::nullopt;
+  input_history_.push_back(*line);
+  ++cursor;
+  return line;
+}
+
+std::size_t SpeculativeConsole::buffered_lines() const {
+  std::size_t n = 0;
+  for (const auto& [pid, lines] : pending_) n += lines.size();
+  return n;
+}
+
+void SpeculativeConsole::flush(Pid pid) {
+  auto it = pending_.find(pid);
+  if (it == pending_.end()) return;
+  for (const auto& line : it->second) tty_.print(line);
+  pending_.erase(it);
+}
+
+void SpeculativeConsole::discard(Pid pid) {
+  auto it = pending_.find(pid);
+  if (it == pending_.end()) return;
+  discarded_ += it->second.size();
+  pending_.erase(it);
+}
+
+void SpeculativeConsole::on_status(Pid pid, ProcStatus now) {
+  if (!is_terminal(now)) return;
+  if (now == ProcStatus::kSynced) {
+    flush(pid);
+  } else {
+    discard(pid);
+  }
+}
+
+}  // namespace mw

@@ -1,0 +1,72 @@
+// SpeculativeConsole: Jefferson-style source buffering (§5: "idempotency of
+// some source state can be forced through buffering, as was illustrated by
+// Jefferson's use of a specialized buffering process called stdout").
+//
+// * Writes from a certain world go straight to the teletype. Writes from a
+//   speculative world are buffered per process; when the process completes
+//   they flush in order, and when it fails/is eliminated they are
+//   discarded — "while a process has predicates which are unsatisfied, it
+//   is restricted from causing observable side-effects" (§2.4.2).
+// * Reads are performed against the real source at most once per input
+//   position and replayed to every subsequent reader, so mutually exclusive
+//   alternatives all observe the same input.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/teletype.hpp"
+#include "pred/predicate_set.hpp"
+#include "proc/process_table.hpp"
+#include "util/ids.hpp"
+
+namespace mw {
+
+class SpeculativeConsole {
+ public:
+  /// Subscribes to `table` for completion events; both references must
+  /// outlive the console.
+  SpeculativeConsole(ProcessTable& table, Teletype& tty);
+
+  /// Writes a line on behalf of process `pid` holding `preds`.
+  void write(Pid pid, const PredicateSet& preds, const std::string& line);
+
+  /// Reads the next input line for `pid`. The first reader at each input
+  /// position performs the one real read; later readers replay the buffer.
+  std::optional<std::string> read_line(Pid pid);
+
+  /// Releases `pid`'s buffered lines to the device. The process-table
+  /// subscription calls this automatically when `pid` synchronizes; runtimes
+  /// that resolve assumptions without terminating the process (a split
+  /// receiver whose predicates all come true — SpecRuntime's
+  /// on_copy_certain hook) call it explicitly.
+  void flush(Pid pid);
+
+  /// Drops `pid`'s buffered lines (its world lost).
+  void discard(Pid pid);
+
+  /// Lines currently buffered (all speculative processes).
+  std::size_t buffered_lines() const;
+
+  /// Input positions served from the replay buffer rather than the device.
+  std::uint64_t replayed_reads() const { return replayed_; }
+
+  /// Lines discarded because their world lost.
+  std::uint64_t discarded_lines() const { return discarded_; }
+
+ private:
+  void on_status(Pid pid, ProcStatus now);
+
+  ProcessTable& table_;
+  Teletype& tty_;
+  std::map<Pid, std::vector<std::string>> pending_;  // per-process, in order
+  std::vector<std::string> input_history_;
+  std::map<Pid, std::size_t> read_cursor_;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t discarded_ = 0;
+};
+
+}  // namespace mw

@@ -1,0 +1,43 @@
+// Teletype: the paper's canonical *source* device (§2.1) — operations on it
+// cannot be retried without observable effects. Output is irrevocable;
+// input consumes a scripted stream. Speculative worlds must never touch a
+// Teletype directly; they go through SpeculativeConsole, which buffers
+// effects until the world's assumptions resolve.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mw {
+
+class Teletype {
+ public:
+  Teletype() = default;
+  explicit Teletype(std::vector<std::string> input_script)
+      : input_(std::move(input_script)) {}
+
+  /// Irrevocably emits a line.
+  void print(const std::string& line) { output_.push_back(line); }
+
+  /// Consumes and returns the next scripted input line; nullopt at EOF.
+  /// Every call advances the stream — the non-idempotence that forces
+  /// buffering for replicated/speculative readers.
+  std::optional<std::string> read_line() {
+    if (cursor_ >= input_.size()) return std::nullopt;
+    ++reads_;
+    return input_[cursor_++];
+  }
+
+  const std::vector<std::string>& output() const { return output_; }
+  std::size_t reads_performed() const { return reads_; }
+
+ private:
+  std::vector<std::string> input_;
+  std::size_t cursor_ = 0;
+  std::size_t reads_ = 0;
+  std::vector<std::string> output_;
+};
+
+}  // namespace mw

@@ -1,0 +1,32 @@
+#include "io/transaction.hpp"
+
+#include "util/check.hpp"
+
+namespace mw {
+
+Transaction::Transaction(BackingStore& store, FileId file)
+    : store_(store), file_(file), shadow_(store.snapshot(file)) {}
+
+void Transaction::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
+  MW_CHECK(state_ == State::kOpen);
+  shadow_.read(off, dst);
+}
+
+void Transaction::write(std::uint64_t off,
+                        std::span<const std::uint8_t> src) {
+  MW_CHECK(state_ == State::kOpen);
+  shadow_.write(off, src);
+}
+
+void Transaction::commit() {
+  MW_CHECK(state_ == State::kOpen);
+  store_.replace(file_, std::move(shadow_));
+  state_ = State::kCommitted;
+}
+
+void Transaction::abort() {
+  MW_CHECK(state_ == State::kOpen);
+  state_ = State::kAborted;
+}
+
+}  // namespace mw

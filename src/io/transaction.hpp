@@ -1,0 +1,65 @@
+// Transactions over sink state (§2.1): "writes must be done to a temporary
+// copy until the transaction commits... Reads intended for the recently
+// written copy are satisfied by that copy so that the transaction is
+// internally consistent, i.e., it can read what was written."
+//
+// Implementation: the transaction works against a COW snapshot of the file;
+// commit atomically replaces the file's page map with the snapshot's
+// (exactly the world-commit mechanism). Abort simply drops the snapshot.
+#pragma once
+
+#include <span>
+
+#include "io/backing_store.hpp"
+
+namespace mw {
+
+class Transaction {
+ public:
+  /// Opens a transaction on one file. The store must outlive it. An open
+  /// transaction that is destroyed without commit() aborts.
+  Transaction(BackingStore& store, FileId file);
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Reads through the transaction: sees its own uncommitted writes.
+  void read(std::uint64_t off, std::span<std::uint8_t> dst) const;
+
+  /// Writes to the temporary copy; invisible outside until commit.
+  void write(std::uint64_t off, std::span<const std::uint8_t> src);
+
+  template <typename T>
+  T load(std::uint64_t off) const {
+    T v{};
+    read(off, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v),
+                                      sizeof v));
+    return v;
+  }
+  template <typename T>
+  void store(std::uint64_t off, const T& v) {
+    write(off, std::span<const std::uint8_t>(
+                   reinterpret_cast<const std::uint8_t*>(&v), sizeof v));
+  }
+
+  /// Atomically publishes all writes. At most one of commit/abort.
+  void commit();
+  /// Discards all writes.
+  void abort();
+
+  bool open() const { return state_ == State::kOpen; }
+  bool committed() const { return state_ == State::kCommitted; }
+
+  /// Pages privately copied by this transaction so far.
+  std::uint64_t pages_touched() const { return shadow_.stats().pages_copied + shadow_.stats().pages_allocated; }
+
+ private:
+  enum class State { kOpen, kCommitted, kAborted };
+
+  BackingStore& store_;
+  FileId file_;
+  PageTable shadow_;
+  State state_ = State::kOpen;
+};
+
+}  // namespace mw

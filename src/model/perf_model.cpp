@@ -1,0 +1,104 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+double performance_improvement(double r_mu, double r_o) {
+  MW_CHECK(r_o >= 0.0);
+  return r_mu / (1.0 + r_o);
+}
+
+double tau_mean(std::span<const double> times) {
+  MW_CHECK(!times.empty());
+  double sum = 0.0;
+  for (double t : times) sum += t;
+  return sum / static_cast<double>(times.size());
+}
+
+double tau_best(std::span<const double> times) {
+  MW_CHECK(!times.empty());
+  return *std::min_element(times.begin(), times.end());
+}
+
+double dispersion_ratio(std::span<const double> times) {
+  const double best = tau_best(times);
+  MW_CHECK(best > 0.0);
+  return tau_mean(times) / best;
+}
+
+double overhead_ratio(double overhead, std::span<const double> times) {
+  const double best = tau_best(times);
+  MW_CHECK(best > 0.0);
+  MW_CHECK(overhead >= 0.0);
+  return overhead / best;
+}
+
+double measured_pi(std::span<const double> times, double overhead) {
+  return tau_mean(times) / (tau_best(times) + overhead);
+}
+
+bool parallel_wins(std::span<const double> times, double overhead) {
+  return measured_pi(times, overhead) > 1.0;
+}
+
+bool superlinear(std::span<const double> times, double overhead) {
+  return measured_pi(times, overhead) > static_cast<double>(times.size());
+}
+
+std::vector<SeriesPoint> figure3_series(double r_o, double lo, double hi,
+                                        int points) {
+  MW_CHECK(points >= 2);
+  std::vector<SeriesPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+    out.push_back({x, performance_improvement(x, r_o)});
+  }
+  return out;
+}
+
+std::vector<SeriesPoint> figure4_series(double r_mu, double lo, double hi,
+                                        int points) {
+  MW_CHECK(points >= 2);
+  MW_CHECK(lo > 0.0 && hi > lo);
+  std::vector<SeriesPoint> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double log_lo = std::log(lo), log_hi = std::log(hi);
+  for (int i = 0; i < points; ++i) {
+    const double x = std::exp(
+        log_lo + (log_hi - log_lo) * static_cast<double>(i) / (points - 1));
+    out.push_back({x, performance_improvement(r_mu, x)});
+  }
+  return out;
+}
+
+DomainStats domain_analysis(const std::vector<std::vector<double>>& times,
+                            const std::vector<double>& overheads) {
+  MW_CHECK(!times.empty());
+  MW_CHECK(times.size() == overheads.size());
+  DomainStats s;
+  s.min_pi = std::numeric_limits<double>::infinity();
+  s.max_pi = -std::numeric_limits<double>::infinity();
+  std::size_t improved = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double pi = measured_pi(times[i], overheads[i]);
+    s.mean_pi += pi;
+    s.mean_r_mu += dispersion_ratio(times[i]);
+    s.min_pi = std::min(s.min_pi, pi);
+    s.max_pi = std::max(s.max_pi, pi);
+    if (pi > 1.0) ++improved;
+  }
+  const auto n = static_cast<double>(times.size());
+  s.mean_pi /= n;
+  s.mean_r_mu /= n;
+  s.fraction_improved = static_cast<double>(improved) / n;
+  return s;
+}
+
+}  // namespace mw

@@ -1,0 +1,81 @@
+// The paper's performance analysis (§3.2–3.3).
+//
+// Given alternatives C_1..C_N with execution times τ(C_i, x) on input x:
+//   τ(C_mean, x) = Σ τ(C_i, x) / N      — Scheme B, random selection;
+//   τ(C_best, x) = min_i τ(C_i, x)      — Scheme C picks this, plus overhead.
+//
+// Parallel execution wins iff τ(C_best) + τ(overhead) < τ(C_mean), and the
+// performance improvement is
+//
+//   PI = τ(C_mean) / (τ(C_best) + τ(overhead)) = [1/(1+R_o)] · R_μ
+//
+// where R_μ = τ(C_mean)/τ(C_best) captures dispersion and
+// R_o = τ(overhead)/τ(C_best) captures overhead. Figures 3 and 4 plot PI
+// against each ratio with the other held fixed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mw {
+
+/// PI as a function of the two ratios: the paper's re-expression
+/// PI = R_μ / (1 + R_o).
+double performance_improvement(double r_mu, double r_o);
+
+/// τ(C_mean, x): arithmetic mean — the expected cost of choosing an
+/// alternative uniformly at random (Scheme B).
+double tau_mean(std::span<const double> times);
+
+/// τ(C_best, x): the fastest alternative on this input.
+double tau_best(std::span<const double> times);
+
+/// R_μ for a set of alternative times.
+double dispersion_ratio(std::span<const double> times);
+
+/// R_o given measured overhead.
+double overhead_ratio(double overhead, std::span<const double> times);
+
+/// PI computed from first principles: mean / (best + overhead).
+double measured_pi(std::span<const double> times, double overhead);
+
+/// Parallel execution wins iff PI > 1.
+bool parallel_wins(std::span<const double> times, double overhead);
+
+/// The §3.3 superlinearity observation: N processors running N serial
+/// algorithms beat an N-fold speedup of one algorithm when PI > N —
+/// possible with sufficient variance and small enough overhead.
+bool superlinear(std::span<const double> times, double overhead);
+
+struct SeriesPoint {
+  double x = 0.0;   // the swept ratio
+  double pi = 0.0;  // resulting performance improvement
+};
+
+/// Figure 3: PI as a function of R_μ ∈ [lo, hi] with R_o fixed (paper uses
+/// R_o = 0.5, R_μ ∈ [0, 5]). A straight line of slope 1/(1+R_o).
+std::vector<SeriesPoint> figure3_series(double r_o = 0.5, double lo = 0.0,
+                                        double hi = 5.0, int points = 26);
+
+/// Figure 4: PI as a function of R_o, log-spaced over [lo, hi], with R_μ
+/// fixed (paper uses R_μ = e, R_o ∈ [0.01, 1], log-log axes).
+std::vector<SeriesPoint> figure4_series(double r_mu = 2.718281828459045,
+                                        double lo = 0.01, double hi = 1.0,
+                                        int points = 25);
+
+/// Domain-level analysis (end of §3.3): evaluate PI across a whole input
+/// domain. `times[i]` holds the alternatives' times on input i;
+/// `overheads[i]` the block overhead on that input. "The best case is where
+/// at each input where one or more algorithms perform badly, they have at
+/// least [a] counterpart which performs well."
+struct DomainStats {
+  double mean_pi = 0.0;      // average PI over the domain
+  double min_pi = 0.0;
+  double max_pi = 0.0;
+  double fraction_improved = 0.0;  // inputs with PI > 1
+  double mean_r_mu = 0.0;
+};
+DomainStats domain_analysis(const std::vector<std::vector<double>>& times,
+                            const std::vector<double>& overheads);
+
+}  // namespace mw

@@ -1,0 +1,73 @@
+#include "msg/delivery.hpp"
+
+#include "util/check.hpp"
+
+namespace mw {
+
+DeliveryDecision decide_delivery(const PredicateSet& receiver,
+                                 const Message& msg) {
+  DeliveryDecision d;
+
+  // Short-circuit on the receiver's existing opinion of the sender.
+  if (msg.sender != kNoPid) {
+    if (receiver.assumes_completes(msg.sender)) {
+      // complete(sender) implies every assumption the sender holds.
+      d.action = DeliveryAction::kAccept;
+      d.accept_preds = receiver;
+      return d;
+    }
+    if (receiver.assumes_fails(msg.sender)) {
+      // A message from a world this receiver already rejects.
+      d.action = DeliveryAction::kIgnore;
+      return d;
+    }
+  }
+
+  switch (receiver.relation_to(msg.predicate)) {
+    case PredRelation::kImplied:
+      d.action = DeliveryAction::kAccept;
+      d.accept_preds = receiver;
+      return d;
+    case PredRelation::kConflict:
+      d.action = DeliveryAction::kIgnore;
+      return d;
+    case PredRelation::kExtension:
+      break;
+  }
+
+  // Extension: split the receiver. An anonymous sender cannot be
+  // predicated on, so its extra assumptions cannot be speculated about.
+  MW_CHECK(msg.sender != kNoPid);
+  d.action = DeliveryAction::kSplit;
+  d.accept_preds = receiver;
+  d.reject_preds = receiver;
+  // Both must succeed: the short-circuit above guarantees the receiver has
+  // no opinion about the sender yet.
+  MW_CHECK(d.accept_preds.assume_completes(msg.sender));
+  MW_CHECK(d.reject_preds.assume_fails(msg.sender));
+  return d;
+}
+
+bool simplify_against_oracle(PredicateSet& preds, const ProcessTable& table) {
+  // Collect first: resolve() mutates the lists we iterate.
+  std::vector<std::pair<Pid, bool>> facts;
+  for (Pid p : preds.must_complete()) {
+    const Completion c = table.exists(p) ? table.complete(p)
+                                         : Completion::kIndeterminate;
+    if (c != Completion::kIndeterminate)
+      facts.emplace_back(p, c == Completion::kTrue);
+  }
+  for (Pid p : preds.cant_complete()) {
+    const Completion c = table.exists(p) ? table.complete(p)
+                                         : Completion::kIndeterminate;
+    if (c != Completion::kIndeterminate)
+      facts.emplace_back(p, c == Completion::kTrue);
+  }
+  for (auto [p, completed] : facts) {
+    if (preds.resolve(p, completed) == PredicateSet::Fate::kDoomed)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace mw

@@ -1,0 +1,45 @@
+// Delivery decision logic (§2.4.2): when a receiving process accepts a
+// message, its predicates R are checked against the message's predicates S.
+//
+//   * R already implies S          -> accept immediately;
+//   * R conflicts with S           -> the message is ignored;
+//   * R must assume more           -> the receiver is split: one copy
+//     assumes complete(sender) — which implies all of the sender's
+//     assumptions, since the sender can only complete if they held — and
+//     the other assumes ¬complete(sender). Negating complete(sender)
+//     rather than all of S avoids "implying that two mutually exclusive
+//     processes must complete".
+#pragma once
+
+#include "msg/message.hpp"
+#include "pred/predicate_set.hpp"
+#include "proc/process_table.hpp"
+
+namespace mw {
+
+enum class DeliveryAction { kAccept, kIgnore, kSplit };
+
+struct DeliveryDecision {
+  DeliveryAction action = DeliveryAction::kIgnore;
+  /// For kAccept: the receiver's (possibly unchanged) predicates.
+  /// For kSplit: the accepting copy's predicates (R + complete(sender)).
+  PredicateSet accept_preds;
+  /// For kSplit: the rejecting copy's predicates (R + ¬complete(sender)).
+  PredicateSet reject_preds;
+};
+
+/// Classifies `msg` against a receiver holding predicates `receiver`.
+/// The receiver's own opinion of the *sender process* short-circuits the
+/// list comparison: believing complete(sender) transitively implies all of
+/// the sender's assumptions, and believing ¬complete(sender) makes any of
+/// its messages phantoms from a dead world.
+DeliveryDecision decide_delivery(const PredicateSet& receiver,
+                                 const Message& msg);
+
+/// Folds resolved facts into a predicate set: for every pid with a known
+/// completion status, satisfied assumptions are removed. Returns false if
+/// some assumption is now known false — the holder (a message in flight, or
+/// a world copy) is doomed and should be dropped/eliminated.
+bool simplify_against_oracle(PredicateSet& preds, const ProcessTable& table);
+
+}  // namespace mw

@@ -1,0 +1,55 @@
+// Reliable FIFO mailbox (§2.1: IPC "behaves reliably (no lost or duplicated
+// messages) and FIFO (no out of order messages)").
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "msg/message.hpp"
+
+namespace mw {
+
+class Mailbox {
+ public:
+  /// Enqueues; stamps the per-mailbox FIFO sequence number.
+  void push(Message msg) {
+    msg.seq = next_seq_++;
+    queue_.push_back(std::move(msg));
+  }
+
+  /// Dequeues the oldest message, if any.
+  std::optional<Message> pop() {
+    if (queue_.empty()) return std::nullopt;
+    Message m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+  /// Drops queued messages whose sending assumptions are now known false
+  /// (their origin world lost); returns how many were dropped. The
+  /// remaining messages keep their relative order.
+  template <typename OracleFn>  // bool(PredicateSet&) -> still viable
+  std::size_t prune(OracleFn&& viable) {
+    std::size_t dropped = 0;
+    std::deque<Message> kept;
+    for (auto& m : queue_) {
+      if (viable(m.predicate)) {
+        kept.push_back(std::move(m));
+      } else {
+        ++dropped;
+      }
+    }
+    queue_ = std::move(kept);
+    return dropped;
+  }
+
+ private:
+  std::deque<Message> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mw

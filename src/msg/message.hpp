@@ -1,0 +1,40 @@
+// The paper's three-part message (§2.4.1): a sending predicate
+// (encapsulating the assumptions under which the sender transmitted), the
+// data, and control information.
+#pragma once
+
+#include <cstdint>
+
+#include "pred/predicate_set.hpp"
+#include "util/bytes.hpp"
+#include "util/ids.hpp"
+
+namespace mw {
+
+/// Identity of a *logical* process: the addressable entity. When a receiver
+/// is split into multiple world copies, every copy shares the logical id
+/// (messages reach them all) while each copy keeps its own Pid.
+using LogicalId = std::uint32_t;
+inline constexpr LogicalId kNoLogical = 0;
+
+struct Message {
+  // 1. Sending predicate.
+  PredicateSet predicate;
+  // 2. Data.
+  Bytes data;
+  // 3. Control information.
+  Pid sender = kNoPid;           // world copy that sent it
+  LogicalId sender_logical = kNoLogical;
+  LogicalId dest = kNoLogical;
+  std::uint64_t seq = 0;         // FIFO sequencing, assigned by the router
+
+  std::string text() const { return std::string(data.begin(), data.end()); }
+
+  static Message of_text(const std::string& s) {
+    Message m;
+    m.data.assign(s.begin(), s.end());
+    return m;
+  }
+};
+
+}  // namespace mw

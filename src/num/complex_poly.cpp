@@ -1,0 +1,143 @@
+#include "num/complex_poly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+Poly Poly::from_coeffs(std::vector<Cx> coeffs) {
+  while (!coeffs.empty() && std::abs(coeffs.back()) == 0.0) coeffs.pop_back();
+  Poly p;
+  p.coeffs_ = std::move(coeffs);
+  return p;
+}
+
+Poly Poly::from_roots(std::span<const Cx> roots) {
+  std::vector<Cx> c{Cx(1.0, 0.0)};
+  for (const Cx& r : roots) {
+    // Multiply by (z - r).
+    std::vector<Cx> next(c.size() + 1, Cx(0.0, 0.0));
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      next[i + 1] += c[i];
+      next[i] -= r * c[i];
+    }
+    c = std::move(next);
+  }
+  Poly p;
+  p.coeffs_ = std::move(c);
+  return p;
+}
+
+Cx Poly::eval(Cx z) const {
+  MW_CHECK(!coeffs_.empty());
+  Cx acc = coeffs_.back();
+  for (std::size_t i = coeffs_.size() - 1; i-- > 0;) acc = acc * z + coeffs_[i];
+  return acc;
+}
+
+Cx Poly::eval_with_deriv(Cx z, Cx* deriv) const {
+  MW_CHECK(!coeffs_.empty());
+  Cx p = coeffs_.back();
+  Cx d(0.0, 0.0);
+  for (std::size_t i = coeffs_.size() - 1; i-- > 0;) {
+    d = d * z + p;
+    p = p * z + coeffs_[i];
+  }
+  *deriv = d;
+  return p;
+}
+
+Poly Poly::derivative() const {
+  if (coeffs_.size() <= 1) return Poly::from_coeffs({});
+  std::vector<Cx> d(coeffs_.size() - 1);
+  for (std::size_t i = 1; i < coeffs_.size(); ++i)
+    d[i - 1] = coeffs_[i] * static_cast<double>(i);
+  return Poly::from_coeffs(std::move(d));
+}
+
+Poly Poly::deflate(Cx root) const {
+  MW_CHECK(degree() >= 1);
+  // Synthetic division, high to low: b_{n-1} = a_n, b_{k-1} = a_k + r b_k.
+  const auto n = coeffs_.size();
+  std::vector<Cx> q(n - 1);
+  Cx carry = coeffs_[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    q[i] = carry;
+    carry = coeffs_[i] + root * carry;
+  }
+  // `carry` is the remainder P(root); dropped.
+  return Poly::from_coeffs(std::move(q));
+}
+
+Poly Poly::monic() const {
+  MW_CHECK(!coeffs_.empty());
+  std::vector<Cx> c = coeffs_;
+  const Cx lead = c.back();
+  for (auto& x : c) x /= lead;
+  return Poly::from_coeffs(std::move(c));
+}
+
+double Poly::root_bound_upper() const {
+  MW_CHECK(degree() >= 1);
+  const double lead = std::abs(coeffs_.back());
+  double m = 0.0;
+  for (std::size_t i = 0; i + 1 < coeffs_.size(); ++i)
+    m = std::max(m, std::abs(coeffs_[i]) / lead);
+  return 1.0 + m;
+}
+
+double Poly::root_bound_lower() const {
+  MW_CHECK(degree() >= 1);
+  // f(x) = -|a_0| + Σ_{i>=1} |a_i| x^i is increasing for x>0; its positive
+  // zero lower-bounds the smallest root modulus. Bisection + Newton polish.
+  const double a0 = std::abs(coeffs_[0]);
+  if (a0 == 0.0) return 0.0;
+  auto f = [&](double x) {
+    double acc = -a0;
+    double xp = 1.0;
+    for (std::size_t i = 1; i < coeffs_.size(); ++i) {
+      xp *= x;
+      acc += std::abs(coeffs_[i]) * xp;
+    }
+    return acc;
+  };
+  double lo = 0.0, hi = 1.0;
+  while (f(hi) < 0.0) hi *= 2.0;
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (f(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double max_residual(const Poly& p, std::span<const Cx> roots) {
+  double worst = 0.0;
+  for (const Cx& r : roots) worst = std::max(worst, std::abs(p.eval(r)));
+  return worst;
+}
+
+double match_roots(std::span<const Cx> expected, std::span<const Cx> found) {
+  std::vector<bool> used(found.size(), false);
+  double worst = 0.0;
+  for (const Cx& e : expected) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < found.size(); ++j) {
+      if (used[j]) continue;
+      const double d = std::abs(e - found[j]);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    if (best == std::numeric_limits<double>::infinity()) return best;
+    used[best_j] = true;
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace mw

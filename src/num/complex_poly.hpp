@@ -1,0 +1,64 @@
+// Complex polynomial arithmetic for the rootfinding application (§4.3).
+// Coefficients are stored in ascending powers; evaluation is Horner's rule.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace mw {
+
+using Cx = std::complex<double>;
+
+class Poly {
+ public:
+  Poly() = default;
+
+  /// coeffs[i] multiplies z^i; trailing zero coefficients are trimmed.
+  static Poly from_coeffs(std::vector<Cx> coeffs);
+
+  /// Monic polynomial with the given roots.
+  static Poly from_roots(std::span<const Cx> roots);
+
+  int degree() const { return static_cast<int>(coeffs_.size()) - 1; }
+  bool zero() const { return coeffs_.empty(); }
+  const std::vector<Cx>& coeffs() const { return coeffs_; }
+  Cx coeff(int i) const { return coeffs_[static_cast<std::size_t>(i)]; }
+  Cx leading() const { return coeffs_.back(); }
+
+  Cx eval(Cx z) const;
+
+  /// Evaluates P and P' in one Horner pass.
+  Cx eval_with_deriv(Cx z, Cx* deriv) const;
+
+  Poly derivative() const;
+
+  /// Synthetic division by (z - root); the remainder (≈0 for a true root)
+  /// is discarded.
+  Poly deflate(Cx root) const;
+
+  /// Makes the leading coefficient 1.
+  Poly monic() const;
+
+  /// Cauchy's bound: all roots lie within |z| <= bound.
+  double root_bound_upper() const;
+
+  /// A lower bound on the smallest root modulus (the Jenkins–Traub β):
+  /// the unique positive zero of |a_0| - Σ|a_i| x^i, found by Newton.
+  double root_bound_lower() const;
+
+  bool operator==(const Poly&) const = default;
+
+ private:
+  std::vector<Cx> coeffs_;  // ascending powers
+};
+
+/// Largest residual |P(r)| over the proposed roots.
+double max_residual(const Poly& p, std::span<const Cx> roots);
+
+/// Greedy matching distance: for each expected root, the distance to the
+/// nearest unmatched found root; returns the maximum. Large values mean a
+/// root was missed.
+double match_roots(std::span<const Cx> expected, std::span<const Cx> found);
+
+}  // namespace mw

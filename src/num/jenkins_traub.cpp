@@ -1,0 +1,230 @@
+#include "num/jenkins_traub.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+namespace {
+
+bool finite(Cx z) { return std::isfinite(z.real()) && std::isfinite(z.imag()); }
+
+/// Solves a_2 z^2 + a_1 z + a_0 = 0 stably.
+void solve_quadratic(Cx a2, Cx a1, Cx a0, Cx* r1, Cx* r2) {
+  const Cx disc = std::sqrt(a1 * a1 - 4.0 * a2 * a0);
+  // Choose the sign that avoids cancellation.
+  const Cx q = (std::real(std::conj(a1) * disc) >= 0.0)
+                   ? -0.5 * (a1 + disc)
+                   : -0.5 * (a1 - disc);
+  *r1 = q / a2;
+  *r2 = (std::abs(q) > 0.0) ? a0 / q : Cx(0.0, 0.0);
+}
+
+/// H(z) <- [H(z) - (H(s)/P(s)) P(z)] / (z - s). The numerator vanishes at
+/// s by construction, so the deflation is exact. The result is rescaled to
+/// unit max-norm: H is only ever used through the normalized H̄, and
+/// without rescaling its coefficients drift toward overflow/underflow over
+/// the dozens of fixed-shift iterations (CPOLY rescales the same way).
+Poly advance_h(const Poly& h, const Poly& p, Cx s) {
+  const Cx hs = h.eval(s);
+  const Cx ps = p.eval(s);
+  const Cx c = hs / ps;
+  std::vector<Cx> num(static_cast<std::size_t>(p.degree()) + 1, Cx(0, 0));
+  for (int i = 0; i <= p.degree(); ++i) {
+    Cx v = -c * p.coeff(i);
+    if (i <= h.degree()) v += h.coeff(i);
+    num[static_cast<std::size_t>(i)] = v;
+  }
+  Poly next = Poly::from_coeffs(std::move(num)).deflate(s);
+  if (next.zero()) return next;
+  double maxmag = 0.0;
+  for (const Cx& v : next.coeffs()) maxmag = std::max(maxmag, std::abs(v));
+  if (maxmag > 0.0 && std::isfinite(maxmag)) {
+    std::vector<Cx> scaled = next.coeffs();
+    for (Cx& v : scaled) v /= maxmag;
+    return Poly::from_coeffs(std::move(scaled));
+  }
+  return next;
+}
+
+/// The Jenkins–Traub correction t = s - P(s)/H̄(s), H̄ monic-normalized.
+Cx correction(const Poly& h, const Poly& p, Cx s, bool* ok) {
+  const Cx hbar = h.eval(s) / h.leading();
+  if (std::abs(hbar) == 0.0) {
+    *ok = false;
+    return s;
+  }
+  *ok = true;
+  return s - p.eval(s) / hbar;
+}
+
+/// Residual convergence test, relative to the coefficient scale at |z|.
+bool residual_small(const Poly& p, Cx z, Cx pz, double tol) {
+  const double zmag = std::max(1.0, std::abs(z));
+  double zpow = std::abs(p.leading());
+  for (int k = 0; k < p.degree(); ++k) zpow *= zmag;
+  return std::abs(pz) <= tol * zpow;
+}
+
+/// Stage 3 (variable shift) from estimate z0 with the current H sequence.
+/// Returns true and the refined root on convergence.
+bool stage3(const Poly& p, Poly h, Cx z0, const JtConfig& cfg,
+            std::uint64_t* iterations, Cx* root) {
+  Cx z = z0;
+  const double bound = p.root_bound_upper();
+  for (int j = 0; j < cfg.variable_shift_iters; ++j) {
+    ++*iterations;
+    const Cx pz = p.eval(z);
+    if (residual_small(p, z, pz, cfg.tol)) {
+      *root = z;
+      return true;
+    }
+    h = advance_h(h, p, z);
+    if (h.zero()) return false;
+    bool ok = false;
+    const Cx next = correction(h, p, z, &ok);
+    if (!ok || !finite(next) || std::abs(next) > 1e3 * bound) return false;
+    z = next;
+  }
+  return false;
+}
+
+/// One fixed-shift "shot" at angle theta: stage 2 until the t-sequence
+/// converges weakly, then stage 3. Per Algorithm 419, stage 3 is also
+/// attempted on the final t even when stage 2 only hints at convergence.
+bool one_shot(const Poly& p, const Poly& h0, double beta, double theta,
+              const JtConfig& cfg, std::uint64_t* iterations, Cx* root) {
+  const Cx s(beta * std::cos(theta), beta * std::sin(theta));
+  if (std::abs(p.eval(s)) == 0.0) {
+    *root = s;
+    return true;
+  }
+  Poly h = h0;
+  bool ok = false;
+  Cx t_old = correction(h, p, s, &ok);
+  if (!ok) return false;
+  int weak = 0;
+  Cx t_new = t_old;
+  for (int j = 0; j < cfg.fixed_shift_iters; ++j) {
+    ++*iterations;
+    h = advance_h(h, p, s);
+    if (h.zero()) return false;
+    t_new = correction(h, p, s, &ok);
+    if (!ok || !finite(t_new)) return false;
+    if (std::abs(t_new - t_old) <= 0.5 * std::abs(t_old)) {
+      if (++weak >= 2) {
+        // Strong enough evidence: switch to the variable shift.
+        return stage3(p, h, t_new, cfg, iterations, root);
+      }
+    } else {
+      weak = 0;
+    }
+    t_old = t_new;
+  }
+  // Budget exhausted without firm convergence; gamble a stage-3 run on the
+  // last estimate anyway (CPOLY does the same before rotating the angle).
+  return stage3(p, h, t_new, cfg, iterations, root);
+}
+
+struct StageOutcome {
+  bool found = false;
+  Cx root;
+};
+
+/// Finds one root of the monic polynomial `p`, rotating the shift angle by
+/// 94° between up to `per_root_shots` shots (Algorithm 419's retry rule).
+StageOutcome find_one_root(const Poly& p, const JtConfig& cfg, double theta0,
+                           std::uint64_t* iterations) {
+  StageOutcome out;
+  const int n = p.degree();
+  MW_CHECK(n >= 1);
+
+  if (std::abs(p.coeff(0)) == 0.0) {
+    out.found = true;
+    out.root = Cx(0.0, 0.0);
+    return out;
+  }
+  if (n == 1) {
+    out.found = true;
+    out.root = -p.coeff(0) / p.coeff(1);
+    return out;
+  }
+  if (n == 2) {
+    Cx r1, r2;
+    solve_quadratic(p.coeff(2), p.coeff(1), p.coeff(0), &r1, &r2);
+    out.found = true;
+    out.root = (std::abs(r1) <= std::abs(r2)) ? r1 : r2;
+    return out;
+  }
+
+  // Stage 1: no-shift iterations accentuate the small zeros in H.
+  Poly h = p.derivative();
+  for (int j = 0; j < cfg.no_shift_iters; ++j) {
+    ++*iterations;
+    h = advance_h(h, p, Cx(0.0, 0.0));
+    if (h.zero()) return out;
+  }
+
+  const double beta = p.root_bound_lower();
+  const double rotate = 94.0 * std::numbers::pi / 180.0;
+  for (int shot = 0; shot < cfg.per_root_shots; ++shot) {
+    Cx root;
+    if (one_shot(p, h, beta, theta0 + rotate * shot, cfg, iterations,
+                 &root)) {
+      out.found = true;
+      out.root = root;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RootResult jenkins_traub(const Poly& p, const JtConfig& cfg) {
+  RootResult res;
+  MW_CHECK(p.degree() >= 1);
+  const double theta0 = cfg.start_angle_deg * std::numbers::pi / 180.0;
+
+  Poly work = p.monic();
+  const Poly original = work;
+  while (work.degree() >= 1) {
+    StageOutcome one = find_one_root(work, cfg, theta0, &res.iterations);
+    if (!one.found) {
+      res.note = "stage failed at degree " + std::to_string(work.degree());
+      return res;
+    }
+    res.roots.push_back(one.root);
+    work = work.deflate(one.root);
+  }
+
+  // Guard: the roots must actually satisfy the original polynomial.
+  if (!roots_acceptable(original, res.roots)) {
+    res.note = "residual check failed";
+    return res;
+  }
+  res.converged = true;
+  return res;
+}
+
+RootResult jenkins_traub_seq(const Poly& p, int max_attempts,
+                             const JtConfig& cfg) {
+  RootResult total;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    JtConfig c = cfg;
+    c.start_angle_deg = cfg.start_angle_deg + 94.0 * attempt;
+    RootResult r = jenkins_traub(p, c);
+    total.iterations += r.iterations;
+    if (r.converged) {
+      total.converged = true;
+      total.roots = std::move(r.roots);
+      return total;
+    }
+  }
+  total.note = "all angles failed";
+  return total;
+}
+
+}  // namespace mw

@@ -1,0 +1,46 @@
+// The Jenkins–Traub complex polynomial zero finder (CPOLY, CACM Algorithm
+// 419 [11]) — the paper's Table I workload.
+//
+// The method runs three stages per root: a no-shift phase that
+// accentuates the smallest zeros in the H-polynomial sequence, a
+// fixed-shift phase started at s = β·e^{iθ} (β a lower bound on the root
+// modulus), and a variable-shift (Newton-like) phase. "Using polar
+// coordinates, the angle of the starting value is a random choice" — θ is
+// the algorithm's degree of freedom, and different angles genuinely take
+// different times or fail to converge, which is exactly the execution-time
+// variance the Multiple Worlds scheme exploits (§4.3): run several angles
+// as parallel alternatives and commit the first to find all roots.
+#pragma once
+
+#include "num/rootfinder.hpp"
+
+namespace mw {
+
+struct JtConfig {
+  /// The starting-value angle, in degrees. Algorithm 419's sequential
+  /// driver starts at 49° and rotates by 94° on each retry; the parallel
+  /// version instead races several angles.
+  double start_angle_deg = 49.0;
+  int no_shift_iters = 5;
+  /// Fixed-shift budget per shot.
+  int fixed_shift_iters = 40;
+  int variable_shift_iters = 40;
+  /// Shots per root: each retry rotates the shift angle a further 94°
+  /// (Algorithm 419's retry rule). Retries are what make the per-angle
+  /// execution time vary; when every shot fails on some root, the whole
+  /// attempt fails — the Table I `fails` column.
+  int per_root_shots = 2;
+  double tol = 1e-10;
+};
+
+/// One single-angle attempt: finds all roots or fails. This is what one
+/// speculative alternative runs.
+RootResult jenkins_traub(const Poly& p, const JtConfig& cfg = {});
+
+/// The sequential Algorithm 419 driver: retries with rotated angles
+/// (49° + k·94°) until success or `max_attempts` exhausted. Iteration
+/// counts accumulate across attempts — the cost a sequential user pays.
+RootResult jenkins_traub_seq(const Poly& p, int max_attempts = 8,
+                             const JtConfig& cfg = {});
+
+}  // namespace mw

@@ -1,0 +1,239 @@
+#include "num/methods.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+bool roots_acceptable(const Poly& p, const std::vector<Cx>& roots,
+                      double residual_tol) {
+  if (static_cast<int>(roots.size()) != p.degree()) return false;
+  double coeff_scale = 0.0;
+  for (const Cx& c : p.coeffs()) coeff_scale += std::abs(c);
+  for (const Cx& r : roots) {
+    const double zmag = std::max(1.0, std::abs(r));
+    double zpow = 1.0;
+    for (int k = 0; k < p.degree(); ++k) zpow *= zmag;
+    if (!(std::abs(p.eval(r)) <= residual_tol * coeff_scale * zpow))
+      return false;
+  }
+  return true;
+}
+
+RootResult durand_kerner(const Poly& p, const DkConfig& cfg) {
+  RootResult res;
+  const Poly m = p.monic();
+  const int n = m.degree();
+  MW_CHECK(n >= 1);
+
+  // Initial guesses on a circle inside the root bound, rotated off the
+  // axes (the classic 0.4 + 0.9i style offset keeps symmetry from locking
+  // the iteration).
+  const double radius = 0.5 * (m.root_bound_lower() + m.root_bound_upper());
+  std::vector<Cx> z(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = cfg.init_angle_rad +
+                     2.0 * std::numbers::pi * static_cast<double>(i) / n;
+    z[static_cast<std::size_t>(i)] = radius * Cx(std::cos(a), std::sin(a));
+  }
+
+  for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    double max_step = 0.0;
+    for (int i = 0; i < n; ++i) {
+      ++res.iterations;
+      Cx denom(1.0, 0.0);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        denom *= z[static_cast<std::size_t>(i)] - z[static_cast<std::size_t>(j)];
+      }
+      if (std::abs(denom) == 0.0) {
+        res.note = "coincident iterates";
+        return res;
+      }
+      const Cx step = m.eval(z[static_cast<std::size_t>(i)]) / denom;
+      z[static_cast<std::size_t>(i)] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < cfg.tol) {
+      res.roots = z;
+      if (roots_acceptable(p, res.roots)) {
+        res.converged = true;
+      } else {
+        res.note = "converged to bad residuals";
+      }
+      return res;
+    }
+  }
+  res.note = "sweep budget exhausted";
+  return res;
+}
+
+RootResult aberth(const Poly& p, const DkConfig& cfg) {
+  RootResult res;
+  const Poly m = p.monic();
+  const int n = m.degree();
+  MW_CHECK(n >= 1);
+
+  const double radius = 0.5 * (m.root_bound_lower() + m.root_bound_upper());
+  std::vector<Cx> z(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = cfg.init_angle_rad +
+                     2.0 * std::numbers::pi * static_cast<double>(i) / n;
+    z[static_cast<std::size_t>(i)] = radius * Cx(std::cos(a), std::sin(a));
+  }
+
+  for (int sweep = 0; sweep < cfg.max_sweeps; ++sweep) {
+    double max_step = 0.0;
+    for (int i = 0; i < n; ++i) {
+      ++res.iterations;
+      Cx d;
+      const Cx pz = m.eval_with_deriv(z[static_cast<std::size_t>(i)], &d);
+      if (std::abs(d) == 0.0) {
+        res.note = "derivative vanished";
+        return res;
+      }
+      const Cx newton = pz / d;
+      Cx sum(0.0, 0.0);
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        sum += 1.0 / (z[static_cast<std::size_t>(i)] -
+                      z[static_cast<std::size_t>(j)]);
+      }
+      const Cx denom = Cx(1.0, 0.0) - newton * sum;
+      if (std::abs(denom) == 0.0) {
+        res.note = "aberth denominator vanished";
+        return res;
+      }
+      const Cx step = newton / denom;
+      z[static_cast<std::size_t>(i)] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < cfg.tol) {
+      res.roots = z;
+      if (roots_acceptable(p, res.roots)) {
+        res.converged = true;
+      } else {
+        res.note = "converged to bad residuals";
+      }
+      return res;
+    }
+  }
+  res.note = "sweep budget exhausted";
+  return res;
+}
+
+namespace {
+
+/// One Laguerre root of `p` from start `z0`. Cubically convergent and
+/// famously hard to defeat.
+bool laguerre_one(const Poly& p, Cx z0, int max_iters, double tol, Cx* root,
+                  std::uint64_t* iterations) {
+  const int n = p.degree();
+  Cx z = z0;
+  for (int it = 0; it < max_iters; ++it) {
+    ++*iterations;
+    Cx d1;
+    const Cx pz = p.eval_with_deriv(z, &d1);
+    double coeff_scale = 0.0;
+    for (const Cx& c : p.coeffs()) coeff_scale += std::abs(c);
+    if (std::abs(pz) <= tol * coeff_scale) {
+      *root = z;
+      return true;
+    }
+    // Second derivative by evaluating the derivative polynomial.
+    Cx d2;
+    p.derivative().eval_with_deriv(z, &d2);
+    const Cx g = d1 / pz;
+    const Cx g2 = g * g;
+    const Cx h = g2 - d2 / pz;  // H = G^2 - p''/p
+    const Cx rad = std::sqrt(static_cast<double>(n - 1) *
+                             (static_cast<double>(n) * h - g2));
+    const Cx dplus = g + rad, dminus = g - rad;
+    const Cx denom = (std::abs(dplus) >= std::abs(dminus)) ? dplus : dminus;
+    if (std::abs(denom) == 0.0) {
+      // Stuck at a saddle: nudge.
+      z += Cx(0.1, 0.1);
+      continue;
+    }
+    const Cx step = Cx(static_cast<double>(n), 0.0) / denom;
+    z -= step;
+    if (std::abs(step) < 1e-15 * std::max(1.0, std::abs(z))) {
+      *root = z;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+RootResult laguerre(const Poly& p, const LaguerreConfig& cfg) {
+  RootResult res;
+  MW_CHECK(p.degree() >= 1);
+  Poly work = p.monic();
+  while (work.degree() >= 1) {
+    if (work.degree() == 1) {
+      res.roots.push_back(-work.coeff(0) / work.coeff(1));
+      break;
+    }
+    Cx root;
+    if (!laguerre_one(work, cfg.start, cfg.max_iters, cfg.tol, &root,
+                      &res.iterations)) {
+      res.note = "laguerre stalled at degree " + std::to_string(work.degree());
+      return res;
+    }
+    res.roots.push_back(root);
+    work = work.deflate(root);
+  }
+  if (!roots_acceptable(p, res.roots)) {
+    res.note = "residual check failed";
+    return res;
+  }
+  res.converged = true;
+  return res;
+}
+
+RootResult newton_deflation(const Poly& p, const NewtonConfig& cfg) {
+  RootResult res;
+  MW_CHECK(p.degree() >= 1);
+  Poly work = p.monic();
+  Cx start = cfg.start;
+  while (work.degree() >= 1) {
+    if (work.degree() == 1) {
+      res.roots.push_back(-work.coeff(0) / work.coeff(1));
+      break;
+    }
+    Cx z = start;
+    bool found = false;
+    double coeff_scale = 0.0;
+    for (const Cx& c : work.coeffs()) coeff_scale += std::abs(c);
+    for (int it = 0; it < cfg.max_iters; ++it) {
+      ++res.iterations;
+      Cx d;
+      const Cx pz = work.eval_with_deriv(z, &d);
+      if (std::abs(pz) <= cfg.tol * coeff_scale) {
+        found = true;
+        break;
+      }
+      if (std::abs(d) == 0.0) break;  // flat spot: plain Newton gives up
+      z -= pz / d;
+      if (!(std::isfinite(z.real()) && std::isfinite(z.imag()))) break;
+    }
+    if (!found) {
+      res.note = "newton diverged at degree " + std::to_string(work.degree());
+      return res;
+    }
+    res.roots.push_back(z);
+    work = work.deflate(z);
+  }
+  if (!roots_acceptable(p, res.roots)) {
+    res.note = "residual check failed";
+    return res;
+  }
+  res.converged = true;
+  return res;
+}
+
+}  // namespace mw

@@ -1,0 +1,47 @@
+// Alternative rootfinding methods beyond Jenkins–Traub: the raw material
+// for Rice-style polyalgorithms (§4.3). Each has a different convergence
+// profile and failure mode — exactly the "performance differences between
+// the alternatives, due to data dependencies or use of heuristic methods"
+// the Multiple Worlds design wants (§4, property 3).
+#pragma once
+
+#include "num/rootfinder.hpp"
+
+namespace mw {
+
+/// Configuration for the simultaneous-iteration methods.
+struct DkConfig {
+  double tol = 1e-12;
+  int max_sweeps = 500;
+  /// Rotation of the initial circle of iterates — their degree of freedom.
+  double init_angle_rad = 0.4;
+};
+
+/// Durand–Kerner (Weierstrass) simultaneous iteration: all roots at once,
+/// no deflation error accumulation, but slow on clustered roots.
+RootResult durand_kerner(const Poly& p, const DkConfig& cfg = {});
+
+/// Aberth–Ehrlich simultaneous iteration: cubic convergence, usually the
+/// fastest of the sweep methods.
+RootResult aberth(const Poly& p, const DkConfig& cfg = {});
+
+struct LaguerreConfig {
+  double tol = 1e-12;
+  int max_iters = 200;
+  Cx start = Cx(0.0, 0.0);
+};
+
+/// Laguerre's method with deflation: very robust per-root convergence.
+RootResult laguerre(const Poly& p, const LaguerreConfig& cfg = {});
+
+struct NewtonConfig {
+  double tol = 1e-12;
+  int max_iters = 200;
+  Cx start = Cx(1.0, 1.0);
+};
+
+/// Plain Newton with deflation: fast when it works, diverges or cycles on
+/// hard geometry — the classic "sometimes fails" alternative.
+RootResult newton_deflation(const Poly& p, const NewtonConfig& cfg = {});
+
+}  // namespace mw

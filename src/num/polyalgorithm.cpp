@@ -1,0 +1,160 @@
+#include "num/polyalgorithm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "num/jenkins_traub.hpp"
+#include "num/methods.hpp"
+
+namespace mw {
+
+std::vector<PolyMethod> standard_method_suite() {
+  std::vector<PolyMethod> m;
+  m.push_back({"jenkins-traub",
+               [](const Poly& p) { return jenkins_traub(p); },
+               nullptr});
+  m.push_back({"laguerre", [](const Poly& p) { return laguerre(p); },
+               nullptr});
+  m.push_back({"aberth", [](const Poly& p) { return aberth(p); }, nullptr});
+  m.push_back({"durand-kerner",
+               [](const Poly& p) { return durand_kerner(p); }, nullptr});
+  // Newton's heuristic: plain Newton with deflation is only worth trying
+  // on low-degree problems, where its failure modes are rare.
+  m.push_back({"newton", [](const Poly& p) { return newton_deflation(p); },
+               [](const Poly& p) { return p.degree() <= 8; }});
+  return m;
+}
+
+PolyalgoResult run_polyalgorithm(const Poly& p,
+                                 const std::vector<PolyMethod>& methods) {
+  PolyalgoResult out;
+  for (const PolyMethod& m : methods) {
+    if (m.applicable && !m.applicable(p)) continue;
+    ++out.methods_tried;
+    RootResult r = m.run(p);
+    out.total_iterations += r.iterations;
+    if (r.converged) {
+      out.result = std::move(r);
+      out.result.iterations = out.total_iterations;
+      out.method_used = m.name;
+      return out;
+    }
+  }
+  out.result.converged = false;
+  out.result.iterations = out.total_iterations;
+  out.result.note = "all methods failed";
+  return out;
+}
+
+void harvest_partial_roots(const Poly& p, const RootResult& attempt,
+                           ProblemNotes* notes) {
+  double coeff_scale = 0.0;
+  for (const Cx& c : p.coeffs()) coeff_scale += std::abs(c);
+  for (const Cx& r : attempt.roots) {
+    // Verify against the *original* polynomial: deflation drift in the
+    // failed attempt must not poison the notes.
+    const double zmag = std::max(1.0, std::abs(r));
+    double zpow = 1.0;
+    for (int k = 0; k < p.degree(); ++k) zpow *= zmag;
+    if (std::abs(p.eval(r)) > 1e-8 * coeff_scale * zpow) continue;
+    bool duplicate = false;
+    for (const Cx& seen : notes->confirmed_partial_roots)
+      duplicate |= std::abs(seen - r) < 1e-9;
+    if (!duplicate &&
+        notes->confirmed_partial_roots.size() <
+            static_cast<std::size_t>(p.degree())) {
+      notes->confirmed_partial_roots.push_back(r);
+    }
+  }
+}
+
+Poly deflate_by_notes(const Poly& p, const ProblemNotes& notes) {
+  Poly work = p.monic();
+  for (const Cx& r : notes.confirmed_partial_roots) {
+    if (work.degree() < 1) break;
+    work = work.deflate(r);
+  }
+  return work;
+}
+
+std::vector<InformedMethod> informed_method_suite() {
+  std::vector<InformedMethod> m;
+  // The scout: a single-angle Jenkins–Traub attempt. Cheap, usually
+  // enough; its partial progress feeds the warm starts below.
+  m.push_back({"jenkins-traub",
+               [](const Poly& p, const ProblemNotes&) {
+                 return jenkins_traub(p);
+               },
+               nullptr});
+  // Warm-started Laguerre: solve only what the failed scouts left behind.
+  m.push_back(
+      {"laguerre-warmstart",
+       [](const Poly& p, const ProblemNotes& notes) {
+         const Poly rest = deflate_by_notes(p, notes);
+         RootResult sub = rest.degree() >= 1
+                              ? laguerre(rest)
+                              : RootResult{true, {}, 0, ""};
+         if (!sub.converged) return sub;
+         RootResult out;
+         out.roots = notes.confirmed_partial_roots;
+         out.roots.insert(out.roots.end(), sub.roots.begin(),
+                          sub.roots.end());
+         out.iterations = sub.iterations;
+         out.converged = roots_acceptable(p, out.roots);
+         if (!out.converged) out.note = "combined residual check failed";
+         return out;
+       },
+       nullptr});
+  // Full-strength fallbacks.
+  m.push_back({"aberth",
+               [](const Poly& p, const ProblemNotes&) { return aberth(p); },
+               nullptr});
+  m.push_back({"durand-kerner",
+               [](const Poly& p, const ProblemNotes&) {
+                 return durand_kerner(p);
+               },
+               nullptr});
+  return m;
+}
+
+PolyalgoResult run_informed_polyalgorithm(
+    const Poly& p, const std::vector<InformedMethod>& methods) {
+  PolyalgoResult out;
+  ProblemNotes notes;
+  for (const InformedMethod& m : methods) {
+    if (m.applicable && !m.applicable(p, notes)) continue;
+    ++out.methods_tried;
+    RootResult r = m.run(p, notes);
+    out.total_iterations += r.iterations;
+    if (r.converged) {
+      out.result = std::move(r);
+      out.result.iterations = out.total_iterations;
+      out.method_used = m.name;
+      return out;
+    }
+    // Build up information about the problem from the failure.
+    ++notes.failed_methods;
+    notes.failure_log.push_back(m.name + ": " + r.note);
+    harvest_partial_roots(p, r, &notes);
+  }
+  out.result.converged = false;
+  out.result.iterations = out.total_iterations;
+  out.result.note = "all methods failed";
+  return out;
+}
+
+std::vector<std::vector<PolyMethod>> method_rotations(
+    const std::vector<PolyMethod>& methods) {
+  std::vector<std::vector<PolyMethod>> out;
+  const std::size_t n = methods.size();
+  out.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::vector<PolyMethod> rot;
+    rot.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) rot.push_back(methods[(k + i) % n]);
+    out.push_back(std::move(rot));
+  }
+  return out;
+}
+
+}  // namespace mw

@@ -1,0 +1,87 @@
+// Rice-style polyalgorithms (§4.3, [15]): "several methods are combined
+// along with information about the circumstances under which a method is
+// likely to be successful. As different methods are tried and fail,
+// information about the problem is built up."
+//
+// The Multiple Worlds use: create artificial alternatives, each trying a
+// different solution method *first* — "fastest first" scheduling improves
+// the response-time properties of a NAPSS-like system.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "num/rootfinder.hpp"
+
+namespace mw {
+
+struct PolyMethod {
+  std::string name;
+  std::function<RootResult(const Poly&)> run;
+  /// Cheap applicability heuristic over the problem ("information about
+  /// the circumstances under which a method is likely to be successful").
+  /// Null = always applicable.
+  std::function<bool(const Poly&)> applicable;
+};
+
+/// The standard method suite: Jenkins–Traub (49°), Laguerre, Aberth,
+/// Durand–Kerner, Newton.
+std::vector<PolyMethod> standard_method_suite();
+
+struct PolyalgoResult {
+  RootResult result;
+  std::string method_used;       // which method produced the answer
+  int methods_tried = 0;
+  std::uint64_t total_iterations = 0;  // across all tried methods
+};
+
+/// The sequential polyalgorithm: try applicable methods in order until one
+/// succeeds; costs accumulate (the price NAPSS users complained about).
+PolyalgoResult run_polyalgorithm(const Poly& p,
+                                 const std::vector<PolyMethod>& methods);
+
+/// Method orderings for the parallel polyalgorithm: rotation k puts method
+/// k first. Each rotation is one speculative alternative.
+std::vector<std::vector<PolyMethod>> method_rotations(
+    const std::vector<PolyMethod>& methods);
+
+// --- Information build-up (§4.3) --------------------------------------
+// "As different methods are tried and fail, information about the problem
+// is built up ... discovering multiple zeros in a failing root-finder may
+// be useful to the next solution method."
+
+/// What failed attempts taught us about the problem.
+struct ProblemNotes {
+  /// Roots recovered from failed attempts that verify against the
+  /// polynomial (each with a small residual).
+  std::vector<Cx> confirmed_partial_roots;
+  int failed_methods = 0;
+  std::vector<std::string> failure_log;  // "method: note"
+};
+
+struct InformedMethod {
+  std::string name;
+  std::function<RootResult(const Poly&, const ProblemNotes&)> run;
+  std::function<bool(const Poly&, const ProblemNotes&)> applicable;
+};
+
+/// Like standard_method_suite, but later methods exploit the notes: the
+/// warm-start members first deflate the polynomial by the confirmed
+/// partial roots of earlier failures, then solve only the remainder.
+std::vector<InformedMethod> informed_method_suite();
+
+/// Sequential informed polyalgorithm: tries methods in order, harvesting
+/// partial roots from each failure into the notes for the next method.
+PolyalgoResult run_informed_polyalgorithm(
+    const Poly& p, const std::vector<InformedMethod>& methods);
+
+/// Extracts the verified roots from a (possibly failed) attempt and folds
+/// them into `notes`, deduplicating against roots already present.
+void harvest_partial_roots(const Poly& p, const RootResult& attempt,
+                           ProblemNotes* notes);
+
+/// Deflates `p` by every confirmed partial root; returns the remainder.
+Poly deflate_by_notes(const Poly& p, const ProblemNotes& notes);
+
+}  // namespace mw

@@ -1,0 +1,36 @@
+// Common interface for the alternative rootfinding methods (§4.3). Every
+// method reports the iteration count it consumed — the virtual-work
+// currency the speculation benches use — and whether it converged.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "num/complex_poly.hpp"
+
+namespace mw {
+
+struct RootResult {
+  bool converged = false;
+  std::vector<Cx> roots;
+  /// Total inner iterations across all stages/roots: the method's cost in
+  /// work units.
+  std::uint64_t iterations = 0;
+  std::string note;  // diagnostic: why a failure failed
+};
+
+/// Tolerances shared by the iterative methods.
+struct RootConfig {
+  double tol = 1e-10;          // relative residual target
+  int max_outer = 400;         // per-root / per-sweep iteration budget
+  double give_up_residual = 1e-6;  // acceptance threshold for verification
+};
+
+/// Verifies a candidate root set against the polynomial: every residual
+/// must be small relative to the coefficient scale. This is the GUARD for
+/// rootfinding alternatives.
+bool roots_acceptable(const Poly& p, const std::vector<Cx>& roots,
+                      double residual_tol = 1e-6);
+
+}  // namespace mw

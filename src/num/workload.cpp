@@ -1,0 +1,52 @@
+#include "num/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+PolyWorkload make_clustered_poly(Rng& rng, const WorkloadConfig& cfg) {
+  MW_CHECK(cfg.degree >= 2);
+  MW_CHECK(cfg.clusters * 2 <= cfg.degree);
+  std::vector<Cx> roots;
+  roots.reserve(static_cast<std::size_t>(cfg.degree));
+
+  auto random_point = [&] {
+    const double r = rng.next_double_in(cfg.min_radius, cfg.max_radius);
+    const double a = rng.next_double_in(0.0, 2.0 * std::numbers::pi);
+    return Cx(r * std::cos(a), r * std::sin(a));
+  };
+
+  // Tight pairs: nearly multiple roots.
+  for (int c = 0; c < cfg.clusters; ++c) {
+    const Cx center = random_point();
+    const double ga = rng.next_double_in(0.0, 2.0 * std::numbers::pi);
+    const Cx gap(cfg.cluster_gap * std::cos(ga), cfg.cluster_gap * std::sin(ga));
+    roots.push_back(center + gap * 0.5);
+    roots.push_back(center - gap * 0.5);
+  }
+  // The rest: isolated roots over the annulus.
+  while (static_cast<int>(roots.size()) < cfg.degree)
+    roots.push_back(random_point());
+
+  PolyWorkload w;
+  w.poly = Poly::from_roots(roots);
+  w.true_roots = std::move(roots);
+  return w;
+}
+
+std::vector<PolyWorkload> make_workload_batch(std::uint64_t seed, int count,
+                                              const WorkloadConfig& cfg) {
+  Rng rng(seed);
+  std::vector<PolyWorkload> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng sub = rng.split(static_cast<std::uint64_t>(i) + 1);
+    out.push_back(make_clustered_poly(sub, cfg));
+  }
+  return out;
+}
+
+}  // namespace mw

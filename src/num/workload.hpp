@@ -1,0 +1,40 @@
+// Workload generators for the rootfinding experiments. The Ardent Titan
+// inputs behind Table I were not published; this family is the documented
+// substitution (DESIGN.md): polynomials with clustered roots spread over an
+// annulus, for which single-angle Jenkins–Traub attempts genuinely show
+// execution-time variance and occasional non-convergence — the properties
+// Table I's min/max/avg/fails columns measure.
+#pragma once
+
+#include <vector>
+
+#include "num/complex_poly.hpp"
+#include "util/rng.hpp"
+
+namespace mw {
+
+struct PolyWorkload {
+  Poly poly;
+  std::vector<Cx> true_roots;
+};
+
+struct WorkloadConfig {
+  int degree = 24;
+  /// Number of tight root clusters (pairs at ~cluster_gap separation);
+  /// clusters are what make convergence angle-sensitive. The defaults put
+  /// single-angle Jenkins–Traub at ~97% success with a ~2x iteration
+  /// spread across angles — the Table I regime.
+  int clusters = 4;
+  double cluster_gap = 5e-3;
+  double min_radius = 0.4;
+  double max_radius = 2.5;
+};
+
+/// Deterministic random polynomial with the configured cluster structure.
+PolyWorkload make_clustered_poly(Rng& rng, const WorkloadConfig& cfg = {});
+
+/// A batch of workloads (one per input of a domain-level experiment).
+std::vector<PolyWorkload> make_workload_batch(std::uint64_t seed, int count,
+                                              const WorkloadConfig& cfg = {});
+
+}  // namespace mw

@@ -1,0 +1,37 @@
+#include "pagestore/address_space.hpp"
+
+namespace mw {
+
+const Segment& AddressSpace::alloc_segment(const std::string& name,
+                                           std::uint64_t bytes) {
+  MW_CHECK(!find_segment(name).has_value());
+  const std::uint64_t ps = page_size();
+  const std::uint64_t rounded = (bytes + ps - 1) / ps * ps;
+  MW_CHECK(next_free_ + rounded <= size_bytes());
+  segments_.push_back(Segment{name, next_free_, rounded});
+  next_free_ += rounded;
+  return segments_.back();
+}
+
+std::optional<Segment> AddressSpace::find_segment(
+    const std::string& name) const {
+  for (const auto& s : segments_)
+    if (s.name == name) return s;
+  return std::nullopt;
+}
+
+AddressSpace AddressSpace::fork() const {
+  AddressSpace child(page_size(), table_.num_pages());
+  child.table_ = table_.fork();
+  child.segments_ = segments_;
+  child.next_free_ = next_free_;
+  return child;
+}
+
+void AddressSpace::adopt(AddressSpace&& child) {
+  table_.adopt(std::move(child.table_));
+  segments_ = std::move(child.segments_);
+  next_free_ = child.next_free_;
+}
+
+}  // namespace mw

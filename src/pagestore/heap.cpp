@@ -1,0 +1,105 @@
+#include "pagestore/heap.hpp"
+
+namespace mw {
+
+WorldHeap::WorldHeap(AddressSpace& space, const std::string& segment,
+                     bool format)
+    : space_(space) {
+  auto seg = space.find_segment(segment);
+  MW_CHECK(seg.has_value());
+  base_ = seg->base;
+  limit_ = seg->base + seg->size;
+  if (format) {
+    set_header(HeapHeader{kMagic, base_ + sizeof(HeapHeader), 0});
+  } else {
+    MW_CHECK(header().magic == kMagic);
+  }
+}
+
+WorldHeap::HeapHeader WorldHeap::header() const {
+  return space_.load<HeapHeader>(base_);
+}
+
+void WorldHeap::set_header(const HeapHeader& h) { space_.store(base_, h); }
+
+WorldHeap::BlockHeader WorldHeap::block_at(std::uint64_t off) const {
+  return space_.load<BlockHeader>(off);
+}
+
+void WorldHeap::set_block(std::uint64_t off, const BlockHeader& b) {
+  space_.store(off, b);
+}
+
+std::uint64_t WorldHeap::alloc(std::uint64_t bytes) {
+  MW_CHECK(bytes > 0);
+  // Round payloads to 8 bytes so headers stay aligned.
+  bytes = (bytes + 7) & ~7ull;
+
+  HeapHeader h = header();
+  // First fit over the free list; exact-or-larger blocks are reused whole
+  // (no splitting — blocks in this library are small and uniform enough
+  // that splitting buys little and costs page writes).
+  std::uint64_t prev = 0;
+  for (std::uint64_t cur = h.free_head; cur != 0;) {
+    BlockHeader b = block_at(cur);
+    if (b.size >= bytes) {
+      if (prev == 0) {
+        h.free_head = b.next;
+        set_header(h);
+      } else {
+        BlockHeader pb = block_at(prev);
+        pb.next = b.next;
+        set_block(prev, pb);
+      }
+      b.next = kAllocatedMark;
+      set_block(cur, b);
+      return cur + sizeof(BlockHeader);
+    }
+    prev = cur;
+    cur = b.next;
+  }
+
+  // Extend the break.
+  const std::uint64_t block = h.brk;
+  const std::uint64_t new_brk = block + sizeof(BlockHeader) + bytes;
+  MW_CHECK(new_brk <= limit_);
+  h.brk = new_brk;
+  set_header(h);
+  set_block(block, BlockHeader{bytes, kAllocatedMark});
+  return block + sizeof(BlockHeader);
+}
+
+void WorldHeap::free(std::uint64_t offset) {
+  const std::uint64_t block = offset - sizeof(BlockHeader);
+  BlockHeader b = block_at(block);
+  MW_CHECK(b.next == kAllocatedMark);
+  HeapHeader h = header();
+  b.next = h.free_head;
+  set_block(block, b);
+  h.free_head = block;
+  set_header(h);
+}
+
+std::uint64_t WorldHeap::live_blocks() const {
+  const HeapHeader h = header();
+  std::uint64_t live = 0;
+  for (std::uint64_t cur = base_ + sizeof(HeapHeader); cur < h.brk;) {
+    const BlockHeader b = block_at(cur);
+    if (b.next == kAllocatedMark) ++live;
+    cur += sizeof(BlockHeader) + b.size;
+  }
+  return live;
+}
+
+std::uint64_t WorldHeap::live_bytes() const {
+  const HeapHeader h = header();
+  std::uint64_t live = 0;
+  for (std::uint64_t cur = base_ + sizeof(HeapHeader); cur < h.brk;) {
+    const BlockHeader b = block_at(cur);
+    if (b.next == kAllocatedMark) live += b.size;
+    cur += sizeof(BlockHeader) + b.size;
+  }
+  return live;
+}
+
+}  // namespace mw

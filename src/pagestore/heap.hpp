@@ -1,0 +1,65 @@
+// WorldHeap: a first-fit free-list allocator whose entire state — free-list
+// head, break pointer, and block headers — lives *inside* the paged address
+// space. Because the allocator keeps no native-memory state, a world fork
+// (COW page-table copy) forks the heap for free, and committing the winning
+// child's pages commits its allocations; sibling worlds can allocate
+// divergently without interfering. This is the property §2.3 needs: "updated
+// and newly-written pages are predicated by virtue of their residence in a
+// per-process descriptor table".
+#pragma once
+
+#include <cstdint>
+
+#include "pagestore/address_space.hpp"
+
+namespace mw {
+
+class WorldHeap {
+ public:
+  /// Binds to (and formats, if `format`) the segment named `segment` of
+  /// `space`. Re-binding with format=false attaches to an existing heap —
+  /// used after a fork, where the heap state arrives via the pages.
+  WorldHeap(AddressSpace& space, const std::string& segment, bool format);
+
+  /// Allocates `bytes` (> 0); returns the byte offset of the block within
+  /// the address space. Aborts when the segment is exhausted.
+  std::uint64_t alloc(std::uint64_t bytes);
+
+  /// Frees a block previously returned by alloc on *some* world line of
+  /// this heap (the block header travels with the pages).
+  void free(std::uint64_t offset);
+
+  /// Number of live (allocated, unfreed) blocks — walks the heap.
+  std::uint64_t live_blocks() const;
+
+  /// Total bytes handed out to live blocks.
+  std::uint64_t live_bytes() const;
+
+ private:
+  // Heap layout, all stored in pages:
+  //   [base]                 HeapHeader
+  //   [base+sizeof(Header)]  blocks: BlockHeader followed by payload
+  struct HeapHeader {
+    std::uint64_t magic;
+    std::uint64_t brk;        // offset of first never-used byte (abs offset)
+    std::uint64_t free_head;  // abs offset of first free block, 0 = none
+  };
+  struct BlockHeader {
+    std::uint64_t size;  // payload bytes
+    std::uint64_t next;  // on free list: next free block (0 = end);
+                         // allocated: kAllocatedMark
+  };
+  static constexpr std::uint64_t kMagic = 0x4d574845'41503031ull;
+  static constexpr std::uint64_t kAllocatedMark = ~0ull;
+
+  HeapHeader header() const;
+  void set_header(const HeapHeader& h);
+  BlockHeader block_at(std::uint64_t off) const;
+  void set_block(std::uint64_t off, const BlockHeader& b);
+
+  AddressSpace& space_;
+  std::uint64_t base_ = 0;
+  std::uint64_t limit_ = 0;
+};
+
+}  // namespace mw

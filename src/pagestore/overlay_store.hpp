@@ -1,0 +1,99 @@
+// OverlayStore — a *value-based* virtual-copy mechanism, after Wilson's
+// "Alternate Universes" (§5): each world is an overlay of object-granular
+// updates chaining to its parent, instead of a page map.
+//
+// The paper's comparison: "Wilson's approach is value-based (and so might
+// be incorporated in a language in order to exploit fine-grained
+// parallelism) while our scheme is page-based and hence suitable for
+// larger-grained parallelism; [page-based] trades a higher startup cost
+// against cheaper referencing from that point on."
+//
+// This implementation exists to make that trade measurable
+// (bench/ablation_page_vs_value): overlay forks are O(1), but every read
+// walks the overlay chain; page-table forks are O(pages), but reads are a
+// direct page access.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+/// A world of key -> 64-bit-value objects. Forking is O(1): the child
+/// starts an empty overlay whose reads fall through to the parent chain.
+class OverlayStore {
+ public:
+  /// A root world.
+  OverlayStore() : node_(std::make_shared<Node>()) {}
+
+  /// O(1) fork: shares everything with the parent by reference.
+  OverlayStore fork() const {
+    auto child = std::make_shared<Node>();
+    child->parent = node_;
+    return OverlayStore(std::move(child));
+  }
+
+  /// Writes into this world's overlay (never touches ancestors).
+  void store(std::uint64_t key, std::int64_t value) {
+    node_->data[key] = value;
+  }
+
+  /// Reads through the overlay chain; 0 for never-written keys (matching
+  /// the page store's zero-fill semantics). Cost grows with chain depth.
+  std::int64_t load(std::uint64_t key) const {
+    for (const Node* n = node_.get(); n != nullptr; n = n->parent.get()) {
+      auto it = n->data.find(key);
+      if (it != n->data.end()) return it->second;
+    }
+    return 0;
+  }
+
+  /// The commit: the parent adopts this child's view. Rather than merging
+  /// maps upward (which would break siblings sharing the ancestor), the
+  /// committed world simply *becomes* the parent's new state — the same
+  /// pointer-swap idea as the page table's adopt().
+  void adopt(OverlayStore&& child) { node_ = std::move(child.node_); }
+
+  /// Depth of the overlay chain (1 = root). Long-lived speculation lines
+  /// grow this, and with it, read cost — value-based speculation's
+  /// referencing tax.
+  std::size_t chain_depth() const {
+    std::size_t d = 0;
+    for (const Node* n = node_.get(); n != nullptr; n = n->parent.get()) ++d;
+    return d;
+  }
+
+  /// Entries in this world's own overlay (not ancestors).
+  std::size_t own_entries() const { return node_->data.size(); }
+
+  /// Collapses the chain into a single flat map — the compaction a
+  /// production value-based system must periodically run.
+  void flatten() {
+    auto flat = std::make_shared<Node>();
+    // Walk root-to-leaf so newer entries overwrite older ones.
+    std::vector<const Node*> chain;
+    for (const Node* n = node_.get(); n != nullptr; n = n->parent.get())
+      chain.push_back(n);
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      for (const auto& [k, v] : (*it)->data) flat->data[k] = v;
+    }
+    node_ = std::move(flat);
+  }
+
+ private:
+  struct Node {
+    std::shared_ptr<Node> parent;
+    std::map<std::uint64_t, std::int64_t> data;
+  };
+
+  explicit OverlayStore(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace mw

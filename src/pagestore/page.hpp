@@ -1,0 +1,37 @@
+// Fixed-size page: the unit of sink state (§2.1). "All sink state can be
+// represented in this fashion" — the entire memory hierarchy is buried under
+// the page abstraction, so worlds share, copy and commit state purely in
+// terms of pages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mw {
+
+/// A page is a fixed-size byte block. Pages are *immutable while shared*:
+/// the owning PageTable may mutate a page only when it holds the sole
+/// reference; otherwise it must copy first (copy-on-write). That discipline
+/// is enforced by PageTable, not by this type.
+class Page {
+ public:
+  explicit Page(std::size_t size) : data_(size, 0) {}
+  Page(const Page& other) = default;
+
+  std::size_t size() const { return data_.size(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t* mutable_data() { return data_.data(); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+using PageRef = std::shared_ptr<Page>;
+
+inline PageRef make_page(std::size_t size) {
+  return std::make_shared<Page>(size);
+}
+
+}  // namespace mw

@@ -1,0 +1,120 @@
+#include "pagestore/page_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+PageTable::PageTable(std::size_t page_size, std::size_t num_pages)
+    : page_size_(page_size), slots_(num_pages), touched_(num_pages, false) {
+  MW_CHECK(page_size > 0);
+}
+
+const Page* PageTable::peek(std::size_t i) const {
+  MW_CHECK(i < slots_.size());
+  return slots_[i].get();
+}
+
+std::uint8_t* PageTable::write_page(std::size_t i) {
+  MW_CHECK(i < slots_.size());
+  PageRef& slot = slots_[i];
+  if (!slot) {
+    // Zero-fill-on-demand allocation.
+    slot = make_page(page_size_);
+    ++stats_.pages_allocated;
+  } else if (slot.use_count() > 1) {
+    // COW break: the page is inherited or shared with a sibling world.
+    slot = std::make_shared<Page>(*slot);
+    ++stats_.pages_copied;
+    stats_.bytes_copied += page_size_;
+  }
+  touched_[i] = true;
+  ++stats_.page_writes;
+  return slot->mutable_data();
+}
+
+void PageTable::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
+  MW_CHECK(off + dst.size() <= size_bytes());
+  auto* self = const_cast<PageTable*>(this);  // stats only
+  ++self->stats_.page_reads;
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const std::size_t page = (off + done) / page_size_;
+    const std::size_t in_page = (off + done) % page_size_;
+    const std::size_t n = std::min(dst.size() - done, page_size_ - in_page);
+    if (const Page* p = slots_[page].get()) {
+      std::memcpy(dst.data() + done, p->data() + in_page, n);
+    } else {
+      std::memset(dst.data() + done, 0, n);
+    }
+    done += n;
+  }
+}
+
+void PageTable::write(std::uint64_t off, std::span<const std::uint8_t> src) {
+  MW_CHECK(off + src.size() <= size_bytes());
+  std::size_t done = 0;
+  while (done < src.size()) {
+    const std::size_t page = (off + done) / page_size_;
+    const std::size_t in_page = (off + done) % page_size_;
+    const std::size_t n = std::min(src.size() - done, page_size_ - in_page);
+    std::memcpy(write_page(page) + in_page, src.data() + done, n);
+    done += n;
+  }
+}
+
+PageTable PageTable::fork() const {
+  PageTable child(page_size_, slots_.size());
+  child.slots_ = slots_;  // O(pages) reference copies, zero data movement
+  return child;
+}
+
+void PageTable::adopt(PageTable&& child) {
+  MW_CHECK(child.page_size_ == page_size_);
+  MW_CHECK(child.slots_.size() == slots_.size());
+  slots_ = std::move(child.slots_);
+  // The commit absorbs the child's accounting so τ(overhead) attribution
+  // (setup + run-time copying + completion) survives the swap.
+  stats_.pages_allocated += child.stats_.pages_allocated;
+  stats_.pages_copied += child.stats_.pages_copied;
+  stats_.bytes_copied += child.stats_.bytes_copied;
+  stats_.page_writes += child.stats_.page_writes;
+  stats_.page_reads += child.stats_.page_reads;
+  std::fill(touched_.begin(), touched_.end(), false);
+}
+
+std::size_t PageTable::resident_pages() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_)
+    if (s) ++n;
+  return n;
+}
+
+std::size_t PageTable::shared_pages_with(const PageTable& other) const {
+  MW_CHECK(other.slots_.size() == slots_.size());
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i] && slots_[i] == other.slots_[i]) ++n;
+  return n;
+}
+
+std::vector<std::size_t> PageTable::diff(const PageTable& other) const {
+  MW_CHECK(other.slots_.size() == slots_.size());
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i)
+    if (slots_[i] != other.slots_[i]) out.push_back(i);
+  return out;
+}
+
+double PageTable::write_fraction() const {
+  const std::size_t resident = resident_pages();
+  if (resident == 0) return 0.0;
+  std::size_t written = 0;
+  for (bool t : touched_)
+    if (t) ++written;
+  return static_cast<double>(written) / static_cast<double>(resident);
+}
+
+}  // namespace mw

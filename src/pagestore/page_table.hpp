@@ -1,0 +1,83 @@
+// Copy-on-write page table with parent inheritance (§2.3).
+//
+// A fork copies only the table of page references (O(pages) pointer copies,
+// no data movement) — this is exactly why the paper's measured fork latency
+// grows with address-space size while staying far below a full copy. The
+// first write to an inherited page breaks sharing by copying that one page.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pagestore/page.hpp"
+
+namespace mw {
+
+/// Accounting for the COW machinery; feeds the paper's τ(overhead)
+/// decomposition and the write-fraction measurements (§3.4).
+struct CowStats {
+  std::uint64_t pages_allocated = 0;  // zero-fill-on-demand allocations
+  std::uint64_t pages_copied = 0;     // COW breaks (private copies made)
+  std::uint64_t bytes_copied = 0;     // data actually copied for COW breaks
+  std::uint64_t page_writes = 0;      // write operations (not distinct pages)
+  std::uint64_t page_reads = 0;
+
+  void reset() { *this = CowStats{}; }
+};
+
+class PageTable {
+ public:
+  /// An address space of `num_pages` pages of `page_size` bytes, initially
+  /// entirely absent (reads see zeros; first write allocates).
+  PageTable(std::size_t page_size, std::size_t num_pages);
+
+  std::size_t page_size() const { return page_size_; }
+  std::size_t num_pages() const { return slots_.size(); }
+  std::size_t size_bytes() const { return page_size_ * slots_.size(); }
+
+  /// Read-only view of page `i`; nullptr means the zero page.
+  const Page* peek(std::size_t i) const;
+
+  /// Writable pointer to page `i`, allocating or COW-copying as needed.
+  std::uint8_t* write_page(std::size_t i);
+
+  /// Reads `dst.size()` bytes at byte offset `off`; absent pages read as 0.
+  void read(std::uint64_t off, std::span<std::uint8_t> dst) const;
+
+  /// Writes `src` at byte offset `off`, breaking sharing where needed.
+  void write(std::uint64_t off, std::span<const std::uint8_t> src);
+
+  /// COW fork: child shares every page with this table.
+  PageTable fork() const;
+
+  /// The paper's commit: "the parent process absorbs the state changes made
+  /// by its child by atomically replacing its page pointer with that of the
+  /// child". Steals the child's slots; stats are merged.
+  void adopt(PageTable&& child);
+
+  /// Number of resident (allocated) pages.
+  std::size_t resident_pages() const;
+
+  /// Number of pages physically shared with `other` (same Page object).
+  std::size_t shared_pages_with(const PageTable& other) const;
+
+  /// Page indices where this table and `other` reference different pages.
+  std::vector<std::size_t> diff(const PageTable& other) const;
+
+  /// Fraction of resident pages privately copied/written since the last
+  /// fork: the paper's "write fraction" (observed 0.2–0.5 in [18]).
+  double write_fraction() const;
+
+  const CowStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+ private:
+  std::size_t page_size_;
+  std::vector<PageRef> slots_;
+  std::vector<bool> touched_;  // pages written since last fork/adopt
+  CowStats stats_;
+};
+
+}  // namespace mw

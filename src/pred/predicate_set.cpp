@@ -1,0 +1,122 @@
+#include "pred/predicate_set.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+namespace {
+
+bool sorted_contains(const std::vector<Pid>& v, Pid p) {
+  return std::binary_search(v.begin(), v.end(), p);
+}
+
+void sorted_insert(std::vector<Pid>& v, Pid p) {
+  auto it = std::lower_bound(v.begin(), v.end(), p);
+  if (it == v.end() || *it != p) v.insert(it, p);
+}
+
+bool sorted_erase(std::vector<Pid>& v, Pid p) {
+  auto it = std::lower_bound(v.begin(), v.end(), p);
+  if (it != v.end() && *it == p) {
+    v.erase(it);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool PredicateSet::assume_completes(Pid p) {
+  MW_CHECK(p != kNoPid);
+  if (sorted_contains(cant_, p)) return false;
+  sorted_insert(must_, p);
+  return true;
+}
+
+bool PredicateSet::assume_fails(Pid p) {
+  MW_CHECK(p != kNoPid);
+  if (sorted_contains(must_, p)) return false;
+  sorted_insert(cant_, p);
+  return true;
+}
+
+bool PredicateSet::assumes_completes(Pid p) const {
+  return sorted_contains(must_, p);
+}
+
+bool PredicateSet::assumes_fails(Pid p) const {
+  return sorted_contains(cant_, p);
+}
+
+PredRelation PredicateSet::relation_to(const PredicateSet& sender) const {
+  bool extension = false;
+  for (Pid p : sender.must_) {
+    if (sorted_contains(cant_, p)) return PredRelation::kConflict;
+    if (!sorted_contains(must_, p)) extension = true;
+  }
+  for (Pid p : sender.cant_) {
+    if (sorted_contains(must_, p)) return PredRelation::kConflict;
+    if (!sorted_contains(cant_, p)) extension = true;
+  }
+  return extension ? PredRelation::kExtension : PredRelation::kImplied;
+}
+
+PredicateSet PredicateSet::missing_from(const PredicateSet& sender) const {
+  PredicateSet out;
+  for (Pid p : sender.must_)
+    if (!sorted_contains(must_, p)) sorted_insert(out.must_, p);
+  for (Pid p : sender.cant_)
+    if (!sorted_contains(cant_, p)) sorted_insert(out.cant_, p);
+  return out;
+}
+
+bool PredicateSet::merge(const PredicateSet& other) {
+  for (Pid p : other.must_)
+    if (sorted_contains(cant_, p)) return false;
+  for (Pid p : other.cant_)
+    if (sorted_contains(must_, p)) return false;
+  for (Pid p : other.must_) sorted_insert(must_, p);
+  for (Pid p : other.cant_) sorted_insert(cant_, p);
+  return true;
+}
+
+PredicateSet::Fate PredicateSet::resolve(Pid p, bool completed) {
+  if (completed) {
+    if (sorted_contains(cant_, p)) return Fate::kDoomed;
+    return sorted_erase(must_, p) ? Fate::kSimplified : Fate::kUnaffected;
+  }
+  if (sorted_contains(must_, p)) return Fate::kDoomed;
+  return sorted_erase(cant_, p) ? Fate::kSimplified : Fate::kUnaffected;
+}
+
+PredicateSet PredicateSet::for_alternative(const PredicateSet& parent,
+                                           Pid self,
+                                           const std::vector<Pid>& siblings) {
+  PredicateSet out = parent;
+  MW_CHECK(out.assume_completes(self));
+  for (Pid s : siblings) {
+    if (s == self) continue;
+    MW_CHECK(out.assume_fails(s));
+  }
+  return out;
+}
+
+PredicateSet PredicateSet::for_failure(const PredicateSet& parent,
+                                       const std::vector<Pid>& siblings) {
+  PredicateSet out = parent;
+  for (Pid s : siblings) MW_CHECK(out.assume_fails(s));
+  return out;
+}
+
+std::string PredicateSet::to_string() const {
+  std::string s = "{must:";
+  for (Pid p : must_) s += " " + std::to_string(p);
+  s += " | cant:";
+  for (Pid p : cant_) s += " " + std::to_string(p);
+  s += "}";
+  return s;
+}
+
+}  // namespace mw

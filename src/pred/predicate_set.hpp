@@ -1,0 +1,96 @@
+// PredicateSet — the paper's §2.3 representation of a world's assumptions:
+// two lists of process identifiers, "must complete" and "can't complete".
+//
+// Construction rules from the paper:
+//  * a child inherits its parent's predicates (nesting);
+//  * each spawned alternative additionally assumes that *it* completes and
+//    that each of its siblings does not ("sibling rivalry");
+//  * the failure alternative assumes none of the siblings complete.
+//
+// Message acceptance compares the sender's set S against the receiver's R:
+//  * S ⊆ R (every assumption already held)          → accept immediately;
+//  * ∃p: p ∈ S and ¬p ∈ R (or vice versa)           → conflict, ignore;
+//  * otherwise                                       → the receiver must be
+//    split into a copy that adopts S and a copy that assumes the *sender*
+//    does not complete (negating complete(sender) rather than all of S,
+//    which could demand two mutually exclusive processes both complete).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/ids.hpp"
+
+namespace mw {
+
+/// Relationship between a sender's assumptions and a receiver's.
+enum class PredRelation {
+  kImplied,    // receiver already assumes everything the sender does
+  kConflict,   // receiver assumes the negation of a sender assumption
+  kExtension,  // acceptance requires the receiver to assume more
+};
+
+class PredicateSet {
+ public:
+  PredicateSet() = default;
+
+  /// Adds the assumption complete(p). Returns false (set unchanged) if the
+  /// set already assumes ¬complete(p) — callers treat that as a conflict.
+  bool assume_completes(Pid p);
+
+  /// Adds the assumption ¬complete(p); false on conflict with complete(p).
+  bool assume_fails(Pid p);
+
+  bool assumes_completes(Pid p) const;
+  bool assumes_fails(Pid p) const;
+
+  /// True when no assumptions remain: the world is certain, and is free to
+  /// touch sources (§2.4.2).
+  bool empty() const { return must_.empty() && cant_.empty(); }
+  std::size_t size() const { return must_.size() + cant_.size(); }
+
+  const std::vector<Pid>& must_complete() const { return must_; }
+  const std::vector<Pid>& cant_complete() const { return cant_; }
+
+  /// Classifies `sender` relative to this (receiver) set.
+  PredRelation relation_to(const PredicateSet& sender) const;
+
+  /// The assumptions in `sender` this set does not already hold.
+  PredicateSet missing_from(const PredicateSet& sender) const;
+
+  /// Union with `other`; returns false and leaves this unchanged if the
+  /// union would be inconsistent.
+  bool merge(const PredicateSet& other);
+
+  /// Outcome of resolving complete(p) against a predicate set.
+  enum class Fate {
+    kUnaffected,  // p not mentioned
+    kSimplified,  // an assumption became true and was removed
+    kDoomed,      // an assumption became false: the world must be eliminated
+  };
+
+  /// Applies the fact complete(p) == `completed`: satisfied assumptions are
+  /// deleted (the paper: "they can be eliminated from the lists"); falsified
+  /// assumptions doom the world.
+  Fate resolve(Pid p, bool completed);
+
+  /// The "sibling rivalry" set for alternative `self` among `siblings`
+  /// (which includes `self`), on top of the parent's assumptions.
+  static PredicateSet for_alternative(const PredicateSet& parent, Pid self,
+                                      const std::vector<Pid>& siblings);
+
+  /// The failure alternative: assumes none of `siblings` complete.
+  static PredicateSet for_failure(const PredicateSet& parent,
+                                  const std::vector<Pid>& siblings);
+
+  bool operator==(const PredicateSet&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  // Sorted, deduplicated, mutually disjoint.
+  std::vector<Pid> must_;
+  std::vector<Pid> cant_;
+};
+
+}  // namespace mw

@@ -1,0 +1,41 @@
+#include "proc/cost_model.hpp"
+
+namespace mw {
+
+CostModel CostModel::calibrated_3b2() {
+  CostModel m;
+  m.page_size = 2048;
+  // 31 ms fork of a 320 KB (160-page) address space: ~190 us/page plus a
+  // small fixed cost.
+  m.fork_base = vt_us(500);
+  m.fork_per_page = vt_us(190);
+  // 326 2K-pages/second copy service rate -> ~3067 us per page copied.
+  m.cow_copy_per_page = vt_us(3067);
+  // Commit re-walks only changed pages; same copy engine.
+  m.commit_base = vt_us(500);
+  m.commit_per_page = vt_us(3067);
+  // 16 children: 40 ms waited, 20 ms async -> 1.25 ms issue + 1.25 ms wait.
+  m.kill_issue = vt_us(1250);
+  m.kill_wait = vt_us(1250);
+  return m;
+}
+
+CostModel CostModel::calibrated_hp() {
+  CostModel m;
+  m.page_size = 4096;
+  // 12 ms fork of a 320 KB (80-page) address space: ~145 us/page.
+  m.fork_base = vt_us(400);
+  m.fork_per_page = vt_us(145);
+  // 1034 4K-pages/second -> ~967 us per page copied.
+  m.cow_copy_per_page = vt_us(967);
+  m.commit_base = vt_us(400);
+  m.commit_per_page = vt_us(967);
+  // The HP is ~2.5x faster; scale the elimination costs accordingly.
+  m.kill_issue = vt_us(500);
+  m.kill_wait = vt_us(500);
+  return m;
+}
+
+CostModel CostModel::free() { return CostModel{}; }
+
+}  // namespace mw

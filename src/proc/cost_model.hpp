@@ -1,0 +1,62 @@
+// Virtual-time cost model for the speculation overheads the paper measures
+// in §3.4. The calibrated presets translate the paper's published numbers
+// into per-operation tick costs so the discrete-event backend reproduces
+// the same overhead *ratios* the authors observed:
+//
+//   AT&T 3B2/310:    fork of a 320 KB address space ≈ 31 ms;
+//                    COW page-copy service rate 326 2K-pages/s;
+//   HP 9000/350:     fork ≈ 12 ms; 1034 4K-pages/s;
+//   either machine:  eliminating 16 subprocesses ≈ 40 ms waiting for
+//                    termination, ≈ 20 ms issued asynchronously.
+#pragma once
+
+#include <cstddef>
+
+#include "util/vtime.hpp"
+
+namespace mw {
+
+struct CostModel {
+  // Spawn: fixed cost plus per-resident-page table-copy cost, charged
+  // serially to the parent for each alternative spawned.
+  VDuration fork_base = 0;
+  VDuration fork_per_page = 0;
+
+  // Run time: cost of breaking COW sharing on first write to a page.
+  VDuration cow_copy_per_page = 0;
+
+  // Completion: alt_wait rendezvous plus absorbing the winner's changed
+  // pages into the parent.
+  VDuration commit_base = 0;
+  VDuration commit_per_page = 0;
+
+  // Sibling elimination, per sibling. Issue cost is always paid by the
+  // parent; the wait cost is additionally paid only under synchronous
+  // elimination (§2.2.1).
+  VDuration kill_issue = 0;
+  VDuration kill_wait = 0;
+
+  std::size_t page_size = 4096;
+
+  VDuration fork_cost(std::size_t resident_pages) const {
+    return fork_base + fork_per_page * static_cast<VDuration>(resident_pages);
+  }
+  VDuration commit_cost(std::size_t changed_pages) const {
+    return commit_base + commit_per_page * static_cast<VDuration>(changed_pages);
+  }
+  VDuration elimination_cost(std::size_t siblings, bool synchronous) const {
+    const auto n = static_cast<VDuration>(siblings);
+    return n * (synchronous ? kill_issue + kill_wait : kill_issue);
+  }
+
+  /// Calibrated to the AT&T 3B2/310 measurements (2 KiB pages).
+  static CostModel calibrated_3b2();
+
+  /// Calibrated to the HP 9000/350 measurements (4 KiB pages).
+  static CostModel calibrated_hp();
+
+  /// All-zero overheads: isolates algorithmic time in tests.
+  static CostModel free();
+};
+
+}  // namespace mw

@@ -1,0 +1,83 @@
+#include "proc/process_table.hpp"
+
+#include "util/check.hpp"
+
+namespace mw {
+
+ProcessTable::ProcessTable() = default;
+
+Pid ProcessTable::create(Pid parent, std::uint64_t alt_group,
+                         std::string label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Pid pid = next_pid_++;
+  ProcessRecord rec;
+  rec.pid = pid;
+  rec.parent = parent;
+  rec.alt_group = alt_group;
+  rec.label = std::move(label);
+  records_.emplace(pid, std::move(rec));
+  if (parent != kNoPid) {
+    auto it = records_.find(parent);
+    if (it != records_.end()) it->second.children.push_back(pid);
+  }
+  return pid;
+}
+
+ProcessRecord ProcessTable::get(Pid pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = records_.find(pid);
+  MW_CHECK(it != records_.end());
+  return it->second;
+}
+
+bool ProcessTable::exists(Pid pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.count(pid) > 0;
+}
+
+ProcStatus ProcessTable::status(Pid pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = records_.find(pid);
+  MW_CHECK(it != records_.end());
+  return it->second.status;
+}
+
+bool ProcessTable::set_status(Pid pid, ProcStatus next) {
+  ProcStatus old;
+  std::vector<StatusListener> listeners;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = records_.find(pid);
+    MW_CHECK(it != records_.end());
+    old = it->second.status;
+    if (is_terminal(old)) return false;
+    it->second.status = next;
+    listeners = listeners_;  // snapshot; invoke outside the lock
+  }
+  for (auto& fn : listeners) fn(pid, old, next);
+  return true;
+}
+
+Completion ProcessTable::complete(Pid pid) const {
+  return completion_of(status(pid));
+}
+
+void ProcessTable::subscribe(StatusListener fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  listeners_.push_back(std::move(fn));
+}
+
+std::size_t ProcessTable::process_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_.size();
+}
+
+std::size_t ProcessTable::live_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t n = 0;
+  for (const auto& [pid, rec] : records_)
+    if (!is_terminal(rec.status)) ++n;
+  return n;
+}
+
+}  // namespace mw

@@ -1,0 +1,73 @@
+// ProcessTable: the registry of speculative processes — pid allocation,
+// parent/child links, status lifecycle, and status-change notification.
+//
+// Predicate resolution is event-driven: the predicated message layer and
+// the Multiple Worlds runtime subscribe here, and react when a process
+// reaches a terminal status ("we can update the value of these elements as
+// processes change status ... much less frequently than they make memory
+// references", §2.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proc/status.hpp"
+#include "util/ids.hpp"
+
+namespace mw {
+
+struct ProcessRecord {
+  Pid pid = kNoPid;
+  Pid parent = kNoPid;
+  ProcStatus status = ProcStatus::kReady;
+  std::uint64_t alt_group = 0;  // alt_spawn group id, 0 = none
+  std::string label;            // diagnostic only
+  std::vector<Pid> children;
+};
+
+class ProcessTable {
+ public:
+  using StatusListener =
+      std::function<void(Pid, ProcStatus /*old*/, ProcStatus /*new*/)>;
+
+  ProcessTable();
+
+  /// Creates a process; pids are never reused within one table.
+  Pid create(Pid parent, std::uint64_t alt_group = 0, std::string label = {});
+
+  /// Snapshot of the record (by value: the live record may change).
+  ProcessRecord get(Pid pid) const;
+  bool exists(Pid pid) const;
+
+  ProcStatus status(Pid pid) const;
+
+  /// Transitions `pid`; enforces that terminal states are never left.
+  /// Returns false (no-op, no notification) if the process was already
+  /// terminal — e.g. an elimination racing a self-initiated failure.
+  bool set_status(Pid pid, ProcStatus next);
+
+  /// The completion oracle complete(P) over live table state.
+  Completion complete(Pid pid) const;
+
+  /// Registers a listener invoked (outside the table lock) after every
+  /// successful status transition. Listeners cannot be removed — the
+  /// subsystems that subscribe live as long as the table.
+  void subscribe(StatusListener fn);
+
+  std::size_t process_count() const;
+
+  /// Number of processes currently in a non-terminal state.
+  std::size_t live_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Pid, ProcessRecord> records_;
+  Pid next_pid_ = 1;
+  std::vector<StatusListener> listeners_;
+};
+
+}  // namespace mw

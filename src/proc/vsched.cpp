@@ -1,0 +1,166 @@
+#include "proc/vsched.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+ScheduleOutcome list_schedule(std::size_t processors,
+                              const std::vector<VirtualTask>& tasks) {
+  MW_CHECK(processors > 0);
+  ScheduleOutcome out;
+  out.tasks.resize(tasks.size());
+
+  // FCFS dispatch order: by ready time, ties by input order.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].ready_at < tasks[b].ready_at;
+                   });
+
+  // Processor free times. With identical processors only the multiset
+  // matters; always dispatch onto the earliest-free one.
+  std::vector<VTime> free_at(processors, 0);
+
+  // First pass: the uncut schedule, as if nothing were eliminated. The
+  // winner in the cut schedule is provably the same: eliminations free
+  // processors only at the winner's finish time, so no task can start
+  // earlier than that and overtake it.
+  for (std::size_t idx : order) {
+    const VirtualTask& t = tasks[idx];
+    auto it = std::min_element(free_at.begin(), free_at.end());
+    const VTime start = std::max(t.ready_at, *it);
+    const VTime finish = start + t.duration;
+    *it = finish;
+    out.tasks[idx] =
+        TaskSchedule{t.pid, /*ran=*/true, t.success, start, finish};
+  }
+
+  // Winner: first successful finisher (ties by input order — matching the
+  // at-most-once CAS, where the earlier-spawned sibling wins the race).
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const TaskSchedule& s = out.tasks[i];
+    if (!s.success) continue;
+    if (s.finish < out.winner_finish) {
+      out.winner_finish = s.finish;
+      out.winner_index = i;
+    }
+  }
+
+  // Cut: siblings that had not started when the winner synchronized are
+  // eliminated in the ready queue and never run.
+  if (out.winner_index.has_value()) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (i == *out.winner_index) continue;
+      TaskSchedule& s = out.tasks[i];
+      if (s.start >= out.winner_finish) {
+        s.ran = false;
+        s.success = false;
+        s.start = s.finish = out.winner_finish;
+      } else if (s.finish > out.winner_finish) {
+        // Running when the winner synchronized: killed mid-flight.
+        s.success = false;
+        s.finish = out.winner_finish;
+      }
+    }
+  }
+  return out;
+}
+
+ScheduleOutcome ps_schedule(std::size_t processors,
+                            const std::vector<VirtualTask>& tasks) {
+  MW_CHECK(processors > 0);
+  ScheduleOutcome out;
+  out.tasks.resize(tasks.size());
+
+  // Fluid simulation in double precision; finish times rounded to ticks.
+  const std::size_t n = tasks.size();
+  std::vector<double> remaining(n);
+  std::vector<bool> done(n, false);
+  std::vector<double> finish(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    remaining[i] = static_cast<double>(tasks[i].duration);
+
+  double now = 0.0;
+  std::size_t completed = 0;
+  while (completed < n) {
+    // Runnable set: arrived, not finished.
+    std::size_t runnable = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!done[i] && static_cast<double>(tasks[i].ready_at) <= now) ++runnable;
+
+    if (runnable == 0) {
+      // Jump to the next arrival.
+      double next_arrival = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i)
+        if (!done[i])
+          next_arrival =
+              std::min(next_arrival, static_cast<double>(tasks[i].ready_at));
+      now = next_arrival;
+      continue;
+    }
+
+    const double rate =
+        std::min(1.0, static_cast<double>(processors) /
+                          static_cast<double>(runnable));
+
+    // Next event: a completion among runnables, or an arrival.
+    double dt = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      const double ready = static_cast<double>(tasks[i].ready_at);
+      if (ready <= now) {
+        dt = std::min(dt, remaining[i] / rate);
+      } else {
+        dt = std::min(dt, ready - now);
+      }
+    }
+    // Advance.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] || static_cast<double>(tasks[i].ready_at) > now) continue;
+      remaining[i] -= rate * dt;
+      if (remaining[i] <= 1e-9) {
+        remaining[i] = 0.0;
+        done[i] = true;
+        finish[i] = now + dt;
+        ++completed;
+      }
+    }
+    now += dt;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    out.tasks[i] = TaskSchedule{
+        tasks[i].pid, /*ran=*/true, tasks[i].success, tasks[i].ready_at,
+        static_cast<VTime>(std::llround(finish[i]))};
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!tasks[i].success) continue;
+    if (out.tasks[i].finish < out.winner_finish) {
+      out.winner_finish = out.tasks[i].finish;
+      out.winner_index = i;
+    }
+  }
+  if (out.winner_index.has_value()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i == *out.winner_index) continue;
+      TaskSchedule& s = out.tasks[i];
+      if (s.start >= out.winner_finish) {
+        s.ran = false;
+        s.success = false;
+        s.start = s.finish = out.winner_finish;
+      } else if (s.finish > out.winner_finish) {
+        s.success = false;
+        s.finish = out.winner_finish;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mw

@@ -1,0 +1,63 @@
+// Deterministic virtual-time scheduler for alternative blocks.
+//
+// The paper evaluates on a 2-processor Ardent Titan with more alternatives
+// than processors (Table I). To reproduce that regime deterministically —
+// and on hosts with any core count — alternatives in the virtual backend
+// execute as instrumented bodies that account work in ticks; this scheduler
+// then lays the recorded tasks out on P virtual processors, FCFS
+// non-preemptive (the behaviour of a run-to-completion OS run queue), and
+// identifies the winning alternative: the first successful finisher.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/vtime.hpp"
+
+namespace mw {
+
+struct VirtualTask {
+  Pid pid = kNoPid;
+  /// When the parent finished spawning this alternative (fork costs are
+  /// charged serially to the parent, so later siblings arrive later).
+  VTime ready_at = 0;
+  /// Virtual work to run the body to its sync/abort point.
+  VDuration duration = 0;
+  /// Whether the body reaches alt_wait with its guard satisfied.
+  bool success = false;
+};
+
+struct TaskSchedule {
+  Pid pid = kNoPid;
+  bool ran = false;          // started before the winner synchronized
+  bool success = false;      // reached a successful sync (if it ran)
+  VTime start = 0;
+  VTime finish = 0;
+};
+
+struct ScheduleOutcome {
+  std::vector<TaskSchedule> tasks;  // input order
+  std::optional<std::size_t> winner_index;
+  /// Virtual time at which the winner synchronized (kVTimeMax if none).
+  VTime winner_finish = kVTimeMax;
+};
+
+/// Lays `tasks` out on `processors` identical virtual processors, FCFS by
+/// ready time (ties broken by input order), non-preemptive. Tasks that
+/// would only start after the winner synchronizes are marked as never run:
+/// they are eliminated while still in the ready queue.
+ScheduleOutcome list_schedule(std::size_t processors,
+                              const std::vector<VirtualTask>& tasks);
+
+/// Egalitarian processor sharing: every arrived task progresses at rate
+/// min(1, P/R) where R is the number of runnable tasks — the fluid limit
+/// of a round-robin timesharing scheduler, which is what the paper's
+/// 2-processor Ardent Titan actually ran. This is the policy that
+/// reproduces Table I's degradation when processes outnumber processors
+/// (5 processes on 2 CPUs → everyone runs at 2/5 speed).
+ScheduleOutcome ps_schedule(std::size_t processors,
+                            const std::vector<VirtualTask>& tasks);
+
+}  // namespace mw

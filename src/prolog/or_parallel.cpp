@@ -1,0 +1,271 @@
+#include "prolog/or_parallel.hpp"
+
+#include <atomic>
+
+#include "core/alt_context.hpp"
+#include "util/check.hpp"
+
+namespace mw::prolog {
+
+namespace {
+
+/// A branch state in resolved form: bindings are substituted into the
+/// goals/answer terms, so branches are self-contained values that can be
+/// shipped into speculative worlds without sharing an environment — the
+/// paper's copy-not-share choice, taken to its logical end.
+struct Branch {
+  std::vector<TermPtr> goals;
+  TermPtr answer;
+};
+
+enum class StepKind { kSolved, kDead, kReduced, kChoice, kLeaf };
+
+struct StepOutcome {
+  StepKind kind = StepKind::kDead;
+  Branch next;                        // kReduced
+  std::vector<std::size_t> choices;  // kChoice
+};
+
+/// Commits `branch` to clause `idx` for its first goal: unify, substitute,
+/// splice the clause body. nullopt if the head does not unify.
+std::optional<Branch> reduce_with_clause(const Program& prog,
+                                         const Branch& branch,
+                                         std::size_t idx,
+                                         std::uint64_t suffix) {
+  const Clause& c = prog.clause(idx);
+  Bindings env;
+  Trail trail;
+  TermPtr head = rename_vars(c.head, suffix);
+  if (!unify(branch.goals.front(), head, env, trail)) return std::nullopt;
+  Branch out;
+  out.goals.reserve(c.body.size() + branch.goals.size() - 1);
+  for (const auto& b : c.body)
+    out.goals.push_back(resolve(rename_vars(b, suffix), env));
+  for (std::size_t i = 1; i < branch.goals.size(); ++i)
+    out.goals.push_back(resolve(branch.goals[i], env));
+  out.answer = resolve(branch.answer, env);
+  return out;
+}
+
+/// One deterministic step of resolved-form SLD: builtins evaluate in
+/// place; user goals with a single candidate clause reduce; multiple
+/// candidates surface as a choice point for the speculation layer.
+StepOutcome step(const Program& prog, const Branch& branch,
+                 std::atomic<std::uint64_t>* suffix_counter) {
+  StepOutcome out;
+  if (branch.goals.empty()) {
+    out.kind = StepKind::kSolved;
+    return out;
+  }
+  const TermPtr& g = branch.goals.front();
+
+  if (is_builtin(g)) {
+    // Builtins that require a full sub-search (negation as failure,
+    // between/3's enumeration) are beyond single-step reduction: hand the
+    // branch to the leaf solver.
+    if (g->kind == Term::Kind::kStruct &&
+        (g->name == "\\+" || g->name == "between")) {
+      out.kind = StepKind::kLeaf;
+      return out;
+    }
+    Bindings env;
+    Trail trail;
+    bool ok = false;
+    if (g->kind == Term::Kind::kAtom) {
+      ok = g->name == "true";
+    } else if (g->name == "=") {
+      ok = unify(g->args[0], g->args[1], env, trail);
+    } else if (g->name == "\\=") {
+      ok = !unify(g->args[0], g->args[1], env, trail);
+      env.clear();
+    } else if (g->name == "is") {
+      auto v = eval_arith(g->args[1], env);
+      ok = v.has_value() && unify(g->args[0], mk_int(*v), env, trail);
+    } else {
+      Bindings empty;
+      auto a = eval_arith(g->args[0], empty);
+      auto b = eval_arith(g->args[1], empty);
+      if (a && b) {
+        if (g->name == "<") ok = *a < *b;
+        else if (g->name == ">") ok = *a > *b;
+        else if (g->name == "=<") ok = *a <= *b;
+        else if (g->name == ">=") ok = *a >= *b;
+        else if (g->name == "=:=") ok = *a == *b;
+        else if (g->name == "=\\=") ok = *a != *b;
+      }
+    }
+    if (!ok) return out;  // kDead
+    out.kind = StepKind::kReduced;
+    for (std::size_t i = 1; i < branch.goals.size(); ++i)
+      out.next.goals.push_back(resolve(branch.goals[i], env));
+    out.next.answer = resolve(branch.answer, env);
+    return out;
+  }
+
+  std::vector<std::size_t> cands = prog.candidates(g);
+  if (cands.empty()) return out;  // kDead
+  if (cands.size() == 1) {
+    auto red = reduce_with_clause(prog, branch, cands[0],
+                                  suffix_counter->fetch_add(1) + 1);
+    if (!red) return out;  // kDead
+    out.kind = StepKind::kReduced;
+    out.next = std::move(*red);
+    return out;
+  }
+  out.kind = StepKind::kChoice;
+  out.choices = std::move(cands);
+  return out;
+}
+
+struct Shared {
+  Runtime& rt;
+  const Program& prog;
+  const OrParallelConfig& cfg;
+  std::vector<std::string> vars;  // original query variables, in order
+  std::atomic<std::uint64_t> total_inferences{0};
+  std::atomic<std::uint64_t> worlds_spawned{0};
+  // Fresh-variable renaming must be unique across all worlds.
+  std::atomic<std::uint64_t> suffix{1000};
+};
+
+std::string serialize_answer(const Shared& sh, const TermPtr& answer) {
+  MW_CHECK(answer->is_functor("ans", sh.vars.size()) || sh.vars.empty());
+  std::string out;
+  for (std::size_t i = 0; i < sh.vars.size(); ++i) {
+    out += sh.vars[i] + "=" + to_string(answer->args[i]) + "\n";
+  }
+  return out;
+}
+
+struct DriveResult {
+  bool success = false;
+  std::string result;      // serialized answer lines
+  VDuration elapsed = 0;   // virtual time of this subtree
+};
+
+DriveResult drive(Shared& sh, World& world, Branch branch, int depth) {
+  DriveResult out;
+  std::uint64_t budget = sh.cfg.max_inferences;
+
+  for (;;) {
+    StepOutcome so = step(sh.prog, branch, &sh.suffix);
+    sh.total_inferences.fetch_add(1);
+    out.elapsed += sh.cfg.ticks_per_inference;
+    if (budget != 0 && --budget == 0) return out;
+
+    switch (so.kind) {
+      case StepKind::kSolved:
+        out.success = true;
+        out.result = serialize_answer(sh, branch.answer);
+        return out;
+      case StepKind::kDead:
+        return out;
+      case StepKind::kReduced:
+        branch = std::move(so.next);
+        continue;
+      case StepKind::kChoice:
+      case StepKind::kLeaf:
+        break;
+    }
+
+    // A choice point (or a search-requiring builtin): below the spawn
+    // depth the sequential engine takes over; kLeaf always does.
+    if (so.kind == StepKind::kLeaf || depth >= sh.cfg.spawn_depth) {
+      // Leaf: hand the whole remaining search to the sequential engine.
+      Solver solver(sh.prog);
+      SolveConfig scfg;
+      scfg.max_solutions = 1;
+      scfg.max_inferences = budget;
+      std::uint64_t leaf_inferences = 0;
+      solver.on_inference = [&] { ++leaf_inferences; };
+      SolveResult sr = solver.solve(branch.goals, scfg);
+      sh.total_inferences.fetch_add(leaf_inferences);
+      out.elapsed += sh.cfg.ticks_per_inference *
+                     static_cast<VDuration>(leaf_inferences);
+      if (!sr.success) return out;
+      // Substitute the leaf's bindings into the answer.
+      out.success = true;
+      out.result =
+          serialize_answer(sh, resolve(branch.answer, sr.raw_solutions[0]));
+      return out;
+    }
+
+    // Spawn one speculative world per candidate clause: committed choice.
+    std::vector<Alternative> alts;
+    for (std::size_t idx : so.choices) {
+      alts.push_back(Alternative{
+          "clause#" + std::to_string(idx), nullptr,
+          [&sh, branch, idx, depth](AltContext& ctx) {
+            const std::uint64_t sfx = sh.suffix.fetch_add(1);
+            auto red = reduce_with_clause(sh.prog, branch, idx, sfx);
+            sh.total_inferences.fetch_add(1);
+            ctx.work(sh.cfg.ticks_per_inference);
+            if (!red) ctx.fail("head mismatch");
+            DriveResult dr =
+                drive(sh, ctx.world(), std::move(*red), depth + 1);
+            ctx.work(dr.elapsed);
+            if (!dr.success) ctx.fail("branch failed");
+            ctx.set_result_string(dr.result);
+          },
+          nullptr});
+    }
+    sh.worlds_spawned.fetch_add(alts.size());
+    AltOutcome ao = run_alternatives(sh.rt, world, alts);
+    out.elapsed += ao.elapsed;
+    if (ao.failed) return out;
+    out.success = true;
+    out.result = std::string(ao.result.begin(), ao.result.end());
+    return out;
+  }
+}
+
+}  // namespace
+
+OrParallelResult solve_or_parallel(Runtime& rt, const Program& program,
+                                   const std::string& query,
+                                   const OrParallelConfig& cfg) {
+  OrParallelResult out;
+  std::vector<TermPtr> goals = parse_query(query);
+  Shared sh{rt, program, cfg, query_variables(goals)};
+
+  // Sequential baseline: what a one-world engine pays to the first answer.
+  {
+    Solver seq(program);
+    SolveConfig scfg;
+    scfg.max_solutions = 1;
+    scfg.max_inferences = cfg.max_inferences;
+    out.sequential_inferences = seq.solve(goals, scfg).inferences;
+  }
+
+  Branch root;
+  root.goals = goals;
+  if (sh.vars.empty()) {
+    root.answer = mk_atom("ans");
+  } else {
+    std::vector<TermPtr> args;
+    for (const auto& v : sh.vars) args.push_back(mk_var(v));
+    root.answer = mk_struct("ans", std::move(args));
+  }
+
+  World world = rt.make_root("prolog-query");
+  DriveResult dr = drive(sh, world, std::move(root), 0);
+  out.success = dr.success;
+  out.elapsed = dr.elapsed;
+  out.total_inferences = sh.total_inferences.load();
+  out.worlds_spawned = sh.worlds_spawned.load();
+  if (dr.success) {
+    // Parse "var=value" lines.
+    std::size_t pos = 0;
+    while (pos < dr.result.size()) {
+      const std::size_t nl = dr.result.find('\n', pos);
+      const std::string line = dr.result.substr(pos, nl - pos);
+      pos = (nl == std::string::npos) ? dr.result.size() : nl + 1;
+      const std::size_t eq = line.find('=');
+      if (eq != std::string::npos)
+        out.solution[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace mw::prolog

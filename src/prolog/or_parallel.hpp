@@ -1,0 +1,53 @@
+// OR-parallel, committed-choice query execution (§4.2): the alternative
+// clauses at a choice point become mutually exclusive speculative worlds;
+// the first to find a solution synchronizes and the rest are eliminated.
+//
+// "The sort of committed-choice nondeterminism we advocate here is popular
+// in another segment of the Prolog community addressing OR-parallelism."
+// Binding environments are copied per world (no shared pointer chains to
+// traverse; no merging — only one alternative's bindings survive).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/alt.hpp"
+#include "core/runtime.hpp"
+#include "prolog/solver.hpp"
+
+namespace mw::prolog {
+
+struct OrParallelConfig {
+  /// Virtual work charged per inference.
+  VDuration ticks_per_inference = 1;
+  /// Choice points at goal depth < spawn_depth fork alternatives; deeper
+  /// ones run sequentially. "How aggressively available parallelism is
+  /// exploited is a function of the overhead associated with maintaining a
+  /// process" — this is that granularity knob.
+  int spawn_depth = 1;
+  /// Per-alternative inference budget (0 = unlimited).
+  std::uint64_t max_inferences = 0;
+};
+
+struct OrParallelResult {
+  bool success = false;
+  Solution solution;
+  /// Parent-observed virtual time of the whole query (overheads included).
+  VDuration elapsed = 0;
+  /// Total inferences across all worlds, winners and losers — the
+  /// throughput price of speculation.
+  std::uint64_t total_inferences = 0;
+  /// Worlds spawned across all choice points.
+  std::uint64_t worlds_spawned = 0;
+  /// Inferences the sequential engine would have performed (first-solution
+  /// search), for speedup comparisons.
+  std::uint64_t sequential_inferences = 0;
+};
+
+/// Runs `query` against `program` with OR-parallel committed choice on the
+/// given runtime (virtual backend recommended: deterministic schedules).
+OrParallelResult solve_or_parallel(Runtime& rt, const Program& program,
+                                   const std::string& query,
+                                   const OrParallelConfig& cfg = {});
+
+}  // namespace mw::prolog

@@ -1,0 +1,324 @@
+// Tokenizer and recursive-descent parser for the mini-Prolog syntax.
+//
+// Supported: facts `f(a).`, rules `h :- g1, g2.`, lists `[a,b|T]`,
+// integers, variables, `%` comments, and infix expressions with standard
+// priorities: comparison/is (700, non-assoc) > additive (500, left) >
+// multiplicative (400, left).
+#include <cctype>
+
+#include "prolog/program.hpp"
+#include "util/check.hpp"
+
+namespace mw::prolog {
+
+namespace {
+
+struct Token {
+  enum class Kind { kAtom, kVar, kInt, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::int64_t value = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+  bool at_punct(const std::string& p) const {
+    return tok_.kind == Token::Kind::kPunct && tok_.text == p;
+  }
+
+  void expect_punct(const std::string& p) {
+    if (!at_punct(p)) {
+      std::fprintf(stderr, "prolog parse error: expected '%s' got '%s'\n",
+                   p.c_str(), tok_.text.c_str());
+      std::abort();
+    }
+    advance();
+  }
+
+ private:
+  void advance() {
+    skip_space();
+    tok_ = Token{};
+    if (pos_ >= src_.size()) {
+      tok_.kind = Token::Kind::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+      tok_.kind = Token::Kind::kInt;
+      tok_.text = src_.substr(start, pos_ - start);
+      tok_.value = std::stoll(tok_.text);
+      return;
+    }
+    if (std::islower(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      tok_.kind = Token::Kind::kAtom;
+      tok_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_'))
+        ++pos_;
+      tok_.kind = Token::Kind::kVar;
+      tok_.text = src_.substr(start, pos_ - start);
+      return;
+    }
+    // Multi-character punctuation, longest match first.
+    static const char* kPuncts[] = {":-", "?-", "=..", "=:=", "=\\=", "\\=",
+                                    "\\+", "=<", ">=", "//", "=", "<",
+                                    ">",  "+",  "-",  "*",  "(",  ")",
+                                    ",",  ".",  "[",  "]",  "|"};
+    for (const char* p : kPuncts) {
+      const std::size_t len = std::char_traits<char>::length(p);
+      if (src_.compare(pos_, len, p) == 0) {
+        tok_.kind = Token::Kind::kPunct;
+        tok_.text = p;
+        pos_ += len;
+        return;
+      }
+    }
+    std::fprintf(stderr, "prolog lex error at '%c'\n", c);
+    std::abort();
+  }
+
+  void skip_space() {
+    for (;;) {
+      while (pos_ < src_.size() &&
+             std::isspace(static_cast<unsigned char>(src_[pos_])))
+        ++pos_;
+      if (pos_ < src_.size() && src_[pos_] == '%') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      return;
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  Token tok_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) {}
+
+  bool at_end() const { return lex_.peek().kind == Token::Kind::kEnd; }
+
+  Clause parse_clause() {
+    Clause c;
+    c.head = parse_expr(699);  // heads don't take comparison operators
+    if (lex_.at_punct(":-")) {
+      lex_.take();
+      c.body = parse_conjunction();
+    }
+    lex_.expect_punct(".");
+    return c;
+  }
+
+  std::vector<TermPtr> parse_conjunction() {
+    std::vector<TermPtr> goals;
+    goals.push_back(parse_expr(700));
+    while (lex_.at_punct(",")) {
+      lex_.take();
+      goals.push_back(parse_expr(700));
+    }
+    return goals;
+  }
+
+  TermPtr parse_expr(int max_prec) {
+    // Prefix negation-as-failure: \+ Goal (priority above comparisons).
+    if (max_prec >= 700 && lex_.at_punct("\\+")) {
+      lex_.take();
+      return mk_struct("\\+", {parse_expr(700)});
+    }
+    TermPtr left = parse_additive();
+    if (max_prec >= 700) {
+      // Non-associative comparison tier.
+      static const char* kCmp[] = {"=", "\\=", "<", ">", "=<", ">=",
+                                   "=:=", "=\\="};
+      for (const char* op : kCmp) {
+        if (lex_.at_punct(op)) {
+          lex_.take();
+          TermPtr right = parse_additive();
+          return mk_struct(op, {left, right});
+        }
+      }
+      if (lex_.peek().kind == Token::Kind::kAtom && lex_.peek().text == "is") {
+        lex_.take();
+        TermPtr right = parse_additive();
+        return mk_struct("is", {left, right});
+      }
+    }
+    return left;
+  }
+
+ private:
+  TermPtr parse_additive() {
+    TermPtr left = parse_multiplicative();
+    for (;;) {
+      if (lex_.at_punct("+") || lex_.at_punct("-")) {
+        const std::string op = lex_.take().text;
+        TermPtr right = parse_multiplicative();
+        left = mk_struct(op, {left, right});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  TermPtr parse_multiplicative() {
+    TermPtr left = parse_primary();
+    for (;;) {
+      if (lex_.at_punct("*") || lex_.at_punct("//")) {
+        const std::string op = lex_.take().text;
+        TermPtr right = parse_primary();
+        left = mk_struct(op, {left, right});
+      } else if (lex_.peek().kind == Token::Kind::kAtom &&
+                 lex_.peek().text == "mod") {
+        lex_.take();
+        TermPtr right = parse_primary();
+        left = mk_struct("mod", {left, right});
+      } else {
+        return left;
+      }
+    }
+  }
+
+  TermPtr parse_primary() {
+    const Token& t = lex_.peek();
+    switch (t.kind) {
+      case Token::Kind::kInt: {
+        Token tok = lex_.take();
+        return mk_int(tok.value);
+      }
+      case Token::Kind::kVar: {
+        Token tok = lex_.take();
+        // Every textual `_` is a distinct anonymous variable.
+        if (tok.text == "_")
+          return mk_var("_G" + std::to_string(++anon_counter_));
+        return mk_var(tok.text);
+      }
+      case Token::Kind::kAtom: {
+        Token tok = lex_.take();
+        if (lex_.at_punct("(")) {
+          lex_.take();
+          std::vector<TermPtr> args;
+          args.push_back(parse_expr(700));
+          while (lex_.at_punct(",")) {
+            lex_.take();
+            args.push_back(parse_expr(700));
+          }
+          lex_.expect_punct(")");
+          return mk_struct(tok.text, std::move(args));
+        }
+        return mk_atom(tok.text);
+      }
+      case Token::Kind::kPunct: {
+        if (t.text == "(") {
+          lex_.take();
+          TermPtr inner = parse_expr(700);
+          lex_.expect_punct(")");
+          return inner;
+        }
+        if (t.text == "[") return parse_list();
+        if (t.text == "-") {
+          // Unary minus on an integer literal.
+          lex_.take();
+          const Token num = lex_.take();
+          MW_CHECK(num.kind == Token::Kind::kInt);
+          return mk_int(-num.value);
+        }
+        break;
+      }
+      case Token::Kind::kEnd:
+        break;
+    }
+    std::fprintf(stderr, "prolog parse error near '%s'\n", t.text.c_str());
+    std::abort();
+  }
+
+  std::uint64_t anon_counter_ = 0;
+
+  TermPtr parse_list() {
+    lex_.expect_punct("[");
+    if (lex_.at_punct("]")) {
+      lex_.take();
+      return mk_atom(kNil);
+    }
+    std::vector<TermPtr> items;
+    items.push_back(parse_expr(700));
+    while (lex_.at_punct(",")) {
+      lex_.take();
+      items.push_back(parse_expr(700));
+    }
+    TermPtr tail = nullptr;
+    if (lex_.at_punct("|")) {
+      lex_.take();
+      tail = parse_expr(700);
+    }
+    lex_.expect_punct("]");
+    return mk_list(items, tail);
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Program Program::parse(const std::string& source) {
+  Program prog;
+  Parser p(source);
+  while (!p.at_end()) prog.add(p.parse_clause());
+  return prog;
+}
+
+void Program::add(Clause c) {
+  index_[key_of(c.head)].push_back(clauses_.size());
+  clauses_.push_back(std::move(c));
+}
+
+std::string Program::key_of(const TermPtr& head) {
+  if (head->kind == Term::Kind::kStruct)
+    return head->name + "/" + std::to_string(head->args.size());
+  return head->name + "/0";
+}
+
+std::vector<std::size_t> Program::candidates(const TermPtr& goal) const {
+  auto it = index_.find(key_of(goal));
+  if (it == index_.end()) return {};
+  return it->second;
+}
+
+std::vector<TermPtr> parse_query(const std::string& text) {
+  Parser p(text);
+  return p.parse_conjunction();
+}
+
+TermPtr parse_term(const std::string& text) {
+  Parser p(text);
+  return p.parse_expr(700);
+}
+
+}  // namespace mw::prolog

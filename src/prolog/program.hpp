@@ -1,0 +1,49 @@
+// Programs: Horn clauses ("Prolog ... uses Horn clauses to describe data
+// and interrelationships", §4.2) plus a functor/arity clause index.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prolog/term.hpp"
+
+namespace mw::prolog {
+
+struct Clause {
+  TermPtr head;
+  std::vector<TermPtr> body;  // empty = fact
+};
+
+class Program {
+ public:
+  /// Parses clauses from Prolog source text. Supports facts, rules,
+  /// lists, integers, arithmetic (`is`, + - * // mod), and comparison
+  /// operators. Aborts with a parse error message on malformed input.
+  static Program parse(const std::string& source);
+
+  void add(Clause c);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  /// Clause indices whose head functor/arity can possibly match `goal`.
+  std::vector<std::size_t> candidates(const TermPtr& goal) const;
+
+  const Clause& clause(std::size_t i) const { return clauses_[i]; }
+
+ private:
+  static std::string key_of(const TermPtr& head);
+
+  std::vector<Clause> clauses_;
+  std::map<std::string, std::vector<std::size_t>> index_;
+};
+
+/// Parses a query: a comma-separated conjunction of goals (no trailing
+/// dot required).
+std::vector<TermPtr> parse_query(const std::string& text);
+
+/// Parses a single term (used by tests).
+TermPtr parse_term(const std::string& text);
+
+}  // namespace mw::prolog

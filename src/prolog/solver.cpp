@@ -1,0 +1,267 @@
+#include "prolog/solver.hpp"
+
+#include <set>
+
+#include "util/check.hpp"
+
+namespace mw::prolog {
+
+namespace {
+
+void collect_vars(const TermPtr& t, std::set<std::string>* out) {
+  switch (t->kind) {
+    case Term::Kind::kVar:
+      // Standard convention: variables starting with '_' are anonymous and
+      // never reported in solutions.
+      if (!t->name.empty() && t->name[0] != '_') out->insert(t->name);
+      return;
+    case Term::Kind::kStruct:
+      for (const auto& a : t->args) collect_vars(a, out);
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> query_variables(const std::vector<TermPtr>& goals) {
+  std::set<std::string> vars;
+  for (const auto& g : goals) collect_vars(g, &vars);
+  return {vars.begin(), vars.end()};
+}
+
+bool is_builtin(const TermPtr& goal) {
+  if (goal->kind == Term::Kind::kAtom)
+    return goal->name == "true" || goal->name == "fail";
+  if (goal->kind != Term::Kind::kStruct) return false;
+  if (goal->args.size() == 1) return goal->name == "\\+";
+  if (goal->args.size() == 3) return goal->name == "between";
+  if (goal->args.size() != 2) return false;
+  static const std::set<std::string> kOps{"=",  "\\=", "<",   ">",
+                                          "=<", ">=",  "=:=", "=\\=",
+                                          "is"};
+  return kOps.count(goal->name) > 0;
+}
+
+std::optional<std::int64_t> eval_arith(const TermPtr& t,
+                                       const Bindings& env) {
+  TermPtr w = walk(t, env);
+  switch (w->kind) {
+    case Term::Kind::kInt:
+      return w->value;
+    case Term::Kind::kVar:
+    case Term::Kind::kAtom:
+      return std::nullopt;
+    case Term::Kind::kStruct: {
+      if (w->args.size() != 2) return std::nullopt;
+      auto a = eval_arith(w->args[0], env);
+      auto b = eval_arith(w->args[1], env);
+      if (!a || !b) return std::nullopt;
+      if (w->name == "+") return *a + *b;
+      if (w->name == "-") return *a - *b;
+      if (w->name == "*") return *a * *b;
+      if (w->name == "//") return *b == 0 ? std::nullopt
+                                          : std::optional<std::int64_t>(*a / *b);
+      if (w->name == "mod")
+        return *b == 0 ? std::nullopt : std::optional<std::int64_t>(
+                                            ((*a % *b) + *b) % *b);
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// DFS state shared across the recursion.
+struct SolveSession {
+  const Program& program;
+  const SolveConfig& cfg;
+  Solver& solver;
+  SolveResult result;
+  std::vector<std::string> query_vars;
+  Bindings env;
+  Trail trail;
+  std::uint64_t rename_counter = 0;
+  bool first_reduction = true;
+
+  bool budget_ok() {
+    if (cfg.max_inferences != 0 && result.inferences >= cfg.max_inferences) {
+      result.budget_exhausted = true;
+      return false;
+    }
+    return true;
+  }
+
+  void charge() {
+    ++result.inferences;
+    if (solver.on_inference) solver.on_inference();
+  }
+
+  /// Returns true to stop the whole search (enough solutions or budget).
+  bool solve_goals(std::vector<TermPtr> goals) {
+    if (goals.empty()) {
+      Solution sol;
+      Bindings raw;
+      for (const auto& v : query_vars) {
+        TermPtr value = resolve(mk_var(v), env);
+        sol[v] = to_string(value);
+        raw[v] = std::move(value);
+      }
+      result.solutions.push_back(std::move(sol));
+      result.raw_solutions.push_back(std::move(raw));
+      return result.solutions.size() >= cfg.max_solutions;
+    }
+    if (!budget_ok()) return true;
+
+    TermPtr goal = walk(goals.front(), env);
+    std::vector<TermPtr> rest(goals.begin() + 1, goals.end());
+
+    if (is_builtin(goal)) {
+      charge();
+      return solve_builtin(goal, std::move(rest));
+    }
+
+    std::vector<std::size_t> cands = program.candidates(goal);
+    // An OR-parallel alternative commits to one clause at its first
+    // choice point.
+    if (first_reduction) {
+      first_reduction = false;
+      if (auto forced = take_first_choice()) {
+        cands.clear();
+        cands.push_back(*forced);
+      }
+    }
+
+    for (std::size_t idx : cands) {
+      if (!budget_ok()) return true;
+      charge();
+      const Clause& c = program.clause(idx);
+      const std::uint64_t suffix = ++rename_counter;
+      TermPtr head = rename_vars(c.head, suffix);
+      const std::size_t mark = trail.size();
+      if (!unify(goal, head, env, trail)) continue;
+      std::vector<TermPtr> next;
+      next.reserve(c.body.size() + rest.size());
+      for (const auto& b : c.body) next.push_back(rename_vars(b, suffix));
+      next.insert(next.end(), rest.begin(), rest.end());
+      if (solve_goals(std::move(next))) return true;
+      undo_to(env, trail, mark);
+    }
+    return false;
+  }
+
+  std::optional<std::size_t> take_first_choice() {
+    return solver.take_first_choice();
+  }
+
+  bool solve_builtin(const TermPtr& goal, std::vector<TermPtr> rest) {
+    if (goal->kind == Term::Kind::kAtom) {
+      if (goal->name == "true") return solve_goals(std::move(rest));
+      return false;  // fail
+    }
+
+    if (goal->name == "\\+" && goal->args.size() == 1) {
+      // Negation as failure: succeed iff the sub-goal has no solution
+      // under the current bindings. The sub-search leaves env untouched.
+      SolveConfig sub_cfg;
+      sub_cfg.max_solutions = 1;
+      if (cfg.max_inferences != 0) {
+        sub_cfg.max_inferences =
+            cfg.max_inferences > result.inferences
+                ? cfg.max_inferences - result.inferences
+                : 1;
+      }
+      Solver sub_solver(program);
+      SolveSession sub{program, sub_cfg, sub_solver, {}, {}, env, {}};
+      sub.rename_counter = rename_counter + 100000;
+      const bool found = sub.solve_goals({goal->args[0]});
+      result.inferences += sub.result.inferences;
+      if (sub.result.budget_exhausted) {
+        result.budget_exhausted = true;
+        return true;  // stop the whole search
+      }
+      if (found && !sub.result.solutions.empty()) return false;
+      return solve_goals(std::move(rest));
+    }
+
+    if (goal->name == "between" && goal->args.size() == 3) {
+      // between(Lo, Hi, X): enumerate integers Lo..Hi; Lo/Hi must be
+      // evaluable, X may be bound (membership test) or free (generator).
+      auto lo = eval_arith(goal->args[0], env);
+      auto hi = eval_arith(goal->args[1], env);
+      if (!lo || !hi) return false;
+      for (std::int64_t v = *lo; v <= *hi; ++v) {
+        if (!budget_ok()) return true;
+        charge();
+        const std::size_t mark = trail.size();
+        if (unify(goal->args[2], mk_int(v), env, trail)) {
+          if (solve_goals(rest)) return true;
+        }
+        undo_to(env, trail, mark);
+      }
+      return false;
+    }
+
+    const TermPtr& lhs = goal->args[0];
+    const TermPtr& rhs = goal->args[1];
+
+    if (goal->name == "=") {
+      const std::size_t mark = trail.size();
+      if (!unify(lhs, rhs, env, trail)) return false;
+      if (solve_goals(std::move(rest))) return true;
+      undo_to(env, trail, mark);
+      return false;
+    }
+    if (goal->name == "\\=") {
+      // Negation of unifiability, evaluated against the current bindings.
+      const std::size_t mark = trail.size();
+      Bindings probe = env;
+      Trail probe_trail;
+      const bool unifies = unify(lhs, rhs, probe, probe_trail);
+      undo_to(env, trail, mark);
+      if (unifies) return false;
+      return solve_goals(std::move(rest));
+    }
+    if (goal->name == "is") {
+      auto v = eval_arith(rhs, env);
+      if (!v) return false;
+      const std::size_t mark = trail.size();
+      if (!unify(lhs, mk_int(*v), env, trail)) return false;
+      if (solve_goals(std::move(rest))) return true;
+      undo_to(env, trail, mark);
+      return false;
+    }
+    // Arithmetic comparisons: both sides must evaluate.
+    auto a = eval_arith(lhs, env);
+    auto b = eval_arith(rhs, env);
+    if (!a || !b) return false;
+    bool ok = false;
+    if (goal->name == "<") ok = *a < *b;
+    else if (goal->name == ">") ok = *a > *b;
+    else if (goal->name == "=<") ok = *a <= *b;
+    else if (goal->name == ">=") ok = *a >= *b;
+    else if (goal->name == "=:=") ok = *a == *b;
+    else if (goal->name == "=\\=") ok = *a != *b;
+    if (!ok) return false;
+    return solve_goals(std::move(rest));
+  }
+};
+
+}  // namespace
+
+SolveResult Solver::solve(const std::vector<TermPtr>& goals,
+                          const SolveConfig& cfg) {
+  SolveSession session{*program_, cfg, *this, {}, query_variables(goals),
+                       {}, {}};
+  session.solve_goals(goals);
+  session.result.success = !session.result.solutions.empty();
+  return session.result;
+}
+
+SolveResult Solver::solve(const std::string& query, const SolveConfig& cfg) {
+  return solve(parse_query(query), cfg);
+}
+
+}  // namespace mw::prolog

@@ -1,0 +1,82 @@
+// Sequential SLD resolution with chronological backtracking — the
+// baseline engine that OR-parallel execution competes against (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "prolog/program.hpp"
+#include "prolog/unify.hpp"
+
+namespace mw::prolog {
+
+/// One solution: original query variable -> fully resolved term.
+using Solution = std::map<std::string, std::string>;
+
+struct SolveConfig {
+  std::size_t max_solutions = 1;
+  /// Inference budget (goal reductions); 0 = unlimited. Exceeding it stops
+  /// the search with budget_exhausted set.
+  std::uint64_t max_inferences = 0;
+};
+
+struct SolveResult {
+  bool success = false;
+  std::vector<Solution> solutions;
+  /// Term-level bindings per solution (query var -> resolved term); what
+  /// the OR-parallel layer composes with.
+  std::vector<Bindings> raw_solutions;
+  std::uint64_t inferences = 0;
+  bool budget_exhausted = false;
+};
+
+class Solver {
+ public:
+  explicit Solver(const Program& program) : program_(&program) {}
+
+  /// Solves a parsed goal list.
+  SolveResult solve(const std::vector<TermPtr>& goals,
+                    const SolveConfig& cfg = {});
+
+  /// Convenience: parses and solves a query string.
+  SolveResult solve(const std::string& query, const SolveConfig& cfg = {});
+
+  /// Hook invoked on every inference (goal reduction) — the OR-parallel
+  /// layer charges virtual work through this.
+  std::function<void()> on_inference;
+
+  /// Restricts the solver to one specific clause for the *first* reduction
+  /// of the initial goal — how an OR-parallel alternative commits to its
+  /// branch. Index into Program::clauses(). Consumed on first use.
+  void restrict_first_choice(std::size_t clause_index) {
+    first_choice_ = clause_index;
+  }
+
+  /// Consumes the pending first-choice restriction (engine internal).
+  std::optional<std::size_t> take_first_choice() {
+    auto fc = first_choice_;
+    first_choice_.reset();
+    return fc;
+  }
+
+ private:
+  const Program* program_;
+  std::optional<std::size_t> first_choice_;
+};
+
+/// Collects the names of the (non-renamed) variables in a goal list.
+std::vector<std::string> query_variables(const std::vector<TermPtr>& goals);
+
+/// True if the functor/arity pair is a builtin handled by the engine
+/// (true/0, fail/0, =/2, \=/2, comparisons, is/2).
+bool is_builtin(const TermPtr& goal);
+
+/// Evaluates an arithmetic expression to an integer; nullopt if unbound
+/// variables or bad operators appear.
+std::optional<std::int64_t> eval_arith(const TermPtr& t, const Bindings& env);
+
+}  // namespace mw::prolog

@@ -1,0 +1,157 @@
+#include "prolog/term.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace mw::prolog {
+
+TermPtr mk_atom(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kAtom;
+  t->name = std::move(name);
+  return t;
+}
+
+TermPtr mk_int(std::int64_t v) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kInt;
+  t->value = v;
+  return t;
+}
+
+TermPtr mk_var(std::string name) {
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kVar;
+  t->name = std::move(name);
+  return t;
+}
+
+TermPtr mk_struct(std::string functor, std::vector<TermPtr> args) {
+  MW_CHECK(!args.empty());
+  auto t = std::make_shared<Term>();
+  t->kind = Term::Kind::kStruct;
+  t->name = std::move(functor);
+  t->args = std::move(args);
+  return t;
+}
+
+TermPtr mk_list(const std::vector<TermPtr>& items, TermPtr tail) {
+  TermPtr acc = tail ? tail : mk_atom(kNil);
+  for (std::size_t i = items.size(); i-- > 0;)
+    acc = mk_struct(kCons, {items[i], acc});
+  return acc;
+}
+
+TermPtr walk(TermPtr t, const Bindings& env) {
+  while (t->kind == Term::Kind::kVar) {
+    auto it = env.find(t->name);
+    if (it == env.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+TermPtr resolve(TermPtr t, const Bindings& env) {
+  t = walk(t, env);
+  if (t->kind != Term::Kind::kStruct) return t;
+  std::vector<TermPtr> args;
+  args.reserve(t->args.size());
+  bool changed = false;
+  for (const auto& a : t->args) {
+    TermPtr r = resolve(a, env);
+    changed |= (r != a);
+    args.push_back(std::move(r));
+  }
+  if (!changed) return t;
+  return mk_struct(t->name, std::move(args));
+}
+
+TermPtr rename_vars(TermPtr t, std::uint64_t suffix) {
+  switch (t->kind) {
+    case Term::Kind::kAtom:
+    case Term::Kind::kInt:
+      return t;
+    case Term::Kind::kVar:
+      if (t->name == "_") {
+        // Each anonymous variable is unique; give it a distinct identity.
+        static std::atomic<std::uint64_t> anon_counter{0};
+        return mk_var("_anon" + std::to_string(++anon_counter) + "~" +
+                      std::to_string(suffix));
+      }
+      return mk_var(t->name + "~" + std::to_string(suffix));
+    case Term::Kind::kStruct: {
+      std::vector<TermPtr> args;
+      args.reserve(t->args.size());
+      for (const auto& a : t->args) args.push_back(rename_vars(a, suffix));
+      return mk_struct(t->name, std::move(args));
+    }
+  }
+  return t;
+}
+
+namespace {
+
+/// Appends list elements; returns the non-nil tail if improper/open.
+TermPtr print_list_items(const TermPtr& cons, std::string* out) {
+  TermPtr cur = cons;
+  bool first = true;
+  while (cur->is_functor(kCons, 2)) {
+    if (!first) *out += ",";
+    *out += to_string(cur->args[0]);
+    first = false;
+    cur = cur->args[1];
+  }
+  return cur;
+}
+
+}  // namespace
+
+std::string to_string(const TermPtr& t) {
+  switch (t->kind) {
+    case Term::Kind::kAtom:
+      return t->name;
+    case Term::Kind::kInt:
+      return std::to_string(t->value);
+    case Term::Kind::kVar: {
+      // Strip renaming suffixes for readability.
+      auto pos = t->name.find('~');
+      return pos == std::string::npos ? t->name : t->name.substr(0, pos);
+    }
+    case Term::Kind::kStruct: {
+      if (t->is_functor(kCons, 2)) {
+        std::string out = "[";
+        TermPtr tail = print_list_items(t, &out);
+        if (!tail->is_atom(kNil)) out += "|" + to_string(tail);
+        return out + "]";
+      }
+      std::string out = t->name + "(";
+      for (std::size_t i = 0; i < t->args.size(); ++i) {
+        if (i) out += ",";
+        out += to_string(t->args[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool equal(const TermPtr& a, const TermPtr& b) {
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case Term::Kind::kAtom:
+    case Term::Kind::kVar:
+      return a->name == b->name;
+    case Term::Kind::kInt:
+      return a->value == b->value;
+    case Term::Kind::kStruct: {
+      if (a->name != b->name || a->args.size() != b->args.size()) return false;
+      for (std::size_t i = 0; i < a->args.size(); ++i)
+        if (!equal(a->args[i], b->args[i])) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mw::prolog

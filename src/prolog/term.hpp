@@ -1,0 +1,67 @@
+// Term representation for the mini-Prolog engine (§4.2). Terms are
+// immutable and shared; variable bindings live in a separate environment so
+// that OR-parallel worlds can copy environments without touching terms —
+// "what our method does is copy, and since we choose only one alternative,
+// no merging is necessary".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mw::prolog {
+
+struct Term;
+using TermPtr = std::shared_ptr<const Term>;
+
+struct Term {
+  enum class Kind { kAtom, kInt, kVar, kStruct };
+
+  Kind kind = Kind::kAtom;
+  std::string name;           // atom text, variable name, or functor
+  std::int64_t value = 0;     // kInt payload
+  std::vector<TermPtr> args;  // kStruct arguments
+
+  bool is_atom(const std::string& n) const {
+    return kind == Kind::kAtom && name == n;
+  }
+  bool is_functor(const std::string& n, std::size_t arity) const {
+    return kind == Kind::kStruct && name == n && args.size() == arity;
+  }
+};
+
+TermPtr mk_atom(std::string name);
+TermPtr mk_int(std::int64_t v);
+TermPtr mk_var(std::string name);
+TermPtr mk_struct(std::string functor, std::vector<TermPtr> args);
+
+/// Builds a proper list term ('.'/2 chain ending in []).
+TermPtr mk_list(const std::vector<TermPtr>& items, TermPtr tail = nullptr);
+
+inline const std::string kNil = "[]";
+inline const std::string kCons = ".";
+
+/// Variable bindings: name -> term. Environments are *copied* between
+/// OR-parallel worlds, per the paper's copy-don't-merge choice.
+using Bindings = std::map<std::string, TermPtr>;
+
+/// Follows variable bindings until a non-variable or unbound variable.
+TermPtr walk(TermPtr t, const Bindings& env);
+
+/// Fully substitutes bindings into `t` (deep walk).
+TermPtr resolve(TermPtr t, const Bindings& env);
+
+/// Renames every variable in `t` to "<name>~<suffix>" — fresh variables
+/// for each clause activation.
+TermPtr rename_vars(TermPtr t, std::uint64_t suffix);
+
+/// Canonical printing: atoms/ints verbatim, lists in [a,b|T] form,
+/// structs as f(x,y).
+std::string to_string(const TermPtr& t);
+
+/// Structural equality (no bindings involved).
+bool equal(const TermPtr& a, const TermPtr& b);
+
+}  // namespace mw::prolog

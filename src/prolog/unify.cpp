@@ -1,0 +1,77 @@
+#include "prolog/unify.hpp"
+
+namespace mw::prolog {
+
+namespace {
+
+bool unify_rec(TermPtr a, TermPtr b, Bindings& env, Trail& trail) {
+  a = walk(std::move(a), env);
+  b = walk(std::move(b), env);
+
+  if (a->kind == Term::Kind::kVar && b->kind == Term::Kind::kVar &&
+      a->name == b->name) {
+    return true;
+  }
+  if (a->kind == Term::Kind::kVar) {
+    env[a->name] = b;
+    trail.push_back(a->name);
+    return true;
+  }
+  if (b->kind == Term::Kind::kVar) {
+    env[b->name] = a;
+    trail.push_back(b->name);
+    return true;
+  }
+  switch (a->kind) {
+    case Term::Kind::kAtom:
+      return b->kind == Term::Kind::kAtom && a->name == b->name;
+    case Term::Kind::kInt:
+      return b->kind == Term::Kind::kInt && a->value == b->value;
+    case Term::Kind::kStruct: {
+      if (b->kind != Term::Kind::kStruct || a->name != b->name ||
+          a->args.size() != b->args.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < a->args.size(); ++i) {
+        if (!unify_rec(a->args[i], b->args[i], env, trail)) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool unify(TermPtr a, TermPtr b, Bindings& env, Trail& trail) {
+  const std::size_t mark = trail.size();
+  if (unify_rec(std::move(a), std::move(b), env, trail)) return true;
+  undo_to(env, trail, mark);
+  return false;
+}
+
+void undo_to(Bindings& env, Trail& trail, std::size_t n) {
+  while (trail.size() > n) {
+    env.erase(trail.back());
+    trail.pop_back();
+  }
+}
+
+bool is_ground(const TermPtr& t, const Bindings& env) {
+  TermPtr w = walk(t, env);
+  switch (w->kind) {
+    case Term::Kind::kVar:
+      return false;
+    case Term::Kind::kAtom:
+    case Term::Kind::kInt:
+      return true;
+    case Term::Kind::kStruct:
+      for (const auto& a : w->args)
+        if (!is_ground(a, env)) return false;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace mw::prolog

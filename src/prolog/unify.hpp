@@ -1,0 +1,28 @@
+// Unification (§4.2; Crammond [5] surveys the OR-parallel variants). This
+// engine uses plain Robinson unification over a copied binding environment;
+// the trail exists so the *sequential* backtracking solver can undo
+// bindings cheaply, while the OR-parallel solver copies environments
+// instead — the paper's "copying, no merging" choice.
+#pragma once
+
+#include <vector>
+
+#include "prolog/term.hpp"
+
+namespace mw::prolog {
+
+/// Names bound during a unification attempt, for O(bindings) undo.
+using Trail = std::vector<std::string>;
+
+/// Attempts to unify a and b under env. On success, returns true with new
+/// bindings recorded in env and their names appended to trail. On failure,
+/// env is rolled back to its state at entry.
+bool unify(TermPtr a, TermPtr b, Bindings& env, Trail& trail);
+
+/// Removes the `n` most recent trail entries from env (backtracking).
+void undo_to(Bindings& env, Trail& trail, std::size_t n);
+
+/// True if `t` (after resolution) contains no unbound variables.
+bool is_ground(const TermPtr& t, const Bindings& env);
+
+}  // namespace mw::prolog

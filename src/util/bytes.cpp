@@ -1,0 +1,80 @@
+#include "util/bytes.hpp"
+
+namespace mw {
+
+void ByteWriter::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(bits);
+}
+
+void ByteWriter::put_bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = data_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::get_u8() {
+  const std::uint8_t* p;
+  if (!take(1, &p)) return 0;
+  return *p;
+}
+
+std::uint32_t ByteReader::get_u32() {
+  const std::uint8_t* p;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+  const std::uint8_t* p;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+double ByteReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string ByteReader::get_string() {
+  const std::uint32_t n = get_u32();
+  const std::uint8_t* p;
+  if (!take(n, &p)) return {};
+  return std::string(reinterpret_cast<const char*>(p), n);
+}
+
+Bytes ByteReader::get_blob(std::size_t n) {
+  const std::uint8_t* p;
+  if (!take(n, &p)) return {};
+  return Bytes(p, p + n);
+}
+
+}  // namespace mw

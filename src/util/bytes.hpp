@@ -1,0 +1,63 @@
+// Byte-buffer serialization used by the message layer and the checkpoint
+// machinery. Encoding is explicit little-endian so checkpoints and message
+// payloads are host-independent.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace mw {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only encoder.
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+  void put_f64(double v);
+  void put_bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed string.
+  void put_string(const std::string& s);
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Cursor-based decoder; `ok()` turns false on any out-of-bounds read and
+/// subsequent reads return zero values, so callers can validate once at the
+/// end instead of checking every field.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_f64();
+  std::string get_string();
+  Bytes get_blob(std::size_t n);
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace mw

@@ -1,0 +1,26 @@
+// Lightweight invariant checking. MW_CHECK is always on (these guard
+// correctness-critical invariants in the speculation runtime, where silent
+// corruption would invalidate every experiment); MW_DCHECK compiles away in
+// release builds and is for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mw {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "MW_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace mw
+
+#define MW_CHECK(expr) \
+  ((expr) ? (void)0 : ::mw::check_failed(#expr, __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define MW_DCHECK(expr) ((void)0)
+#else
+#define MW_DCHECK(expr) MW_CHECK(expr)
+#endif

@@ -1,0 +1,48 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace mw {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (arg.rfind("--", 0) == 0) {
+      arg.remove_prefix(2);
+      auto eq = arg.find('=');
+      if (eq == std::string_view::npos) {
+        flags_[std::string(arg)] = "true";
+      } else {
+        flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const { return flags_.count(key) > 0; }
+
+std::string Cli::get(const std::string& key, const std::string& def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace mw

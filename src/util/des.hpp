@@ -1,0 +1,76 @@
+// Minimal discrete-event simulation core: a time-ordered event queue with a
+// deterministic tie-break (FIFO by insertion sequence). Used by the network
+// simulator and the Multiple Worlds actor runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/vtime.hpp"
+
+namespace mw {
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  void schedule_at(VTime at, Handler fn) {
+    MW_CHECK(at >= now_);
+    heap_.push(Event{at, seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` after `delay` ticks.
+  void schedule_after(VDuration delay, Handler fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  VTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+
+  /// Runs the next event; returns false when the queue is empty.
+  bool step() {
+    if (heap_.empty()) return false;
+    Event ev = heap_.top();
+    heap_.pop();
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+
+  /// Runs until the queue drains (handlers may schedule more events).
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs until the queue drains or simulated time reaches `deadline`.
+  /// Events at exactly `deadline` still run.
+  void run_until(VTime deadline) {
+    while (!heap_.empty() && heap_.top().at <= deadline) step();
+    if (now_ < deadline) now_ = deadline;
+  }
+
+ private:
+  struct Event {
+    VTime at;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t seq_ = 0;
+  VTime now_ = 0;
+};
+
+}  // namespace mw

@@ -1,0 +1,17 @@
+// Process identifiers. "Each process in a multiprocessing system has a
+// unique identifier" (§2.4.1); predicates are lists of these, which is the
+// paper's key representation choice — processes change *status* far less
+// often than they touch objects, so predicating on pids beats predicating
+// on data.
+#pragma once
+
+#include <cstdint>
+
+namespace mw {
+
+using Pid = std::uint32_t;
+
+/// Reserved: never a live process.
+inline constexpr Pid kNoPid = 0;
+
+}  // namespace mw

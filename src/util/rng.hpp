@@ -1,0 +1,74 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library (workload generators, the
+// rootfinder's starting-angle choice, fault injection, the network
+// simulator's jitter) draws from an explicitly-seeded Xoshiro256** stream so
+// that experiments replay bit-identically. Never use std::random_device or
+// a global generator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mw {
+
+/// SplitMix64: used to expand a single 64-bit seed into Xoshiro state.
+/// (Sebastiano Vigna's public-domain construction.)
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality 64-bit PRNG with a 2^256-1 period.
+/// Satisfies UniformRandomBitGenerator so it composes with <random>
+/// distributions, though the helpers below are preferred for determinism
+/// across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). Uses rejection sampling: unbiased.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_double_in(double lo, double hi);
+
+  /// True with probability p.
+  bool next_bool(double p);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double next_gaussian();
+
+  /// Exponential with the given mean.
+  double next_exponential(double mean);
+
+  /// A derived, statistically independent stream; `salt` distinguishes
+  /// siblings derived from the same parent.
+  Rng split(std::uint64_t salt);
+
+  /// Fisher–Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace mw

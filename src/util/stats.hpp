@@ -1,0 +1,49 @@
+// Streaming and batch statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mw {
+
+/// Welford streaming accumulator: numerically stable mean/variance plus
+/// min/max, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector, including order statistics.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a Summary; copies and sorts internally, input left untouched.
+Summary summarize(const std::vector<double>& samples);
+
+/// Linear-interpolated percentile of a *sorted* sample, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+}  // namespace mw

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for the real-time backends and the §3.4 overhead
+// benchmarks (which measure actual POSIX fork/COW behaviour).
+#pragma once
+
+#include <chrono>
+
+namespace mw {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_sec() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+  double elapsed_us() const { return elapsed_sec() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mw

@@ -1,0 +1,31 @@
+// Aligned-column table printer. The benchmark harnesses use this to emit
+// tables in the same row/column form the paper reports (e.g. Table I:
+// procs/max/min/avg/fails/par).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mw {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+  /// Renders with right-aligned columns, a header underline, and a title.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mw

@@ -1,0 +1,67 @@
+// Threading primitives for the wall-clock execution backend: a fixed-size
+// thread pool and a cooperative cancellation token.
+//
+// Per the paper's model (§2.2), losing alternatives are *eliminated*;
+// portable C++ cannot kill a thread asynchronously, so elimination is
+// cooperative: alternative bodies observe a CancelToken at instrumented
+// checkpoints and unwind.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mw {
+
+/// Cooperative cancellation flag shared between a parent and one
+/// alternative. Thread-safe; `request()` is idempotent.
+class CancelToken {
+ public:
+  void request() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Thrown by alternative bodies when they observe cancellation; the runtime
+/// catches it at the alternative boundary and records the alternative as
+/// eliminated.
+struct CancelledError {};
+
+/// Fixed-size FIFO thread pool. Tasks must not throw (wrap user code before
+/// submitting). Destruction drains: waits for queued work to finish.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void wait_idle();
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mw

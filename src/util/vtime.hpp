@@ -1,0 +1,30 @@
+// Virtual time for the deterministic schedulers and the network simulator.
+//
+// The paper's metric is wall-clock execution time. On a single-core host we
+// reproduce the *shape* of its results with discrete-event simulation: work
+// is accounted in integer ticks (1 tick = 1 microsecond of modeled time) so
+// that schedules are exactly reproducible and comparisons are exact.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mw {
+
+/// A point in simulated time, in ticks (modeled microseconds).
+using VTime = std::int64_t;
+/// A span of simulated time, in ticks.
+using VDuration = std::int64_t;
+
+inline constexpr VTime kVTimeMax = std::numeric_limits<VTime>::max();
+
+/// Convenience constructors so call sites read like units.
+constexpr VDuration vt_us(std::int64_t n) { return n; }
+constexpr VDuration vt_ms(std::int64_t n) { return n * 1000; }
+constexpr VDuration vt_sec(std::int64_t n) { return n * 1000 * 1000; }
+
+/// Render ticks as fractional seconds for report output.
+constexpr double vt_to_sec(VDuration d) { return static_cast<double>(d) / 1e6; }
+constexpr double vt_to_ms(VDuration d) { return static_cast<double>(d) / 1e3; }
+
+}  // namespace mw

@@ -1,0 +1,315 @@
+#include "worlds/spec_runtime.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+// --- ProcCtx ----------------------------------------------------------
+
+AddressSpace& ProcCtx::space() { return p_.world.space(); }
+Pid ProcCtx::pid() const { return p_.world.pid(); }
+LogicalId ProcCtx::logical() const { return p_.lid; }
+const PredicateSet& ProcCtx::predicates() const {
+  return p_.world.predicates();
+}
+bool ProcCtx::certain() const { return p_.world.certain(); }
+
+void ProcCtx::send(LogicalId to, Bytes data) {
+  rt_.send_from(&p_, to, std::move(data));
+}
+
+void ProcCtx::send_text(LogicalId to, const std::string& text) {
+  send(to, Bytes(text.begin(), text.end()));
+}
+
+void ProcCtx::after(VDuration delay, std::function<void(ProcCtx&)> fn) {
+  const Pid pid = p_.world.pid();
+  SpecRuntime* rt = &rt_;
+  rt_.queue_.schedule_after(delay, [rt, pid, fn = std::move(fn)] {
+    auto it = rt->procs_.find(pid);
+    if (it == rt->procs_.end() || !it->second->alive) return;
+    ProcCtx ctx(*rt, *it->second);
+    fn(ctx);
+  });
+}
+
+bool ProcCtx::try_sync() { return rt_.do_try_sync(p_); }
+void ProcCtx::abort() { rt_.do_abort(p_); }
+VTime ProcCtx::now() const { return rt_.queue_.now(); }
+Rng& ProcCtx::rng() { return p_.rng; }
+
+// --- SpecRuntime ------------------------------------------------------
+
+SpecRuntime::SpecRuntime(SpecConfig cfg) : cfg_(cfg), rng_(cfg.seed) {
+  table_.subscribe([this](Pid pid, ProcStatus, ProcStatus now) {
+    if (!is_terminal(now)) return;
+    on_terminal(pid, completion_of(now) == Completion::kTrue);
+  });
+}
+
+SpecProcess& SpecRuntime::proc(Pid pid) {
+  auto it = procs_.find(pid);
+  MW_CHECK(it != procs_.end());
+  return *it->second;
+}
+
+const SpecProcess& SpecRuntime::proc(Pid pid) const {
+  auto it = procs_.find(pid);
+  MW_CHECK(it != procs_.end());
+  return *it->second;
+}
+
+SpecProcess& SpecRuntime::create_process(LogicalId lid, std::string label,
+                                         World world, Handler on_message) {
+  const Pid pid = world.pid();
+  auto p = std::make_unique<SpecProcess>(std::move(world));
+  p->lid = lid;
+  p->label = std::move(label);
+  p->on_message = std::move(on_message);
+  p->rng = rng_.split(pid);
+  SpecProcess& ref = *p;
+  procs_.emplace(pid, std::move(p));
+  copies_[lid].push_back(pid);
+  return ref;
+}
+
+LogicalId SpecRuntime::spawn_root(std::string label, Handler on_message,
+                                  std::function<void(ProcCtx&)> init) {
+  const LogicalId lid = next_lid_++;
+  World w(table_, cfg_.page_size, cfg_.num_pages, label);
+  SpecProcess& p =
+      create_process(lid, std::move(label), std::move(w), std::move(on_message));
+  if (init) {
+    ProcCtx ctx(*this, p);
+    init(ctx);
+  }
+  return lid;
+}
+
+std::vector<Pid> SpecRuntime::spawn_alternatives(LogicalId parent,
+                                                 std::vector<AltSpec> alts) {
+  MW_CHECK(!alts.empty());
+  const std::vector<Pid> parents = live_copies(parent);
+  MW_CHECK(parents.size() == 1);  // speculate from a single settled copy
+  SpecProcess& pp = proc(parents[0]);
+
+  const std::uint64_t gid = next_group_++;
+  Group& group = groups_[gid];
+  group.parent_pid = pp.world.pid();
+
+  // Allocate all sibling pids first: every child's predicate set mentions
+  // the whole rivalry.
+  std::vector<Pid> pids;
+  pids.reserve(alts.size());
+  for (const auto& a : alts)
+    pids.push_back(table_.create(pp.world.pid(), gid, a.name));
+  group.members = pids;
+
+  // The parent is blocked while its children race (§2.2: "if it was
+  // executing, it could cause state changes which would make its state
+  // inconsistent after the synchronization").
+  table_.set_status(pp.world.pid(), ProcStatus::kBlocked);
+
+  for (std::size_t k = 0; k < alts.size(); ++k) {
+    const LogicalId lid = next_lid_++;
+    World child = pp.world.fork_alternative(pids[k], pids);
+    SpecProcess& cp = create_process(lid, alts[k].name, std::move(child),
+                                     std::move(alts[k].on_message));
+    cp.alternative = true;
+    cp.group = gid;
+    cp.parent_pid = pp.world.pid();
+    table_.set_status(pids[k], ProcStatus::kRunning);
+    // Serial spawn: child k's program starts after k+1 fork charges.
+    const Pid cpid = pids[k];
+    auto init = std::move(alts[k].init);
+    queue_.schedule_after(
+        cfg_.spawn_latency * static_cast<VDuration>(k + 1),
+        [this, cpid, init = std::move(init)] {
+          auto it = procs_.find(cpid);
+          if (it == procs_.end() || !it->second->alive) return;
+          if (init) {
+            ProcCtx ctx(*this, *it->second);
+            init(ctx);
+          }
+        });
+  }
+  return pids;
+}
+
+void SpecRuntime::send_external(LogicalId to, Bytes data) {
+  send_from(nullptr, to, std::move(data));
+}
+
+void SpecRuntime::send_external_text(LogicalId to, const std::string& text) {
+  send_external(to, Bytes(text.begin(), text.end()));
+}
+
+void SpecRuntime::send_from(SpecProcess* sender, LogicalId to, Bytes data) {
+  Message msg;
+  msg.data = std::move(data);
+  msg.dest = to;
+  if (sender) {
+    msg.predicate = sender->world.predicates();
+    msg.sender = sender->world.pid();
+    msg.sender_logical = sender->lid;
+  }
+  ++stats_.sent;
+  queue_.schedule_after(cfg_.msg_latency, [this, msg = std::move(msg)] {
+    // Deliver to every copy alive at delivery time. Snapshot first: a split
+    // during delivery adds a rejecting copy that must NOT see this message.
+    const std::vector<Pid> targets = live_copies(msg.dest);
+    for (Pid t : targets) deliver(t, msg);
+  });
+}
+
+void SpecRuntime::deliver(Pid copy, Message msg) {
+  auto it = procs_.find(copy);
+  if (it == procs_.end() || !it->second->alive) return;
+  SpecProcess& p = *it->second;
+
+  // A blocked process (a parent waiting in alt_wait) must not act: queue
+  // the message; it is re-delivered FIFO when the process resumes.
+  if (table_.status(copy) == ProcStatus::kBlocked) {
+    p.pending.push(std::move(msg));
+    return;
+  }
+  ++stats_.delivered;
+
+  // Fold in facts that resolved while the message was in flight; a message
+  // whose sending assumptions are now known false came from a dead world.
+  if (!simplify_against_oracle(msg.predicate, table_)) {
+    ++stats_.pruned;
+    return;
+  }
+
+  DeliveryDecision d = decide_delivery(p.world.predicates(), msg);
+  switch (d.action) {
+    case DeliveryAction::kIgnore:
+      ++stats_.ignored;
+      return;
+    case DeliveryAction::kAccept:
+      break;
+    case DeliveryAction::kSplit: {
+      ++stats_.splits;
+      // The rejecting copy continues as if the message never arrived.
+      World rejecting = p.world.clone_with_predicates(
+          d.reject_preds, p.label + "~reject(" +
+                              std::to_string(msg.sender) + ")");
+      create_process(p.lid, p.label, std::move(rejecting), p.on_message);
+      // The original becomes the accepting copy.
+      p.world.predicates() = d.accept_preds;
+      break;
+    }
+  }
+  ++stats_.accepted;
+  if (p.on_message) {
+    ProcCtx ctx(*this, p);
+    p.on_message(ctx, msg);
+  }
+}
+
+bool SpecRuntime::do_try_sync(SpecProcess& p) {
+  MW_CHECK(p.alternative);
+  if (!p.alive) return false;
+  Group& g = groups_[p.group];
+  if (g.synced) {
+    // Lost the at-most-once race: this alternative is eliminated.
+    p.alive = false;
+    ++stats_.eliminated_copies;
+    table_.set_status(p.world.pid(), ProcStatus::kEliminated);
+    return false;
+  }
+  g.synced = true;
+
+  // The parent absorbs the child's state: page-pointer replacement.
+  auto pit = procs_.find(g.parent_pid);
+  if (pit != procs_.end() && pit->second->alive) {
+    pit->second->world.space().adopt(p.world.space().fork());
+    table_.set_status(g.parent_pid, ProcStatus::kRunning);
+    // Drain messages that queued while the parent was blocked, in arrival
+    // order, through the normal delivery path.
+    const Pid parent_pid = g.parent_pid;
+    queue_.schedule_after(0, [this, parent_pid] {
+      auto it2 = procs_.find(parent_pid);
+      if (it2 == procs_.end() || !it2->second->alive) return;
+      while (auto m = it2->second->pending.pop()) {
+        deliver(parent_pid, std::move(*m));
+        // deliver() may block the parent again (nested speculation); stop
+        // draining if so — the rest stays queued.
+        if (table_.status(parent_pid) == ProcStatus::kBlocked) break;
+      }
+    });
+  }
+
+  p.alive = false;  // the winner's thread of control continues as the parent
+  table_.set_status(p.world.pid(), ProcStatus::kSynced);
+  return true;
+}
+
+void SpecRuntime::do_abort(SpecProcess& p) {
+  if (!p.alive) return;
+  p.alive = false;
+  table_.set_status(p.world.pid(), ProcStatus::kFailed);
+}
+
+void SpecRuntime::on_terminal(Pid pid, bool completed) {
+  ++cascade_depth_;
+  MW_CHECK(cascade_depth_ < 1000);  // cycle guard: cascades must terminate
+
+  // Resolve complete(pid) in every live copy. Collect the doomed first —
+  // eliminating them re-enters this function through the status listener.
+  std::vector<Pid> doomed;
+  std::vector<Pid> now_certain;
+  for (auto& [qpid, qp] : procs_) {
+    if (!qp->alive) continue;
+    const PredicateSet::Fate fate =
+        qp->world.predicates().resolve(pid, completed);
+    if (fate == PredicateSet::Fate::kDoomed) {
+      doomed.push_back(qpid);
+    } else if (fate == PredicateSet::Fate::kSimplified &&
+               qp->world.certain()) {
+      now_certain.push_back(qpid);
+    }
+  }
+  if (on_copy_certain) {
+    for (Pid c : now_certain) on_copy_certain(c);
+  }
+  for (Pid d : doomed) {
+    auto it = procs_.find(d);
+    if (it == procs_.end() || !it->second->alive) continue;
+    it->second->alive = false;
+    ++stats_.eliminated_copies;
+    table_.set_status(d, ProcStatus::kEliminated);
+  }
+  --cascade_depth_;
+}
+
+std::vector<Pid> SpecRuntime::live_copies(LogicalId lid) const {
+  std::vector<Pid> out;
+  auto it = copies_.find(lid);
+  if (it == copies_.end()) return out;
+  for (Pid p : it->second) {
+    auto pit = procs_.find(p);
+    if (pit != procs_.end() && pit->second->alive) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Pid> SpecRuntime::all_copies(LogicalId lid) const {
+  auto it = copies_.find(lid);
+  return it == copies_.end() ? std::vector<Pid>{} : it->second;
+}
+
+const World& SpecRuntime::world_of(Pid pid) const { return proc(pid).world; }
+AddressSpace& SpecRuntime::space_of(Pid pid) { return proc(pid).world.space(); }
+const PredicateSet& SpecRuntime::predicates_of(Pid pid) const {
+  return proc(pid).world.predicates();
+}
+bool SpecRuntime::is_alive(Pid pid) const {
+  auto it = procs_.find(pid);
+  return it != procs_.end() && it->second->alive;
+}
+
+}  // namespace mw

@@ -1,0 +1,197 @@
+// SpecRuntime: the full "Multiple Worlds" runtime (§2.4.2) — speculative
+// processes that exchange predicated messages, with receivers split into
+// two world copies when a message would force new assumptions, and
+// event-driven resolution when speculation settles.
+//
+// Engineering reduction (documented in DESIGN.md): the paper splits a
+// *running* process; portable C++ cannot clone a live thread stack, so
+// speculative processes here are message-driven actors whose entire mutable
+// state lives in their COW world pages plus a copyable control block. A
+// split clones the world at a receive point — exactly the moment the paper
+// performs it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+#include "msg/delivery.hpp"
+#include "msg/mailbox.hpp"
+#include "msg/message.hpp"
+#include "proc/process_table.hpp"
+#include "util/des.hpp"
+#include "util/rng.hpp"
+#include "util/vtime.hpp"
+
+namespace mw {
+
+class SpecRuntime;
+struct SpecProcess;
+
+/// Execution context passed to actor handlers and init programs. Valid only
+/// for the duration of the call.
+class ProcCtx {
+ public:
+  ProcCtx(SpecRuntime& rt, SpecProcess& p) : rt_(rt), p_(p) {}
+
+  AddressSpace& space();
+  Pid pid() const;
+  LogicalId logical() const;
+  const PredicateSet& predicates() const;
+  /// No unresolved assumptions: this copy may touch sources (§2.4.2).
+  bool certain() const;
+
+  /// Sends `data` to every live copy of `to`, stamped with this copy's
+  /// current assumptions as the sending predicate.
+  void send(LogicalId to, Bytes data);
+  void send_text(LogicalId to, const std::string& text);
+
+  /// Schedules a continuation on this copy after `delay` ticks; skipped if
+  /// the copy has been eliminated by then.
+  void after(VDuration delay, std::function<void(ProcCtx&)> fn);
+
+  /// For speculative alternatives: attempt the at-most-once synchronization
+  /// with the spawning parent. True if this alternative won — its world is
+  /// committed into the parent and complete(self) becomes TRUE, cascading
+  /// through every predicate in the system.
+  bool try_sync();
+
+  /// Abort this copy: complete(self) becomes FALSE.
+  void abort();
+
+  VTime now() const;
+  Rng& rng();
+
+ private:
+  SpecRuntime& rt_;
+  SpecProcess& p_;
+};
+
+/// One alternative of a speculative group.
+struct AltSpec {
+  std::string name;
+  /// Runs when the alternative is spawned (it may send, write state,
+  /// schedule continuations, and eventually try_sync or abort).
+  std::function<void(ProcCtx&)> init;
+  /// Optional message handler.
+  std::function<void(ProcCtx&, const Message&)> on_message;
+};
+
+/// A world copy of a logical process.
+struct SpecProcess {
+  LogicalId lid = kNoLogical;
+  std::string label;
+  World world;
+  std::function<void(ProcCtx&, const Message&)> on_message;
+  bool alternative = false;
+  std::uint64_t group = 0;   // alt group id (alternatives only)
+  Pid parent_pid = kNoPid;   // spawning parent copy (alternatives only)
+  bool alive = true;
+  Rng rng{0};
+  /// Messages that arrived while this copy was blocked (§2.2: a parent
+  /// waiting in alt_wait must not change state); drained FIFO on unblock.
+  Mailbox pending;
+
+  SpecProcess(World w) : world(std::move(w)) {}
+};
+
+struct SpecConfig {
+  std::size_t page_size = 256;
+  std::size_t num_pages = 64;
+  /// One-way message latency in ticks.
+  VDuration msg_latency = vt_us(10);
+  /// Serial per-child spawn cost charged before an alternative's init runs.
+  VDuration spawn_latency = vt_us(5);
+  std::uint64_t seed = 1;
+};
+
+class SpecRuntime {
+ public:
+  using Handler = std::function<void(ProcCtx&, const Message&)>;
+
+  explicit SpecRuntime(SpecConfig cfg = {});
+
+  /// Spawns a certain (assumption-free) process. `init`, if given, runs
+  /// immediately.
+  LogicalId spawn_root(std::string label, Handler on_message = nullptr,
+                       std::function<void(ProcCtx&)> init = nullptr);
+
+  /// Spawns mutually exclusive alternatives of `parent` (which must have
+  /// exactly one live copy). Each child assumes it completes and its
+  /// siblings do not, on top of the parent's assumptions; inits run at
+  /// staggered spawn times. Returns the children's pids in order.
+  std::vector<Pid> spawn_alternatives(LogicalId parent,
+                                      std::vector<AltSpec> alts);
+
+  /// Sends from outside the speculation (an empty sending predicate).
+  void send_external(LogicalId to, Bytes data);
+  void send_external_text(LogicalId to, const std::string& text);
+
+  /// Runs the simulation until the event queue drains.
+  void run() { queue_.run(); }
+  void run_until(VTime t) { queue_.run_until(t); }
+  VTime now() const { return queue_.now(); }
+
+  // --- Introspection -------------------------------------------------
+  std::vector<Pid> live_copies(LogicalId lid) const;
+  std::vector<Pid> all_copies(LogicalId lid) const;
+  const World& world_of(Pid pid) const;
+  AddressSpace& space_of(Pid pid);
+  const PredicateSet& predicates_of(Pid pid) const;
+  bool is_alive(Pid pid) const;
+  ProcessTable& processes() { return table_; }
+
+  /// Invoked when a live world copy's predicate set becomes empty during
+  /// resolution: its speculation resolved in its favour and it may now
+  /// cause observable side effects (flush buffered source output, §2.4.2).
+  std::function<void(Pid)> on_copy_certain;
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t ignored = 0;
+    std::uint64_t splits = 0;
+    std::uint64_t pruned = 0;             // messages from dead worlds
+    std::uint64_t eliminated_copies = 0;  // doomed world copies
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class ProcCtx;
+
+  SpecProcess& proc(Pid pid);
+  const SpecProcess& proc(Pid pid) const;
+  SpecProcess& create_process(LogicalId lid, std::string label, World world,
+                              Handler on_message);
+  void send_from(SpecProcess* sender, LogicalId to, Bytes data);
+  void deliver(Pid copy, Message msg);
+  void on_terminal(Pid pid, bool completed);
+  bool do_try_sync(SpecProcess& p);
+  void do_abort(SpecProcess& p);
+
+  struct Group {
+    Pid parent_pid = kNoPid;
+    bool synced = false;
+    std::vector<Pid> members;
+  };
+
+  SpecConfig cfg_;
+  ProcessTable table_;
+  EventQueue queue_;
+  Rng rng_;
+  std::map<Pid, std::unique_ptr<SpecProcess>> procs_;
+  std::map<LogicalId, std::vector<Pid>> copies_;
+  std::map<std::uint64_t, Group> groups_;
+  LogicalId next_lid_ = 1;
+  std::uint64_t next_group_ = 1;
+  Stats stats_;
+  /// Re-entrancy depth of the resolution cascade (diagnostic only).
+  int cascade_depth_ = 0;
+};
+
+}  // namespace mw

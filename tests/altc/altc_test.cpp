@@ -1,0 +1,134 @@
+#include "altc/altc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw::altc {
+namespace {
+
+TEST(Altc, PassThroughWithoutBlocks) {
+  const std::string src = "int main() { return 0; }\n";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.output, src);
+  EXPECT_EQ(r.blocks_translated, 0);
+}
+
+TEST(Altc, TranslatesSimpleBlock) {
+  const std::string src = R"(
+ALT_BLOCK(result) timeout(mw::vt_sec(2)) async {
+  alternative("fast") { ctx.work(10); }
+  alternative("slow") { ctx.work(100); }
+} ON_FAIL {
+  printf("failed\n");
+}
+)";
+  auto r = translate(src, "runtime", "root");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.blocks_translated, 1);
+  EXPECT_NE(r.output.find("mw::run_alternatives(runtime, root"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("\"fast\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"slow\""), std::string::npos);
+  EXPECT_NE(r.output.find("result_opts__.timeout = (mw::vt_sec(2))"),
+            std::string::npos);
+  EXPECT_NE(r.output.find("kAsynchronous"), std::string::npos);
+  EXPECT_NE(r.output.find("if (result.failed)"), std::string::npos);
+}
+
+TEST(Altc, GuardsBecomeLambdas) {
+  const std::string src = R"(
+ALT_BLOCK(b) {
+  alternative("guarded") guard(w.space().load<int>(0) > 0) { ctx.work(1); }
+}
+)";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(
+      r.output.find(
+          "[&](const mw::World& w) { return (w.space().load<int>(0) > 0); }"),
+      std::string::npos);
+}
+
+TEST(Altc, SyncModeEmitsSynchronous) {
+  const std::string src =
+      "ALT_BLOCK(b) sync { alternative(\"x\") { ctx.work(1); } }";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("kSynchronous"), std::string::npos);
+}
+
+TEST(Altc, NestedBracesInBodiesSurvive) {
+  const std::string src = R"(
+ALT_BLOCK(b) {
+  alternative("loops") {
+    for (int i = 0; i < 3; ++i) { if (i) { ctx.work(1); } }
+  }
+}
+)";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_NE(r.output.find("for (int i = 0; i < 3; ++i)"), std::string::npos);
+}
+
+TEST(Altc, StringsAndCommentsDoNotConfuseScanner) {
+  const std::string src = R"(
+const char* s = "ALT_BLOCK(not_me) {";
+// ALT_BLOCK(commented) {
+ALT_BLOCK(real) { alternative("a") { ctx.work(1); /* } */ } }
+)";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.blocks_translated, 1);
+  EXPECT_NE(r.output.find("\"ALT_BLOCK(not_me) {\""), std::string::npos);
+}
+
+TEST(Altc, MultipleBlocksInOneFile) {
+  const std::string src = R"(
+ALT_BLOCK(one) { alternative("a") { ctx.work(1); } }
+int x = 5;
+ALT_BLOCK(two) { alternative("b") { ctx.work(2); } }
+)";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.blocks_translated, 2);
+  EXPECT_NE(r.output.find("int x = 5;"), std::string::npos);
+  EXPECT_NE(r.output.find("mw::AltOutcome one"), std::string::npos);
+  EXPECT_NE(r.output.find("mw::AltOutcome two"), std::string::npos);
+}
+
+TEST(Altc, SurroundingCodeUntouched) {
+  const std::string src =
+      "before();\nALT_BLOCK(b) { alternative(\"a\") { x(); } }\nafter();\n";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.output.rfind("before();\n", 0), 0u);
+  EXPECT_NE(r.output.find("\nafter();\n"), std::string::npos);
+}
+
+TEST(Altc, ErrorOnEmptyBlock) {
+  auto r = translate("ALT_BLOCK(b) { }");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no alternatives"), std::string::npos);
+}
+
+TEST(Altc, ErrorOnMissingLabel) {
+  auto r = translate("ALT_BLOCK(b) { alternative(x) { y(); } }");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Altc, ErrorOnUnbalancedBody) {
+  auto r = translate("ALT_BLOCK(b) { alternative(\"a\") { if (x) { }");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Altc, IdentifierBoundaryRespected) {
+  // MY_ALT_BLOCK must not match.
+  const std::string src = "MY_ALT_BLOCK(no);\n";
+  auto r = translate(src);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.blocks_translated, 0);
+  EXPECT_EQ(r.output, src);
+}
+
+}  // namespace
+}  // namespace mw::altc

@@ -1,0 +1,89 @@
+// End-to-end proof for the preprocessor: the exact code altc emits for a
+// representative DSL block (generated once by the translator, pasted
+// verbatim below, and re-checked against the live translator) compiles
+// against the library and behaves correctly.
+#include <gtest/gtest.h>
+
+#include "altc/altc.hpp"
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+namespace {
+
+const char* kDslSource = R"SRC(
+ALT_BLOCK(result) timeout(mw::vt_sec(10)) async {
+  alternative("fast") guard(w.space().load<int>(0) >= 0) {
+    ctx.space().store<int>(8, 111);
+    ctx.work(10);
+  }
+  alternative("slow") {
+    ctx.space().store<int>(8, 222);
+    ctx.work(500);
+  }
+} ON_FAIL {
+  failed_marker = true;
+}
+)SRC";
+
+TEST(AltcGenerated, EmittedCodeCompilesAndRuns) {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 2;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  Runtime rt(cfg);
+  World world = rt.make_root();
+  world.space().store<int>(0, 5);
+  bool failed_marker = false;
+
+  // --- BEGIN altc output for kDslSource (verbatim) ---------------------
+  {
+  std::vector<mw::Alternative> result_alts__;
+  result_alts__.push_back(mw::Alternative{"fast", [&](const mw::World& w) { return (w.space().load<int>(0) >= 0); }, [&](mw::AltContext& ctx) {
+    ctx.space().store<int>(8, 111);
+    ctx.work(10);
+  }, nullptr});
+  result_alts__.push_back(mw::Alternative{"slow", nullptr, [&](mw::AltContext& ctx) {
+    ctx.space().store<int>(8, 222);
+    ctx.work(500);
+  }, nullptr});
+  mw::AltOptions result_opts__;
+  result_opts__.timeout = (mw::vt_sec(10));
+  result_opts__.elimination = mw::Elimination::kAsynchronous;
+  mw::AltOutcome result = mw::run_alternatives(rt, world, result_alts__, result_opts__);
+  if (result.failed) {
+  failed_marker = true;
+}
+  // --- END altc output --------------------------------------------------
+
+  EXPECT_FALSE(result.failed);
+  EXPECT_EQ(result.winner, 0u);
+  EXPECT_EQ(result.winner_name, "fast");
+  }
+
+  EXPECT_FALSE(failed_marker);
+  EXPECT_EQ(world.space().load<int>(8), 111);  // the winner's write landed
+}
+
+TEST(AltcGenerated, LiveTranslatorStillEmitsThePastedCode) {
+  // Guard against drift: re-translate the DSL and check the key lines of
+  // the pasted block still come out of the translator.
+  auto r = altc::translate(kDslSource, "rt", "world");
+  ASSERT_TRUE(r.ok) << r.error;
+  for (const char* fragment :
+       {"std::vector<mw::Alternative> result_alts__;",
+        "result_opts__.timeout = (mw::vt_sec(10));",
+        "mw::AltOutcome result = mw::run_alternatives(rt, world, "
+        "result_alts__, result_opts__);",
+        "[&](const mw::World& w) { return (w.space().load<int>(0) >= 0); }",
+        "if (result.failed)"}) {
+    EXPECT_NE(r.output.find(fragment), std::string::npos)
+        << "missing: " << fragment;
+  }
+}
+
+}  // namespace
+}  // namespace mw

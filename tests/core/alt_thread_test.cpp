@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+namespace {
+
+RuntimeConfig thread_config() {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kThread;
+  cfg.page_size = 64;
+  cfg.num_pages = 64;
+  return cfg;
+}
+
+TEST(AltThread, SingleAlternativeWins) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"only", nullptr,
+                   [](AltContext& ctx) { ctx.space().store<int>(0, 42); },
+                   nullptr}});
+  EXPECT_FALSE(out.failed);
+  EXPECT_EQ(out.winner, 0u);
+  EXPECT_EQ(root.space().load<int>(0), 42);
+}
+
+TEST(AltThread, FirstSuccessfulSyncWins) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  // One alternative finishes immediately; the other spins until cancelled.
+  std::atomic<bool> slow_started{false};
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"quick", nullptr,
+                   [](AltContext& ctx) { ctx.space().store<int>(0, 1); },
+                   nullptr},
+       Alternative{"spin", nullptr,
+                   [&](AltContext& ctx) {
+                     slow_started = true;
+                     for (;;) ctx.checkpoint();  // unwinds when eliminated
+                   },
+                   nullptr}});
+  EXPECT_FALSE(out.failed);
+  EXPECT_EQ(out.winner, 0u);
+  EXPECT_EQ(root.space().load<int>(0), 1);
+}
+
+TEST(AltThread, AllAbortIsFailure) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"a", nullptr, [](AltContext& ctx) { ctx.fail("x"); },
+                   nullptr},
+       Alternative{"b", nullptr,
+                   [](AltContext&) { throw std::runtime_error("y"); },
+                   nullptr}});
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure, AltFailure::kAllFailed);
+}
+
+TEST(AltThread, TimeoutKillsSpinners) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  AltOptions opts;
+  opts.timeout = 50'000;  // 50 ms
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"spin", nullptr,
+                   [](AltContext& ctx) {
+                     for (;;) ctx.checkpoint();
+                   },
+                   nullptr}},
+      opts);
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure, AltFailure::kTimeout);
+  EXPECT_EQ(rt.processes().status(out.alts[0].pid), ProcStatus::kEliminated);
+}
+
+TEST(AltThread, LoserWorldDiscarded) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  root.space().store<int>(0, 5);
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"winner", nullptr, [](AltContext&) {}, nullptr},
+       Alternative{"loser", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, 666);
+                     for (;;) ctx.checkpoint();
+                   },
+                   nullptr}});
+  EXPECT_EQ(out.winner, 0u);
+  EXPECT_EQ(root.space().load<int>(0), 5);
+}
+
+TEST(AltThread, GuardAndAcceptApply) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"rejected-by-guard", [](const World&) { return false; },
+                   [](AltContext& ctx) { ctx.space().store<int>(0, 1); },
+                   nullptr},
+       Alternative{"rejected-by-accept", nullptr,
+                   [](AltContext& ctx) { ctx.space().store<int>(0, 2); },
+                   [](const World&) { return false; }},
+       Alternative{"accepted", nullptr,
+                   [](AltContext& ctx) { ctx.space().store<int>(0, 3); },
+                   [](const World& w) { return w.space().load<int>(0) == 3; }}});
+  EXPECT_EQ(out.winner, 2u);
+  EXPECT_EQ(root.space().load<int>(0), 3);
+}
+
+TEST(AltThread, ResultBytesDelivered) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"r", nullptr,
+                   [](AltContext& ctx) { ctx.set_result_string("worlds"); },
+                   nullptr}});
+  EXPECT_EQ(std::string(out.result.begin(), out.result.end()), "worlds");
+}
+
+TEST(AltThread, SynchronousEliminationWaitsForLosers) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  std::atomic<bool> loser_exited{false};
+  AltOptions opts;
+  opts.elimination = Elimination::kSynchronous;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"w", nullptr, [](AltContext&) {}, nullptr},
+       Alternative{"l", nullptr,
+                   [&](AltContext& ctx) {
+                     struct OnExit {
+                       std::atomic<bool>* flag;
+                       ~OnExit() { *flag = true; }
+                     } guard{&loser_exited};
+                     for (;;) ctx.checkpoint();
+                   },
+                   nullptr}},
+      opts);
+  EXPECT_EQ(out.winner, 0u);
+  // Synchronous elimination means the loser terminated before the block
+  // returned.
+  EXPECT_TRUE(loser_exited.load());
+}
+
+TEST(AltThread, ManyAlternativesStress) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  std::vector<Alternative> alts;
+  for (int i = 0; i < 16; ++i) {
+    alts.push_back(Alternative{
+        "alt" + std::to_string(i), nullptr,
+        [i](AltContext& ctx) {
+          ctx.space().store<int>(0, i);
+          if (i != 7) ctx.fail("only 7 succeeds");
+        },
+        nullptr});
+  }
+  auto out = run_alternatives(rt, root, alts);
+  EXPECT_EQ(out.winner, 7u);
+  EXPECT_EQ(root.space().load<int>(0), 7);
+}
+
+TEST(AltThread, StatusesAfterBlock) {
+  Runtime rt(thread_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"w", nullptr, [](AltContext&) {}, nullptr},
+       Alternative{"f", nullptr, [](AltContext& ctx) { ctx.fail(""); },
+                   nullptr}});
+  ASSERT_TRUE(out.winner.has_value());
+  EXPECT_EQ(rt.processes().status(out.alts[0].pid), ProcStatus::kSynced);
+  EXPECT_EQ(rt.processes().status(out.alts[1].pid), ProcStatus::kFailed);
+}
+
+}  // namespace
+}  // namespace mw

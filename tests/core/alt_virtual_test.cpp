@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+namespace {
+
+RuntimeConfig virtual_config(std::size_t processors = 2) {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = processors;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 64;
+  return cfg;
+}
+
+Alternative spin(std::string name, VDuration work, bool succeed = true) {
+  return Alternative{std::move(name), nullptr,
+                     [work, succeed](AltContext& ctx) {
+                       ctx.work(work);
+                       if (!succeed) ctx.fail("no");
+                     },
+                     nullptr};
+}
+
+TEST(AltVirtual, FastestAlternativeWins) {
+  Runtime rt(virtual_config(3));
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root, {spin("slow", 300), spin("fast", 100), spin("mid", 200)});
+  EXPECT_FALSE(out.failed);
+  EXPECT_EQ(out.winner, 1u);
+  EXPECT_EQ(out.winner_name, "fast");
+  EXPECT_EQ(out.elapsed, 100);
+}
+
+TEST(AltVirtual, WinnerStateIsCommitted) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"a", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, 111);
+                     ctx.work(10);
+                   },
+                   nullptr},
+       Alternative{"b", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, 222);
+                     ctx.work(99);
+                   },
+                   nullptr}});
+  EXPECT_EQ(out.winner, 0u);
+  EXPECT_EQ(root.space().load<int>(0), 111);
+}
+
+TEST(AltVirtual, LoserStateIsDiscarded) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  root.space().store<int>(0, 5);
+  run_alternatives(rt, root,
+                   {Alternative{"w", nullptr,
+                                [](AltContext& ctx) { ctx.work(1); }, nullptr},
+                    Alternative{"l", nullptr,
+                                [](AltContext& ctx) {
+                                  ctx.space().store<int>(0, 666);
+                                  ctx.work(50);
+                                },
+                                nullptr}});
+  EXPECT_EQ(root.space().load<int>(0), 5);
+}
+
+TEST(AltVirtual, FailedAlternativesNeverWin) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root, {spin("fails-fast", 10, false), spin("wins-slow", 500)});
+  EXPECT_FALSE(out.failed);
+  EXPECT_EQ(out.winner, 1u);
+}
+
+TEST(AltVirtual, AllFailedSelectsFailureAlternative) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root, {spin("a", 10, false), spin("b", 20, false)});
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure, AltFailure::kAllFailed);
+  EXPECT_FALSE(out.winner.has_value());
+  EXPECT_EQ(out.elapsed, 20);  // known when the last child aborts
+}
+
+TEST(AltVirtual, EmptyBlockFails) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(rt, root, {});
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure, AltFailure::kNoAlternatives);
+}
+
+TEST(AltVirtual, TimeoutSelectsFailure) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  AltOptions opts;
+  opts.timeout = 50;
+  auto out = run_alternatives(rt, root, {spin("slow", 1000)}, opts);
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure, AltFailure::kTimeout);
+  EXPECT_GE(out.elapsed, 50);
+}
+
+TEST(AltVirtual, WinnerJustUnderTimeoutSucceeds) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  AltOptions opts;
+  opts.timeout = 50;
+  auto out = run_alternatives(rt, root, {spin("ok", 50)}, opts);
+  EXPECT_FALSE(out.failed);
+}
+
+TEST(AltVirtual, ExceptionInBodyIsFailure) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"throws", nullptr,
+                   [](AltContext&) { throw std::runtime_error("boom"); },
+                   nullptr},
+       spin("ok", 10)});
+  EXPECT_EQ(out.winner, 1u);
+}
+
+TEST(AltVirtual, GuardInChildRejects) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  root.space().store<int>(0, 1);
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"guarded",
+                   [](const World& w) { return w.space().load<int>(0) == 2; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr},
+       spin("fallback", 100)});
+  EXPECT_EQ(out.winner, 1u);
+}
+
+TEST(AltVirtual, PreSpawnGuardAvoidsSpawn) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  AltOptions opts;
+  opts.guard_phases = kGuardPreSpawn;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"never", [](const World&) { return false; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr},
+       spin("yes", 10)},
+      opts);
+  EXPECT_EQ(out.winner, 1u);
+  EXPECT_FALSE(out.alts[0].spawned);
+  EXPECT_TRUE(out.alts[1].spawned);
+}
+
+TEST(AltVirtual, AcceptanceTestRejectsAtSync) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"bad-result", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, -1);
+                     ctx.work(1);
+                   },
+                   [](const World& w) { return w.space().load<int>(0) >= 0; }},
+       spin("good", 100)});
+  EXPECT_EQ(out.winner, 1u);
+}
+
+TEST(AltVirtual, ResultBytesDelivered) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"r", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.set_result_string("hello");
+                     ctx.work(1);
+                   },
+                   nullptr}});
+  EXPECT_EQ(std::string(out.result.begin(), out.result.end()), "hello");
+}
+
+TEST(AltVirtual, ProcessorLimitSerializesWork) {
+  Runtime rt1(virtual_config(1));
+  World r1 = rt1.make_root();
+  auto out1 =
+      run_alternatives(rt1, r1, {spin("a", 100, false), spin("b", 100)});
+  EXPECT_EQ(out1.elapsed, 200);  // serialized on one processor
+
+  Runtime rt2(virtual_config(2));
+  World r2 = rt2.make_root();
+  auto out2 =
+      run_alternatives(rt2, r2, {spin("a", 100, false), spin("b", 100)});
+  EXPECT_EQ(out2.elapsed, 100);  // truly parallel
+}
+
+TEST(AltVirtual, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Runtime rt(virtual_config(2));
+    World root = rt.make_root();
+    std::vector<Alternative> alts;
+    for (int i = 0; i < 6; ++i) {
+      alts.push_back(Alternative{
+          "alt" + std::to_string(i), nullptr,
+          [](AltContext& ctx) {
+            // Work depends only on the per-alternative stream.
+            ctx.work(static_cast<VDuration>(100 + ctx.rng().next_below(900)));
+          },
+          nullptr});
+    }
+    return run_alternatives(rt, root, alts);
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+}
+
+TEST(AltVirtual, OverheadChargedWithCalibratedModel) {
+  RuntimeConfig cfg = virtual_config(2);
+  cfg.cost = CostModel::calibrated_hp();
+  Runtime rt(cfg);
+  World root = rt.make_root();
+  root.space().store<int>(0, 1);  // one resident page
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"w", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, 2);  // one COW break
+                     ctx.work(10);
+                   },
+                   nullptr},
+       spin("l", 100000)});
+  EXPECT_GT(out.overhead.setup, 0);
+  EXPECT_GT(out.overhead.copying, 0);
+  EXPECT_GT(out.overhead.commit, 0);
+  EXPECT_GT(out.overhead.elimination, 0);
+  EXPECT_GT(out.elapsed, 10);
+}
+
+TEST(AltVirtual, SyncEliminationCostsMoreThanAsync) {
+  RuntimeConfig cfg = virtual_config(2);
+  cfg.cost = CostModel::calibrated_3b2();
+  auto run_mode = [&](Elimination e) {
+    Runtime rt(cfg);
+    World root = rt.make_root();
+    AltOptions opts;
+    opts.elimination = e;
+    return run_alternatives(
+        rt, root, {spin("w", 10), spin("l1", 100000), spin("l2", 100000)},
+        opts);
+  };
+  auto sync = run_mode(Elimination::kSynchronous);
+  auto async = run_mode(Elimination::kAsynchronous);
+  EXPECT_GT(sync.elapsed, async.elapsed);
+  EXPECT_EQ(sync.overhead.elimination, 2 * async.overhead.elimination);
+}
+
+TEST(AltVirtual, ProcessStatusesRecorded) {
+  Runtime rt(virtual_config(3));
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {spin("win", 10), spin("abort", 5, false), spin("killed", 500)});
+  ASSERT_TRUE(out.winner.has_value());
+  ProcessTable& t = rt.processes();
+  EXPECT_EQ(t.status(out.alts[0].pid), ProcStatus::kSynced);
+  EXPECT_EQ(t.status(out.alts[1].pid), ProcStatus::kFailed);
+  EXPECT_EQ(t.status(out.alts[2].pid), ProcStatus::kEliminated);
+}
+
+TEST(AltVirtual, AltReportIndicesAreOneBased) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = run_alternatives(rt, root, {spin("a", 1), spin("b", 2)});
+  EXPECT_EQ(out.alts[0].index, 1u);
+  EXPECT_EQ(out.alts[1].index, 2u);
+}
+
+TEST(AltVirtual, NestedBlocksCompose) {
+  Runtime rt(virtual_config(2));
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"outer", nullptr,
+                   [&](AltContext& ctx) {
+                     // An inner speculative block inside an alternative.
+                     auto inner = run_alternatives(
+                         rt, ctx.world(),
+                         {Alternative{"inner-a", nullptr,
+                                      [](AltContext& c2) {
+                                        c2.space().store<int>(64, 7);
+                                        c2.work(5);
+                                      },
+                                      nullptr}});
+                     EXPECT_FALSE(inner.failed);
+                     ctx.work(inner.elapsed);
+                   },
+                   nullptr}});
+  EXPECT_FALSE(out.failed);
+  EXPECT_EQ(root.space().load<int>(64), 7);
+}
+
+TEST(AltVirtual, BuilderApi) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto out = AltBlock(rt, root)
+                 .alt("one", [](AltContext& ctx) { ctx.work(50); })
+                 .alt("two", [](AltContext& ctx) { ctx.work(10); })
+                 .timeout(vt_sec(1))
+                 .elimination(Elimination::kSynchronous)
+                 .run();
+  EXPECT_EQ(out.winner, 1u);
+  EXPECT_EQ(out.winner_name, "two");
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,151 @@
+// Parameterized sweep of the §2.2 guard-phase combinations: "the GUARDs
+// can be executed serially before spawning the alternatives; in the child
+// process; at the synchronization point; or at any combination of these
+// places, for redundancy." Every combination must agree on outcomes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+namespace {
+
+class GuardMatrixTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  RuntimeConfig config() {
+    RuntimeConfig cfg;
+    cfg.backend = AltBackend::kVirtual;
+    cfg.processors = 4;
+    cfg.cost = CostModel::free();
+    cfg.page_size = 64;
+    cfg.num_pages = 32;
+    return cfg;
+  }
+};
+
+TEST_P(GuardMatrixTest, GuardedOutAlternativeNeverWins) {
+  const unsigned phases = GetParam();
+  Runtime rt(config());
+  World root = rt.make_root();
+  root.space().store<int>(0, 0);  // the guard's condition variable
+  AltOptions opts;
+  opts.guard_phases = phases;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"guarded",
+                   [](const World& w) { return w.space().load<int>(0) != 0; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr},
+       Alternative{"open", nullptr,
+                   [](AltContext& ctx) { ctx.work(100); }, nullptr}},
+      opts);
+  ASSERT_FALSE(out.failed) << "phases=" << phases;
+  EXPECT_EQ(out.winner, 1u) << "phases=" << phases;
+}
+
+TEST_P(GuardMatrixTest, PassingGuardAllowsWin) {
+  const unsigned phases = GetParam();
+  Runtime rt(config());
+  World root = rt.make_root();
+  root.space().store<int>(0, 1);
+  AltOptions opts;
+  opts.guard_phases = phases;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"guarded",
+                   [](const World& w) { return w.space().load<int>(0) == 1; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr}},
+      opts);
+  EXPECT_FALSE(out.failed) << "phases=" << phases;
+}
+
+TEST_P(GuardMatrixTest, AllGuardedOutSelectsFailure) {
+  const unsigned phases = GetParam();
+  Runtime rt(config());
+  World root = rt.make_root();
+  AltOptions opts;
+  opts.guard_phases = phases;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"g1", [](const World&) { return false; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr},
+       Alternative{"g2", [](const World&) { return false; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr}},
+      opts);
+  EXPECT_TRUE(out.failed) << "phases=" << phases;
+  EXPECT_EQ(out.failure, AltFailure::kAllFailed) << "phases=" << phases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPhaseCombos, GuardMatrixTest,
+    ::testing::Values(kGuardPreSpawn, kGuardInChild, kGuardAtSync,
+                      kGuardPreSpawn | kGuardInChild,
+                      kGuardPreSpawn | kGuardAtSync,
+                      kGuardInChild | kGuardAtSync,
+                      kGuardPreSpawn | kGuardInChild | kGuardAtSync));
+
+TEST(GuardPhases, AtSyncSeesChildStateChanges) {
+  // A guard evaluated only at sync sees what the body wrote; evaluated
+  // pre-spawn it sees the parent's state and rejects.
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  Runtime rt(cfg);
+  auto guard = [](const World& w) { return w.space().load<int>(0) == 9; };
+  auto body = [](AltContext& ctx) {
+    ctx.space().store<int>(0, 9);
+    ctx.work(1);
+  };
+
+  {
+    World root = rt.make_root();
+    AltOptions opts;
+    opts.guard_phases = kGuardAtSync;
+    auto out = run_alternatives(rt, root,
+                                {Alternative{"a", guard, body, nullptr}},
+                                opts);
+    EXPECT_FALSE(out.failed);  // the body established the condition
+  }
+  {
+    World root = rt.make_root();
+    AltOptions opts;
+    opts.guard_phases = kGuardPreSpawn;
+    auto out = run_alternatives(rt, root,
+                                {Alternative{"a", guard, body, nullptr}},
+                                opts);
+    EXPECT_TRUE(out.failed);  // parent state fails the precondition
+  }
+}
+
+TEST(GuardPhases, RedundantGuardsCatchRaceInducedViolations) {
+  // In-child passes at entry, but the body then invalidates the condition
+  // — only the at-sync re-check (redundancy) catches it.
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  Runtime rt(cfg);
+  World root = rt.make_root();
+  root.space().store<int>(0, 1);
+  AltOptions opts;
+  opts.guard_phases = kGuardInChild | kGuardAtSync;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"self-sabotage",
+                   [](const World& w) { return w.space().load<int>(0) == 1; },
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, 0);  // violates own guard
+                     ctx.work(1);
+                   },
+                   nullptr}},
+      opts);
+  EXPECT_TRUE(out.failed);
+}
+
+}  // namespace
+}  // namespace mw

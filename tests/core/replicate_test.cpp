@@ -1,0 +1,162 @@
+#include "core/replicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+RuntimeConfig virtual_config() {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 8;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  return cfg;
+}
+
+TEST(Replicate, FirstWinsReturnsAValue) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int) {
+        // Per-replica jitter: the deterministic stream differs by index.
+        ctx.work(static_cast<VDuration>(10 + ctx.rng().next_below(100)));
+        ctx.space().store<int>(0, 42);
+        return 42;
+      },
+      4);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 42);
+  EXPECT_EQ(root.space().load<int>(0), 42);
+}
+
+TEST(Replicate, FirstWinsHedgesLatency) {
+  // Response time equals the fastest replica, not the average.
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int) {
+        const VDuration jitter =
+            static_cast<VDuration>(ctx.rng().next_below(10'000));
+        ctx.work(100 + jitter);
+        return 1;
+      },
+      6);
+  ASSERT_TRUE(r.value.has_value());
+  // 6 draws from [0,10000): the min is very likely far below the mean;
+  // elapsed must be bounded by the fastest replica's work.
+  EXPECT_LT(r.outcome.elapsed, 100 + 10'000);
+}
+
+TEST(Replicate, FirstWinsSurvivesFaultyReplicas) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int replica) {
+        ctx.work(10);
+        if (replica != 3) ctx.fail("replica fault");
+        return 7;
+      },
+      4);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 7);
+}
+
+TEST(Replicate, FirstWinsAllFaultyFails) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int) -> int {
+        ctx.work(1);
+        ctx.fail("dead");
+      },
+      3);
+  EXPECT_FALSE(r.value.has_value());
+}
+
+TEST(Replicate, MajorityAgreesOnHealthyValue) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  ReplicateOptions opts;
+  opts.mode = ReplicaMode::kMajority;
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int replica) {
+        ctx.work(1);
+        // Replica 2 is value-corrupting; 1 and 3 agree.
+        const int v = replica == 2 ? 999 : 5;
+        ctx.space().store<int>(0, v);
+        return v;
+      },
+      3, opts);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 5);
+  EXPECT_EQ(r.agreeing, 2);
+  EXPECT_EQ(r.completed, 3);
+  // The committed world is one that wrote the agreed value.
+  EXPECT_EQ(root.space().load<int>(0), 5);
+}
+
+TEST(Replicate, MajorityDetectsSplitVote) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  root.space().store<int>(0, -1);
+  ReplicateOptions opts;
+  opts.mode = ReplicaMode::kMajority;
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int replica) {
+        ctx.work(1);
+        return replica;  // everyone disagrees
+      },
+      3, opts);
+  EXPECT_FALSE(r.value.has_value());
+  EXPECT_EQ(r.completed, 3);
+  EXPECT_EQ(r.agreeing, 0);
+  // Nothing was committed.
+  EXPECT_EQ(root.space().load<int>(0), -1);
+}
+
+TEST(Replicate, MajorityToleratesCrashedMinority) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  ReplicateOptions opts;
+  opts.mode = ReplicaMode::kMajority;
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int replica) -> int {
+        ctx.work(1);
+        if (replica == 1) ctx.fail("crash");
+        return 8;
+      },
+      5, opts);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_EQ(*r.value, 8);
+  EXPECT_EQ(r.agreeing, 4);
+  EXPECT_EQ(r.completed, 4);
+}
+
+TEST(Replicate, MajorityCrashedMajorityFails) {
+  Runtime rt(virtual_config());
+  World root = rt.make_root();
+  ReplicateOptions opts;
+  opts.mode = ReplicaMode::kMajority;
+  auto r = replicate<int>(
+      rt, root,
+      [](AltContext& ctx, int replica) -> int {
+        ctx.work(1);
+        if (replica <= 2) ctx.fail("crash");
+        return 8;
+      },
+      3, opts);
+  // Only 1 of 3 completed: no majority of k.
+  EXPECT_FALSE(r.value.has_value());
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,104 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+
+namespace mw {
+namespace {
+
+AltOutcome sample_outcome() {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 2;
+  cfg.cost = CostModel::calibrated_hp();
+  Runtime rt(cfg);
+  World root = rt.make_root();
+  root.space().store<int>(0, 1);
+  return run_alternatives(
+      rt, root,
+      {Alternative{"fast", nullptr,
+                   [](AltContext& ctx) {
+                     ctx.space().store<int>(0, 2);
+                     ctx.work(vt_ms(10));
+                   },
+                   nullptr},
+       Alternative{"slow", nullptr,
+                   [](AltContext& ctx) { ctx.work(vt_ms(500)); }, nullptr},
+       Alternative{"queued", nullptr,
+                   [](AltContext& ctx) { ctx.work(vt_ms(500)); }, nullptr}});
+}
+
+TEST(Trace, ChromeJsonIsWellFormedIsh) {
+  const std::string json = to_chrome_trace(sample_outcome(), "demo");
+  // Structural sanity: balanced braces/brackets, required keys present.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("fast [won]"), std::string::npos);
+  EXPECT_NE(json.find("commit"), std::string::npos);
+  EXPECT_NE(json.find("eliminate siblings"), std::string::npos);
+}
+
+TEST(Trace, StatusesReflectSchedule) {
+  const std::string json = to_chrome_trace(sample_outcome());
+  EXPECT_NE(json.find("[won]"), std::string::npos);
+  EXPECT_NE(json.find("[killed]"), std::string::npos);  // slow, mid-flight
+}
+
+TEST(Trace, GuardedOutAlternativeMarked) {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.cost = CostModel::free();
+  Runtime rt(cfg);
+  World root = rt.make_root();
+  AltOptions opts;
+  opts.guard_phases = kGuardPreSpawn;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"never", [](const World&) { return false; },
+                   [](AltContext& ctx) { ctx.work(1); }, nullptr},
+       Alternative{"yes", nullptr, [](AltContext& ctx) { ctx.work(1); },
+                   nullptr}},
+      opts);
+  const std::string json = to_chrome_trace(out);
+  EXPECT_NE(json.find("never (guarded out)"), std::string::npos);
+}
+
+TEST(Trace, TextTimelineShowsWinnerAndRows) {
+  const std::string text = to_text_timeline(sample_outcome(), 40);
+  // One row per alternative.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+  EXPECT_NE(text.find('W'), std::string::npos);   // the winner marker
+  EXPECT_NE(text.find("fast"), std::string::npos);
+  EXPECT_NE(text.find("slow"), std::string::npos);
+  // Rows are aligned: every line has the same length.
+  std::istringstream is(text);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (!len) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+}
+
+TEST(Trace, JsonEscapesSpecialCharacters) {
+  AltOutcome out;
+  AltReport r;
+  r.index = 1;
+  r.name = "weird\"name\\with\nstuff";
+  r.spawned = true;
+  r.ran = true;
+  r.finish = 10;
+  out.alts.push_back(r);
+  const std::string json = to_chrome_trace(out);
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);  // raw quote gone
+  EXPECT_NE(json.find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mw

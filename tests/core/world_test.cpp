@@ -1,0 +1,93 @@
+#include "core/world.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+class WorldTest : public ::testing::Test {
+ protected:
+  ProcessTable table_;
+};
+
+TEST_F(WorldTest, RootWorldIsRunningAndCertain) {
+  World w(table_, 64, 16, "root");
+  EXPECT_NE(w.pid(), kNoPid);
+  EXPECT_EQ(table_.status(w.pid()), ProcStatus::kRunning);
+  EXPECT_TRUE(w.certain());
+}
+
+TEST_F(WorldTest, ForkAlternativeSetsSiblingRivalry) {
+  World parent(table_, 64, 16);
+  Pid a = table_.create(parent.pid());
+  Pid b = table_.create(parent.pid());
+  World child = parent.fork_alternative(a, {a, b});
+  EXPECT_EQ(child.pid(), a);
+  EXPECT_TRUE(child.predicates().assumes_completes(a));
+  EXPECT_TRUE(child.predicates().assumes_fails(b));
+  EXPECT_FALSE(child.certain());
+}
+
+TEST_F(WorldTest, ForkInheritsParentAssumptions) {
+  World parent(table_, 64, 16);
+  parent.predicates().assume_completes(77);
+  Pid a = table_.create(parent.pid());
+  World child = parent.fork_alternative(a, {a});
+  EXPECT_TRUE(child.predicates().assumes_completes(77));
+}
+
+TEST_F(WorldTest, ChildSharesPagesUntilWrite) {
+  World parent(table_, 64, 16);
+  parent.space().store<int>(0, 42);
+  Pid a = table_.create(parent.pid());
+  World child = parent.fork_alternative(a, {a});
+  EXPECT_EQ(child.space().load<int>(0), 42);
+  EXPECT_GE(child.shared_pages_with(parent), 1u);
+  child.space().store<int>(0, 43);
+  EXPECT_EQ(parent.space().load<int>(0), 42);
+  EXPECT_EQ(child.space().load<int>(0), 43);
+}
+
+TEST_F(WorldTest, CommitAbsorbsChildState) {
+  World parent(table_, 64, 16);
+  parent.space().store<int>(0, 1);
+  Pid a = table_.create(parent.pid());
+  World child = parent.fork_alternative(a, {a});
+  child.space().store<int>(0, 99);
+  child.space().store<int>(100, 7);
+  const Pid parent_pid = parent.pid();
+  parent.commit_from(std::move(child));
+  EXPECT_EQ(parent.space().load<int>(0), 99);
+  EXPECT_EQ(parent.space().load<int>(100), 7);
+  // "up to and including maintenance of the process id".
+  EXPECT_EQ(parent.pid(), parent_pid);
+}
+
+TEST_F(WorldTest, CloneWithPredicatesMakesNewProcess) {
+  World w(table_, 64, 16);
+  w.space().store<int>(0, 5);
+  PredicateSet preds;
+  preds.assume_completes(3);
+  World copy = w.clone_with_predicates(preds, "split");
+  EXPECT_NE(copy.pid(), w.pid());
+  EXPECT_EQ(copy.space().load<int>(0), 5);
+  EXPECT_TRUE(copy.predicates().assumes_completes(3));
+  EXPECT_EQ(table_.status(copy.pid()), ProcStatus::kRunning);
+}
+
+TEST_F(WorldTest, SiblingWorldsAreIsolated) {
+  World parent(table_, 64, 16);
+  parent.space().store<int>(0, 10);
+  Pid a = table_.create(parent.pid());
+  Pid b = table_.create(parent.pid());
+  World wa = parent.fork_alternative(a, {a, b});
+  World wb = parent.fork_alternative(b, {a, b});
+  wa.space().store<int>(0, 11);
+  wb.space().store<int>(0, 12);
+  EXPECT_EQ(wa.space().load<int>(0), 11);
+  EXPECT_EQ(wb.space().load<int>(0), 12);
+  EXPECT_EQ(parent.space().load<int>(0), 10);
+}
+
+}  // namespace
+}  // namespace mw

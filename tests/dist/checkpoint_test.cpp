@@ -1,0 +1,94 @@
+#include "dist/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+AddressSpace make_space() {
+  AddressSpace as(64, 16);
+  as.store<int>(0, 42);
+  as.store<double>(64 * 3, 2.5);
+  as.store<int>(64 * 7 + 4, 7);
+  return as;
+}
+
+TEST(Checkpoint, RoundTripRestoresMemory) {
+  AddressSpace as = make_space();
+  Registers regs;
+  regs.pc = 0x1000;
+  regs.sp = 0x2000;
+  regs.gp[3] = 33;
+  CheckpointImage img = take_checkpoint(as, regs);
+  auto r = restore_checkpoint(img);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.space.load<int>(0), 42);
+  EXPECT_DOUBLE_EQ(r.space.load<double>(64 * 3), 2.5);
+  EXPECT_EQ(r.space.load<int>(64 * 7 + 4), 7);
+}
+
+TEST(Checkpoint, ReturnValueDistinguishesRestore) {
+  // "A return value is used to distinguish between return of control in
+  // the checkpoint and in the calling process."
+  AddressSpace as = make_space();
+  Registers caller;
+  EXPECT_EQ(caller.ret, Registers::kInCaller);
+  auto r = restore_checkpoint(take_checkpoint(as, caller));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.regs.ret, Registers::kRestored);
+  EXPECT_EQ(r.regs.pc, caller.pc);
+  EXPECT_EQ(r.regs.gp[3], caller.gp[3]);
+}
+
+TEST(Checkpoint, SizeTracksResidentSetNotAddressSpace) {
+  AddressSpace small(64, 1024);
+  small.store<int>(0, 1);  // one resident page of a 64 KiB space
+  CheckpointImage img = take_checkpoint(small, Registers{});
+  EXPECT_EQ(img.resident_pages, 1u);
+  EXPECT_LT(img.size_bytes(), 64u * 4);  // header + regs + one page
+
+  AddressSpace big(64, 1024);
+  for (int p = 0; p < 100; ++p) big.store<int>(64 * p, p);
+  CheckpointImage img2 = take_checkpoint(big, Registers{});
+  EXPECT_EQ(img2.resident_pages, 100u);
+  EXPECT_GT(img2.size_bytes(), 100u * 64);
+}
+
+TEST(Checkpoint, EmptySpaceRoundTrips) {
+  AddressSpace as(64, 8);
+  auto r = restore_checkpoint(take_checkpoint(as, Registers{}));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.space.load<int>(0), 0);
+}
+
+TEST(Checkpoint, CorruptMagicRejected) {
+  AddressSpace as = make_space();
+  CheckpointImage img = take_checkpoint(as, Registers{});
+  img.blob[0] ^= 0xFF;
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(Checkpoint, TruncatedImageRejected) {
+  AddressSpace as = make_space();
+  CheckpointImage img = take_checkpoint(as, Registers{});
+  img.blob.resize(img.blob.size() / 2);
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(Checkpoint, TrailingGarbageRejected) {
+  AddressSpace as = make_space();
+  CheckpointImage img = take_checkpoint(as, Registers{});
+  img.blob.push_back(0);
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(Checkpoint, RestoredSpaceIsIndependent) {
+  AddressSpace as = make_space();
+  auto r = restore_checkpoint(take_checkpoint(as, Registers{}));
+  ASSERT_TRUE(r.ok);
+  r.space.store<int>(0, 99);
+  EXPECT_EQ(as.load<int>(0), 42);
+}
+
+}  // namespace
+}  // namespace mw

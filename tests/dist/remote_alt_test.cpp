@@ -1,0 +1,107 @@
+#include "dist/remote_alt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+AddressSpace small_image() {
+  AddressSpace as(4096, 64);
+  for (int p = 0; p < 8; ++p) as.store<int>(p * 4096, p);
+  return as;
+}
+
+std::vector<RemoteAltSpec> specs(std::initializer_list<double> secs,
+                                 std::initializer_list<bool> ok) {
+  std::vector<RemoteAltSpec> out;
+  auto s = secs.begin();
+  auto o = ok.begin();
+  for (; s != secs.end(); ++s, ++o)
+    out.push_back(RemoteAltSpec{static_cast<VDuration>(*s * 1e6), *o});
+  return out;
+}
+
+TEST(RemoteAlt, FastestSuccessfulNodeWins) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  auto r = distributed_race(forker, small_image(),
+                            specs({3.0, 1.0, 2.0}, {true, true, true}));
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 1u);
+}
+
+TEST(RemoteAlt, FailuresSkipped) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  auto r = distributed_race(forker, small_image(),
+                            specs({1.0, 5.0}, {false, true}));
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 1u);
+}
+
+TEST(RemoteAlt, AllFailIsFailure) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  auto r = distributed_race(forker, small_image(),
+                            specs({1.0, 2.0}, {false, false}));
+  EXPECT_TRUE(r.failed);
+}
+
+TEST(RemoteAlt, ElapsedIncludesShippingAndReply) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace img = small_image();
+  auto one = distributed_race(forker, img, specs({1.0}, {true}));
+  const RforkResult rf = forker.full_copy(img);
+  ASSERT_FALSE(one.failed);
+  EXPECT_GT(one.elapsed, rf.total_elapsed + vt_sec(1));
+}
+
+TEST(RemoteAlt, SerialSpawnDelaysLaterNodes) {
+  // With identical work, the first-spawned node wins: later nodes start
+  // after more checkpoint work has serialized in the parent.
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  auto r = distributed_race(forker, small_image(),
+                            specs({2.0, 2.0, 2.0}, {true, true, true}));
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 0u);
+}
+
+TEST(RemoteAlt, OnDemandCutsBytesShipped) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace img = small_image();
+  auto full = distributed_race(forker, img, specs({1.0}, {true}), false);
+  auto lazy = distributed_race(forker, img, specs({1.0}, {true}), true, 0.2);
+  EXPECT_LT(lazy.bytes_shipped, full.bytes_shipped);
+  EXPECT_LT(lazy.elapsed, full.elapsed);
+}
+
+TEST(RemoteAlt, LocalRaceMatchesPsScheduler) {
+  // Two identical tasks, two CPUs: finish = fork stagger + duration.
+  auto sp = specs({1.0, 1.0}, {true, true});
+  const VDuration fork = vt_ms(10);
+  const VDuration t = local_race(2, fork, sp);
+  EXPECT_EQ(t, fork + vt_sec(1));
+}
+
+TEST(RemoteAlt, LocalRaceFailsWhenAllFail) {
+  auto sp = specs({1.0}, {false});
+  EXPECT_EQ(local_race(2, 0, sp), kVTimeMax);
+}
+
+TEST(RemoteAlt, LongWorkFavoursDistribution) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace img = small_image();
+  auto sp = specs({8.0, 9.0, 10.0, 11.0}, {true, true, true, true});
+  const VDuration local = local_race(2, vt_ms(12), sp);
+  auto dist = distributed_race(forker, img, sp);
+  EXPECT_LT(dist.elapsed, local);
+}
+
+TEST(RemoteAlt, ShortWorkFavoursLocal) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace img = small_image();
+  auto sp = specs({0.05, 0.06}, {true, true});
+  const VDuration local = local_race(2, vt_ms(12), sp);
+  auto dist = distributed_race(forker, img, sp);
+  EXPECT_LT(local, dist.elapsed);
+}
+
+}  // namespace
+}  // namespace mw

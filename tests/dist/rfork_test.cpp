@@ -1,0 +1,113 @@
+#include "dist/rfork.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+/// A 70 KB resident process on 4 KiB pages — the paper's rfork subject.
+AddressSpace process_70k() {
+  AddressSpace as(4096, 64);
+  for (int p = 0; p < 17; ++p) as.store<int>(4096ull * p, p + 1);
+  return as;
+}
+
+TEST(LinkModel, TransferTimeComponents) {
+  LinkModel link;
+  // 1 MB at 1 MB/s = 1 s serialization plus fixed costs.
+  const VDuration t = link.transfer_time(1'000'000);
+  EXPECT_NEAR(vt_to_sec(t), 1.0 + vt_to_sec(link.latency) +
+                                vt_to_sec(link.per_message_overhead),
+              1e-6);
+  // Zero-byte message still pays latency + overhead.
+  EXPECT_EQ(link.transfer_time(0), link.latency + link.per_message_overhead);
+}
+
+TEST(NetSim, DeliversAfterTransferTime) {
+  EventQueue q;
+  NetSim net(q, LinkModel{});
+  bool delivered = false;
+  net.send(1, 2, 1000, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);
+  q.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(q.now(), net.link().transfer_time(1000));
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 1000u);
+}
+
+TEST(Rfork, FullCopy70kTakesAboutASecond) {
+  // §3.4: "An rfork() of a 70K process requires slightly less than a
+  // second, and network delays gave us an observed average execution time
+  // of about 1.3 seconds."
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  auto r = forker.full_copy(process_70k());
+  EXPECT_EQ(r.pages_shipped, 17u);
+  const double sec = vt_to_sec(r.total_elapsed);
+  EXPECT_GT(sec, 0.6);
+  EXPECT_LT(sec, 1.5);
+  // The checkpoint is the major cost (the paper's observation).
+  EXPECT_GT(r.checkpoint_cost, r.transfer_cost);
+  EXPECT_GT(r.checkpoint_cost, r.restore_cost);
+}
+
+TEST(Rfork, BytesShippedMatchCheckpointSize) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as = process_70k();
+  auto r = forker.full_copy(as);
+  const CheckpointImage img = take_checkpoint(as, Registers{});
+  EXPECT_EQ(r.bytes_shipped, img.size_bytes());
+  EXPECT_GT(r.bytes_shipped, 17u * 4096);
+}
+
+TEST(Rfork, OnDemandStartsMuchFaster) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as = process_70k();
+  auto full = forker.full_copy(as);
+  auto od = forker.on_demand(as, 0.3);
+  EXPECT_LT(od.start_elapsed, full.start_elapsed / 5);
+}
+
+TEST(Rfork, OnDemandCostScalesWithTouchFraction) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as = process_70k();
+  auto low = forker.on_demand(as, 0.1);
+  auto high = forker.on_demand(as, 0.9);
+  EXPECT_LT(low.fault_cost, high.fault_cost);
+  EXPECT_LT(low.pages_shipped, high.pages_shipped);
+}
+
+TEST(Rfork, LocalityMakesOnDemandWinEndToEnd) {
+  // With good locality (§3.4: "most programs exhibit locality of
+  // reference"), on-demand beats full copy even end-to-end.
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as = process_70k();
+  auto full = forker.full_copy(as);
+  auto od = forker.on_demand(as, 0.2);
+  EXPECT_LT(od.total_elapsed, full.total_elapsed);
+}
+
+TEST(Rfork, FullTouchOnDemandStillAvoidsCheckpointCost) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as = process_70k();
+  auto od = forker.on_demand(as, 1.0);
+  EXPECT_EQ(od.pages_shipped, 17u);
+  EXPECT_EQ(od.checkpoint_cost, 0);
+}
+
+TEST(Rfork, EmptyProcessIsCheap) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as(4096, 16);
+  auto r = forker.full_copy(as);
+  EXPECT_EQ(r.pages_shipped, 0u);
+  EXPECT_LT(vt_to_sec(r.total_elapsed), 0.3);
+}
+
+TEST(RforkDeath, BadTouchFractionAborts) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace as(4096, 4);
+  EXPECT_DEATH(forker.on_demand(as, 1.5), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,90 @@
+// Integration: dist (checkpoint/rfork) + pagestore/core — a speculative
+// world's state survives a checkpoint/restore round trip, and remote
+// execution composes with the commit machinery.
+#include <gtest/gtest.h>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "dist/rfork.hpp"
+
+namespace mw {
+namespace {
+
+TEST(CheckpointWorld, SpeculativeStateRoundTrips) {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.cost = CostModel::free();
+  Runtime rt(cfg);
+  World root = rt.make_root();
+  root.space().store<int>(0, 7);
+
+  // Run an alternative that checkpoints its own world mid-flight.
+  CheckpointImage image;
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"snapshotter", nullptr,
+                   [&image](AltContext& ctx) {
+                     ctx.space().store<int>(64, 99);
+                     Registers regs;
+                     regs.gp[0] = ctx.pid();
+                     image = take_checkpoint(ctx.space(), regs);
+                     ctx.work(1);
+                   },
+                   nullptr}});
+  ASSERT_FALSE(out.failed);
+
+  // The image contains the speculative writes *and* the inherited state.
+  auto restored = restore_checkpoint(image);
+  ASSERT_TRUE(restored.ok);
+  EXPECT_EQ(restored.space.load<int>(0), 7);
+  EXPECT_EQ(restored.space.load<int>(64), 99);
+  EXPECT_EQ(restored.regs.ret, Registers::kRestored);
+}
+
+TEST(CheckpointWorld, RestoredSpaceCanBeCommitted) {
+  // Restore-then-adopt: the distributed path's way of absorbing a remote
+  // child's state into the parent.
+  AddressSpace parent(64, 32);
+  parent.store<int>(0, 1);
+  AddressSpace child = parent.fork();
+  child.store<int>(0, 2);
+  child.store<int>(128, 3);
+
+  auto moved = restore_checkpoint(take_checkpoint(child, Registers{}));
+  ASSERT_TRUE(moved.ok);
+  parent.adopt(std::move(moved.space));
+  EXPECT_EQ(parent.load<int>(0), 2);
+  EXPECT_EQ(parent.load<int>(128), 3);
+}
+
+TEST(CheckpointWorld, RforkCostReflectsSpeculativeResidency) {
+  // A world that dirtied more pages ships a bigger checkpoint.
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  AddressSpace small(4096, 64);
+  small.store<int>(0, 1);
+  AddressSpace big(4096, 64);
+  for (int p = 0; p < 32; ++p) big.store<int>(p * 4096, p);
+  auto rs = forker.full_copy(small);
+  auto rb = forker.full_copy(big);
+  EXPECT_LT(rs.total_elapsed, rb.total_elapsed);
+  EXPECT_LT(rs.bytes_shipped, rb.bytes_shipped);
+}
+
+TEST(CheckpointWorld, CowSharingSurvivesIntoCheckpointSize) {
+  // Forked worlds share pages; a child that wrote little ships little
+  // beyond the inherited resident set — but the image is self-contained.
+  AddressSpace parent(4096, 64);
+  for (int p = 0; p < 16; ++p) parent.store<int>(p * 4096, p);
+  AddressSpace child = parent.fork();
+  child.store<int>(0, 99);
+  auto img = take_checkpoint(child, Registers{});
+  EXPECT_EQ(img.resident_pages, 16u);  // self-contained: all resident pages
+  auto r = restore_checkpoint(img);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.space.load<int>(0), 99);
+  EXPECT_EQ(r.space.load<int>(5 * 4096), 5);
+}
+
+}  // namespace
+}  // namespace mw

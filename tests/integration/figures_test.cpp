@@ -1,0 +1,129 @@
+// Regression net for the paper-level properties the benches print: the
+// measured PI of a real speculative run must sit on the analytic curve
+// PI = R_mu / (1 + R_o), and Table I's scheduling shape must hold. If a
+// runtime change breaks a figure, these tests catch it before the bench
+// output is regenerated.
+#include <gtest/gtest.h>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "model/perf_model.hpp"
+
+namespace mw {
+namespace {
+
+AltOutcome run_synthetic(Runtime& rt, const std::vector<VDuration>& durations,
+                         int dirty_pages = 1) {
+  World root = rt.make_root();
+  for (int p = 0; p < 16; ++p)
+    root.space().store<double>(static_cast<std::uint64_t>(p) * 4096, 1.0);
+  std::vector<Alternative> alts;
+  for (std::size_t i = 0; i < durations.size(); ++i) {
+    const VDuration d = durations[i];
+    alts.push_back(Alternative{
+        "alt" + std::to_string(i), nullptr,
+        [d, dirty_pages](AltContext& ctx) {
+          for (int p = 0; p < dirty_pages; ++p)
+            ctx.space().store<int>(static_cast<std::uint64_t>(p) * 4096, p);
+          ctx.work(d);
+        },
+        nullptr});
+  }
+  return run_alternatives(rt, root, alts);
+}
+
+RuntimeConfig fig_config() {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 4;
+  cfg.cost = CostModel::calibrated_hp();
+  cfg.num_pages = 512;
+  return cfg;
+}
+
+TEST(Figures, MeasuredPiSitsOnAnalyticCurve) {
+  // Sweep R_mu like Figure 3: measured PI == R_mu/(1+R_o_measured).
+  for (double r_mu : {1.0, 2.0, 3.5, 5.0}) {
+    Runtime rt(fig_config());
+    const VDuration base = vt_ms(200);
+    const int n = 4;
+    std::vector<VDuration> durations(n);
+    durations[0] = base;
+    const double rest =
+        (r_mu * n * static_cast<double>(base) - static_cast<double>(base)) /
+        (n - 1);
+    for (int i = 1; i < n; ++i) durations[static_cast<std::size_t>(i)] =
+        static_cast<VDuration>(rest);
+
+    AltOutcome out = run_synthetic(rt, durations);
+    ASSERT_FALSE(out.failed);
+    std::vector<double> secs;
+    for (VDuration d : durations) secs.push_back(vt_to_sec(d));
+    const double pi = tau_mean(secs) / vt_to_sec(out.elapsed);
+    const double r_o =
+        (vt_to_sec(out.elapsed) - tau_best(secs)) / tau_best(secs);
+    EXPECT_NEAR(pi, performance_improvement(r_mu, r_o), 0.02)
+        << "r_mu=" << r_mu;
+  }
+}
+
+TEST(Figures, OverheadGrowsWithWriteFraction) {
+  // Figure 4's mechanism: more dirty pages -> more R_o -> less PI,
+  // monotonically.
+  double last_pi = 1e18;
+  constexpr double kE = 2.718281828459045;
+  for (int dirty : {1, 16, 64, 256}) {
+    Runtime rt(fig_config());
+    const VDuration base = vt_ms(400);
+    const auto slow =
+        static_cast<VDuration>((2.0 * kE - 1.0) * static_cast<double>(base));
+    AltOutcome out = run_synthetic(rt, {base, slow}, dirty);
+    ASSERT_FALSE(out.failed);
+    const std::vector<double> secs{vt_to_sec(base), vt_to_sec(slow)};
+    const double pi = tau_mean(secs) / vt_to_sec(out.elapsed);
+    EXPECT_LT(pi, last_pi) << "dirty=" << dirty;
+    last_pi = pi;
+  }
+}
+
+TEST(Figures, TableOneTimesharingShape) {
+  // par improves at procs<=processors, degrades beyond (PS scheduling).
+  RuntimeConfig cfg = fig_config();
+  cfg.processors = 2;
+  cfg.sched = RuntimeConfig::Sched::kProcessorSharing;
+
+  std::vector<VDuration> pool{vt_sec(4), vt_sec(3), vt_sec(5), vt_sec(4),
+                              vt_sec(4), vt_sec(5)};
+  std::vector<double> par;
+  for (int n = 1; n <= 6; ++n) {
+    Runtime rt(cfg);
+    std::vector<VDuration> durations(pool.begin(), pool.begin() + n);
+    AltOutcome out = run_synthetic(rt, durations);
+    ASSERT_FALSE(out.failed);
+    par.push_back(vt_to_sec(out.elapsed));
+  }
+  // procs=2 beats procs=1 (a faster alternative joined, no contention).
+  EXPECT_LT(par[1], par[0]);
+  // Beyond the processor count, contention only adds time.
+  EXPECT_GE(par[2], par[1]);
+  EXPECT_GE(par[3], par[2]);
+  EXPECT_GE(par[4], par[3]);
+}
+
+TEST(Figures, SuperlinearSpeedupIsReachable) {
+  // §3.3: with sufficient variance and small overhead, N processors give
+  // more than N-fold improvement over C_mean.
+  Runtime rt(fig_config());
+  const std::vector<VDuration> durations{vt_ms(100), vt_sec(20), vt_sec(20),
+                                         vt_sec(20)};
+  AltOutcome out = run_synthetic(rt, durations);
+  ASSERT_FALSE(out.failed);
+  std::vector<double> secs;
+  for (VDuration d : durations) secs.push_back(vt_to_sec(d));
+  const double pi = tau_mean(secs) / vt_to_sec(out.elapsed);
+  EXPECT_GT(pi, static_cast<double>(durations.size()));  // superlinear
+}
+
+}  // namespace
+}  // namespace mw

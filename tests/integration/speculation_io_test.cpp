@@ -1,0 +1,124 @@
+// Integration: alternative blocks (core) + speculative I/O (io) — losing
+// worlds' output must never reach the teletype; the winner's output
+// appears exactly once, in order.
+#include <gtest/gtest.h>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "io/source_gate.hpp"
+#include "io/spec_console.hpp"
+
+namespace mw {
+namespace {
+
+RuntimeConfig virtual_config() {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 4;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  return cfg;
+}
+
+TEST(SpeculationIo, OnlyWinnerOutputReachesTeletype) {
+  Runtime rt(virtual_config());
+  Teletype tty;
+  SpeculativeConsole console(rt.processes(), tty);
+  World root = rt.make_root();
+
+  auto talker = [&](const std::string& who, VDuration work) {
+    return [&console, who, work](AltContext& ctx) {
+      console.write(ctx.pid(), ctx.world().predicates(),
+                    who + ": step 1");
+      ctx.work(work);
+      console.write(ctx.pid(), ctx.world().predicates(),
+                    who + ": step 2");
+    };
+  };
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"fast", nullptr, talker("fast", 10), nullptr},
+       Alternative{"slow", nullptr, talker("slow", 1000), nullptr}});
+  ASSERT_EQ(out.winner, 0u);
+  EXPECT_EQ(tty.output(),
+            (std::vector<std::string>{"fast: step 1", "fast: step 2"}));
+  EXPECT_GE(console.discarded_lines(), 1u);
+}
+
+TEST(SpeculationIo, FailureMeansNothingPrints) {
+  Runtime rt(virtual_config());
+  Teletype tty;
+  SpeculativeConsole console(rt.processes(), tty);
+  World root = rt.make_root();
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"doomed", nullptr,
+                   [&](AltContext& ctx) {
+                     console.write(ctx.pid(), ctx.world().predicates(),
+                                   "phantom");
+                     ctx.fail("no");
+                   },
+                   nullptr}});
+  EXPECT_TRUE(out.failed);
+  EXPECT_TRUE(tty.output().empty());
+}
+
+TEST(SpeculationIo, SharedInputReadOnceAcrossAlternatives) {
+  // Both alternatives read the input; the device is consumed once per
+  // position, replayed to the sibling (§5, Jefferson's stdout).
+  Runtime rt(virtual_config());
+  Teletype tty({"price=17"});
+  SpeculativeConsole console(rt.processes(), tty);
+  World root = rt.make_root();
+
+  auto reader = [&](VDuration work) {
+    return [&console, work](AltContext& ctx) {
+      auto line = console.read_line(ctx.pid());
+      if (!line.has_value()) ctx.fail("no input");
+      ctx.space().store<int>(0, static_cast<int>(line->size()));
+      ctx.work(work);
+    };
+  };
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"a", nullptr, reader(10), nullptr},
+       Alternative{"b", nullptr, reader(20), nullptr}});
+  ASSERT_FALSE(out.failed);
+  EXPECT_EQ(root.space().load<int>(0), 8);  // both parsed "price=17"
+  EXPECT_EQ(tty.reads_performed(), 1u);     // one real read
+  EXPECT_EQ(console.replayed_reads(), 1u);  // one replay
+}
+
+TEST(SpeculationIo, GatedSourceDefersUntilCommit) {
+  Runtime rt(virtual_config());
+  SourceGate gate(rt.processes(), GatePolicy::kDefer);
+  World root = rt.make_root();
+  std::vector<std::string> launched;
+
+  auto launcher = [&](const std::string& missile, VDuration work) {
+    return [&, missile, work](AltContext& ctx) {
+      ctx.work(work);
+      // An unbuffered, non-idempotent effect: must wait for the commit.
+      gate.request(ctx.pid(), ctx.world().predicates(),
+                   [&launched, missile] { launched.push_back(missile); });
+      const bool visible = !launched.empty();
+      // While speculative, nothing is observable yet — even to us.
+      ctx.space().store<int>(0, visible ? 1 : 0);
+    };
+  };
+  auto out = run_alternatives(
+      rt, root,
+      {Alternative{"plan-a", nullptr, launcher("alpha", 5), nullptr},
+       Alternative{"plan-b", nullptr, launcher("beta", 50), nullptr}});
+  ASSERT_EQ(out.winner, 0u);
+  // Exactly the winner's effect fired, after the block resolved.
+  EXPECT_EQ(launched, (std::vector<std::string>{"alpha"}));
+  // And during execution neither alternative could observe it.
+  EXPECT_EQ(root.space().load<int>(0), 0);
+  EXPECT_EQ(gate.dropped(), 1u);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,149 @@
+// Integration: the full §2.4.2 pipeline — SpecRuntime actors + predicated
+// messages + speculative console. This is the speculative_pipeline example
+// as assertions, plus deeper split/resolution scenarios.
+#include <gtest/gtest.h>
+
+#include "io/spec_console.hpp"
+#include "worlds/spec_runtime.hpp"
+
+namespace mw {
+namespace {
+
+struct Pipeline {
+  SpecRuntime rt;
+  Teletype tty;
+  SpeculativeConsole console;
+  LogicalId logger = kNoLogical;
+
+  Pipeline() : console(rt.processes(), tty) {
+    logger = rt.spawn_root("logger", [this](ProcCtx& ctx, const Message& m) {
+      console.write(ctx.pid(), ctx.predicates(), m.text());
+    });
+    rt.on_copy_certain = [this](Pid pid) { console.flush(pid); };
+  }
+};
+
+TEST(WorldsPipeline, WinnersOutputAppearsLosersDoesNot) {
+  Pipeline p;
+  LogicalId parent = p.rt.spawn_root("parent");
+  p.rt.spawn_alternatives(
+      parent,
+      {AltSpec{"A",
+               [&p](ProcCtx& ctx) {
+                 ctx.send_text(p.logger, "A: go");
+                 ctx.after(vt_ms(5), [&p](ProcCtx& c) {
+                   c.send_text(p.logger, "A: done");
+                   c.after(vt_ms(1), [](ProcCtx& c2) { c2.try_sync(); });
+                 });
+               },
+               nullptr},
+       AltSpec{"B",
+               [&p](ProcCtx& ctx) {
+                 ctx.send_text(p.logger, "B: go");
+                 ctx.after(vt_ms(50), [](ProcCtx& c) { c.try_sync(); });
+               },
+               nullptr}});
+  p.rt.run();
+  EXPECT_EQ(p.tty.output(), (std::vector<std::string>{"A: go", "A: done"}));
+  EXPECT_EQ(p.console.discarded_lines(), 1u);  // B's buffered line
+  ASSERT_EQ(p.rt.live_copies(p.logger).size(), 1u);
+  EXPECT_TRUE(p.rt.predicates_of(p.rt.live_copies(p.logger)[0]).empty());
+}
+
+TEST(WorldsPipeline, AbortingSpeculationLeavesCleanWorld) {
+  Pipeline p;
+  LogicalId parent = p.rt.spawn_root("parent");
+  p.rt.spawn_alternatives(
+      parent,
+      {AltSpec{"doomed",
+               [&p](ProcCtx& ctx) {
+                 ctx.send_text(p.logger, "doomed: hello");
+                 ctx.after(vt_ms(2), [](ProcCtx& c) { c.abort(); });
+               },
+               nullptr}});
+  p.rt.run();
+  EXPECT_TRUE(p.tty.output().empty());
+  ASSERT_EQ(p.rt.live_copies(p.logger).size(), 1u);
+  EXPECT_TRUE(p.rt.predicates_of(p.rt.live_copies(p.logger)[0]).empty());
+}
+
+TEST(WorldsPipeline, ThreeAlternativesThreeWaySplitResolves) {
+  Pipeline p;
+  LogicalId parent = p.rt.spawn_root("parent");
+  auto talker = [&p](const char* name, VDuration sync_after) {
+    return AltSpec{name,
+                   [&p, name, sync_after](ProcCtx& ctx) {
+                     ctx.send_text(p.logger, std::string(name) + ": msg");
+                     ctx.after(sync_after,
+                               [](ProcCtx& c) { c.try_sync(); });
+                   },
+                   nullptr};
+  };
+  p.rt.spawn_alternatives(parent, {talker("x", vt_ms(30)),
+                                   talker("y", vt_ms(10)),
+                                   talker("z", vt_ms(20))});
+  p.rt.run();
+  // y wins; only its line prints, and the logger collapses to one certain
+  // copy despite having split for every speculative sender that reached it.
+  EXPECT_EQ(p.tty.output(), (std::vector<std::string>{"y: msg"}));
+  ASSERT_EQ(p.rt.live_copies(p.logger).size(), 1u);
+  EXPECT_TRUE(p.rt.predicates_of(p.rt.live_copies(p.logger)[0]).empty());
+  EXPECT_GE(p.rt.stats().splits, 2u);
+}
+
+TEST(WorldsPipeline, SequentialSpeculationsReuseLogger) {
+  // Two alt groups one after the other: the logger must survive both and
+  // end certain with both winners' lines in order.
+  Pipeline p;
+  LogicalId parent1 = p.rt.spawn_root("parent1");
+  p.rt.spawn_alternatives(
+      parent1, {AltSpec{"first",
+                        [&p](ProcCtx& ctx) {
+                          ctx.send_text(p.logger, "round 1");
+                          ctx.after(vt_ms(1),
+                                    [](ProcCtx& c) { c.try_sync(); });
+                        },
+                        nullptr}});
+  p.rt.run();
+  LogicalId parent2 = p.rt.spawn_root("parent2");
+  p.rt.spawn_alternatives(
+      parent2, {AltSpec{"second",
+                        [&p](ProcCtx& ctx) {
+                          ctx.send_text(p.logger, "round 2");
+                          ctx.after(vt_ms(1),
+                                    [](ProcCtx& c) { c.try_sync(); });
+                        },
+                        nullptr}});
+  p.rt.run();
+  EXPECT_EQ(p.tty.output(),
+            (std::vector<std::string>{"round 1", "round 2"}));
+  EXPECT_EQ(p.rt.live_copies(p.logger).size(), 1u);
+}
+
+TEST(WorldsPipeline, WinnerStateCommittedToParentWorld) {
+  // The winning alternative's page writes land in the parent's world.
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent", nullptr, [](ProcCtx& ctx) {
+    ctx.space().store<int>(0, 1);
+  });
+  const Pid ppid = rt.live_copies(parent)[0];
+  rt.spawn_alternatives(
+      parent,
+      {AltSpec{"w",
+               [](ProcCtx& ctx) {
+                 ctx.space().store<int>(0, 42);
+                 ctx.after(vt_ms(2), [](ProcCtx& c) { c.try_sync(); });
+               },
+               nullptr},
+       AltSpec{"l",
+               [](ProcCtx& ctx) {
+                 ctx.space().store<int>(0, 666);
+                 ctx.after(vt_ms(20), [](ProcCtx& c) { c.try_sync(); });
+               },
+               nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.space_of(ppid).load<int>(0), 42);
+}
+
+}  // namespace
+}  // namespace mw

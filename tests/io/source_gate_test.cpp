@@ -1,0 +1,91 @@
+#include "io/source_gate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+class SourceGateTest : public ::testing::Test {
+ protected:
+  Pid make_proc() {
+    const Pid p = table_.create(kNoPid);
+    table_.set_status(p, ProcStatus::kRunning);
+    return p;
+  }
+  PredicateSet spec(Pid self) {
+    PredicateSet s;
+    s.assume_completes(self);
+    return s;
+  }
+  ProcessTable table_;
+};
+
+TEST_F(SourceGateTest, CertainWorldPassesThrough) {
+  SourceGate gate(table_, GatePolicy::kReject);
+  int fired = 0;
+  EXPECT_TRUE(gate.request(make_proc(), PredicateSet{}, [&] { ++fired; }));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(gate.executed(), 1u);
+}
+
+TEST_F(SourceGateTest, RejectPolicyBlocksSpeculativeAccess) {
+  SourceGate gate(table_, GatePolicy::kReject);
+  const Pid p = make_proc();
+  int fired = 0;
+  EXPECT_FALSE(gate.request(p, spec(p), [&] { ++fired; }));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(gate.rejected(), 1u);
+  // Even after the process syncs, a rejected action never fires.
+  table_.set_status(p, ProcStatus::kSynced);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST_F(SourceGateTest, DeferExecutesOnSync) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid p = make_proc();
+  int fired = 0;
+  EXPECT_FALSE(gate.request(p, spec(p), [&] { ++fired; }));
+  EXPECT_EQ(gate.deferred_pending(), 1u);
+  EXPECT_EQ(fired, 0);
+  table_.set_status(p, ProcStatus::kSynced);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(gate.deferred_pending(), 0u);
+  EXPECT_EQ(gate.executed(), 1u);
+}
+
+TEST_F(SourceGateTest, DeferDropsOnElimination) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid p = make_proc();
+  int fired = 0;
+  gate.request(p, spec(p), [&] { ++fired; });
+  table_.set_status(p, ProcStatus::kEliminated);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(gate.dropped(), 1u);
+}
+
+TEST_F(SourceGateTest, DeferPreservesOrder) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid p = make_proc();
+  std::vector<int> order;
+  gate.request(p, spec(p), [&] { order.push_back(1); });
+  gate.request(p, spec(p), [&] { order.push_back(2); });
+  gate.request(p, spec(p), [&] { order.push_back(3); });
+  table_.set_status(p, ProcStatus::kSynced);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(SourceGateTest, IndependentWorldsResolveIndependently) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid a = make_proc();
+  const Pid b = make_proc();
+  int a_fired = 0, b_fired = 0;
+  gate.request(a, spec(a), [&] { ++a_fired; });
+  gate.request(b, spec(b), [&] { ++b_fired; });
+  table_.set_status(a, ProcStatus::kFailed);
+  table_.set_status(b, ProcStatus::kSynced);
+  EXPECT_EQ(a_fired, 0);
+  EXPECT_EQ(b_fired, 1);
+}
+
+}  // namespace
+}  // namespace mw

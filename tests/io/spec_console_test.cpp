@@ -1,0 +1,118 @@
+#include "io/spec_console.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+class SpecConsoleTest : public ::testing::Test {
+ protected:
+  SpecConsoleTest() : tty_({"line1", "line2", "line3"}), console_(table_, tty_) {}
+
+  Pid speculative_pid() {
+    const Pid p = table_.create(kNoPid);
+    table_.set_status(p, ProcStatus::kRunning);
+    return p;
+  }
+
+  PredicateSet speculative_preds(Pid self) {
+    PredicateSet s;
+    s.assume_completes(self);
+    return s;
+  }
+
+  ProcessTable table_;
+  Teletype tty_;
+  SpeculativeConsole console_;
+};
+
+TEST_F(SpecConsoleTest, CertainWritesGoStraightThrough) {
+  const Pid p = speculative_pid();
+  console_.write(p, PredicateSet{}, "hello");
+  EXPECT_EQ(tty_.output(), (std::vector<std::string>{"hello"}));
+  EXPECT_EQ(console_.buffered_lines(), 0u);
+}
+
+TEST_F(SpecConsoleTest, SpeculativeWritesAreBuffered) {
+  const Pid p = speculative_pid();
+  console_.write(p, speculative_preds(p), "spec");
+  EXPECT_TRUE(tty_.output().empty());
+  EXPECT_EQ(console_.buffered_lines(), 1u);
+}
+
+TEST_F(SpecConsoleTest, BufferFlushesInOrderOnCompletion) {
+  const Pid p = speculative_pid();
+  console_.write(p, speculative_preds(p), "a");
+  console_.write(p, speculative_preds(p), "b");
+  table_.set_status(p, ProcStatus::kSynced);
+  EXPECT_EQ(tty_.output(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(console_.buffered_lines(), 0u);
+}
+
+TEST_F(SpecConsoleTest, BufferDiscardedOnFailure) {
+  const Pid p = speculative_pid();
+  console_.write(p, speculative_preds(p), "phantom");
+  table_.set_status(p, ProcStatus::kFailed);
+  EXPECT_TRUE(tty_.output().empty());
+  EXPECT_EQ(console_.discarded_lines(), 1u);
+}
+
+TEST_F(SpecConsoleTest, BufferDiscardedOnElimination) {
+  const Pid p = speculative_pid();
+  console_.write(p, speculative_preds(p), "phantom");
+  table_.set_status(p, ProcStatus::kEliminated);
+  EXPECT_TRUE(tty_.output().empty());
+}
+
+TEST_F(SpecConsoleTest, InterleavedWorldsOnlyWinnerPrints) {
+  const Pid a = speculative_pid();
+  const Pid b = speculative_pid();
+  console_.write(a, speculative_preds(a), "from-a");
+  console_.write(b, speculative_preds(b), "from-b");
+  table_.set_status(b, ProcStatus::kSynced);
+  table_.set_status(a, ProcStatus::kEliminated);
+  EXPECT_EQ(tty_.output(), (std::vector<std::string>{"from-b"}));
+}
+
+TEST_F(SpecConsoleTest, OneRealReadManyReplays) {
+  const Pid a = speculative_pid();
+  const Pid b = speculative_pid();
+  EXPECT_EQ(console_.read_line(a), "line1");
+  // The sibling reads the same position: replayed, not re-read.
+  EXPECT_EQ(console_.read_line(b), "line1");
+  EXPECT_EQ(tty_.reads_performed(), 1u);
+  EXPECT_EQ(console_.replayed_reads(), 1u);
+}
+
+TEST_F(SpecConsoleTest, ReadersAdvanceIndependently) {
+  const Pid a = speculative_pid();
+  const Pid b = speculative_pid();
+  EXPECT_EQ(console_.read_line(a), "line1");
+  EXPECT_EQ(console_.read_line(a), "line2");
+  EXPECT_EQ(console_.read_line(b), "line1");
+  EXPECT_EQ(console_.read_line(b), "line2");
+  EXPECT_EQ(console_.read_line(b), "line3");
+  // Only three real reads ever happened.
+  EXPECT_EQ(tty_.reads_performed(), 3u);
+}
+
+TEST_F(SpecConsoleTest, EofReturnsNullopt) {
+  const Pid a = speculative_pid();
+  console_.read_line(a);
+  console_.read_line(a);
+  console_.read_line(a);
+  EXPECT_FALSE(console_.read_line(a).has_value());
+}
+
+TEST_F(SpecConsoleTest, FlushHappensOnceEvenWithLaterEvents) {
+  const Pid p = speculative_pid();
+  console_.write(p, speculative_preds(p), "once");
+  table_.set_status(p, ProcStatus::kSynced);
+  // A second terminal transition is rejected by the table and must not
+  // double-flush.
+  table_.set_status(p, ProcStatus::kEliminated);
+  EXPECT_EQ(tty_.output(), (std::vector<std::string>{"once"}));
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,45 @@
+#include "io/teletype.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(Teletype, PrintAppendsInOrder) {
+  Teletype tty;
+  tty.print("a");
+  tty.print("b");
+  EXPECT_EQ(tty.output(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Teletype, ReadConsumesScript) {
+  Teletype tty({"x", "y"});
+  EXPECT_EQ(tty.read_line(), "x");
+  EXPECT_EQ(tty.read_line(), "y");
+  EXPECT_FALSE(tty.read_line().has_value());
+  EXPECT_EQ(tty.reads_performed(), 2u);
+}
+
+TEST(Teletype, ReadsAreNotIdempotent) {
+  // The §2.1 source property: retrying observably changes state.
+  Teletype tty({"only"});
+  auto first = tty.read_line();
+  auto second = tty.read_line();
+  EXPECT_TRUE(first.has_value());
+  EXPECT_FALSE(second.has_value());  // the retry saw different state
+}
+
+TEST(Teletype, EofDoesNotCountAsRead) {
+  Teletype tty;
+  tty.read_line();
+  tty.read_line();
+  EXPECT_EQ(tty.reads_performed(), 0u);
+}
+
+TEST(Teletype, EmptyScriptIsImmediatelyEof) {
+  Teletype tty(std::vector<std::string>{});
+  EXPECT_FALSE(tty.read_line().has_value());
+}
+
+}  // namespace
+}  // namespace mw

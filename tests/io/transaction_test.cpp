@@ -1,0 +1,132 @@
+#include "io/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() : store_(64) { file_ = store_.create("db", 8); }
+
+  BackingStore store_;
+  FileId file_ = kNoFile;
+};
+
+TEST_F(TransactionTest, ReadYourOwnWrites) {
+  Transaction tx(store_, file_);
+  tx.store<int>(0, 42);
+  EXPECT_EQ(tx.load<int>(0), 42);           // internally consistent
+  EXPECT_EQ(store_.load<int>(file_, 0), 0);  // invisible outside
+}
+
+TEST_F(TransactionTest, CommitPublishesAtomically) {
+  Transaction tx(store_, file_);
+  tx.store<int>(0, 1);
+  tx.store<int>(100, 2);
+  tx.commit();
+  EXPECT_EQ(store_.load<int>(file_, 0), 1);
+  EXPECT_EQ(store_.load<int>(file_, 100), 2);
+  EXPECT_TRUE(tx.committed());
+}
+
+TEST_F(TransactionTest, AbortDiscardsEverything) {
+  store_.store<int>(file_, 0, 7);
+  Transaction tx(store_, file_);
+  tx.store<int>(0, 99);
+  tx.abort();
+  EXPECT_EQ(store_.load<int>(file_, 0), 7);
+}
+
+TEST_F(TransactionTest, ReadsSeeSnapshotNotLaterStoreWrites) {
+  store_.store<int>(file_, 0, 5);
+  Transaction tx(store_, file_);
+  store_.store<int>(file_, 0, 6);  // concurrent external write
+  // The transaction still sees its snapshot.
+  EXPECT_EQ(tx.load<int>(0), 5);
+}
+
+TEST_F(TransactionTest, UntouchedDataSurvivesCommit) {
+  store_.store<int>(file_, 200, 77);
+  Transaction tx(store_, file_);
+  tx.store<int>(0, 1);
+  tx.commit();
+  EXPECT_EQ(store_.load<int>(file_, 200), 77);
+}
+
+TEST_F(TransactionTest, PagesTouchedTracksCow) {
+  Transaction tx(store_, file_);
+  EXPECT_EQ(tx.pages_touched(), 0u);
+  tx.store<int>(0, 1);
+  tx.store<int>(4, 2);  // same page
+  EXPECT_EQ(tx.pages_touched(), 1u);
+  tx.store<int>(64, 3);  // second page
+  EXPECT_EQ(tx.pages_touched(), 2u);
+}
+
+TEST_F(TransactionTest, SequentialTransactionsCompose) {
+  {
+    Transaction tx(store_, file_);
+    tx.store<int>(0, 10);
+    tx.commit();
+  }
+  {
+    Transaction tx(store_, file_);
+    EXPECT_EQ(tx.load<int>(0), 10);
+    tx.store<int>(0, 20);
+    tx.commit();
+  }
+  EXPECT_EQ(store_.load<int>(file_, 0), 20);
+}
+
+TEST_F(TransactionTest, DoubleCommitAborts) {
+  Transaction tx(store_, file_);
+  tx.commit();
+  EXPECT_DEATH(tx.commit(), "MW_CHECK");
+}
+
+TEST_F(TransactionTest, UseAfterAbortAborts) {
+  Transaction tx(store_, file_);
+  tx.abort();
+  EXPECT_DEATH(tx.store<int>(0, 1), "MW_CHECK");
+}
+
+TEST(BackingStore, NamedFilesAreSetsOfPages) {
+  BackingStore store(128);
+  FileId a = store.create("a", 4);
+  FileId b = store.create("b", 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(store.file_pages(a), 4u);
+  EXPECT_EQ(store.lookup("b"), b);
+  EXPECT_FALSE(store.lookup("c").has_value());
+}
+
+TEST(BackingStore, ReadWriteRoundTrip) {
+  BackingStore store(64);
+  FileId f = store.create("f", 4);
+  store.store<double>(f, 8, 3.25);
+  EXPECT_DOUBLE_EQ(store.load<double>(f, 8), 3.25);
+  EXPECT_GE(store.total_writes(), 1u);
+  EXPECT_GE(store.total_reads(), 1u);
+}
+
+TEST(BackingStore, DuplicateNameAborts) {
+  BackingStore store(64);
+  store.create("x", 1);
+  EXPECT_DEATH(store.create("x", 1), "MW_CHECK");
+}
+
+TEST(BackingStore, SnapshotIsIsolatedFromLaterWrites) {
+  BackingStore store(64);
+  FileId f = store.create("f", 4);
+  store.store<int>(f, 0, 1);
+  PageTable snap = store.snapshot(f);
+  store.store<int>(f, 0, 2);
+  int v = 0;
+  snap.read(0, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v),
+                                       sizeof v));
+  EXPECT_EQ(v, 1);
+}
+
+}  // namespace
+}  // namespace mw

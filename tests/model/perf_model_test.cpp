@@ -1,0 +1,132 @@
+#include "model/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mw {
+namespace {
+
+TEST(PerfModel, PiFormulaMatchesDefinition) {
+  // PI = R_mu / (1 + R_o).
+  EXPECT_DOUBLE_EQ(performance_improvement(2.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(performance_improvement(2.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(performance_improvement(3.0, 0.5), 2.0);
+}
+
+TEST(PerfModel, TauMeanAndBest) {
+  std::vector<double> t{4.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(tau_mean(t), 4.0);
+  EXPECT_DOUBLE_EQ(tau_best(t), 2.0);
+  EXPECT_DOUBLE_EQ(dispersion_ratio(t), 2.0);
+}
+
+TEST(PerfModel, MeasuredPiAgreesWithRatioForm) {
+  std::vector<double> t{4.0, 2.0, 6.0};
+  const double overhead = 1.0;
+  const double direct = measured_pi(t, overhead);       // 4/(2+1)
+  const double via_ratios = performance_improvement(
+      dispersion_ratio(t), overhead_ratio(overhead, t));
+  EXPECT_NEAR(direct, via_ratios, 1e-12);
+  EXPECT_NEAR(direct, 4.0 / 3.0, 1e-12);
+}
+
+TEST(PerfModel, ParallelWinsIff) {
+  // Equal alternatives, any overhead: parallel cannot win.
+  std::vector<double> equal{3.0, 3.0, 3.0};
+  EXPECT_FALSE(parallel_wins(equal, 0.1));
+  // Dispersed alternatives with small overhead: wins.
+  std::vector<double> spread{1.0, 5.0, 9.0};
+  EXPECT_TRUE(parallel_wins(spread, 0.5));
+  // Same spread, overwhelming overhead: loses.
+  EXPECT_FALSE(parallel_wins(spread, 10.0));
+}
+
+TEST(PerfModel, BreakEvenBoundary) {
+  // mean = 4, best = 2: wins iff overhead < 2.
+  std::vector<double> t{2.0, 6.0};
+  EXPECT_TRUE(parallel_wins(t, 1.99));
+  EXPECT_FALSE(parallel_wins(t, 2.0));
+}
+
+TEST(PerfModel, SuperlinearWithSufficientVariance) {
+  // §3.3: "with sufficient variance, and small enough overhead, N
+  // processors can exhibit superlinear speedup". N=2, mean=50.5, best=1:
+  // PI = 50.5 > 2.
+  std::vector<double> t{1.0, 100.0};
+  EXPECT_TRUE(superlinear(t, 0.0));
+  // With equal times there is no speedup at all.
+  std::vector<double> eq{1.0, 1.0};
+  EXPECT_FALSE(superlinear(eq, 0.0));
+}
+
+TEST(PerfModel, Figure3IsALine) {
+  auto series = figure3_series(0.5, 0.0, 5.0, 26);
+  ASSERT_EQ(series.size(), 26u);
+  EXPECT_DOUBLE_EQ(series.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().x, 5.0);
+  // Slope 1/(1+0.5) = 2/3 everywhere.
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const double slope = (series[i].pi - series[i - 1].pi) /
+                         (series[i].x - series[i - 1].x);
+    EXPECT_NEAR(slope, 2.0 / 3.0, 1e-9);
+  }
+}
+
+TEST(PerfModel, Figure3PassesThroughKnownPoints) {
+  // At R_mu = 1.5 and R_o = 0.5: PI = 1 — the break-even the figure shows.
+  EXPECT_NEAR(performance_improvement(1.5, 0.5), 1.0, 1e-12);
+}
+
+TEST(PerfModel, Figure4IsLogSpacedAndDecreasing) {
+  auto series = figure4_series();
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_NEAR(series.front().x, 0.01, 1e-9);
+  EXPECT_NEAR(series.back().x, 1.0, 1e-9);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GT(series[i].x, series[i - 1].x);
+    EXPECT_LT(series[i].pi, series[i - 1].pi);  // more overhead, less PI
+  }
+  // Endpoints: PI = e/1.01 and e/2.
+  EXPECT_NEAR(series.front().pi, std::exp(1.0) / 1.01, 1e-9);
+  EXPECT_NEAR(series.back().pi, std::exp(1.0) / 2.0, 1e-9);
+}
+
+TEST(PerfModel, Figure4LogSpacingIsGeometric) {
+  auto series = figure4_series(std::exp(1.0), 0.01, 1.0, 5);
+  // Ratios between consecutive x must be constant.
+  const double r0 = series[1].x / series[0].x;
+  for (std::size_t i = 2; i < series.size(); ++i)
+    EXPECT_NEAR(series[i].x / series[i - 1].x, r0, 1e-9);
+}
+
+TEST(PerfModel, DomainAnalysisAggregates) {
+  // Two inputs: one where speculation wins big, one where it loses.
+  std::vector<std::vector<double>> times{{1.0, 10.0}, {5.0, 5.0}};
+  std::vector<double> overheads{0.5, 0.5};
+  auto d = domain_analysis(times, overheads);
+  EXPECT_DOUBLE_EQ(d.max_pi, 5.5 / 1.5);
+  EXPECT_DOUBLE_EQ(d.min_pi, 5.0 / 5.5);
+  EXPECT_DOUBLE_EQ(d.fraction_improved, 0.5);
+  EXPECT_NEAR(d.mean_pi, (5.5 / 1.5 + 5.0 / 5.5) / 2.0, 1e-12);
+}
+
+TEST(PerfModel, DomainAnalysisBestCaseComplementaryAlgorithms) {
+  // §3.3: the best case is algorithms with complementary weak points —
+  // every input has someone fast.
+  std::vector<std::vector<double>> complementary{
+      {1.0, 9.0}, {9.0, 1.0}, {1.0, 9.0}};
+  std::vector<double> overheads{0.1, 0.1, 0.1};
+  auto d = domain_analysis(complementary, overheads);
+  EXPECT_DOUBLE_EQ(d.fraction_improved, 1.0);
+  EXPECT_GT(d.mean_pi, 4.0);
+}
+
+TEST(PerfModelDeath, InvalidInputsAbort) {
+  std::vector<double> empty;
+  EXPECT_DEATH(tau_mean(empty), "MW_CHECK");
+  EXPECT_DEATH(performance_improvement(1.0, -0.1), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

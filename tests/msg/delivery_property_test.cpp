@@ -1,0 +1,87 @@
+// Property fuzz for the delivery decision: for random receiver/sender
+// predicate sets the decision must be consistent with the §2.4.2 rules,
+// and split copies must be complementary and internally consistent.
+#include <gtest/gtest.h>
+
+#include "msg/delivery.hpp"
+#include "util/rng.hpp"
+
+namespace mw {
+namespace {
+
+PredicateSet random_set(Rng& rng, Pid lo, Pid hi) {
+  PredicateSet s;
+  const int n = static_cast<int>(rng.next_below(6));
+  for (int i = 0; i < n; ++i) {
+    const Pid p = static_cast<Pid>(rng.next_in(lo, hi));
+    if (rng.next_bool(0.5)) {
+      s.assume_completes(p);
+    } else {
+      s.assume_fails(p);
+    }
+  }
+  return s;
+}
+
+class DeliveryPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(DeliveryPropertyTest, DecisionInvariantsHold) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const Pid sender_pid = static_cast<Pid>(rng.next_in(50, 60));
+    PredicateSet receiver = random_set(rng, 1, 20);
+    Message msg;
+    msg.sender = sender_pid;
+    msg.predicate = random_set(rng, 1, 20);
+    // Senders believe in themselves (sibling rivalry always adds this).
+    msg.predicate.assume_completes(sender_pid);
+
+    const DeliveryDecision d = decide_delivery(receiver, msg);
+    switch (d.action) {
+      case DeliveryAction::kAccept: {
+        // Acceptance implies no conflict: either the receiver already
+        // believed in the sender, or the relation was implied.
+        EXPECT_FALSE(receiver.assumes_fails(sender_pid));
+        if (!receiver.assumes_completes(sender_pid)) {
+          EXPECT_EQ(receiver.relation_to(msg.predicate),
+                    PredRelation::kImplied);
+        }
+        break;
+      }
+      case DeliveryAction::kIgnore: {
+        // Ignoring requires a conflict somewhere: an opposite opinion on
+        // the sender or on some pid in the message predicate.
+        const bool sender_conflict = receiver.assumes_fails(sender_pid);
+        const bool set_conflict =
+            receiver.relation_to(msg.predicate) == PredRelation::kConflict;
+        EXPECT_TRUE(sender_conflict || set_conflict);
+        break;
+      }
+      case DeliveryAction::kSplit: {
+        // The two copies are complementary on exactly the sender...
+        EXPECT_TRUE(d.accept_preds.assumes_completes(sender_pid));
+        EXPECT_TRUE(d.reject_preds.assumes_fails(sender_pid));
+        // ...and agree with the receiver everywhere else.
+        for (Pid p : receiver.must_complete()) {
+          EXPECT_TRUE(d.accept_preds.assumes_completes(p));
+          EXPECT_TRUE(d.reject_preds.assumes_completes(p));
+        }
+        for (Pid p : receiver.cant_complete()) {
+          EXPECT_TRUE(d.accept_preds.assumes_fails(p));
+          EXPECT_TRUE(d.reject_preds.assumes_fails(p));
+        }
+        // Each copy grew by exactly one assumption.
+        EXPECT_EQ(d.accept_preds.size(), receiver.size() + 1);
+        EXPECT_EQ(d.reject_preds.size(), receiver.size() + 1);
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeliveryPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,141 @@
+#include "msg/delivery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+Message msg_from(Pid sender, PredicateSet preds) {
+  Message m;
+  m.sender = sender;
+  m.predicate = std::move(preds);
+  return m;
+}
+
+TEST(Delivery, CertainSenderAlwaysAccepted) {
+  PredicateSet receiver;
+  receiver.assume_completes(4);
+  auto d = decide_delivery(receiver, msg_from(9, PredicateSet{}));
+  EXPECT_EQ(d.action, DeliveryAction::kAccept);
+  EXPECT_EQ(d.accept_preds, receiver);  // unchanged
+}
+
+TEST(Delivery, ImpliedWhenReceiverAlreadyAssumesAll) {
+  PredicateSet sender;
+  sender.assume_completes(1);
+  PredicateSet receiver;
+  receiver.assume_completes(1);
+  receiver.assume_fails(2);
+  auto d = decide_delivery(receiver, msg_from(1, sender));
+  EXPECT_EQ(d.action, DeliveryAction::kAccept);
+}
+
+TEST(Delivery, ConflictIsIgnored) {
+  // Sender assumes process 5 completes; receiver assumes it does not.
+  PredicateSet sender;
+  sender.assume_completes(5);
+  sender.assume_completes(7);  // sender is pid 7, assumes itself
+  PredicateSet receiver;
+  receiver.assume_fails(5);
+  auto d = decide_delivery(receiver, msg_from(7, sender));
+  EXPECT_EQ(d.action, DeliveryAction::kIgnore);
+}
+
+TEST(Delivery, ExtensionSplitsReceiver) {
+  // Sender (pid 3) assumes complete(3), not-complete(4); receiver has no
+  // opinion: the receiver splits on complete(3).
+  PredicateSet sender;
+  sender.assume_completes(3);
+  sender.assume_fails(4);
+  PredicateSet receiver;
+  receiver.assume_completes(100);  // unrelated prior assumption
+
+  auto d = decide_delivery(receiver, msg_from(3, sender));
+  ASSERT_EQ(d.action, DeliveryAction::kSplit);
+  // Accepting copy: prior assumptions plus complete(sender) — and only
+  // that; complete(3) implies the rest of the sender's assumptions.
+  EXPECT_TRUE(d.accept_preds.assumes_completes(100));
+  EXPECT_TRUE(d.accept_preds.assumes_completes(3));
+  EXPECT_FALSE(d.accept_preds.assumes_fails(4));
+  // Rejecting copy: prior assumptions plus not-complete(sender).
+  EXPECT_TRUE(d.reject_preds.assumes_completes(100));
+  EXPECT_TRUE(d.reject_preds.assumes_fails(3));
+  EXPECT_FALSE(d.reject_preds.assumes_fails(4));
+}
+
+TEST(Delivery, ReceiverBelievingSenderAcceptsTransitively) {
+  // Receiver already assumes complete(sender); the sender's additional
+  // assumptions are implied transitively — accept without extension.
+  PredicateSet sender;
+  sender.assume_completes(3);
+  sender.assume_fails(4);
+  PredicateSet receiver;
+  receiver.assume_completes(3);
+  auto d = decide_delivery(receiver, msg_from(3, sender));
+  EXPECT_EQ(d.action, DeliveryAction::kAccept);
+}
+
+TEST(Delivery, ReceiverRejectingSenderIgnores) {
+  PredicateSet sender;
+  sender.assume_completes(3);
+  PredicateSet receiver;
+  receiver.assume_fails(3);
+  auto d = decide_delivery(receiver, msg_from(3, sender));
+  EXPECT_EQ(d.action, DeliveryAction::kIgnore);
+}
+
+TEST(Delivery, EmptyReceiverEmptySenderAccepts) {
+  auto d = decide_delivery(PredicateSet{}, msg_from(2, PredicateSet{}));
+  EXPECT_EQ(d.action, DeliveryAction::kAccept);
+}
+
+TEST(SimplifyAgainstOracle, RemovesResolvedFacts) {
+  ProcessTable t;
+  Pid a = t.create(kNoPid);
+  Pid b = t.create(kNoPid);
+  t.set_status(a, ProcStatus::kSynced);
+  PredicateSet s;
+  s.assume_completes(a);
+  s.assume_fails(b);
+  EXPECT_TRUE(simplify_against_oracle(s, t));
+  EXPECT_FALSE(s.assumes_completes(a));  // fact absorbed
+  EXPECT_TRUE(s.assumes_fails(b));       // still speculative
+}
+
+TEST(SimplifyAgainstOracle, DoomsOnFalsifiedAssumption) {
+  ProcessTable t;
+  Pid a = t.create(kNoPid);
+  t.set_status(a, ProcStatus::kEliminated);
+  PredicateSet s;
+  s.assume_completes(a);
+  EXPECT_FALSE(simplify_against_oracle(s, t));
+}
+
+TEST(SimplifyAgainstOracle, FailedCantCompleteSimplifies) {
+  ProcessTable t;
+  Pid a = t.create(kNoPid);
+  t.set_status(a, ProcStatus::kFailed);
+  PredicateSet s;
+  s.assume_fails(a);
+  EXPECT_TRUE(simplify_against_oracle(s, t));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SimplifyAgainstOracle, UnknownPidsAreLeftAlone) {
+  ProcessTable t;
+  PredicateSet s;
+  s.assume_completes(424242);
+  EXPECT_TRUE(simplify_against_oracle(s, t));
+  EXPECT_TRUE(s.assumes_completes(424242));
+}
+
+TEST(DeliveryDeath, AnonymousExtensionAborts) {
+  PredicateSet sender;
+  sender.assume_completes(3);
+  PredicateSet receiver;
+  Message m = msg_from(kNoPid, sender);
+  EXPECT_DEATH(decide_delivery(receiver, m), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

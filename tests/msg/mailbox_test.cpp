@@ -1,0 +1,56 @@
+#include "msg/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(Mailbox, FifoOrder) {
+  Mailbox mb;
+  for (int i = 0; i < 5; ++i) mb.push(Message::of_text(std::to_string(i)));
+  for (int i = 0; i < 5; ++i) {
+    auto m = mb.pop();
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->text(), std::to_string(i));
+  }
+  EXPECT_FALSE(mb.pop().has_value());
+}
+
+TEST(Mailbox, SequenceNumbersMonotone) {
+  Mailbox mb;
+  mb.push(Message::of_text("a"));
+  mb.push(Message::of_text("b"));
+  EXPECT_EQ(mb.pop()->seq, 0u);
+  EXPECT_EQ(mb.pop()->seq, 1u);
+}
+
+TEST(Mailbox, SizeAndEmpty) {
+  Mailbox mb;
+  EXPECT_TRUE(mb.empty());
+  mb.push(Message::of_text("x"));
+  EXPECT_EQ(mb.size(), 1u);
+  mb.pop();
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(Mailbox, PruneDropsDoomedKeepsOrder) {
+  Mailbox mb;
+  Message doomed = Message::of_text("dead");
+  doomed.predicate.assume_completes(9);
+  mb.push(Message::of_text("first"));
+  mb.push(doomed);
+  mb.push(Message::of_text("last"));
+  const std::size_t dropped = mb.prune(
+      [](PredicateSet& p) { return !p.assumes_completes(9); });
+  EXPECT_EQ(dropped, 1u);
+  EXPECT_EQ(mb.pop()->text(), "first");
+  EXPECT_EQ(mb.pop()->text(), "last");
+}
+
+TEST(Mailbox, PruneOnEmptyIsNoop) {
+  Mailbox mb;
+  EXPECT_EQ(mb.prune([](PredicateSet&) { return true; }), 0u);
+}
+
+}  // namespace
+}  // namespace mw

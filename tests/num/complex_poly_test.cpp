@@ -1,0 +1,114 @@
+#include "num/complex_poly.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(Poly, FromCoeffsTrimsTrailingZeros) {
+  Poly p = Poly::from_coeffs({Cx(1, 0), Cx(2, 0), Cx(0, 0)});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Poly, EvalHorner) {
+  // p(z) = 3 + 2z + z^2; p(2) = 3 + 4 + 4 = 11.
+  Poly p = Poly::from_coeffs({Cx(3, 0), Cx(2, 0), Cx(1, 0)});
+  EXPECT_NEAR(std::abs(p.eval(Cx(2, 0)) - Cx(11, 0)), 0.0, 1e-12);
+}
+
+TEST(Poly, EvalComplexPoint) {
+  // p(z) = z^2 + 1; p(i) = 0.
+  Poly p = Poly::from_coeffs({Cx(1, 0), Cx(0, 0), Cx(1, 0)});
+  EXPECT_NEAR(std::abs(p.eval(Cx(0, 1))), 0.0, 1e-12);
+}
+
+TEST(Poly, FromRootsEvaluatesToZeroAtRoots) {
+  std::vector<Cx> roots{Cx(1, 2), Cx(-0.5, 0.3), Cx(2, -1), Cx(0, 0.7)};
+  Poly p = Poly::from_roots(roots);
+  EXPECT_EQ(p.degree(), 4);
+  for (const Cx& r : roots) EXPECT_LT(std::abs(p.eval(r)), 1e-10);
+}
+
+TEST(Poly, FromRootsIsMonic) {
+  std::vector<Cx> roots{Cx(1, 0), Cx(2, 0)};
+  Poly p = Poly::from_roots(roots);
+  EXPECT_NEAR(std::abs(p.leading() - Cx(1, 0)), 0.0, 1e-15);
+}
+
+TEST(Poly, EvalWithDerivMatchesDerivativePoly) {
+  Poly p = Poly::from_coeffs({Cx(1, 1), Cx(-2, 0), Cx(0, 3), Cx(4, 0)});
+  Poly d = p.derivative();
+  const Cx z(0.7, -1.3);
+  Cx dval;
+  const Cx pval = p.eval_with_deriv(z, &dval);
+  EXPECT_LT(std::abs(pval - p.eval(z)), 1e-12);
+  EXPECT_LT(std::abs(dval - d.eval(z)), 1e-12);
+}
+
+TEST(Poly, DerivativeOfConstantIsZero) {
+  Poly p = Poly::from_coeffs({Cx(5, 0)});
+  EXPECT_TRUE(p.derivative().zero());
+}
+
+TEST(Poly, DeflateRemovesRoot) {
+  std::vector<Cx> roots{Cx(1, 0), Cx(2, 0), Cx(3, 0)};
+  Poly p = Poly::from_roots(roots);
+  Poly q = p.deflate(Cx(2, 0));
+  EXPECT_EQ(q.degree(), 2);
+  EXPECT_LT(std::abs(q.eval(Cx(1, 0))), 1e-10);
+  EXPECT_LT(std::abs(q.eval(Cx(3, 0))), 1e-10);
+  // The deflated root is no longer a zero.
+  EXPECT_GT(std::abs(q.eval(Cx(2, 0))), 0.1);
+}
+
+TEST(Poly, MonicNormalizesLeading) {
+  Poly p = Poly::from_coeffs({Cx(2, 0), Cx(4, 0)});
+  Poly m = p.monic();
+  EXPECT_NEAR(std::abs(m.leading() - Cx(1, 0)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(m.coeff(0) - Cx(0.5, 0)), 0.0, 1e-15);
+}
+
+TEST(Poly, RootBoundsSandwichActualRoots) {
+  std::vector<Cx> roots{Cx(0.5, 0.1), Cx(-1.5, 0.4), Cx(0, 2.0)};
+  Poly p = Poly::from_roots(roots);
+  const double lower = p.root_bound_lower();
+  const double upper = p.root_bound_upper();
+  for (const Cx& r : roots) {
+    EXPECT_GE(std::abs(r), lower - 1e-9);
+    EXPECT_LE(std::abs(r), upper + 1e-9);
+  }
+}
+
+TEST(Poly, RootBoundLowerPositiveForNonzeroConstant) {
+  Poly p = Poly::from_roots(std::vector<Cx>{Cx(1, 0), Cx(3, 0)});
+  EXPECT_GT(p.root_bound_lower(), 0.0);
+}
+
+TEST(MaxResidual, ZeroAtTrueRoots) {
+  std::vector<Cx> roots{Cx(1, 1), Cx(-1, 2)};
+  Poly p = Poly::from_roots(roots);
+  EXPECT_LT(max_residual(p, roots), 1e-10);
+  std::vector<Cx> wrong{Cx(5, 5)};
+  EXPECT_GT(max_residual(p, wrong), 1.0);
+}
+
+TEST(MatchRoots, PerfectMatchIsZero) {
+  std::vector<Cx> a{Cx(1, 0), Cx(2, 0)};
+  std::vector<Cx> b{Cx(2, 0), Cx(1, 0)};  // permuted
+  EXPECT_LT(match_roots(a, b), 1e-15);
+}
+
+TEST(MatchRoots, ReportsWorstDistance) {
+  std::vector<Cx> a{Cx(0, 0), Cx(1, 0)};
+  std::vector<Cx> b{Cx(0, 0), Cx(1.5, 0)};
+  EXPECT_NEAR(match_roots(a, b), 0.5, 1e-12);
+}
+
+TEST(MatchRoots, MissingRootIsInfinite) {
+  std::vector<Cx> a{Cx(0, 0), Cx(1, 0)};
+  std::vector<Cx> b{Cx(0, 0)};
+  EXPECT_TRUE(std::isinf(match_roots(a, b)));
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,161 @@
+// Numerics edge cases: special polynomial geometries the rootfinders must
+// survive — roots of unity, double roots, wide dynamic range, tiny/huge
+// scaling.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "num/jenkins_traub.hpp"
+#include "num/methods.hpp"
+
+namespace mw {
+namespace {
+
+std::vector<Cx> roots_of_unity(int n) {
+  std::vector<Cx> r;
+  for (int k = 0; k < n; ++k) {
+    const double a = 2.0 * std::numbers::pi * k / n;
+    r.emplace_back(std::cos(a), std::sin(a));
+  }
+  return r;
+}
+
+TEST(EdgeCases, RootsOfUnityJt) {
+  // z^8 - 1: perfectly symmetric, all roots equimodular — the worst case
+  // for smallest-root selection; per-root angle retries must cope.
+  auto expected = roots_of_unity(8);
+  Poly p = Poly::from_roots(expected);
+  auto r = jenkins_traub_seq(p, 8);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(expected, r.roots), 1e-6);
+}
+
+TEST(EdgeCases, RootsOfUnityAberth) {
+  auto expected = roots_of_unity(12);
+  auto r = aberth(Poly::from_roots(expected));
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(expected, r.roots), 1e-8);
+}
+
+TEST(EdgeCases, ExactDoubleRoot) {
+  // (z-1)^2 (z+2): a true multiplicity-2 root.
+  std::vector<Cx> expected{Cx(1, 0), Cx(1, 0), Cx(-2, 0)};
+  Poly p = Poly::from_roots(expected);
+  auto r = laguerre(p);
+  ASSERT_TRUE(r.converged) << r.note;
+  // Multiple roots limit attainable accuracy to ~sqrt(eps).
+  EXPECT_LT(match_roots(expected, r.roots), 1e-5);
+}
+
+TEST(EdgeCases, TripleRootLaguerre) {
+  std::vector<Cx> expected{Cx(0.5, 0.5), Cx(0.5, 0.5), Cx(0.5, 0.5)};
+  Poly p = Poly::from_roots(expected);
+  auto r = laguerre(p);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(expected, r.roots), 1e-3);  // cube-root-of-eps
+}
+
+TEST(EdgeCases, WideDynamicRangeOfModuli) {
+  // Roots spanning 1e-2 .. 1e2.
+  std::vector<Cx> expected{Cx(0.01, 0), Cx(1, 0), Cx(100, 0), Cx(0, 10)};
+  Poly p = Poly::from_roots(expected);
+  auto r = jenkins_traub_seq(p, 8);
+  ASSERT_TRUE(r.converged) << r.note;
+  // Relative matching: check each expected root has a close match.
+  for (const Cx& e : expected) {
+    double best = 1e18;
+    for (const Cx& f : r.roots) best = std::min(best, std::abs(e - f));
+    EXPECT_LT(best / std::max(1.0, std::abs(e)), 1e-6);
+  }
+}
+
+TEST(EdgeCases, NonMonicHugeLeadingCoefficient) {
+  // 1e8 * (z - 3)(z + 1)
+  Poly p = Poly::from_coeffs({Cx(-3e8, 0), Cx(-2e8, 0), Cx(1e8, 0)});
+  auto r = jenkins_traub(p);
+  ASSERT_TRUE(r.converged);
+  std::vector<Cx> expected{Cx(3, 0), Cx(-1, 0)};
+  EXPECT_LT(match_roots(expected, r.roots), 1e-7);
+}
+
+TEST(EdgeCases, PureImaginaryConjugatePairs) {
+  std::vector<Cx> expected{Cx(0, 2), Cx(0, -2), Cx(0, 0.5), Cx(0, -0.5)};
+  Poly p = Poly::from_roots(expected);
+  auto r = jenkins_traub_seq(p, 8);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(expected, r.roots), 1e-7);
+}
+
+TEST(EdgeCases, ManyZeroRoots) {
+  // z^3 (z - 1): repeated zero roots extracted before staging.
+  std::vector<Cx> expected{Cx(0, 0), Cx(0, 0), Cx(0, 0), Cx(1, 0)};
+  Poly p = Poly::from_roots(expected);
+  auto r = jenkins_traub(p);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(expected, r.roots), 1e-8);
+}
+
+TEST(EdgeCases, DegreeOneAndTwoShortCircuit) {
+  auto r1 = jenkins_traub(Poly::from_coeffs({Cx(-6, 0), Cx(2, 0)}));
+  ASSERT_TRUE(r1.converged);
+  EXPECT_LT(std::abs(r1.roots[0] - Cx(3, 0)), 1e-12);
+  // Iteration count for linear solves is zero: no staging ran.
+  EXPECT_EQ(r1.iterations, 0u);
+}
+
+TEST(EdgeCases, ChebyshevLikeOscillatoryRoots) {
+  // Chebyshev nodes on [-1, 1]: clustered toward the endpoints.
+  std::vector<Cx> expected;
+  const int n = 10;
+  for (int k = 1; k <= n; ++k) {
+    expected.emplace_back(
+        std::cos((2.0 * k - 1) / (2.0 * n) * std::numbers::pi), 0.0);
+  }
+  Poly p = Poly::from_roots(expected);
+  auto r = laguerre(p);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(expected, r.roots), 1e-6);
+}
+
+TEST(EdgeCases, DurandKernerDeterministicGivenAngle) {
+  std::vector<Cx> expected{Cx(1, 1), Cx(-1, 2), Cx(2, -1), Cx(-2, -2)};
+  Poly p = Poly::from_roots(expected);
+  auto a = durand_kerner(p);
+  auto b = durand_kerner(p);
+  ASSERT_TRUE(a.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(EdgeCases, InitAngleChangesDkTrajectory) {
+  std::vector<Cx> expected{Cx(1, 1), Cx(-1, 2), Cx(2, -1), Cx(-2, -2),
+                           Cx(0.5, 0.2), Cx(-0.3, -1.4)};
+  Poly p = Poly::from_roots(expected);
+  DkConfig c1, c2;
+  c1.init_angle_rad = 0.4;
+  c2.init_angle_rad = 1.9;
+  auto r1 = durand_kerner(p, c1);
+  auto r2 = durand_kerner(p, c2);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r2.converged);
+  // Same roots, different cost: the dispersion speculation feeds on.
+  EXPECT_LT(match_roots(r1.roots, r2.roots), 1e-6);
+}
+
+TEST(EdgeCases, WilkinsonPolynomial) {
+  // Wilkinson's classic ill-conditioned polynomial (roots 1..n): both
+  // flagship methods must recover the roots at moderate degree.
+  for (int n : {8, 10}) {
+    std::vector<Cx> roots;
+    for (int k = 1; k <= n; ++k) roots.emplace_back(k, 0);
+    Poly p = Poly::from_roots(roots);
+    auto jt = jenkins_traub_seq(p, 8);
+    ASSERT_TRUE(jt.converged) << "wilkinson " << n;
+    EXPECT_LT(match_roots(roots, jt.roots), 1e-5);
+    auto lg = laguerre(p);
+    ASSERT_TRUE(lg.converged) << "wilkinson " << n;
+    EXPECT_LT(match_roots(roots, lg.roots), 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace mw

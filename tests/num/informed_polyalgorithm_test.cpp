@@ -1,0 +1,140 @@
+// §4.3's information build-up: failed methods leave behind confirmed
+// partial roots that warm-start later methods.
+#include <gtest/gtest.h>
+
+#include "num/jenkins_traub.hpp"
+#include "num/methods.hpp"
+#include "num/polyalgorithm.hpp"
+#include "num/workload.hpp"
+
+namespace mw {
+namespace {
+
+TEST(InformedPolyalgorithm, HarvestKeepsOnlyVerifiedRoots) {
+  std::vector<Cx> roots{Cx(1, 0), Cx(-2, 0), Cx(0, 3)};
+  Poly p = Poly::from_roots(roots);
+  RootResult attempt;
+  attempt.roots = {Cx(1, 0), Cx(5, 5)};  // one real root, one garbage
+  ProblemNotes notes;
+  harvest_partial_roots(p, attempt, &notes);
+  ASSERT_EQ(notes.confirmed_partial_roots.size(), 1u);
+  EXPECT_LT(std::abs(notes.confirmed_partial_roots[0] - Cx(1, 0)), 1e-9);
+}
+
+TEST(InformedPolyalgorithm, HarvestDeduplicates) {
+  std::vector<Cx> roots{Cx(1, 0), Cx(2, 0)};
+  Poly p = Poly::from_roots(roots);
+  RootResult a1, a2;
+  a1.roots = {Cx(1, 0)};
+  a2.roots = {Cx(1, 0), Cx(2, 0)};
+  ProblemNotes notes;
+  harvest_partial_roots(p, a1, &notes);
+  harvest_partial_roots(p, a2, &notes);
+  EXPECT_EQ(notes.confirmed_partial_roots.size(), 2u);
+}
+
+TEST(InformedPolyalgorithm, DeflateByNotesReducesDegree) {
+  std::vector<Cx> roots{Cx(1, 0), Cx(-1, 0), Cx(0, 2), Cx(0, -2)};
+  Poly p = Poly::from_roots(roots);
+  ProblemNotes notes;
+  notes.confirmed_partial_roots = {Cx(1, 0), Cx(-1, 0)};
+  Poly rest = deflate_by_notes(p, notes);
+  EXPECT_EQ(rest.degree(), 2);
+  EXPECT_LT(std::abs(rest.eval(Cx(0, 2))), 1e-9);
+}
+
+TEST(InformedPolyalgorithm, WarmStartUsesPartialProgress) {
+  // A failing scout followed by the warm-start member: the warm start
+  // must solve only the remainder. We inject the scout as a method that
+  // "fails" after finding half the roots.
+  Rng rng(77);
+  WorkloadConfig cfg;
+  cfg.degree = 12;
+  cfg.clusters = 0;
+  PolyWorkload w = make_clustered_poly(rng, cfg);
+
+  // Precompute 6 genuine roots to hand back from the fake failing scout.
+  std::vector<Cx> half(w.true_roots.begin(), w.true_roots.begin() + 6);
+
+  std::vector<InformedMethod> suite;
+  suite.push_back({"half-then-die",
+                   [&half](const Poly&, const ProblemNotes&) {
+                     RootResult r;
+                     r.roots = half;
+                     r.iterations = 10;
+                     r.note = "gave up halfway";
+                     return r;  // converged=false
+                   },
+                   nullptr});
+  auto informed = informed_method_suite();
+  suite.push_back(informed[1]);  // laguerre-warmstart
+
+  auto out = run_informed_polyalgorithm(w.poly, suite);
+  ASSERT_TRUE(out.result.converged) << out.result.note;
+  EXPECT_EQ(out.method_used, "laguerre-warmstart");
+  EXPECT_EQ(out.methods_tried, 2);
+  EXPECT_LT(match_roots(w.true_roots, out.result.roots), 1e-4);
+
+  // The warm start beat a cold Laguerre on the full problem.
+  auto cold = mw::laguerre(w.poly);
+  ASSERT_TRUE(cold.converged);
+  EXPECT_LT(out.total_iterations, cold.iterations + 10);
+}
+
+TEST(InformedPolyalgorithm, StandardSuiteSolvesRoutineProblems) {
+  Rng rng(31);
+  WorkloadConfig cfg;
+  cfg.degree = 14;
+  cfg.clusters = 2;
+  cfg.cluster_gap = 0.05;
+  PolyWorkload w = make_clustered_poly(rng, cfg);
+  auto out = run_informed_polyalgorithm(w.poly, informed_method_suite());
+  ASSERT_TRUE(out.result.converged) << out.result.note;
+  EXPECT_LT(match_roots(w.true_roots, out.result.roots), 1e-3);
+}
+
+TEST(InformedPolyalgorithm, FailureLogAccumulates) {
+  std::vector<InformedMethod> suite;
+  for (const char* name : {"a", "b"}) {
+    suite.push_back({name,
+                     [](const Poly&, const ProblemNotes&) {
+                       RootResult r;
+                       r.note = "nope";
+                       return r;
+                     },
+                     nullptr});
+  }
+  Poly p = Poly::from_roots(std::vector<Cx>{Cx(1, 0)});
+  auto out = run_informed_polyalgorithm(p, suite);
+  EXPECT_FALSE(out.result.converged);
+  EXPECT_EQ(out.methods_tried, 2);
+}
+
+TEST(InformedPolyalgorithm, NotesVisibleToApplicabilityHeuristics) {
+  // A method gated on "only after something else failed".
+  int gated_ran = 0;
+  std::vector<InformedMethod> suite;
+  suite.push_back({"fails",
+                   [](const Poly&, const ProblemNotes&) {
+                     RootResult r;
+                     r.note = "x";
+                     return r;
+                   },
+                   nullptr});
+  suite.push_back(
+      {"gated",
+       [&gated_ran](const Poly& p, const ProblemNotes&) {
+         ++gated_ran;
+         return jenkins_traub_seq(p);
+       },
+       [](const Poly&, const ProblemNotes& n) {
+         return n.failed_methods >= 1;  // only as a second opinion
+       }});
+  Poly p = Poly::from_roots(std::vector<Cx>{Cx(2, 1), Cx(-1, 0.5)});
+  auto out = run_informed_polyalgorithm(p, suite);
+  EXPECT_TRUE(out.result.converged);
+  EXPECT_EQ(gated_ran, 1);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,109 @@
+#include "num/polyalgorithm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "num/workload.hpp"
+
+namespace mw {
+namespace {
+
+TEST(Polyalgorithm, StandardSuiteHasFiveMethods) {
+  auto suite = standard_method_suite();
+  EXPECT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "jenkins-traub");
+}
+
+TEST(Polyalgorithm, SolvesWithFirstMethodWhenItWorks) {
+  Rng rng(3);
+  WorkloadConfig cfg;
+  cfg.degree = 10;
+  cfg.clusters = 1;
+  cfg.cluster_gap = 0.05;
+  auto w = make_clustered_poly(rng, cfg);
+  auto out = run_polyalgorithm(w.poly, standard_method_suite());
+  ASSERT_TRUE(out.result.converged);
+  EXPECT_EQ(out.methods_tried, 1);
+  EXPECT_EQ(out.method_used, "jenkins-traub");
+  EXPECT_LT(match_roots(w.true_roots, out.result.roots), 1e-3);
+}
+
+TEST(Polyalgorithm, FallsThroughFailingMethods) {
+  // A suite whose first two methods always fail.
+  std::vector<PolyMethod> suite;
+  suite.push_back({"never1",
+                   [](const Poly&) {
+                     RootResult r;
+                     r.iterations = 100;
+                     return r;
+                   },
+                   nullptr});
+  suite.push_back({"never2",
+                   [](const Poly&) {
+                     RootResult r;
+                     r.iterations = 50;
+                     return r;
+                   },
+                   nullptr});
+  auto real_suite = standard_method_suite();
+  suite.push_back(real_suite[1]);  // laguerre
+
+  Rng rng(7);
+  WorkloadConfig cfg;
+  cfg.degree = 8;
+  cfg.clusters = 0;
+  auto w = make_clustered_poly(rng, cfg);
+  auto out = run_polyalgorithm(w.poly, suite);
+  ASSERT_TRUE(out.result.converged);
+  EXPECT_EQ(out.methods_tried, 3);
+  EXPECT_EQ(out.method_used, "laguerre");
+  // Costs accumulate across the failed tries.
+  EXPECT_GE(out.total_iterations, 150u);
+}
+
+TEST(Polyalgorithm, ApplicabilityHeuristicSkipsMethods) {
+  auto suite = standard_method_suite();
+  // Newton is gated to degree <= 8.
+  Rng rng(11);
+  WorkloadConfig cfg;
+  cfg.degree = 16;
+  cfg.clusters = 0;
+  auto w = make_clustered_poly(rng, cfg);
+  std::vector<PolyMethod> newton_first;
+  newton_first.push_back(suite[4]);  // newton (inapplicable at deg 16)
+  newton_first.push_back(suite[1]);  // laguerre
+  auto out = run_polyalgorithm(w.poly, newton_first);
+  ASSERT_TRUE(out.result.converged);
+  EXPECT_EQ(out.method_used, "laguerre");
+  EXPECT_EQ(out.methods_tried, 1);  // newton was skipped, not tried
+}
+
+TEST(Polyalgorithm, AllFailReportsFailure) {
+  std::vector<PolyMethod> suite;
+  suite.push_back({"never",
+                   [](const Poly&) { return RootResult{}; }, nullptr});
+  Poly p = Poly::from_roots(std::vector<Cx>{Cx(1, 0)});
+  auto out = run_polyalgorithm(p, suite);
+  EXPECT_FALSE(out.result.converged);
+  EXPECT_EQ(out.result.note, "all methods failed");
+}
+
+TEST(Polyalgorithm, RotationsPutEachMethodFirst) {
+  auto suite = standard_method_suite();
+  auto rots = method_rotations(suite);
+  ASSERT_EQ(rots.size(), suite.size());
+  for (std::size_t k = 0; k < rots.size(); ++k) {
+    EXPECT_EQ(rots[k][0].name, suite[k].name);
+    EXPECT_EQ(rots[k].size(), suite.size());
+  }
+  // Every rotation contains every method exactly once.
+  for (const auto& rot : rots) {
+    std::set<std::string> names;
+    for (const auto& m : rot) names.insert(m.name);
+    EXPECT_EQ(names.size(), suite.size());
+  }
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "num/jenkins_traub.hpp"
+#include "num/methods.hpp"
+#include "num/workload.hpp"
+
+namespace mw {
+namespace {
+
+Poly simple_poly() {
+  return Poly::from_roots(
+      std::vector<Cx>{Cx(1, 0), Cx(-2, 0), Cx(0, 3), Cx(0.5, -0.5)});
+}
+
+std::vector<Cx> simple_roots() {
+  return {Cx(1, 0), Cx(-2, 0), Cx(0, 3), Cx(0.5, -0.5)};
+}
+
+TEST(JenkinsTraub, FindsSimpleRoots) {
+  auto r = jenkins_traub(simple_poly());
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.roots.size(), 4u);
+  EXPECT_LT(match_roots(simple_roots(), r.roots), 1e-6);
+  EXPECT_GT(r.iterations, 0u);
+}
+
+TEST(JenkinsTraub, LinearAndQuadratic) {
+  auto r1 = jenkins_traub(Poly::from_roots(std::vector<Cx>{Cx(3, -2)}));
+  ASSERT_TRUE(r1.converged);
+  EXPECT_LT(std::abs(r1.roots[0] - Cx(3, -2)), 1e-9);
+
+  std::vector<Cx> qroots{Cx(1, 1), Cx(1, -1)};
+  auto r2 = jenkins_traub(Poly::from_roots(qroots));
+  ASSERT_TRUE(r2.converged);
+  EXPECT_LT(match_roots(qroots, r2.roots), 1e-9);
+}
+
+TEST(JenkinsTraub, ZeroRootHandled) {
+  std::vector<Cx> roots{Cx(0, 0), Cx(2, 0), Cx(-1, 1)};
+  auto r = jenkins_traub(Poly::from_roots(roots));
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(match_roots(roots, r.roots), 1e-6);
+}
+
+TEST(JenkinsTraub, NonMonicInput) {
+  // 2z^2 - 8 = 0 -> roots ±2.
+  Poly p = Poly::from_coeffs({Cx(-8, 0), Cx(0, 0), Cx(2, 0)});
+  auto r = jenkins_traub(p);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(match_roots(std::vector<Cx>{Cx(2, 0), Cx(-2, 0)}, r.roots), 1e-9);
+}
+
+TEST(JenkinsTraub, DifferentAnglesSameRoots) {
+  Rng rng(5);
+  auto w = make_clustered_poly(rng);
+  std::vector<Cx> found;
+  for (double angle : {49.0, 143.0, 237.0}) {
+    JtConfig cfg;
+    cfg.start_angle_deg = angle;
+    auto r = jenkins_traub(w.poly, cfg);
+    if (!r.converged) continue;  // an angle is allowed to fail
+    EXPECT_LT(match_roots(w.true_roots, r.roots), 1e-4)
+        << "angle " << angle;
+    found = r.roots;
+  }
+  EXPECT_FALSE(found.empty()) << "every angle failed";
+}
+
+TEST(JenkinsTraub, IterationCountVariesWithAngle) {
+  // The Table I premise: the starting angle changes the cost.
+  Rng rng(11);
+  auto w = make_clustered_poly(rng);
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (int k = 0; k < 8; ++k) {
+    JtConfig cfg;
+    cfg.start_angle_deg = 20.0 + 45.0 * k;
+    auto r = jenkins_traub(w.poly, cfg);
+    if (!r.converged) continue;
+    lo = std::min(lo, r.iterations);
+    hi = std::max(hi, r.iterations);
+  }
+  ASSERT_LT(lo, hi);
+  EXPECT_GT(static_cast<double>(hi) / static_cast<double>(lo), 1.05);
+}
+
+TEST(JenkinsTraub, SequentialDriverRetriesAngles) {
+  Rng rng(3);
+  auto w = make_clustered_poly(rng);
+  auto r = jenkins_traub_seq(w.poly);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(match_roots(w.true_roots, r.roots), 1e-4);
+}
+
+TEST(JenkinsTraub, Deterministic) {
+  Rng rng(17);
+  auto w = make_clustered_poly(rng);
+  auto a = jenkins_traub(w.poly);
+  auto b = jenkins_traub(w.poly);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Laguerre, FindsSimpleRoots) {
+  auto r = laguerre(simple_poly());
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(match_roots(simple_roots(), r.roots), 1e-6);
+}
+
+TEST(Laguerre, HandlesClusteredRoots) {
+  Rng rng(23);
+  auto w = make_clustered_poly(rng);
+  auto r = laguerre(w.poly);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(match_roots(w.true_roots, r.roots), 1e-2);
+}
+
+TEST(DurandKerner, FindsWellSeparatedRoots) {
+  WorkloadConfig cfg;
+  cfg.degree = 10;
+  cfg.clusters = 0;
+  Rng rng(31);
+  auto w = make_clustered_poly(rng, cfg);
+  auto r = durand_kerner(w.poly);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(w.true_roots, r.roots), 1e-6);
+}
+
+TEST(Aberth, FindsWellSeparatedRoots) {
+  WorkloadConfig cfg;
+  cfg.degree = 10;
+  cfg.clusters = 0;
+  Rng rng(37);
+  auto w = make_clustered_poly(rng, cfg);
+  auto r = aberth(w.poly);
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(w.true_roots, r.roots), 1e-6);
+}
+
+TEST(AberthVsDurandKerner, AberthConvergesFaster) {
+  WorkloadConfig cfg;
+  cfg.degree = 8;
+  cfg.clusters = 0;
+  Rng rng(41);
+  auto w = make_clustered_poly(rng, cfg);
+  auto a = aberth(w.poly);
+  auto d = durand_kerner(w.poly);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(d.converged);
+  EXPECT_LE(a.iterations, d.iterations);
+}
+
+TEST(Newton, SucceedsOnEasyPoly) {
+  std::vector<Cx> roots{Cx(1, 0), Cx(2, 1), Cx(-1, -1)};
+  auto r = newton_deflation(Poly::from_roots(roots));
+  ASSERT_TRUE(r.converged) << r.note;
+  EXPECT_LT(match_roots(roots, r.roots), 1e-6);
+}
+
+TEST(RootsAcceptable, RejectsWrongCountAndBadRoots) {
+  Poly p = simple_poly();
+  EXPECT_TRUE(roots_acceptable(p, simple_roots()));
+  std::vector<Cx> tooFew{Cx(1, 0)};
+  EXPECT_FALSE(roots_acceptable(p, tooFew));
+  std::vector<Cx> wrong{Cx(9, 9), Cx(8, 8), Cx(7, 7), Cx(6, 6)};
+  EXPECT_FALSE(roots_acceptable(p, wrong));
+}
+
+// Property sweep: Jenkins-Traub and Laguerre agree with the generating
+// roots across a family of random polynomials.
+class RootfinderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RootfinderProperty, MethodsRecoverGeneratingRoots) {
+  WorkloadConfig cfg;
+  cfg.degree = 12;
+  cfg.clusters = 1;
+  cfg.cluster_gap = 0.05;
+  Rng rng(GetParam());
+  auto w = make_clustered_poly(rng, cfg);
+
+  auto jt = jenkins_traub_seq(w.poly);
+  ASSERT_TRUE(jt.converged) << "seed " << GetParam();
+  EXPECT_LT(match_roots(w.true_roots, jt.roots), 1e-3);
+
+  auto lg = laguerre(w.poly);
+  ASSERT_TRUE(lg.converged) << "seed " << GetParam();
+  EXPECT_LT(match_roots(w.true_roots, lg.roots), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RootfinderProperty,
+                         ::testing::Range<std::uint64_t>(1, 15));
+
+TEST(Workload, GeneratorIsDeterministic) {
+  auto a = make_workload_batch(5, 3);
+  auto b = make_workload_batch(5, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].poly, b[i].poly);
+}
+
+TEST(Workload, RespectsDegreeAndRadii) {
+  WorkloadConfig cfg;
+  cfg.degree = 18;
+  Rng rng(9);
+  auto w = make_clustered_poly(rng, cfg);
+  EXPECT_EQ(w.poly.degree(), 18);
+  EXPECT_EQ(w.true_roots.size(), 18u);
+  for (const Cx& r : w.true_roots) {
+    EXPECT_GT(std::abs(r), cfg.min_radius * 0.5);
+    EXPECT_LT(std::abs(r), cfg.max_radius * 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,82 @@
+#include "pagestore/address_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(AddressSpace, TypedLoadStore) {
+  AddressSpace as(64, 8);
+  as.store<std::uint64_t>(8, 0xCAFEBABEull);
+  EXPECT_EQ(as.load<std::uint64_t>(8), 0xCAFEBABEull);
+  as.store<double>(100, 2.5);
+  EXPECT_DOUBLE_EQ(as.load<double>(100), 2.5);
+}
+
+TEST(AddressSpace, StructRoundTrip) {
+  struct P {
+    int x;
+    double y;
+  };
+  AddressSpace as(64, 8);
+  as.store(0, P{7, 1.5});
+  P p = as.load<P>(0);
+  EXPECT_EQ(p.x, 7);
+  EXPECT_DOUBLE_EQ(p.y, 1.5);
+}
+
+TEST(AddressSpace, SegmentsArePageAlignedAndDisjoint) {
+  AddressSpace as(64, 16);
+  const Segment& a = as.alloc_segment("a", 100);  // rounds to 128
+  const Segment& b = as.alloc_segment("b", 1);    // rounds to 64
+  EXPECT_EQ(a.base, 0u);
+  EXPECT_EQ(a.size, 128u);
+  EXPECT_EQ(b.base, 128u);
+  EXPECT_EQ(b.size, 64u);
+}
+
+TEST(AddressSpace, FindSegment) {
+  AddressSpace as(64, 16);
+  as.alloc_segment("heap", 256);
+  auto s = as.find_segment("heap");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->size, 256u);
+  EXPECT_FALSE(as.find_segment("nope").has_value());
+}
+
+TEST(AddressSpace, ForkInheritsSegments) {
+  AddressSpace as(64, 16);
+  as.alloc_segment("data", 64);
+  as.store<int>(0, 41);
+  AddressSpace child = as.fork();
+  ASSERT_TRUE(child.find_segment("data").has_value());
+  EXPECT_EQ(child.load<int>(0), 41);
+  // Child allocations continue after the parent's.
+  const Segment& s = child.alloc_segment("more", 64);
+  EXPECT_EQ(s.base, 64u);
+}
+
+TEST(AddressSpace, AdoptTakesChildSegments) {
+  AddressSpace as(64, 16);
+  as.alloc_segment("a", 64);
+  AddressSpace child = as.fork();
+  child.alloc_segment("b", 64);
+  child.store<int>(64, 9);
+  as.adopt(std::move(child));
+  ASSERT_TRUE(as.find_segment("b").has_value());
+  EXPECT_EQ(as.load<int>(64), 9);
+}
+
+TEST(AddressSpaceDeath, DuplicateSegmentNameAborts) {
+  AddressSpace as(64, 16);
+  as.alloc_segment("x", 64);
+  EXPECT_DEATH(as.alloc_segment("x", 64), "MW_CHECK");
+}
+
+TEST(AddressSpaceDeath, SegmentOverflowAborts) {
+  AddressSpace as(64, 2);
+  EXPECT_DEATH(as.alloc_segment("big", 64 * 3), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

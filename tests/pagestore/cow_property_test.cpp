@@ -1,0 +1,108 @@
+// Property suite: a COW page table must be observationally equivalent to a
+// flat byte array, for any interleaving of reads, writes, forks and
+// commits. The reference model is a plain std::vector<uint8_t> per world.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "pagestore/page_table.hpp"
+#include "util/rng.hpp"
+
+namespace mw {
+namespace {
+
+struct WorldPair {
+  PageTable table;
+  std::vector<std::uint8_t> model;
+};
+
+class CowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CowPropertyTest, RandomOpsMatchFlatModel) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t page_size = 1 + rng.next_below(96);
+  const std::size_t num_pages = 2 + rng.next_below(14);
+  const std::size_t bytes = page_size * num_pages;
+
+  std::vector<WorldPair> worlds;
+  worlds.push_back(
+      WorldPair{PageTable(page_size, num_pages),
+                std::vector<std::uint8_t>(bytes, 0)});
+
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t w = rng.next_below(worlds.size());
+    switch (rng.next_below(10)) {
+      case 0: {  // fork a new world
+        if (worlds.size() < 8) {
+          worlds.push_back(
+              WorldPair{worlds[w].table.fork(), worlds[w].model});
+        }
+        break;
+      }
+      case 1: {  // commit world w into world v (distinct)
+        if (worlds.size() > 1) {
+          std::size_t v = rng.next_below(worlds.size());
+          if (v != w) {
+            worlds[v].table.adopt(worlds[w].table.fork());
+            worlds[v].model = worlds[w].model;
+          }
+        }
+        break;
+      }
+      default: {  // read or write a random range
+        const std::size_t off = rng.next_below(bytes);
+        const std::size_t len = 1 + rng.next_below(bytes - off);
+        if (rng.next_bool(0.5)) {
+          std::vector<std::uint8_t> data(len);
+          for (auto& b : data)
+            b = static_cast<std::uint8_t>(rng.next_below(256));
+          worlds[w].table.write(off, data);
+          std::copy(data.begin(), data.end(), worlds[w].model.begin() + off);
+        } else {
+          std::vector<std::uint8_t> got(len);
+          worlds[w].table.read(off, got);
+          const std::vector<std::uint8_t> want(
+              worlds[w].model.begin() + off,
+              worlds[w].model.begin() + off + len);
+          ASSERT_EQ(got, want) << "seed=" << seed << " step=" << step;
+        }
+        break;
+      }
+    }
+  }
+
+  // Final sweep: every world still matches its model end-to-end.
+  for (std::size_t w = 0; w < worlds.size(); ++w) {
+    std::vector<std::uint8_t> got(bytes);
+    worlds[w].table.read(0, got);
+    ASSERT_EQ(got, worlds[w].model) << "seed=" << seed << " world=" << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CowPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+// Sharing invariant: after a fork and k distinct page writes in the child,
+// exactly resident-k pages remain shared.
+class CowSharingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CowSharingTest, SharedPagesDropExactlyPerWrittenPage) {
+  const int k = GetParam();
+  const std::size_t page = 32, pages = 16;
+  PageTable parent(page, pages);
+  std::vector<std::uint8_t> one{1};
+  for (std::size_t p = 0; p < pages; ++p) parent.write(p * page, one);
+  PageTable child = parent.fork();
+  for (int i = 0; i < k; ++i) child.write(static_cast<std::uint64_t>(i) * page, one);
+  EXPECT_EQ(child.shared_pages_with(parent), pages - static_cast<std::size_t>(k));
+  EXPECT_EQ(child.stats().pages_copied, static_cast<std::uint64_t>(k));
+  EXPECT_NEAR(child.write_fraction(), static_cast<double>(k) / pages, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(WriteCounts, CowSharingTest,
+                         ::testing::Values(0, 1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace mw

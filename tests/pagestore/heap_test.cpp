@@ -1,0 +1,142 @@
+#include "pagestore/heap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+AddressSpace make_space() {
+  AddressSpace as(256, 64);
+  as.alloc_segment("heap", 256 * 32);
+  return as;
+}
+
+TEST(WorldHeap, AllocReturnsDistinctBlocks) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", /*format=*/true);
+  auto a = h.alloc(16);
+  auto b = h.alloc(16);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(h.live_blocks(), 2u);
+}
+
+TEST(WorldHeap, DataSurvivesInPages) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", true);
+  auto off = h.alloc(8);
+  as.store<std::uint64_t>(off, 0xFEEDu);
+  EXPECT_EQ(as.load<std::uint64_t>(off), 0xFEEDu);
+}
+
+TEST(WorldHeap, FreeAndReuse) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", true);
+  auto a = h.alloc(32);
+  h.free(a);
+  EXPECT_EQ(h.live_blocks(), 0u);
+  auto b = h.alloc(32);
+  EXPECT_EQ(a, b);  // first-fit reuses the freed block
+}
+
+TEST(WorldHeap, SmallerRequestReusesLargerFreeBlock) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", true);
+  auto a = h.alloc(64);
+  h.free(a);
+  auto b = h.alloc(8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(WorldHeap, LiveBytesTracksPayloads) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", true);
+  h.alloc(8);
+  h.alloc(24);
+  EXPECT_EQ(h.live_bytes(), 32u);
+}
+
+TEST(WorldHeap, RoundsPayloadToAlignment) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", true);
+  auto a = h.alloc(3);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(h.live_bytes(), 8u);
+}
+
+TEST(WorldHeap, HeapStateForksWithTheWorld) {
+  AddressSpace parent = make_space();
+  WorldHeap ph(parent, "heap", true);
+  auto a = ph.alloc(16);
+  parent.store<int>(a, 1);
+
+  AddressSpace childspace = parent.fork();
+  WorldHeap ch(childspace, "heap", /*format=*/false);  // attach, not format
+  auto b = ch.alloc(16);
+  childspace.store<int>(b, 2);
+
+  // The child heap continued from the parent's brk; the parent heap is
+  // unaware of the child's block.
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ph.live_blocks(), 1u);
+  EXPECT_EQ(ch.live_blocks(), 2u);
+  EXPECT_EQ(childspace.load<int>(a), 1);
+}
+
+TEST(WorldHeap, SiblingHeapsDivergeWithoutInterference) {
+  AddressSpace parent = make_space();
+  WorldHeap ph(parent, "heap", true);
+  ph.alloc(16);
+
+  AddressSpace s1 = parent.fork();
+  AddressSpace s2 = parent.fork();
+  WorldHeap h1(s1, "heap", false);
+  WorldHeap h2(s2, "heap", false);
+  auto b1 = h1.alloc(8);
+  auto b2 = h2.alloc(8);
+  // Same offset in both worlds — they are different pages after COW.
+  EXPECT_EQ(b1, b2);
+  s1.store<int>(b1, 111);
+  s2.store<int>(b2, 222);
+  EXPECT_EQ(s1.load<int>(b1), 111);
+  EXPECT_EQ(s2.load<int>(b2), 222);
+}
+
+TEST(WorldHeap, CommitCarriesChildAllocations) {
+  AddressSpace parent = make_space();
+  WorldHeap ph(parent, "heap", true);
+  AddressSpace child = parent.fork();
+  WorldHeap ch(child, "heap", false);
+  auto a = ch.alloc(8);
+  child.store<int>(a, 77);
+  parent.adopt(std::move(child));
+  WorldHeap reattached(parent, "heap", false);
+  EXPECT_EQ(reattached.live_blocks(), 1u);
+  EXPECT_EQ(parent.load<int>(a), 77);
+}
+
+TEST(WorldHeapDeath, DoubleFreeAborts) {
+  AddressSpace as = make_space();
+  WorldHeap h(as, "heap", true);
+  auto a = h.alloc(8);
+  h.free(a);
+  EXPECT_DEATH(h.free(a), "MW_CHECK");
+}
+
+TEST(WorldHeapDeath, AttachToUnformattedAborts) {
+  AddressSpace as = make_space();
+  EXPECT_DEATH(WorldHeap(as, "heap", false), "MW_CHECK");
+}
+
+TEST(WorldHeapDeath, ExhaustionAborts) {
+  AddressSpace as(64, 8);
+  as.alloc_segment("heap", 64 * 2);
+  WorldHeap h(as, "heap", true);
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 100; ++i) h.alloc(32);
+      },
+      "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

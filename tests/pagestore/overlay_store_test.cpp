@@ -1,0 +1,96 @@
+#include "pagestore/overlay_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(OverlayStore, ReadsFallThroughToParent) {
+  OverlayStore parent;
+  parent.store(1, 10);
+  OverlayStore child = parent.fork();
+  EXPECT_EQ(child.load(1), 10);
+  EXPECT_EQ(child.load(99), 0);  // zero-fill semantics
+}
+
+TEST(OverlayStore, ChildWritesShadowWithoutTouchingParent) {
+  OverlayStore parent;
+  parent.store(1, 10);
+  OverlayStore child = parent.fork();
+  child.store(1, 20);
+  EXPECT_EQ(child.load(1), 20);
+  EXPECT_EQ(parent.load(1), 10);
+}
+
+TEST(OverlayStore, SiblingsAreIsolated) {
+  OverlayStore parent;
+  parent.store(5, 50);
+  OverlayStore a = parent.fork();
+  OverlayStore b = parent.fork();
+  a.store(5, 51);
+  b.store(5, 52);
+  EXPECT_EQ(a.load(5), 51);
+  EXPECT_EQ(b.load(5), 52);
+  EXPECT_EQ(parent.load(5), 50);
+}
+
+TEST(OverlayStore, AdoptCommitsChildView) {
+  OverlayStore parent;
+  parent.store(1, 1);
+  OverlayStore child = parent.fork();
+  child.store(1, 2);
+  child.store(3, 33);
+  parent.adopt(std::move(child));
+  EXPECT_EQ(parent.load(1), 2);
+  EXPECT_EQ(parent.load(3), 33);
+}
+
+TEST(OverlayStore, ChainDepthGrowsPerFork) {
+  OverlayStore w;
+  EXPECT_EQ(w.chain_depth(), 1u);
+  OverlayStore c1 = w.fork();
+  OverlayStore c2 = c1.fork();
+  OverlayStore c3 = c2.fork();
+  EXPECT_EQ(c3.chain_depth(), 4u);
+}
+
+TEST(OverlayStore, FlattenPreservesViewAndResetsDepth) {
+  OverlayStore w;
+  w.store(1, 1);
+  OverlayStore c = w.fork();
+  c.store(2, 2);
+  OverlayStore g = c.fork();
+  g.store(1, 111);  // shadows the root's value
+  g.flatten();
+  EXPECT_EQ(g.chain_depth(), 1u);
+  EXPECT_EQ(g.load(1), 111);
+  EXPECT_EQ(g.load(2), 2);
+  EXPECT_EQ(g.load(9), 0);
+}
+
+TEST(OverlayStore, DeepChainStillCorrect) {
+  OverlayStore w;
+  w.store(0, -1);
+  std::vector<OverlayStore> line;
+  line.push_back(w.fork());
+  for (int i = 1; i < 50; ++i) {
+    line.push_back(line.back().fork());
+    line.back().store(static_cast<std::uint64_t>(i), i);
+  }
+  const OverlayStore& leaf = line.back();
+  EXPECT_EQ(leaf.load(0), -1);       // from the root
+  EXPECT_EQ(leaf.load(25), 25);      // from mid-chain
+  EXPECT_EQ(leaf.chain_depth(), 51u);
+}
+
+TEST(OverlayStore, OwnEntriesCountsOnlyThisWorld) {
+  OverlayStore parent;
+  parent.store(1, 1);
+  parent.store(2, 2);
+  OverlayStore child = parent.fork();
+  child.store(3, 3);
+  EXPECT_EQ(child.own_entries(), 1u);
+}
+
+}  // namespace
+}  // namespace mw

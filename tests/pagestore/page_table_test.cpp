@@ -1,0 +1,184 @@
+#include "pagestore/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace mw {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+std::vector<std::uint8_t> read_vec(const PageTable& t, std::uint64_t off,
+                                   std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  t.read(off, out);
+  return out;
+}
+
+TEST(PageTable, FreshTableReadsZero) {
+  PageTable t(64, 4);
+  EXPECT_EQ(read_vec(t, 0, 16), std::vector<std::uint8_t>(16, 0));
+  EXPECT_EQ(t.resident_pages(), 0u);
+}
+
+TEST(PageTable, WriteThenReadBack) {
+  PageTable t(64, 4);
+  auto data = bytes({1, 2, 3, 4});
+  t.write(10, data);
+  EXPECT_EQ(read_vec(t, 10, 4), data);
+  EXPECT_EQ(t.resident_pages(), 1u);
+}
+
+TEST(PageTable, WriteSpanningPages) {
+  PageTable t(8, 4);
+  std::vector<std::uint8_t> data(20);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i + 1);
+  t.write(4, data);  // spans pages 0,1,2
+  EXPECT_EQ(read_vec(t, 4, 20), data);
+  EXPECT_EQ(t.resident_pages(), 3u);
+}
+
+TEST(PageTable, ForkSharesAllPages) {
+  PageTable parent(64, 8);
+  parent.write(0, bytes({9}));
+  parent.write(64 * 3, bytes({7}));
+  PageTable child = parent.fork();
+  EXPECT_EQ(child.shared_pages_with(parent), 2u);
+  EXPECT_EQ(read_vec(child, 0, 1), bytes({9}));
+}
+
+TEST(PageTable, ChildWriteDoesNotTouchParent) {
+  PageTable parent(64, 4);
+  parent.write(0, bytes({1}));
+  PageTable child = parent.fork();
+  child.write(0, bytes({2}));
+  EXPECT_EQ(read_vec(parent, 0, 1), bytes({1}));
+  EXPECT_EQ(read_vec(child, 0, 1), bytes({2}));
+}
+
+TEST(PageTable, ParentWriteDoesNotTouchChild) {
+  PageTable parent(64, 4);
+  parent.write(0, bytes({1}));
+  PageTable child = parent.fork();
+  parent.write(0, bytes({3}));
+  EXPECT_EQ(read_vec(child, 0, 1), bytes({1}));
+}
+
+TEST(PageTable, CowBreaksOnlyWrittenPage) {
+  PageTable parent(64, 8);
+  for (int p = 0; p < 4; ++p) parent.write(64 * p, bytes({p + 1}));
+  PageTable child = parent.fork();
+  child.write(64, bytes({99}));
+  EXPECT_EQ(child.shared_pages_with(parent), 3u);
+  EXPECT_EQ(child.stats().pages_copied, 1u);
+}
+
+TEST(PageTable, RepeatedWritesCopyOnce) {
+  PageTable parent(64, 4);
+  parent.write(0, bytes({1}));
+  PageTable child = parent.fork();
+  for (int i = 0; i < 10; ++i) child.write(0, bytes({i}));
+  EXPECT_EQ(child.stats().pages_copied, 1u);
+}
+
+TEST(PageTable, WriteToOwnPageNeedsNoCopy) {
+  PageTable t(64, 4);
+  t.write(0, bytes({1}));
+  t.write(1, bytes({2}));
+  EXPECT_EQ(t.stats().pages_copied, 0u);
+  EXPECT_EQ(t.stats().pages_allocated, 1u);
+}
+
+TEST(PageTable, SiblingForksDivergeIndependently) {
+  PageTable parent(64, 4);
+  parent.write(0, bytes({5}));
+  PageTable a = parent.fork();
+  PageTable b = parent.fork();
+  a.write(0, bytes({6}));
+  b.write(0, bytes({7}));
+  EXPECT_EQ(read_vec(parent, 0, 1), bytes({5}));
+  EXPECT_EQ(read_vec(a, 0, 1), bytes({6}));
+  EXPECT_EQ(read_vec(b, 0, 1), bytes({7}));
+}
+
+TEST(PageTable, AdoptReplacesContent) {
+  PageTable parent(64, 4);
+  parent.write(0, bytes({1}));
+  PageTable child = parent.fork();
+  child.write(0, bytes({42}));
+  child.write(64, bytes({43}));
+  parent.adopt(std::move(child));
+  EXPECT_EQ(read_vec(parent, 0, 1), bytes({42}));
+  EXPECT_EQ(read_vec(parent, 64, 1), bytes({43}));
+}
+
+TEST(PageTable, AdoptMergesStats) {
+  PageTable parent(64, 4);
+  parent.write(0, bytes({1}));  // 1 allocation
+  PageTable child = parent.fork();
+  child.write(0, bytes({2}));   // 1 copy
+  child.write(64, bytes({3}));  // 1 allocation
+  parent.adopt(std::move(child));
+  EXPECT_EQ(parent.stats().pages_allocated, 2u);
+  EXPECT_EQ(parent.stats().pages_copied, 1u);
+}
+
+TEST(PageTable, DiffFindsChangedPages) {
+  PageTable parent(64, 8);
+  parent.write(0, bytes({1}));
+  parent.write(64, bytes({2}));
+  PageTable child = parent.fork();
+  child.write(64, bytes({9}));
+  child.write(64 * 5, bytes({8}));
+  auto d = child.diff(parent);
+  EXPECT_EQ(d, (std::vector<std::size_t>{1, 5}));
+}
+
+TEST(PageTable, WriteFractionTracksTouchedShare) {
+  PageTable parent(64, 10);
+  for (int p = 0; p < 4; ++p) parent.write(64 * p, bytes({1}));
+  PageTable child = parent.fork();
+  child.write(0, bytes({2}));
+  // 1 touched of 4 resident.
+  EXPECT_DOUBLE_EQ(child.write_fraction(), 0.25);
+}
+
+TEST(PageTable, WriteFractionEmptyIsZero) {
+  PageTable t(64, 4);
+  EXPECT_DOUBLE_EQ(t.write_fraction(), 0.0);
+}
+
+TEST(PageTable, GrandchildForkChains) {
+  PageTable a(64, 4);
+  a.write(0, bytes({1}));
+  PageTable b = a.fork();
+  b.write(64, bytes({2}));
+  PageTable c = b.fork();
+  c.write(128, bytes({3}));
+  EXPECT_EQ(read_vec(c, 0, 1), bytes({1}));
+  EXPECT_EQ(read_vec(c, 64, 1), bytes({2}));
+  EXPECT_EQ(read_vec(c, 128, 1), bytes({3}));
+  // Page 0 shared across all three generations.
+  EXPECT_EQ(c.shared_pages_with(a), 1u);
+  EXPECT_EQ(c.shared_pages_with(b), 2u);
+}
+
+TEST(PageTableDeath, OutOfRangeReadAborts) {
+  PageTable t(64, 2);
+  std::vector<std::uint8_t> buf(1);
+  EXPECT_DEATH(t.read(128, buf), "MW_CHECK");
+}
+
+TEST(PageTableDeath, OutOfRangeWriteAborts) {
+  PageTable t(64, 2);
+  EXPECT_DEATH(t.write(127, bytes({1, 2})), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,236 @@
+#include "pred/predicate_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mw {
+namespace {
+
+TEST(PredicateSet, EmptyIsCertain) {
+  PredicateSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(PredicateSet, AssumeCompletes) {
+  PredicateSet s;
+  EXPECT_TRUE(s.assume_completes(3));
+  EXPECT_TRUE(s.assumes_completes(3));
+  EXPECT_FALSE(s.assumes_fails(3));
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(PredicateSet, ContradictionRejected) {
+  PredicateSet s;
+  EXPECT_TRUE(s.assume_completes(3));
+  EXPECT_FALSE(s.assume_fails(3));  // would be p and not-p
+  EXPECT_TRUE(s.assumes_completes(3));
+
+  PredicateSet t;
+  EXPECT_TRUE(t.assume_fails(4));
+  EXPECT_FALSE(t.assume_completes(4));
+}
+
+TEST(PredicateSet, AssumptionsAreIdempotent) {
+  PredicateSet s;
+  s.assume_completes(1);
+  s.assume_completes(1);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(PredicateSet, RelationImpliedWhenSubset) {
+  PredicateSet receiver, sender;
+  receiver.assume_completes(1);
+  receiver.assume_fails(2);
+  sender.assume_completes(1);
+  EXPECT_EQ(receiver.relation_to(sender), PredRelation::kImplied);
+}
+
+TEST(PredicateSet, RelationImpliedWhenSenderEmpty) {
+  PredicateSet receiver, sender;
+  receiver.assume_completes(1);
+  EXPECT_EQ(receiver.relation_to(sender), PredRelation::kImplied);
+}
+
+TEST(PredicateSet, RelationConflictOnOppositeAssumption) {
+  PredicateSet receiver, sender;
+  receiver.assume_fails(5);
+  sender.assume_completes(5);
+  EXPECT_EQ(receiver.relation_to(sender), PredRelation::kConflict);
+
+  PredicateSet r2, s2;
+  r2.assume_completes(6);
+  s2.assume_fails(6);
+  EXPECT_EQ(r2.relation_to(s2), PredRelation::kConflict);
+}
+
+TEST(PredicateSet, RelationExtensionWhenSenderAssumesMore) {
+  PredicateSet receiver, sender;
+  receiver.assume_completes(1);
+  sender.assume_completes(1);
+  sender.assume_completes(2);
+  EXPECT_EQ(receiver.relation_to(sender), PredRelation::kExtension);
+}
+
+TEST(PredicateSet, ConflictDominatesExtension) {
+  PredicateSet receiver, sender;
+  receiver.assume_fails(1);
+  sender.assume_completes(1);  // conflict
+  sender.assume_completes(2);  // would be extension
+  EXPECT_EQ(receiver.relation_to(sender), PredRelation::kConflict);
+}
+
+TEST(PredicateSet, MissingFromComputesNeededAssumptions) {
+  PredicateSet receiver, sender;
+  receiver.assume_completes(1);
+  sender.assume_completes(1);
+  sender.assume_completes(2);
+  sender.assume_fails(3);
+  PredicateSet missing = receiver.missing_from(sender);
+  EXPECT_TRUE(missing.assumes_completes(2));
+  EXPECT_TRUE(missing.assumes_fails(3));
+  EXPECT_FALSE(missing.assumes_completes(1));
+  EXPECT_EQ(missing.size(), 2u);
+}
+
+TEST(PredicateSet, MergeUnionsConsistentSets) {
+  PredicateSet a, b;
+  a.assume_completes(1);
+  b.assume_fails(2);
+  EXPECT_TRUE(a.merge(b));
+  EXPECT_TRUE(a.assumes_completes(1));
+  EXPECT_TRUE(a.assumes_fails(2));
+}
+
+TEST(PredicateSet, MergeRejectsInconsistentLeavesUnchanged) {
+  PredicateSet a, b;
+  a.assume_completes(1);
+  a.assume_completes(9);
+  b.assume_fails(1);
+  b.assume_completes(7);
+  EXPECT_FALSE(a.merge(b));
+  EXPECT_FALSE(a.assumes_completes(7));  // unchanged
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(PredicateSet, ResolveCompletionSimplifies) {
+  PredicateSet s;
+  s.assume_completes(1);
+  s.assume_completes(2);
+  EXPECT_EQ(s.resolve(1, /*completed=*/true), PredicateSet::Fate::kSimplified);
+  EXPECT_FALSE(s.assumes_completes(1));
+  EXPECT_TRUE(s.assumes_completes(2));
+}
+
+TEST(PredicateSet, ResolveCompletionDooms) {
+  PredicateSet s;
+  s.assume_fails(4);
+  EXPECT_EQ(s.resolve(4, true), PredicateSet::Fate::kDoomed);
+}
+
+TEST(PredicateSet, ResolveFailureSimplifiesAndDooms) {
+  PredicateSet s;
+  s.assume_fails(4);
+  EXPECT_EQ(s.resolve(4, false), PredicateSet::Fate::kSimplified);
+  EXPECT_TRUE(s.empty());
+
+  PredicateSet t;
+  t.assume_completes(4);
+  EXPECT_EQ(t.resolve(4, false), PredicateSet::Fate::kDoomed);
+}
+
+TEST(PredicateSet, ResolveUnmentionedPidIsUnaffected) {
+  PredicateSet s;
+  s.assume_completes(1);
+  EXPECT_EQ(s.resolve(99, true), PredicateSet::Fate::kUnaffected);
+  EXPECT_EQ(s.resolve(99, false), PredicateSet::Fate::kUnaffected);
+}
+
+TEST(PredicateSet, SiblingRivalryConstruction) {
+  PredicateSet parent;
+  parent.assume_completes(100);
+  std::vector<Pid> sibs{11, 12, 13};
+  PredicateSet alt = PredicateSet::for_alternative(parent, 12, sibs);
+  EXPECT_TRUE(alt.assumes_completes(100));  // inherited
+  EXPECT_TRUE(alt.assumes_completes(12));   // self succeeds
+  EXPECT_TRUE(alt.assumes_fails(11));       // siblings fail
+  EXPECT_TRUE(alt.assumes_fails(13));
+  EXPECT_EQ(alt.size(), 4u);
+}
+
+TEST(PredicateSet, FailureAlternativeAssumesAllSiblingsFail) {
+  PredicateSet parent;
+  std::vector<Pid> sibs{21, 22};
+  PredicateSet fail = PredicateSet::for_failure(parent, sibs);
+  EXPECT_TRUE(fail.assumes_fails(21));
+  EXPECT_TRUE(fail.assumes_fails(22));
+  EXPECT_FALSE(fail.assumes_completes(21));
+}
+
+TEST(PredicateSet, SiblingSetsMutuallyConflict) {
+  PredicateSet parent;
+  std::vector<Pid> sibs{1, 2, 3};
+  PredicateSet a = PredicateSet::for_alternative(parent, 1, sibs);
+  PredicateSet b = PredicateSet::for_alternative(parent, 2, sibs);
+  EXPECT_EQ(a.relation_to(b), PredRelation::kConflict);
+  EXPECT_EQ(b.relation_to(a), PredRelation::kConflict);
+}
+
+TEST(PredicateSet, NestedAlternativesAccumulate) {
+  PredicateSet root;
+  std::vector<Pid> outer{1, 2};
+  PredicateSet w1 = PredicateSet::for_alternative(root, 1, outer);
+  std::vector<Pid> inner{5, 6};
+  PredicateSet w15 = PredicateSet::for_alternative(w1, 5, inner);
+  EXPECT_TRUE(w15.assumes_completes(1));
+  EXPECT_TRUE(w15.assumes_fails(2));
+  EXPECT_TRUE(w15.assumes_completes(5));
+  EXPECT_TRUE(w15.assumes_fails(6));
+}
+
+TEST(PredicateSet, ToStringListsBothLists) {
+  PredicateSet s;
+  s.assume_completes(1);
+  s.assume_fails(2);
+  const std::string str = s.to_string();
+  EXPECT_NE(str.find("must: 1"), std::string::npos);
+  EXPECT_NE(str.find("cant: 2"), std::string::npos);
+}
+
+// Property: for random sequences of assumptions and resolutions, a set
+// never holds p and not-p simultaneously, and resolution is monotone (the
+// set never grows).
+class PredPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredPropertyTest, ConsistencyInvariantHolds) {
+  Rng rng(GetParam());
+  PredicateSet s;
+  for (int step = 0; step < 300; ++step) {
+    const Pid p = static_cast<Pid>(1 + rng.next_below(20));
+    switch (rng.next_below(4)) {
+      case 0:
+        s.assume_completes(p);
+        break;
+      case 1:
+        s.assume_fails(p);
+        break;
+      default: {
+        const std::size_t before = s.size();
+        s.resolve(p, rng.next_bool(0.5));
+        EXPECT_LE(s.size(), before);
+        break;
+      }
+    }
+    for (Pid q = 1; q <= 20; ++q) {
+      EXPECT_FALSE(s.assumes_completes(q) && s.assumes_fails(q))
+          << "inconsistent on pid " << q;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace mw

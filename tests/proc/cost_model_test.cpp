@@ -1,0 +1,72 @@
+#include "proc/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(CostModel, FreeModelChargesNothing) {
+  CostModel m = CostModel::free();
+  EXPECT_EQ(m.fork_cost(100), 0);
+  EXPECT_EQ(m.commit_cost(50), 0);
+  EXPECT_EQ(m.elimination_cost(16, true), 0);
+}
+
+TEST(CostModel, ForkCostGrowsWithAddressSpace) {
+  CostModel m = CostModel::calibrated_hp();
+  EXPECT_GT(m.fork_cost(160), m.fork_cost(80));
+  EXPECT_EQ(m.fork_cost(0), m.fork_base);
+}
+
+TEST(CostModel, Calibrated3b2MatchesPaperForkLatency) {
+  // §3.4: a 320 KB address space (160 2K-pages) forks in about 31 ms.
+  CostModel m = CostModel::calibrated_3b2();
+  const double ms = vt_to_ms(m.fork_cost(320 * 1024 / m.page_size));
+  EXPECT_NEAR(ms, 31.0, 2.0);
+}
+
+TEST(CostModel, CalibratedHpMatchesPaperForkLatency) {
+  // §3.4: the HP forks the same 320 KB (80 4K-pages) in about 12 ms.
+  CostModel m = CostModel::calibrated_hp();
+  const double ms = vt_to_ms(m.fork_cost(320 * 1024 / m.page_size));
+  EXPECT_NEAR(ms, 12.0, 1.0);
+}
+
+TEST(CostModel, Calibrated3b2MatchesPageCopyRate) {
+  // §3.4: 326 2K-pages/second.
+  CostModel m = CostModel::calibrated_3b2();
+  const double pages_per_sec = 1e6 / static_cast<double>(m.cow_copy_per_page);
+  EXPECT_NEAR(pages_per_sec, 326.0, 10.0);
+}
+
+TEST(CostModel, CalibratedHpMatchesPageCopyRate) {
+  // §3.4: 1034 4K-pages/second.
+  CostModel m = CostModel::calibrated_hp();
+  const double pages_per_sec = 1e6 / static_cast<double>(m.cow_copy_per_page);
+  EXPECT_NEAR(pages_per_sec, 1034.0, 35.0);
+}
+
+TEST(CostModel, EliminationOf16MatchesPaper) {
+  // §3.4: 16 subprocesses eliminated in ~40 ms waited, ~20 ms async.
+  CostModel m = CostModel::calibrated_3b2();
+  EXPECT_NEAR(vt_to_ms(m.elimination_cost(16, /*sync=*/true)), 40.0, 1.0);
+  EXPECT_NEAR(vt_to_ms(m.elimination_cost(16, /*sync=*/false)), 20.0, 1.0);
+}
+
+TEST(CostModel, AsyncEliminationAlwaysCheaper) {
+  for (const CostModel& m :
+       {CostModel::calibrated_3b2(), CostModel::calibrated_hp()}) {
+    for (std::size_t n : {1u, 4u, 16u, 64u}) {
+      EXPECT_LE(m.elimination_cost(n, false), m.elimination_cost(n, true));
+    }
+  }
+}
+
+TEST(CostModel, EliminationScalesLinearly) {
+  CostModel m = CostModel::calibrated_3b2();
+  EXPECT_EQ(m.elimination_cost(8, true) * 2, m.elimination_cost(16, true));
+  EXPECT_EQ(m.elimination_cost(0, true), 0);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,118 @@
+#include "proc/process_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mw {
+namespace {
+
+TEST(ProcessTable, CreateAssignsFreshPids) {
+  ProcessTable t;
+  Pid a = t.create(kNoPid);
+  Pid b = t.create(kNoPid);
+  EXPECT_NE(a, kNoPid);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.process_count(), 2u);
+}
+
+TEST(ProcessTable, ParentChildLinks) {
+  ProcessTable t;
+  Pid p = t.create(kNoPid);
+  Pid c1 = t.create(p);
+  Pid c2 = t.create(p);
+  auto rec = t.get(p);
+  EXPECT_EQ(rec.children, (std::vector<Pid>{c1, c2}));
+  EXPECT_EQ(t.get(c1).parent, p);
+}
+
+TEST(ProcessTable, StatusLifecycle) {
+  ProcessTable t;
+  Pid p = t.create(kNoPid);
+  EXPECT_EQ(t.status(p), ProcStatus::kReady);
+  EXPECT_TRUE(t.set_status(p, ProcStatus::kRunning));
+  EXPECT_TRUE(t.set_status(p, ProcStatus::kBlocked));
+  EXPECT_TRUE(t.set_status(p, ProcStatus::kRunning));
+  EXPECT_TRUE(t.set_status(p, ProcStatus::kSynced));
+  EXPECT_EQ(t.status(p), ProcStatus::kSynced);
+}
+
+TEST(ProcessTable, TerminalStatesAreSticky) {
+  ProcessTable t;
+  Pid p = t.create(kNoPid);
+  t.set_status(p, ProcStatus::kFailed);
+  EXPECT_FALSE(t.set_status(p, ProcStatus::kRunning));
+  EXPECT_FALSE(t.set_status(p, ProcStatus::kEliminated));
+  EXPECT_EQ(t.status(p), ProcStatus::kFailed);
+}
+
+TEST(ProcessTable, CompletionOracle) {
+  ProcessTable t;
+  Pid a = t.create(kNoPid);
+  Pid b = t.create(kNoPid);
+  Pid c = t.create(kNoPid);
+  EXPECT_EQ(t.complete(a), Completion::kIndeterminate);
+  t.set_status(a, ProcStatus::kSynced);
+  t.set_status(b, ProcStatus::kFailed);
+  t.set_status(c, ProcStatus::kEliminated);
+  EXPECT_EQ(t.complete(a), Completion::kTrue);
+  EXPECT_EQ(t.complete(b), Completion::kFalse);
+  EXPECT_EQ(t.complete(c), Completion::kFalse);
+}
+
+TEST(ProcessTable, ListenersFireOnTransition) {
+  ProcessTable t;
+  std::vector<std::pair<Pid, ProcStatus>> events;
+  t.subscribe([&](Pid pid, ProcStatus, ProcStatus now) {
+    events.push_back({pid, now});
+  });
+  Pid p = t.create(kNoPid);
+  t.set_status(p, ProcStatus::kRunning);
+  t.set_status(p, ProcStatus::kSynced);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(p, ProcStatus::kRunning));
+  EXPECT_EQ(events[1], std::make_pair(p, ProcStatus::kSynced));
+}
+
+TEST(ProcessTable, ListenerNotFiredOnRejectedTransition) {
+  ProcessTable t;
+  int count = 0;
+  t.subscribe([&](Pid, ProcStatus, ProcStatus) { ++count; });
+  Pid p = t.create(kNoPid);
+  t.set_status(p, ProcStatus::kSynced);
+  t.set_status(p, ProcStatus::kEliminated);  // rejected: already terminal
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ProcessTable, LiveCountExcludesTerminal) {
+  ProcessTable t;
+  Pid a = t.create(kNoPid);
+  Pid b = t.create(kNoPid);
+  t.create(kNoPid);
+  EXPECT_EQ(t.live_count(), 3u);
+  t.set_status(a, ProcStatus::kSynced);
+  t.set_status(b, ProcStatus::kEliminated);
+  EXPECT_EQ(t.live_count(), 1u);
+}
+
+TEST(ProcessTable, ExistsAndLabels) {
+  ProcessTable t;
+  Pid p = t.create(kNoPid, 7, "rootfinder");
+  EXPECT_TRUE(t.exists(p));
+  EXPECT_FALSE(t.exists(9999));
+  EXPECT_EQ(t.get(p).alt_group, 7u);
+  EXPECT_EQ(t.get(p).label, "rootfinder");
+}
+
+TEST(ProcessTable, ListenerRunsOutsideLock) {
+  // A listener that re-enters the table must not deadlock.
+  ProcessTable t;
+  Pid p = t.create(kNoPid);
+  t.subscribe([&](Pid pid, ProcStatus, ProcStatus) {
+    (void)t.status(pid);  // re-entrant read
+  });
+  EXPECT_TRUE(t.set_status(p, ProcStatus::kRunning));
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "proc/vsched.hpp"
+
+namespace mw {
+namespace {
+
+VirtualTask task(Pid pid, VTime ready, VDuration dur, bool ok) {
+  return VirtualTask{pid, ready, dur, ok};
+}
+
+TEST(PsSched, SingleTaskRunsAtFullRate) {
+  auto out = ps_schedule(2, {task(1, 0, 100, true)});
+  ASSERT_TRUE(out.winner_index.has_value());
+  EXPECT_EQ(out.winner_finish, 100);
+}
+
+TEST(PsSched, UnderloadedMatchesFcfs) {
+  // Tasks <= processors: both policies give identical finishes.
+  std::vector<VirtualTask> ts{task(1, 0, 100, true), task(2, 0, 250, true)};
+  auto ps = ps_schedule(2, ts);
+  auto fcfs = list_schedule(2, ts);
+  EXPECT_EQ(ps.winner_finish, fcfs.winner_finish);
+  EXPECT_EQ(*ps.winner_index, *fcfs.winner_index);
+}
+
+TEST(PsSched, OverloadSlowsEveryoneDown) {
+  // 4 identical tasks on 2 CPUs: everyone runs at rate 1/2 and finishes at
+  // 2x the solo time — the paper's Table I timesharing effect.
+  std::vector<VirtualTask> ts;
+  for (Pid p = 1; p <= 4; ++p) ts.push_back(task(p, 0, 100, true));
+  auto out = ps_schedule(2, ts);
+  EXPECT_EQ(out.winner_finish, 200);
+}
+
+TEST(PsSched, FiveOnTwoGivesTwoPointFive) {
+  std::vector<VirtualTask> ts;
+  for (Pid p = 1; p <= 5; ++p) ts.push_back(task(p, 0, 1000, true));
+  auto out = ps_schedule(2, ts);
+  EXPECT_EQ(out.winner_finish, 2500);
+}
+
+TEST(PsSched, ShortTaskStillWinsUnderSharing) {
+  // Unlike FCFS, a short task never waits in a queue: it shares from the
+  // start and finishes first.
+  auto out = ps_schedule(1, {task(1, 0, 1000, true), task(2, 0, 10, true)});
+  ASSERT_TRUE(out.winner_index.has_value());
+  EXPECT_EQ(*out.winner_index, 1u);
+  // Two tasks share one CPU until the short one completes: it needs 10
+  // units at rate 1/2 = 20 ticks.
+  EXPECT_EQ(out.winner_finish, 20);
+}
+
+TEST(PsSched, RateRecoversWhenTasksFinish) {
+  // Tasks 10 and 30 on one CPU: both at rate 1/2 until t=20 (first done),
+  // then the survivor runs alone: 30-10=20 more units -> t=40.
+  auto out = ps_schedule(1, {task(1, 0, 10, false), task(2, 0, 30, true)});
+  EXPECT_EQ(out.tasks[0].finish, 20);
+  EXPECT_EQ(out.winner_finish, 40);
+}
+
+TEST(PsSched, LateArrivalJoinsTheShare) {
+  // Task 1 runs alone [0,50): does 50 units. Task 2 arrives at 50; both at
+  // rate 1/2. Task 1 has 50 left -> done at 150; task 2 needs 100 shared
+  // then alone... compute: at t=150, task2 has done 50; 50 left alone ->
+  // 200.
+  auto out = ps_schedule(1, {task(1, 0, 100, false), task(2, 50, 100, true)});
+  EXPECT_EQ(out.tasks[0].finish, 150);
+  EXPECT_EQ(out.winner_finish, 200);
+}
+
+TEST(PsSched, WinnerCutsSiblingsLikeFcfs) {
+  std::vector<VirtualTask> ts{task(1, 0, 100, true), task(2, 0, 300, true)};
+  auto out = ps_schedule(2, ts);
+  EXPECT_EQ(*out.winner_index, 0u);
+  EXPECT_FALSE(out.tasks[1].success);
+  EXPECT_EQ(out.tasks[1].finish, out.winner_finish);
+}
+
+TEST(PsSched, NoSuccessNoWinner) {
+  auto out = ps_schedule(2, {task(1, 0, 10, false), task(2, 0, 20, false)});
+  EXPECT_FALSE(out.winner_index.has_value());
+}
+
+TEST(PsSched, IdleGapBeforeArrival) {
+  auto out = ps_schedule(2, {task(1, 500, 100, true)});
+  EXPECT_EQ(out.winner_finish, 600);
+}
+
+TEST(PsSchedDeath, ZeroProcessorsAborts) {
+  EXPECT_DEATH(ps_schedule(0, {task(1, 0, 1, true)}), "MW_CHECK");
+}
+
+// Property sweep: with n identical successful tasks on P processors, the
+// first finish is duration * max(1, n/P).
+class PsSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PsSweep, FinishMatchesFluidFormula) {
+  const int procs = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  std::vector<VirtualTask> ts;
+  for (int i = 0; i < n; ++i)
+    ts.push_back(task(static_cast<Pid>(i + 1), 0, 1200, true));
+  auto out = ps_schedule(static_cast<std::size_t>(procs), ts);
+  const double factor =
+      std::max(1.0, static_cast<double>(n) / static_cast<double>(procs));
+  EXPECT_NEAR(static_cast<double>(out.winner_finish), 1200.0 * factor, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PsSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 3, 6)));
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,102 @@
+// Thread-safety of the process table: the wall-clock backend's worker
+// threads create processes and publish status transitions concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "proc/process_table.hpp"
+
+namespace mw {
+namespace {
+
+TEST(TableConcurrency, ParallelCreatesYieldUniquePids) {
+  ProcessTable table;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::vector<Pid>> pids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        pids[static_cast<std::size_t>(t)].push_back(table.create(kNoPid));
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<Pid> all;
+  for (const auto& v : pids) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(table.process_count(), all.size());
+}
+
+TEST(TableConcurrency, RacingTerminalTransitionsAtMostOneWins) {
+  // Many threads race to terminate the same process with different
+  // terminal states: exactly one transition may succeed.
+  for (int round = 0; round < 20; ++round) {
+    ProcessTable table;
+    const Pid p = table.create(kNoPid);
+    table.set_status(p, ProcStatus::kRunning);
+    std::atomic<int> wins{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 6; ++t) {
+      threads.emplace_back([&, t] {
+        const ProcStatus status =
+            t % 2 ? ProcStatus::kSynced : ProcStatus::kEliminated;
+        if (table.set_status(p, status)) wins.fetch_add(1);
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(wins.load(), 1);
+    EXPECT_TRUE(is_terminal(table.status(p)));
+  }
+}
+
+TEST(TableConcurrency, ListenersSeeEveryAcceptedTransition) {
+  ProcessTable table;
+  std::atomic<int> events{0};
+  table.subscribe([&](Pid, ProcStatus, ProcStatus) { events.fetch_add(1); });
+  constexpr int kProcs = 100;
+  std::vector<Pid> pids;
+  for (int i = 0; i < kProcs; ++i) pids.push_back(table.create(kNoPid));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < kProcs; i += 4) {
+        table.set_status(pids[static_cast<std::size_t>(i)],
+                         ProcStatus::kRunning);
+        table.set_status(pids[static_cast<std::size_t>(i)],
+                         ProcStatus::kSynced);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(events.load(), kProcs * 2);
+}
+
+TEST(TableConcurrency, CompletionOracleStableUnderReads) {
+  ProcessTable table;
+  const Pid p = table.create(kNoPid);
+  std::atomic<bool> stop{false};
+  std::atomic<int> flips{0};
+  std::thread reader([&] {
+    Completion last = Completion::kIndeterminate;
+    while (!stop.load()) {
+      const Completion c = table.complete(p);
+      // Completion may change at most once: indeterminate -> true/false.
+      if (c != last) {
+        flips.fetch_add(1);
+        last = c;
+      }
+    }
+  });
+  table.set_status(p, ProcStatus::kRunning);
+  table.set_status(p, ProcStatus::kSynced);
+  stop = true;
+  reader.join();
+  EXPECT_LE(flips.load(), 1);
+  EXPECT_EQ(table.complete(p), Completion::kTrue);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,146 @@
+#include "proc/vsched.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+VirtualTask task(Pid pid, VTime ready, VDuration dur, bool ok) {
+  return VirtualTask{pid, ready, dur, ok};
+}
+
+TEST(VSched, SingleTaskRunsImmediately) {
+  auto out = list_schedule(2, {task(1, 0, 100, true)});
+  ASSERT_TRUE(out.winner_index.has_value());
+  EXPECT_EQ(*out.winner_index, 0u);
+  EXPECT_EQ(out.winner_finish, 100);
+  EXPECT_TRUE(out.tasks[0].ran);
+}
+
+TEST(VSched, FastestSuccessfulWins) {
+  auto out = list_schedule(3, {task(1, 0, 300, true), task(2, 0, 100, true),
+                               task(3, 0, 200, true)});
+  EXPECT_EQ(*out.winner_index, 1u);
+  EXPECT_EQ(out.winner_finish, 100);
+}
+
+TEST(VSched, FailedTasksNeverWin) {
+  auto out = list_schedule(3, {task(1, 0, 50, false), task(2, 0, 100, true)});
+  EXPECT_EQ(*out.winner_index, 1u);
+  EXPECT_EQ(out.winner_finish, 100);
+}
+
+TEST(VSched, NoSuccessNoWinner) {
+  auto out = list_schedule(2, {task(1, 0, 50, false), task(2, 0, 60, false)});
+  EXPECT_FALSE(out.winner_index.has_value());
+  EXPECT_EQ(out.winner_finish, kVTimeMax);
+}
+
+TEST(VSched, LimitedProcessorsQueueTasks) {
+  // 1 processor, two tasks: the second starts when the first finishes.
+  auto out = list_schedule(1, {task(1, 0, 100, false), task(2, 0, 50, true)});
+  EXPECT_EQ(out.tasks[0].start, 0);
+  EXPECT_EQ(out.tasks[1].start, 100);
+  EXPECT_EQ(out.winner_finish, 150);
+}
+
+TEST(VSched, TwoProcessorsRunTwoAtOnce) {
+  auto out = list_schedule(2, {task(1, 0, 100, true), task(2, 0, 100, true),
+                               task(3, 0, 100, true)});
+  // Tasks 1 and 2 run at t=0; task 3 would start at t=100, exactly when
+  // the winner synchronizes — it is eliminated in the ready queue.
+  EXPECT_EQ(*out.winner_index, 0u);
+  EXPECT_EQ(out.winner_finish, 100);
+  EXPECT_FALSE(out.tasks[2].ran);
+}
+
+TEST(VSched, ReadyTimeDelaysStart) {
+  auto out = list_schedule(2, {task(1, 500, 10, true)});
+  EXPECT_EQ(out.tasks[0].start, 500);
+  EXPECT_EQ(out.winner_finish, 510);
+}
+
+TEST(VSched, SerialSpawnArrivalOrderRespected) {
+  // Arrivals staggered as if the parent forked serially.
+  auto out = list_schedule(1, {task(1, 10, 100, true), task(2, 20, 10, true)});
+  // FCFS: task 1 occupies the processor first even though task 2 is shorter.
+  EXPECT_EQ(*out.winner_index, 0u);
+  EXPECT_EQ(out.tasks[0].start, 10);
+  EXPECT_FALSE(out.tasks[1].ran);
+}
+
+TEST(VSched, TieBrokenByInputOrder) {
+  auto out = list_schedule(2, {task(1, 0, 100, true), task(2, 0, 100, true)});
+  EXPECT_EQ(*out.winner_index, 0u);
+}
+
+TEST(VSched, RunningSiblingKilledAtWinnerFinish) {
+  auto out = list_schedule(2, {task(1, 0, 100, true), task(2, 0, 500, true)});
+  EXPECT_EQ(*out.winner_index, 0u);
+  EXPECT_TRUE(out.tasks[1].ran);
+  EXPECT_FALSE(out.tasks[1].success);
+  EXPECT_EQ(out.tasks[1].finish, 100);  // killed when the winner synced
+}
+
+TEST(VSched, AbortedSiblingKeepsOwnFinishTime) {
+  auto out = list_schedule(2, {task(1, 0, 100, true), task(2, 0, 40, false)});
+  EXPECT_EQ(out.tasks[1].finish, 40);
+  EXPECT_FALSE(out.tasks[1].success);
+}
+
+TEST(VSched, ManyTasksFewProcessorsPacking) {
+  // 4 tasks x 100 ticks on 2 processors, all failing: finishes at 100,
+  // 100, 200, 200.
+  std::vector<VirtualTask> ts;
+  for (Pid p = 1; p <= 4; ++p) ts.push_back(task(p, 0, 100, false));
+  auto out = list_schedule(2, ts);
+  EXPECT_EQ(out.tasks[0].finish, 100);
+  EXPECT_EQ(out.tasks[1].finish, 100);
+  EXPECT_EQ(out.tasks[2].finish, 200);
+  EXPECT_EQ(out.tasks[3].finish, 200);
+}
+
+TEST(VSched, WinnerUnaffectedByLaterEliminations) {
+  // A successful task queued behind the winner cannot overtake it.
+  auto out = list_schedule(1, {task(1, 0, 100, true), task(2, 0, 1, true)});
+  EXPECT_EQ(*out.winner_index, 0u);
+  EXPECT_FALSE(out.tasks[1].ran);
+}
+
+TEST(VSched, ZeroDurationTask) {
+  auto out = list_schedule(1, {task(1, 0, 0, true)});
+  EXPECT_EQ(out.winner_finish, 0);
+}
+
+TEST(VSchedDeath, ZeroProcessorsAborts) {
+  EXPECT_DEATH(list_schedule(0, {task(1, 0, 1, true)}), "MW_CHECK");
+}
+
+// Parameterized sweep: with P processors and N identical successful tasks,
+// the winner always finishes after ceil-one-batch: duration (P >= 1 task
+// fits in the first batch).
+class VSchedSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(VSchedSweep, FirstBatchWins) {
+  const int procs = std::get<0>(GetParam());
+  const int n = std::get<1>(GetParam());
+  std::vector<VirtualTask> ts;
+  for (int i = 0; i < n; ++i)
+    ts.push_back(task(static_cast<Pid>(i + 1), 0, 1000, true));
+  auto out = list_schedule(static_cast<std::size_t>(procs), ts);
+  ASSERT_TRUE(out.winner_index.has_value());
+  EXPECT_EQ(out.winner_finish, 1000);
+  // Exactly min(procs, n) tasks ran.
+  int ran = 0;
+  for (const auto& t : out.tasks)
+    if (t.ran) ++ran;
+  EXPECT_EQ(ran, std::min(procs, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, VSchedSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(1, 2, 5, 16)));
+
+}  // namespace
+}  // namespace mw

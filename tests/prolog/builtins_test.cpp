@@ -1,0 +1,150 @@
+// Negation as failure (\+) and between/3.
+#include <gtest/gtest.h>
+
+#include "prolog/or_parallel.hpp"
+#include "prolog/solver.hpp"
+
+namespace mw::prolog {
+namespace {
+
+TEST(Builtins, NafGroundGoals) {
+  Program p = Program::parse("likes(alice, tea). likes(bob, coffee).");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("\\+ likes(alice, coffee)").success);
+  EXPECT_FALSE(s.solve("\\+ likes(alice, tea)").success);
+}
+
+TEST(Builtins, NafParsesAsPrefix) {
+  TermPtr t = parse_term("\\+ a = b");
+  ASSERT_TRUE(t->is_functor("\\+", 1));
+  EXPECT_TRUE(t->args[0]->is_functor("=", 2));
+}
+
+TEST(Builtins, NafWithBoundVariables) {
+  Program p = Program::parse("edge(a, b). edge(b, c).");
+  Solver s(p);
+  // Sinks: nodes with no outgoing edge.
+  SolveConfig cfg;
+  cfg.max_solutions = 10;
+  auto r = s.solve("edge(_, X), \\+ edge(X, _)", cfg);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.solutions.size(), 1u);
+  EXPECT_EQ(r.solutions[0].at("X"), "c");
+}
+
+TEST(Builtins, NafDoesNotBind) {
+  Program p = Program::parse("q(1).");
+  Solver s(p);
+  // \+ fails on a satisfiable goal but must not leak bindings either way.
+  auto r = s.solve("\\+ q(X), X = free");
+  EXPECT_FALSE(r.success);  // q(X) is satisfiable -> naf fails
+  auto r2 = s.solve("\\+ q(2), X = ok");
+  ASSERT_TRUE(r2.success);
+  EXPECT_EQ(r2.solutions[0].at("X"), "ok");
+}
+
+TEST(Builtins, NafNested) {
+  Program p = Program::parse("a.");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("\\+ \\+ a").success);
+  EXPECT_FALSE(s.solve("\\+ \\+ \\+ a").success);
+}
+
+TEST(Builtins, NafCountsSubSearchInferences) {
+  Program p = Program::parse("big(X) :- member(X, [1,2,3,4,5,6,7,8]).\n"
+                             "member(X, [X|_]).\n"
+                             "member(X, [_|T]) :- member(X, T).");
+  Solver s(p);
+  auto r = s.solve("\\+ big(99)");
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.inferences, 8u);  // the failed sub-search was paid for
+}
+
+TEST(Builtins, BetweenGenerates) {
+  Program p = Program::parse("");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto r = s.solve("between(1, 5, X)", cfg);
+  ASSERT_EQ(r.solutions.size(), 5u);
+  EXPECT_EQ(r.solutions.front().at("X"), "1");
+  EXPECT_EQ(r.solutions.back().at("X"), "5");
+}
+
+TEST(Builtins, BetweenTests) {
+  Program p = Program::parse("");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("between(1, 5, 3)").success);
+  EXPECT_FALSE(s.solve("between(1, 5, 9)").success);
+}
+
+TEST(Builtins, BetweenEmptyRange) {
+  Program p = Program::parse("");
+  Solver s(p);
+  EXPECT_FALSE(s.solve("between(5, 1, X)").success);
+}
+
+TEST(Builtins, BetweenWithArithmeticBounds) {
+  Program p = Program::parse("");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto r = s.solve("N is 2 + 1, between(1, N, X), X mod 2 =:= 1", cfg);
+  ASSERT_EQ(r.solutions.size(), 2u);  // 1 and 3
+}
+
+TEST(Builtins, BetweenAsGeneratorInRules) {
+  Program p = Program::parse(
+      "square(N, S) :- between(1, 10, N), S is N * N.");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 3;
+  auto r = s.solve("square(N, S), S > 5", cfg);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("N"), "3");
+  EXPECT_EQ(r.solutions[0].at("S"), "9");
+}
+
+TEST(Builtins, PythagoreanTriplesViaBetween) {
+  Program p = Program::parse(R"(
+    triple(A, B, C) :-
+      between(1, 20, A), between(1, 20, B), A =< B,
+      S is A * A + B * B,
+      between(1, 29, C), C * C =:= S.
+  )");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto r = s.solve("triple(A, B, C)", cfg);
+  ASSERT_TRUE(r.success);
+  // (3,4,5) appears.
+  bool has345 = false;
+  for (const auto& sol : r.solutions)
+    has345 |= sol.at("A") == "3" && sol.at("B") == "4" && sol.at("C") == "5";
+  EXPECT_TRUE(has345);
+}
+
+TEST(Builtins, NafAndBetweenThroughOrParallel) {
+  // The OR-parallel driver must defer these builtins to the leaf solver.
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 2;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  Runtime rt(cfg);
+  Program p = Program::parse(R"(
+    blocked(b).
+    route(X) :- between(1, 3, X), \+ bad(X).
+    bad(2).
+    pick(X) :- route(X).
+    pick(99).
+  )");
+  auto r = solve_or_parallel(rt, p, "pick(X)");
+  ASSERT_TRUE(r.success);
+  const std::string x = r.solution.at("X");
+  EXPECT_TRUE(x == "1" || x == "3" || x == "99") << x;
+}
+
+}  // namespace
+}  // namespace mw::prolog

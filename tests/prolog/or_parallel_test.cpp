@@ -1,0 +1,183 @@
+#include "prolog/or_parallel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw::prolog {
+namespace {
+
+RuntimeConfig virtual_config(std::size_t processors = 4) {
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = processors;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  return cfg;
+}
+
+const char* kFamily = R"(
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+)";
+
+TEST(OrParallel, SolvesSimpleQuery) {
+  Runtime rt(virtual_config());
+  Program p = Program::parse(kFamily);
+  auto r = solve_or_parallel(rt, p, "parent(tom, X)");
+  ASSERT_TRUE(r.success);
+  // Committed choice: some valid child of tom.
+  EXPECT_TRUE(r.solution.at("X") == "bob" || r.solution.at("X") == "liz");
+  EXPECT_GE(r.worlds_spawned, 2u);
+}
+
+TEST(OrParallel, AgreesWithSequentialOnDeterministicQuery) {
+  Runtime rt(virtual_config());
+  Program p = Program::parse(kFamily);
+  auto r = solve_or_parallel(rt, p, "grandparent(tom, ann)");
+  EXPECT_TRUE(r.success);
+}
+
+TEST(OrParallel, FailsWhenNoSolution) {
+  Runtime rt(virtual_config());
+  Program p = Program::parse(kFamily);
+  auto r = solve_or_parallel(rt, p, "parent(ann, X)");
+  EXPECT_FALSE(r.success);
+}
+
+TEST(OrParallel, GroundQueryNoVariables) {
+  Runtime rt(virtual_config());
+  Program p = Program::parse(kFamily);
+  auto r = solve_or_parallel(rt, p, "parent(tom, bob)");
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.solution.empty());
+}
+
+TEST(OrParallel, SolutionIsAValidSequentialSolution) {
+  // Whatever branch wins, the binding must be one the sequential engine
+  // also derives — speculation must not invent answers.
+  Runtime rt(virtual_config());
+  Program p = Program::parse(kFamily);
+  auto r = solve_or_parallel(rt, p, "parent(bob, X)");
+  ASSERT_TRUE(r.success);
+  Solver seq(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto all = seq.solve("parent(bob, X)", cfg);
+  bool found = false;
+  for (const auto& sol : all.solutions)
+    found |= sol.at("X") == r.solution.at("X");
+  EXPECT_TRUE(found);
+}
+
+TEST(OrParallel, BranchWithFastSolutionWins) {
+  // Clause order puts the losing branch (an expensive search) first; the
+  // second branch solves immediately. Committed choice picks the fast one.
+  const char* prog = R"(
+    slowpath(X) :- chain(X).
+    chain(X) :- c1(X).
+    c1(X) :- c2(X).
+    c2(X) :- c3(X).
+    c3(X) :- c4(X).
+    c4(X) :- c5(X).
+    c5(X) :- c6(X).
+    c6(X) :- c7(X).
+    c7(hard).
+    pick(X) :- slowpath(X).
+    pick(easy).
+  )";
+  Runtime rt(virtual_config(2));
+  Program p = Program::parse(prog);
+  auto r = solve_or_parallel(rt, p, "pick(X)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solution.at("X"), "easy");
+}
+
+TEST(OrParallel, SpeculationBeatsSequentialWhenFirstClauseIsDead) {
+  // The sequential engine must exhaust the huge dead branch before the
+  // second clause; the OR-parallel engine explores both at once.
+  const char* prog = R"(
+    n(z).
+    n(s(X)) :- n(X).
+    deep(X) :- n(X), fail_at(X).
+    fail_at(nothing_matches).
+    answer(X) :- deep(X).
+    answer(found).
+  )";
+  Runtime rt(virtual_config(2));
+  Program p = Program::parse(prog);
+  OrParallelConfig cfg;
+  cfg.max_inferences = 3000;  // bounds the dead branch
+  auto r = solve_or_parallel(rt, p, "answer(X)", cfg);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solution.at("X"), "found");
+  // Response time beats the sequential first-solution cost.
+  EXPECT_LT(r.elapsed,
+            static_cast<VDuration>(r.sequential_inferences) *
+                cfg.ticks_per_inference);
+  // Throughput price: total work exceeds the winner's work.
+  EXPECT_GT(r.total_inferences, 10u);
+}
+
+TEST(OrParallel, DeterministicReplay) {
+  Program p = Program::parse(kFamily);
+  auto run = [&] {
+    Runtime rt(virtual_config());
+    return solve_or_parallel(rt, p, "grandparent(tom, X)");
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.solution, b.solution);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.total_inferences, b.total_inferences);
+}
+
+TEST(OrParallel, SpawnDepthControlsWorldCount) {
+  const char* prog = R"(
+    a(1). a(2).
+    b(1). b(2).
+    q(X, Y) :- a(X), b(Y).
+  )";
+  Program p = Program::parse(prog);
+  OrParallelConfig shallow;
+  shallow.spawn_depth = 1;
+  OrParallelConfig deep;
+  deep.spawn_depth = 3;
+  Runtime rt1(virtual_config());
+  auto r1 = solve_or_parallel(rt1, p, "q(X, Y)", shallow);
+  Runtime rt2(virtual_config());
+  auto r2 = solve_or_parallel(rt2, p, "q(X, Y)", deep);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  EXPECT_GE(r2.worlds_spawned, r1.worlds_spawned);
+}
+
+TEST(OrParallel, ArithmeticThroughSpeculation) {
+  const char* prog = R"(
+    way(X) :- X is 10 + 5.
+    way(X) :- X is 3 * 5.
+  )";
+  Runtime rt(virtual_config());
+  Program p = Program::parse(prog);
+  auto r = solve_or_parallel(rt, p, "way(V)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solution.at("V"), "15");  // both branches agree here
+}
+
+TEST(OrParallel, ListAnswersSerializeCorrectly) {
+  const char* prog = R"(
+    build([1,2,3]).
+    build([4,5]).
+  )";
+  Runtime rt(virtual_config());
+  Program p = Program::parse(prog);
+  auto r = solve_or_parallel(rt, p, "build(L)");
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.solution.at("L") == "[1,2,3]" || r.solution.at("L") == "[4,5]");
+}
+
+}  // namespace
+}  // namespace mw::prolog

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "prolog/program.hpp"
+
+namespace mw::prolog {
+namespace {
+
+TEST(Parser, ParsesFacts) {
+  Program p = Program::parse("parent(tom, bob). parent(bob, ann).");
+  ASSERT_EQ(p.clauses().size(), 2u);
+  EXPECT_TRUE(p.clauses()[0].head->is_functor("parent", 2));
+  EXPECT_TRUE(p.clauses()[0].body.empty());
+}
+
+TEST(Parser, ParsesRules) {
+  Program p = Program::parse(
+      "grandparent(X, Z) :- parent(X, Y), parent(Y, Z).");
+  ASSERT_EQ(p.clauses().size(), 1u);
+  EXPECT_EQ(p.clauses()[0].body.size(), 2u);
+  EXPECT_TRUE(p.clauses()[0].head->is_functor("grandparent", 2));
+}
+
+TEST(Parser, ParsesAtomsVarsInts) {
+  TermPtr t = parse_term("f(abc, X, 42, -7, _)");
+  ASSERT_TRUE(t->is_functor("f", 5));
+  EXPECT_EQ(t->args[0]->kind, Term::Kind::kAtom);
+  EXPECT_EQ(t->args[1]->kind, Term::Kind::kVar);
+  EXPECT_EQ(t->args[2]->value, 42);
+  EXPECT_EQ(t->args[3]->value, -7);
+  // Anonymous variables are made unique at parse time.
+  EXPECT_EQ(t->args[4]->name.rfind("_G", 0), 0u);
+}
+
+TEST(Parser, ParsesLists) {
+  TermPtr t = parse_term("[a, b, c]");
+  EXPECT_EQ(to_string(t), "[a,b,c]");
+  TermPtr open = parse_term("[H | T]");
+  ASSERT_TRUE(open->is_functor(kCons, 2));
+  EXPECT_EQ(to_string(open), "[H|T]");
+  TermPtr nil = parse_term("[]");
+  EXPECT_TRUE(nil->is_atom(kNil));
+}
+
+TEST(Parser, NestedLists) {
+  TermPtr t = parse_term("[[1,2],[3]]");
+  EXPECT_EQ(to_string(t), "[[1,2],[3]]");
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  // 1 + 2 * 3 parses as +(1, *(2,3)).
+  TermPtr t = parse_term("1 + 2 * 3");
+  ASSERT_TRUE(t->is_functor("+", 2));
+  EXPECT_TRUE(t->args[1]->is_functor("*", 2));
+}
+
+TEST(Parser, AdditiveIsLeftAssociative) {
+  // 1 - 2 - 3 parses as -(-(1,2),3).
+  TermPtr t = parse_term("1 - 2 - 3");
+  ASSERT_TRUE(t->is_functor("-", 2));
+  EXPECT_TRUE(t->args[0]->is_functor("-", 2));
+  EXPECT_EQ(t->args[1]->value, 3);
+}
+
+TEST(Parser, ComparisonAndIs) {
+  TermPtr t = parse_term("X is Y + 1");
+  ASSERT_TRUE(t->is_functor("is", 2));
+  TermPtr u = parse_term("X =< 3");
+  EXPECT_TRUE(u->is_functor("=<", 2));
+  TermPtr v = parse_term("X \\= Y");
+  EXPECT_TRUE(v->is_functor("\\=", 2));
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  TermPtr t = parse_term("(1 + 2) * 3");
+  ASSERT_TRUE(t->is_functor("*", 2));
+  EXPECT_TRUE(t->args[0]->is_functor("+", 2));
+}
+
+TEST(Parser, CommentsSkipped) {
+  Program p = Program::parse("% a comment\nfoo(a). % trailing\nbar(b).");
+  EXPECT_EQ(p.clauses().size(), 2u);
+}
+
+TEST(Parser, QueryConjunction) {
+  auto goals = parse_query("parent(X, Y), parent(Y, Z)");
+  EXPECT_EQ(goals.size(), 2u);
+}
+
+TEST(Parser, CandidatesIndexByFunctorArity) {
+  Program p = Program::parse(
+      "f(a). f(b). g(c). f(x, y).");
+  EXPECT_EQ(p.candidates(parse_term("f(Q)")).size(), 2u);
+  EXPECT_EQ(p.candidates(parse_term("f(Q, R)")).size(), 1u);
+  EXPECT_EQ(p.candidates(parse_term("g(Q)")).size(), 1u);
+  EXPECT_EQ(p.candidates(parse_term("missing(Q)")).size(), 0u);
+}
+
+TEST(Term, RenameVarsAddsSuffixEverywhere) {
+  TermPtr t = parse_term("f(X, g(Y, X))");
+  TermPtr r = rename_vars(t, 7);
+  EXPECT_EQ(r->args[0]->name, "X~7");
+  EXPECT_EQ(r->args[1]->args[0]->name, "Y~7");
+  EXPECT_EQ(r->args[1]->args[1]->name, "X~7");
+}
+
+TEST(Term, ToStringStripsRenameSuffix) {
+  EXPECT_EQ(to_string(mk_var("X~3")), "X");
+}
+
+TEST(Term, EqualIsStructural) {
+  EXPECT_TRUE(equal(parse_term("f(a,[1,2])"), parse_term("f(a,[1,2])")));
+  EXPECT_FALSE(equal(parse_term("f(a)"), parse_term("f(b)")));
+  EXPECT_FALSE(equal(parse_term("f(a)"), parse_term("g(a)")));
+}
+
+TEST(Term, MkListBuildsConsChain) {
+  TermPtr l = mk_list({mk_int(1), mk_int(2)});
+  EXPECT_EQ(to_string(l), "[1,2]");
+  TermPtr open = mk_list({mk_int(1)}, mk_var("T"));
+  EXPECT_EQ(to_string(open), "[1|T]");
+}
+
+}  // namespace
+}  // namespace mw::prolog

@@ -1,0 +1,149 @@
+// Classic Prolog programs exercising the engine end to end.
+#include <gtest/gtest.h>
+
+#include "prolog/solver.hpp"
+
+namespace mw::prolog {
+namespace {
+
+TEST(Programs, MapColoringWithDisequality) {
+  // Color a 4-region map (triangle + appendix) with 3 colors.
+  Program p = Program::parse(R"(
+    color(red). color(green). color(blue).
+    map(A, B, C, D) :-
+      color(A), color(B), color(C), color(D),
+      A \= B, A \= C, B \= C, C \= D.
+  )");
+  Solver s(p);
+  auto r = s.solve("map(A, B, C, D)");
+  ASSERT_TRUE(r.success);
+  const auto& sol = r.solutions[0];
+  EXPECT_NE(sol.at("A"), sol.at("B"));
+  EXPECT_NE(sol.at("A"), sol.at("C"));
+  EXPECT_NE(sol.at("B"), sol.at("C"));
+  EXPECT_NE(sol.at("C"), sol.at("D"));
+}
+
+TEST(Programs, MapColoringCountsAllSolutions) {
+  Program p = Program::parse(R"(
+    color(red). color(green). color(blue).
+    tri(A, B, C) :- color(A), color(B), color(C), A \= B, A \= C, B \= C.
+  )");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto r = s.solve("tri(A, B, C)", cfg);
+  EXPECT_EQ(r.solutions.size(), 6u);  // 3! colorings of a triangle
+}
+
+TEST(Programs, NaiveReverse) {
+  Program p = Program::parse(R"(
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+    nrev([], []).
+    nrev([H|T], R) :- nrev(T, RT), append(RT, [H], R).
+  )");
+  Solver s(p);
+  auto r = s.solve("nrev([1,2,3,4,5], R)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("R"), "[5,4,3,2,1]");
+  // nrev of an n-list costs O(n^2) inferences — the classic LIPS workload.
+  EXPECT_GT(r.inferences, 15u);
+}
+
+TEST(Programs, FactorialViaArithmetic) {
+  Program p = Program::parse(R"(
+    fact(0, 1).
+    fact(N, F) :- N > 0, M is N - 1, fact(M, G), F is N * G.
+  )");
+  Solver s(p);
+  auto r = s.solve("fact(10, F)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("F"), "3628800");
+}
+
+TEST(Programs, FibonacciNaive) {
+  Program p = Program::parse(R"(
+    fib(0, 0).
+    fib(1, 1).
+    fib(N, F) :- N > 1, A is N - 1, B is N - 2,
+                 fib(A, FA), fib(B, FB), F is FA + FB.
+  )");
+  Solver s(p);
+  auto r = s.solve("fib(15, F)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("F"), "610");
+}
+
+TEST(Programs, GcdEuclid) {
+  Program p = Program::parse(R"(
+    gcd(A, 0, A).
+    gcd(A, B, G) :- B > 0, R is A mod B, gcd(B, R, G).
+  )");
+  Solver s(p);
+  auto r = s.solve("gcd(252, 105, G)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("G"), "21");
+}
+
+TEST(Programs, ListLengthBothDirections) {
+  Program p = Program::parse(R"(
+    len([], 0).
+    len([_|T], N) :- len(T, M), N is M + 1.
+  )");
+  Solver s(p);
+  auto r = s.solve("len([a,b,c,d], N)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("N"), "4");
+}
+
+TEST(Programs, GraphReachability) {
+  Program p = Program::parse(R"(
+    edge(a, b). edge(b, c). edge(c, d). edge(a, e).
+    path(X, X).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("path(a, d)").success);
+  EXPECT_TRUE(s.solve("path(a, e)").success);
+  EXPECT_FALSE(s.solve("path(e, a)").success);
+}
+
+TEST(Programs, ZebraStyleConstraintSlice) {
+  // A small constraint puzzle: three houses, three owners, the dog owner
+  // lives next to the red house (positions encoded as integers).
+  Program p = Program::parse(R"(
+    pos(1). pos(2). pos(3).
+    distinct(A, B, C) :- A \= B, A \= C, B \= C.
+    nextto(X, Y) :- D is X - Y, D =:= 1.
+    nextto(X, Y) :- D is Y - X, D =:= 1.
+    puzzle(Red, Dog) :-
+      pos(Red), pos(Green), pos(Blue), distinct(Red, Green, Blue),
+      pos(Dog), nextto(Dog, Red), Dog \= Red.
+  )");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 50;
+  auto r = s.solve("puzzle(Red, Dog)", cfg);
+  ASSERT_TRUE(r.success);
+  for (const auto& sol : r.solutions) {
+    const int red = std::stoi(sol.at("Red"));
+    const int dog = std::stoi(sol.at("Dog"));
+    EXPECT_EQ(std::abs(red - dog), 1);
+  }
+}
+
+TEST(Programs, MutualRecursionEvenOdd) {
+  Program p = Program::parse(R"(
+    even(0).
+    even(N) :- N > 0, M is N - 1, odd(M).
+    odd(N) :- N > 0, M is N - 1, even(M).
+  )");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("even(10)").success);
+  EXPECT_TRUE(s.solve("odd(7)").success);
+  EXPECT_FALSE(s.solve("even(7)").success);
+}
+
+}  // namespace
+}  // namespace mw::prolog

@@ -1,0 +1,232 @@
+#include "prolog/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw::prolog {
+namespace {
+
+const char* kFamily = R"(
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+parent(pat, jim).
+grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+)";
+
+const char* kLists = R"(
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+len([], 0).
+len([_|T], N) :- len(T, M), N is M + 1.
+)";
+
+TEST(Solver, GroundFactSucceeds) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  EXPECT_TRUE(s.solve("parent(tom, bob)").success);
+  EXPECT_FALSE(s.solve("parent(bob, tom)").success);
+}
+
+TEST(Solver, BindsQueryVariables) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  auto r = s.solve("parent(tom, X)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "bob");  // first clause order
+}
+
+TEST(Solver, EnumeratesAllSolutions) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto r = s.solve("parent(bob, X)", cfg);
+  ASSERT_EQ(r.solutions.size(), 2u);
+  EXPECT_EQ(r.solutions[0].at("X"), "ann");
+  EXPECT_EQ(r.solutions[1].at("X"), "pat");
+}
+
+TEST(Solver, ConjunctionAndRules) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  auto r = s.solve("grandparent(tom, X)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "ann");
+}
+
+TEST(Solver, RecursiveRules) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 100;
+  auto r = s.solve("ancestor(tom, X)", cfg);
+  // tom's descendants: bob, liz, ann, pat, jim.
+  EXPECT_EQ(r.solutions.size(), 5u);
+}
+
+TEST(Solver, AppendForward) {
+  Program p = Program::parse(kLists);
+  Solver s(p);
+  auto r = s.solve("append([1,2], [3], X)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "[1,2,3]");
+}
+
+TEST(Solver, AppendBackwardEnumeratesSplits) {
+  Program p = Program::parse(kLists);
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 10;
+  auto r = s.solve("append(A, B, [1,2,3])", cfg);
+  ASSERT_EQ(r.solutions.size(), 4u);
+  EXPECT_EQ(r.solutions[0].at("A"), "[]");
+  EXPECT_EQ(r.solutions[3].at("B"), "[]");
+}
+
+TEST(Solver, MemberChecksAndEnumerates) {
+  Program p = Program::parse(kLists);
+  Solver s(p);
+  EXPECT_TRUE(s.solve("member(2, [1,2,3])").success);
+  EXPECT_FALSE(s.solve("member(9, [1,2,3])").success);
+}
+
+TEST(Solver, ArithmeticWithIs) {
+  Program p = Program::parse(kLists);
+  Solver s(p);
+  auto r = s.solve("len([a,b,c], N)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("N"), "3");
+}
+
+TEST(Solver, ArithmeticExpressions) {
+  Program p = Program::parse("");
+  Solver s(p);
+  auto r = s.solve("X is 2 + 3 * 4, X > 10, X =< 14");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "14");
+  EXPECT_FALSE(s.solve("X is 5, X < 5").success);
+}
+
+TEST(Solver, ModAndIntegerDivision) {
+  Program p = Program::parse("");
+  Solver s(p);
+  auto r = s.solve("X is 17 mod 5, Y is 17 // 5");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "2");
+  EXPECT_EQ(r.solutions[0].at("Y"), "3");
+}
+
+TEST(Solver, NotUnifiable) {
+  Program p = Program::parse("");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("a \\= b").success);
+  EXPECT_FALSE(s.solve("a \\= a").success);
+  // A free variable can unify with anything: \= fails.
+  EXPECT_FALSE(s.solve("X \\= b").success);
+}
+
+TEST(Solver, UnificationBuiltin) {
+  Program p = Program::parse("");
+  Solver s(p);
+  auto r = s.solve("X = f(Y), Y = 3");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "f(3)");
+}
+
+TEST(Solver, TrueAndFail) {
+  Program p = Program::parse("");
+  Solver s(p);
+  EXPECT_TRUE(s.solve("true").success);
+  EXPECT_FALSE(s.solve("fail").success);
+}
+
+TEST(Solver, InferenceBudgetStopsRunaway) {
+  Program p = Program::parse("loop :- loop.");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_inferences = 1000;
+  auto r = s.solve("loop", cfg);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_LE(r.inferences, 1001u);
+}
+
+TEST(Solver, InferencesCounted) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  auto r = s.solve("grandparent(tom, ann)");
+  EXPECT_TRUE(r.success);
+  EXPECT_GT(r.inferences, 2u);
+}
+
+TEST(Solver, OnInferenceHookFires) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  std::uint64_t count = 0;
+  s.on_inference = [&] { ++count; };
+  auto r = s.solve("parent(tom, X)");
+  EXPECT_EQ(count, r.inferences);
+}
+
+TEST(Solver, RestrictFirstChoiceCommitsToClause) {
+  Program p = Program::parse(kFamily);
+  // Clause 1 is parent(tom, liz).
+  Solver s(p);
+  s.restrict_first_choice(1);
+  auto r = s.solve("parent(tom, X)");
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions[0].at("X"), "liz");
+  // The restriction is consumed: a second solve is unrestricted.
+  auto r2 = s.solve("parent(tom, X)");
+  EXPECT_EQ(r2.solutions[0].at("X"), "bob");
+}
+
+TEST(Solver, RestrictToNonMatchingClauseFails) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  s.restrict_first_choice(2);  // parent(bob, ann): head mismatch for tom
+  EXPECT_FALSE(s.solve("parent(tom, X)").success);
+}
+
+TEST(Solver, SharedVariablesAcrossGoals) {
+  Program p = Program::parse(kFamily);
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 10;
+  // X must be both a child of tom and a parent: only bob qualifies.
+  auto r = s.solve("parent(tom, X), parent(X, Y)", cfg);
+  ASSERT_TRUE(r.success);
+  for (const auto& sol : r.solutions) EXPECT_EQ(sol.at("X"), "bob");
+}
+
+TEST(Solver, NQueens4HasSolutions) {
+  // Classic 4-queens via permutation + safety check.
+  Program p = Program::parse(R"(
+    select(X, [X|T], T).
+    select(X, [H|T], [H|R]) :- select(X, T, R).
+    perm([], []).
+    perm(L, [H|T]) :- select(H, L, R), perm(R, T).
+    safe([]).
+    safe([Q|Qs]) :- safe(Qs, Q, 1), safe(Qs).
+    safe([], _, _).
+    safe([Q|Qs], Q0, D) :-
+      Q =\= Q0 + D, Q =\= Q0 - D, D1 is D + 1, safe(Qs, Q0, D1).
+    queens(Qs) :- perm([1,2,3,4], Qs), safe(Qs).
+  )");
+  Solver s(p);
+  SolveConfig cfg;
+  cfg.max_solutions = 10;
+  auto r = s.solve("queens(Qs)", cfg);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.solutions.size(), 2u);  // 4-queens has exactly 2 solutions
+  EXPECT_EQ(r.solutions[0].at("Qs"), "[2,4,1,3]");
+  EXPECT_EQ(r.solutions[1].at("Qs"), "[3,1,4,2]");
+}
+
+}  // namespace
+}  // namespace mw::prolog

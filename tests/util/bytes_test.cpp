@@ -1,0 +1,87 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_u8(), 0xAB);
+  EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.get_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, RoundTripString) {
+  ByteWriter w;
+  w.put_string("multiple worlds");
+  w.put_string("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "multiple worlds");
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Bytes, LittleEndianLayout) {
+  ByteWriter w;
+  w.put_u32(0x01020304);
+  ASSERT_EQ(w.bytes().size(), 4u);
+  EXPECT_EQ(w.bytes()[0], 0x04);
+  EXPECT_EQ(w.bytes()[3], 0x01);
+}
+
+TEST(Bytes, OverrunSetsNotOk) {
+  ByteWriter w;
+  w.put_u8(1);
+  ByteReader r(w.bytes());
+  r.get_u8();
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, OverrunIsStickyAndZero) {
+  ByteReader r(std::span<const std::uint8_t>{});
+  EXPECT_EQ(r.get_u64(), 0u);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, BlobRoundTrip) {
+  ByteWriter w;
+  Bytes payload{1, 2, 3, 4, 5};
+  w.put_bytes(payload);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_blob(5), payload);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, TruncatedStringFails) {
+  ByteWriter w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, RemainingTracksCursor) {
+  ByteWriter w;
+  w.put_u64(1);
+  w.put_u64(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 16u);
+  r.get_u64();
+  EXPECT_EQ(r.remaining(), 8u);
+}
+
+}  // namespace
+}  // namespace mw

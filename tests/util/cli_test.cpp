@@ -1,0 +1,59 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+Cli make(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return Cli(static_cast<int>(args.size()),
+             const_cast<char**>(args.data()));
+}
+
+TEST(Cli, KeyValueFlags) {
+  Cli c = make({"--procs=4", "--mode=virtual"});
+  EXPECT_EQ(c.get_int("procs", 0), 4);
+  EXPECT_EQ(c.get("mode", ""), "virtual");
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  Cli c = make({"--verbose"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_TRUE(c.has("verbose"));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  Cli c = make({});
+  EXPECT_EQ(c.get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("x", 2.5), 2.5);
+  EXPECT_FALSE(c.get_bool("flag", false));
+  EXPECT_EQ(c.get("s", "dflt"), "dflt");
+}
+
+TEST(Cli, PositionalArguments) {
+  Cli c = make({"input.txt", "--n=3", "out.txt"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "input.txt");
+  EXPECT_EQ(c.positional()[1], "out.txt");
+}
+
+TEST(Cli, ExplicitFalseValues) {
+  EXPECT_FALSE(make({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+}
+
+TEST(Cli, DoubleParsing) {
+  Cli c = make({"--ratio=0.5"});
+  EXPECT_DOUBLE_EQ(c.get_double("ratio", 0), 0.5);
+}
+
+TEST(Cli, NegativeIntegers) {
+  Cli c = make({"--delta=-12"});
+  EXPECT_EQ(c.get_int("delta", 0), -12);
+}
+
+}  // namespace
+}  // namespace mw

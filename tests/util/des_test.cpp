@@ -1,0 +1,74 @@
+#include "util/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mw {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.schedule_at(7, [&, i] { order.push_back(i); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HandlersScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<VTime> fired;
+  q.schedule_at(1, [&] {
+    fired.push_back(q.now());
+    q.schedule_after(5, [&] { fired.push_back(q.now()); });
+  });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<VTime>{1, 6}));
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(5, [&] { ++count; });
+  q.schedule_at(10, [&] { ++count; });
+  q.schedule_at(15, [&] { ++count; });
+  q.run_until(10);
+  EXPECT_EQ(count, 2);     // the event at exactly the deadline runs
+  EXPECT_EQ(q.now(), 10);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle) {
+  EventQueue q;
+  q.run_until(100);
+  EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.step());
+  q.schedule_at(0, [] {});
+  EXPECT_TRUE(q.step());
+  EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueDeath, PastSchedulingAborts) {
+  EventQueue q;
+  q.schedule_at(10, [] {});
+  q.run();
+  EXPECT_DEATH(q.schedule_at(5, [] {}), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

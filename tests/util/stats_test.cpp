@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.75), 7.5);
+}
+
+TEST(Percentile, Extremes) {
+  std::vector<double> v{3, 7, 9};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{42};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 42.0);
+}
+
+TEST(Summarize, EmptyInput) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Summarize, FullSummary) {
+  Summary s = summarize({5, 1, 3, 2, 4});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, DoesNotMutateInput) {
+  std::vector<double> v{3, 1, 2};
+  summarize(v);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 1.0);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mw {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"procs", "par"});
+  t.add_row({"1", "4.37"});
+  t.add_row({"12", "10.01"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  // Header present, underline present, both rows present.
+  EXPECT_NE(s.find("procs"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("4.37"), std::string::npos);
+  EXPECT_NE(s.find("10.01"), std::string::npos);
+  // Every line has the same length (alignment).
+  std::istringstream is(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << "line: '" << line << "'";
+  }
+}
+
+TEST(TablePrinter, TitlePrecedesTable) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  std::ostringstream os;
+  t.print(os, "Table I");
+  EXPECT_EQ(os.str().rfind("Table I", 0), 0u);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(4.014, 2), "4.01");
+  EXPECT_EQ(TablePrinter::num(4.0, 0), "4");
+  EXPECT_EQ(TablePrinter::num(static_cast<std::int64_t>(-7)), "-7");
+}
+
+TEST(TablePrinterDeath, RowArityMismatchAborts) {
+  TablePrinter t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"1"}), "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,69 @@
+#include "util/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace mw {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) pool.submit([&] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, TasksCanSubmitFromWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&] {
+    count.fetch_add(1);
+    pool.submit([&] { count.fetch_add(1); });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(CancelToken, StartsClear) {
+  CancelToken t;
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(CancelToken, RequestIsStickyAndIdempotent) {
+  CancelToken t;
+  t.request();
+  t.request();
+  EXPECT_TRUE(t.cancelled());
+}
+
+TEST(CancelToken, VisibleAcrossThreads) {
+  CancelToken t;
+  std::atomic<bool> observed{false};
+  std::thread watcher([&] {
+    while (!t.cancelled()) std::this_thread::yield();
+    observed = true;
+  });
+  t.request();
+  watcher.join();
+  EXPECT_TRUE(observed.load());
+}
+
+}  // namespace
+}  // namespace mw

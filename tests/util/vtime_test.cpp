@@ -1,0 +1,32 @@
+#include "util/vtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(VTime, UnitConstructors) {
+  EXPECT_EQ(vt_us(5), 5);
+  EXPECT_EQ(vt_ms(5), 5'000);
+  EXPECT_EQ(vt_sec(5), 5'000'000);
+  EXPECT_EQ(vt_ms(1), vt_us(1000));
+  EXPECT_EQ(vt_sec(1), vt_ms(1000));
+}
+
+TEST(VTime, Conversions) {
+  EXPECT_DOUBLE_EQ(vt_to_sec(vt_sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(vt_to_ms(vt_ms(7)), 7.0);
+  EXPECT_DOUBLE_EQ(vt_to_sec(vt_ms(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(vt_to_ms(vt_us(500)), 0.5);
+}
+
+TEST(VTime, NegativeDurationsConvert) {
+  EXPECT_DOUBLE_EQ(vt_to_sec(-vt_sec(2)), -2.0);
+}
+
+TEST(VTime, MaxIsSentinel) {
+  EXPECT_GT(kVTimeMax, vt_sec(1'000'000'000));
+}
+
+}  // namespace
+}  // namespace mw

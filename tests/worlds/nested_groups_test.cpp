@@ -1,0 +1,142 @@
+// Nested speculation in the actor runtime: an alternative spawns its own
+// sub-alternatives — the paper's §2.3 "nesting and potentially complex
+// dependencies" through inherited predicates.
+#include <gtest/gtest.h>
+
+#include "worlds/spec_runtime.hpp"
+
+namespace mw {
+namespace {
+
+TEST(NestedGroups, ChildInheritsParentsAssumptions) {
+  SpecRuntime rt;
+  LogicalId root = rt.spawn_root("root");
+  auto outer = rt.spawn_alternatives(
+      root, {AltSpec{"o1", nullptr, nullptr},
+             AltSpec{"o2", nullptr, nullptr}});
+  // o1 spawns its own alternatives; they assume everything o1 assumes.
+  // (o1 is a logical process with exactly one copy.)
+  LogicalId o1_lid = 0;
+  // Find o1's logical id by its pid.
+  for (LogicalId lid = 1; lid < 100; ++lid) {
+    auto copies = rt.all_copies(lid);
+    if (copies.size() == 1 && copies[0] == outer[0]) {
+      o1_lid = lid;
+      break;
+    }
+  }
+  ASSERT_NE(o1_lid, 0u);
+  auto inner = rt.spawn_alternatives(
+      o1_lid, {AltSpec{"i1", nullptr, nullptr},
+               AltSpec{"i2", nullptr, nullptr}});
+  const PredicateSet& preds = rt.predicates_of(inner[0]);
+  EXPECT_TRUE(preds.assumes_completes(outer[0]));  // parent's self-belief
+  EXPECT_TRUE(preds.assumes_fails(outer[1]));      // parent's rivalry
+  EXPECT_TRUE(preds.assumes_completes(inner[0]));  // own self-belief
+  EXPECT_TRUE(preds.assumes_fails(inner[1]));      // own rivalry
+}
+
+TEST(NestedGroups, OuterEliminationCascadesIntoInnerWorlds) {
+  SpecRuntime rt;
+  LogicalId root = rt.spawn_root("root");
+  bool inner_ran_after_doom = false;
+  LogicalId obs = rt.spawn_root("obs", [](ProcCtx&, const Message&) {});
+
+  auto outer = rt.spawn_alternatives(
+      root,
+      {AltSpec{"winner",
+               [](ProcCtx& ctx) {
+                 ctx.after(vt_ms(10), [](ProcCtx& c) { c.try_sync(); });
+               },
+               nullptr},
+       AltSpec{"loser-with-children",
+               [&](ProcCtx& ctx) {
+                 // Sub-speculation under the eventual loser.
+                 ctx.after(vt_ms(1), [&](ProcCtx& c) {
+                   SpecRuntime& r = rt;
+                   // Children assume complete(loser); when the winner
+                   // syncs at t=10ms, loser is doomed, and so are they.
+                   (void)r;
+                   c.send_text(obs, "still alive");
+                   c.after(vt_ms(30), [&inner_ran_after_doom](ProcCtx&) {
+                     inner_ran_after_doom = true;
+                   });
+                 });
+               },
+               nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.processes().status(outer[0]), ProcStatus::kSynced);
+  EXPECT_EQ(rt.processes().status(outer[1]), ProcStatus::kEliminated);
+  // The loser's scheduled continuation was skipped: its copy is dead.
+  EXPECT_FALSE(inner_ran_after_doom);
+}
+
+TEST(NestedGroups, InnerSyncThenOuterSyncResolvesEverything) {
+  SpecRuntime rt;
+  LogicalId root = rt.spawn_root("root", nullptr, [](ProcCtx& ctx) {
+    ctx.space().store<int>(0, 0);
+  });
+  const Pid root_pid = rt.live_copies(root)[0];
+
+  // One outer alternative that runs an inner two-way race, commits the
+  // inner winner, then syncs itself.
+  auto outer = rt.spawn_alternatives(
+      root,
+      {AltSpec{"outer",
+               [&rt](ProcCtx& ctx) {
+                 const LogicalId self = ctx.logical();
+                 auto inner = rt.spawn_alternatives(
+                     self,
+                     {AltSpec{"inner-fast",
+                              [](ProcCtx& c) {
+                                c.space().store<int>(0, 11);
+                                c.after(vt_ms(1),
+                                        [](ProcCtx& c2) { c2.try_sync(); });
+                              },
+                              nullptr},
+                      AltSpec{"inner-slow",
+                              [](ProcCtx& c) {
+                                c.space().store<int>(0, 22);
+                                c.after(vt_ms(40),
+                                        [](ProcCtx& c2) { c2.try_sync(); });
+                              },
+                              nullptr}});
+                 (void)inner;
+                 // Sync the outer world once the inner race resolved.
+                 ctx.after(vt_ms(5), [](ProcCtx& c) { c.try_sync(); });
+               },
+               nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.processes().status(outer[0]), ProcStatus::kSynced);
+  // Inner winner's state flowed: inner -> outer world -> root world.
+  EXPECT_EQ(rt.space_of(root_pid).load<int>(0), 11);
+}
+
+TEST(NestedGroups, MessageFromInnerWorldCarriesFullAncestry) {
+  SpecRuntime rt;
+  PredicateSet seen;
+  LogicalId obs = rt.spawn_root(
+      "obs", [&seen](ProcCtx&, const Message& m) { seen = m.predicate; });
+  LogicalId root = rt.spawn_root("root");
+  auto outer = rt.spawn_alternatives(
+      root, {AltSpec{"o",
+                     [&rt, obs](ProcCtx& ctx) {
+                       auto inner = rt.spawn_alternatives(
+                           ctx.logical(),
+                           {AltSpec{"i",
+                                    [obs](ProcCtx& c) {
+                                      c.send_text(obs, "hello");
+                                    },
+                                    nullptr}});
+                       (void)inner;
+                     },
+                     nullptr}});
+  rt.run();
+  // The message's sending predicate includes the inner world's belief in
+  // its own completion AND the outer ancestry.
+  EXPECT_TRUE(seen.assumes_completes(outer[0]));
+  EXPECT_GE(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,119 @@
+// Property fuzz of the Multiple Worlds runtime: random speculation
+// scenarios (random alternative counts, message fan-out, winner choice)
+// must always resolve to a consistent end state:
+//   * every alt group has exactly one synced member (or none if all abort);
+//   * every surviving observer copy is certain (empty predicates);
+//   * exactly one observer copy survives per logical observer;
+//   * no message from a losing world was ever accepted by a copy that
+//     survives.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+#include "worlds/spec_runtime.hpp"
+
+namespace mw {
+namespace {
+
+class SpecPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpecPropertyTest, RandomScenarioResolvesConsistently) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  SpecRuntime rt;
+  // A few observers that record accepted messages per copy pid.
+  std::map<Pid, std::vector<std::string>> accepted_by_copy;
+  const int n_obs = 1 + static_cast<int>(rng.next_below(3));
+  std::vector<LogicalId> observers;
+  for (int i = 0; i < n_obs; ++i) {
+    observers.push_back(rt.spawn_root(
+        "obs" + std::to_string(i),
+        [&accepted_by_copy](ProcCtx& ctx, const Message& m) {
+          accepted_by_copy[ctx.pid()].push_back(m.text());
+        }));
+  }
+
+  LogicalId parent = rt.spawn_root("parent");
+  const int n_alts = 2 + static_cast<int>(rng.next_below(4));
+  const int winner = static_cast<int>(rng.next_below(
+      static_cast<std::uint64_t>(n_alts) + 1));  // n_alts = everyone aborts
+
+  std::vector<AltSpec> specs;
+  for (int a = 0; a < n_alts; ++a) {
+    // Each alternative messages a random subset of observers at random
+    // times, then syncs (if chosen) or aborts.
+    std::vector<std::pair<VDuration, LogicalId>> sends;
+    const int n_sends = static_cast<int>(rng.next_below(3));
+    for (int s = 0; s < n_sends; ++s) {
+      sends.emplace_back(
+          static_cast<VDuration>(vt_ms(1 + rng.next_in(0, 8))),
+          observers[rng.next_below(observers.size())]);
+    }
+    const bool is_winner = a == winner;
+    const VDuration decide_at = vt_ms(10 + rng.next_in(0, 5));
+    const std::string tag = "alt" + std::to_string(a);
+    specs.push_back(AltSpec{
+        tag,
+        [sends, is_winner, decide_at, tag](ProcCtx& ctx) {
+          for (const auto& [at, to] : sends) {
+            ctx.after(at, [to, tag](ProcCtx& c) {
+              c.send_text(to, tag);
+            });
+          }
+          ctx.after(decide_at, [is_winner](ProcCtx& c) {
+            if (is_winner) {
+              c.try_sync();
+            } else {
+              c.abort();
+            }
+          });
+        },
+        nullptr});
+  }
+  auto pids = rt.spawn_alternatives(parent, std::move(specs));
+  rt.run();
+
+  // Invariant 1: group outcome matches the plan.
+  int synced = 0;
+  for (Pid p : pids) {
+    if (rt.processes().status(p) == ProcStatus::kSynced) ++synced;
+  }
+  if (winner < n_alts) {
+    EXPECT_EQ(synced, 1) << "seed " << seed;
+    EXPECT_EQ(rt.processes().status(pids[static_cast<std::size_t>(winner)]),
+              ProcStatus::kSynced);
+  } else {
+    EXPECT_EQ(synced, 0) << "seed " << seed;
+  }
+
+  // Invariant 2 & 3: each observer ends with exactly one live copy, and
+  // that copy holds no assumptions.
+  for (LogicalId obs : observers) {
+    auto live = rt.live_copies(obs);
+    ASSERT_EQ(live.size(), 1u) << "seed " << seed;
+    EXPECT_TRUE(rt.predicates_of(live[0]).empty()) << "seed " << seed;
+  }
+
+  // Invariant 4: surviving copies accepted no messages from losing
+  // alternatives.
+  const std::string winner_tag = "alt" + std::to_string(winner);
+  for (LogicalId obs : observers) {
+    const Pid survivor = rt.live_copies(obs)[0];
+    auto it = accepted_by_copy.find(survivor);
+    if (it == accepted_by_copy.end()) continue;
+    for (const auto& tag : it->second) {
+      EXPECT_EQ(tag, winner_tag)
+          << "survivor copy of observer heard from a losing world (seed "
+          << seed << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpecPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,325 @@
+#include "worlds/spec_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mw {
+namespace {
+
+TEST(SpecRuntime, RootProcessReceivesExternalMessage) {
+  SpecRuntime rt;
+  std::vector<std::string> got;
+  LogicalId r = rt.spawn_root(
+      "receiver",
+      [&](ProcCtx&, const Message& m) { got.push_back(m.text()); });
+  rt.send_external_text(r, "hello");
+  rt.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"hello"}));
+  EXPECT_EQ(rt.stats().accepted, 1u);
+  EXPECT_EQ(rt.stats().splits, 0u);
+}
+
+TEST(SpecRuntime, RootToRootMessaging) {
+  SpecRuntime rt;
+  std::vector<std::string> got;
+  LogicalId b = rt.spawn_root(
+      "b", [&](ProcCtx&, const Message& m) { got.push_back(m.text()); });
+  rt.spawn_root("a", nullptr,
+                [&](ProcCtx& ctx) { ctx.send_text(b, "from-a"); });
+  rt.run();
+  EXPECT_EQ(got, (std::vector<std::string>{"from-a"}));
+}
+
+TEST(SpecRuntime, InitRunsAtSpawn) {
+  SpecRuntime rt;
+  bool ran = false;
+  rt.spawn_root("r", nullptr, [&](ProcCtx& ctx) {
+    ran = true;
+    EXPECT_TRUE(ctx.certain());
+    ctx.space().store<int>(0, 7);
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(SpecRuntime, AlternativesCarrySiblingRivalry) {
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent");
+  auto pids = rt.spawn_alternatives(
+      parent, {AltSpec{"a", nullptr, nullptr}, AltSpec{"b", nullptr, nullptr}});
+  ASSERT_EQ(pids.size(), 2u);
+  EXPECT_TRUE(rt.predicates_of(pids[0]).assumes_completes(pids[0]));
+  EXPECT_TRUE(rt.predicates_of(pids[0]).assumes_fails(pids[1]));
+  EXPECT_TRUE(rt.predicates_of(pids[1]).assumes_completes(pids[1]));
+  EXPECT_TRUE(rt.predicates_of(pids[1]).assumes_fails(pids[0]));
+}
+
+TEST(SpecRuntime, ParentBlockedWhileChildrenRace) {
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent");
+  const Pid ppid = rt.live_copies(parent)[0];
+  rt.spawn_alternatives(parent, {AltSpec{"a", nullptr, nullptr}});
+  EXPECT_EQ(rt.processes().status(ppid), ProcStatus::kBlocked);
+}
+
+TEST(SpecRuntime, SyncCommitsWinnerStateToParent) {
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent", nullptr, [](ProcCtx& ctx) {
+    ctx.space().store<int>(0, 1);
+  });
+  const Pid ppid = rt.live_copies(parent)[0];
+  rt.spawn_alternatives(
+      parent, {AltSpec{"writer",
+                       [](ProcCtx& ctx) {
+                         ctx.space().store<int>(0, 42);
+                         EXPECT_TRUE(ctx.try_sync());
+                       },
+                       nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.space_of(ppid).load<int>(0), 42);
+  EXPECT_EQ(rt.processes().status(ppid), ProcStatus::kRunning);
+}
+
+TEST(SpecRuntime, AtMostOnceSyncEliminatesSecond) {
+  // The first alternative synchronizes during its init; the resolution
+  // cascade eliminates the sibling instantly, so the sibling's program
+  // never even starts — elimination won the race to the sync point.
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent");
+  bool first_won = false, second_ran = false;
+  auto pids = rt.spawn_alternatives(
+      parent,
+      {AltSpec{"first", [&](ProcCtx& ctx) { first_won = ctx.try_sync(); },
+               nullptr},
+       AltSpec{"second", [&](ProcCtx& ctx) {
+                 second_ran = true;
+                 ctx.try_sync();
+               },
+               nullptr}});
+  rt.run();
+  EXPECT_TRUE(first_won);
+  EXPECT_FALSE(second_ran);
+  EXPECT_EQ(rt.processes().status(pids[0]), ProcStatus::kSynced);
+  EXPECT_EQ(rt.processes().status(pids[1]), ProcStatus::kEliminated);
+}
+
+TEST(SpecRuntime, WinnerSyncEliminatesSiblingBeforeItActs) {
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent");
+  bool sibling_late_code_ran = false;
+  rt.spawn_alternatives(
+      parent,
+      {AltSpec{"fast", [](ProcCtx& ctx) { ctx.try_sync(); }, nullptr},
+       AltSpec{"slow",
+               [&](ProcCtx& ctx) {
+                 // Scheduled work after the winner synced: the copy is
+                 // eliminated, so the continuation never fires.
+                 ctx.after(vt_ms(10), [&](ProcCtx&) {
+                   sibling_late_code_ran = true;
+                 });
+               },
+               nullptr}});
+  rt.run();
+  EXPECT_FALSE(sibling_late_code_ran);
+}
+
+// The paper's Figure 2: an alternative sends a message to an outside
+// process while still speculative. The receiver splits into an accepting
+// copy (assuming the sender completes) and a rejecting copy (assuming it
+// does not).
+TEST(SpecRuntime, Figure2SplitOnSpeculativeMessage) {
+  SpecRuntime rt;
+  int handled = 0;
+  LogicalId obs = rt.spawn_root(
+      "observer", [&](ProcCtx&, const Message&) { ++handled; });
+  LogicalId parent = rt.spawn_root("parent");
+  auto pids = rt.spawn_alternatives(
+      parent,
+      {AltSpec{"talker",
+               [&](ProcCtx& ctx) { ctx.send_text(obs, "speculative"); },
+               nullptr},
+       AltSpec{"quiet", nullptr, nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.stats().splits, 1u);
+  EXPECT_EQ(handled, 1);  // only the accepting copy handles it
+  auto copies = rt.live_copies(obs);
+  ASSERT_EQ(copies.size(), 2u);
+  // One copy assumes complete(talker), the other not-complete(talker).
+  const Pid talker = pids[0];
+  int accepting = 0, rejecting = 0;
+  for (Pid c : copies) {
+    if (rt.predicates_of(c).assumes_completes(talker)) ++accepting;
+    if (rt.predicates_of(c).assumes_fails(talker)) ++rejecting;
+  }
+  EXPECT_EQ(accepting, 1);
+  EXPECT_EQ(rejecting, 1);
+}
+
+TEST(SpecRuntime, SplitResolvesWhenSenderSyncs) {
+  SpecRuntime rt;
+  LogicalId obs = rt.spawn_root("observer",
+                                [](ProcCtx&, const Message&) {});
+  LogicalId parent = rt.spawn_root("parent");
+  auto pids = rt.spawn_alternatives(
+      parent, {AltSpec{"talker",
+                       [&](ProcCtx& ctx) {
+                         ctx.send_text(obs, "m");
+                         ctx.after(vt_ms(1), [](ProcCtx& c) { c.try_sync(); });
+                       },
+                       nullptr}});
+  rt.run();
+  // The talker synchronized: the rejecting copy (which assumed
+  // not-complete(talker)) is eliminated; exactly one observer copy
+  // survives, with its assumptions fully resolved.
+  auto copies = rt.live_copies(obs);
+  ASSERT_EQ(copies.size(), 1u);
+  EXPECT_TRUE(rt.predicates_of(copies[0]).empty());
+  EXPECT_EQ(rt.processes().status(pids[0]), ProcStatus::kSynced);
+  EXPECT_GE(rt.stats().eliminated_copies, 1u);
+}
+
+TEST(SpecRuntime, SplitResolvesWhenSenderAborts) {
+  SpecRuntime rt;
+  int handled = 0;
+  LogicalId obs = rt.spawn_root(
+      "observer", [&](ProcCtx&, const Message&) { ++handled; });
+  LogicalId parent = rt.spawn_root("parent");
+  auto pids = rt.spawn_alternatives(
+      parent, {AltSpec{"talker",
+                       [&](ProcCtx& ctx) {
+                         ctx.send_text(obs, "m");
+                         ctx.after(vt_ms(1), [](ProcCtx& c) { c.abort(); });
+                       },
+                       nullptr}});
+  rt.run();
+  // The talker aborted: the accepting copy is doomed; the rejecting copy
+  // survives with the assumption simplified away.
+  auto copies = rt.live_copies(obs);
+  ASSERT_EQ(copies.size(), 1u);
+  EXPECT_TRUE(rt.predicates_of(copies[0]).empty());
+  EXPECT_FALSE(rt.predicates_of(copies[0]).assumes_fails(pids[0]));
+  EXPECT_EQ(handled, 1);  // the accepting copy did handle it before dooming
+}
+
+TEST(SpecRuntime, MessageFromDeadWorldIsPruned) {
+  SpecRuntime rt;
+  int handled = 0;
+  LogicalId obs = rt.spawn_root(
+      "observer", [&](ProcCtx&, const Message&) { ++handled; });
+  LogicalId parent = rt.spawn_root("parent");
+  rt.spawn_alternatives(
+      parent,
+      {AltSpec{"loser",
+               [&](ProcCtx& ctx) {
+                 ctx.send_text(obs, "phantom");
+                 ctx.abort();  // dies before the message arrives
+               },
+               nullptr}});
+  rt.run();
+  EXPECT_EQ(handled, 0);
+  EXPECT_EQ(rt.stats().pruned, 1u);
+  // No split: the message never forced an assumption.
+  EXPECT_EQ(rt.stats().splits, 0u);
+  EXPECT_EQ(rt.live_copies(obs).size(), 1u);
+}
+
+TEST(SpecRuntime, ConflictingSecondMessageIgnored) {
+  // Observer accepts a message from alternative A (split), then the
+  // accepting copy receives one from sibling B: conflict, ignored; the
+  // rejecting copy splits on B instead.
+  SpecRuntime rt;
+  std::vector<std::string> handled;
+  LogicalId obs = rt.spawn_root(
+      "observer",
+      [&](ProcCtx&, const Message& m) { handled.push_back(m.text()); });
+  LogicalId parent = rt.spawn_root("parent");
+  rt.spawn_alternatives(
+      parent,
+      {AltSpec{"A", [&](ProcCtx& ctx) { ctx.send_text(obs, "from-A"); },
+               nullptr},
+       AltSpec{"B",
+               [&](ProcCtx& ctx) {
+                 ctx.after(vt_ms(1),
+                           [&, obs](ProcCtx& c) { c.send_text(obs, "from-B"); });
+               },
+               nullptr}});
+  rt.run();
+  // from-A accepted once (splitting); from-B: the A-accepting copy ignores
+  // it (conflict), the A-rejecting copy splits again and accepts.
+  ASSERT_EQ(handled.size(), 2u);
+  EXPECT_EQ(handled[0], "from-A");
+  EXPECT_EQ(handled[1], "from-B");
+  EXPECT_EQ(rt.stats().splits, 2u);
+  EXPECT_EQ(rt.stats().ignored, 1u);
+  // Three live observer copies: (A), (not-A, B), (not-A, not-B).
+  EXPECT_EQ(rt.live_copies(obs).size(), 3u);
+}
+
+TEST(SpecRuntime, SpeculativeStateVisibleOnlyInOwnWorld) {
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent", nullptr, [](ProcCtx& ctx) {
+    ctx.space().store<int>(0, 10);
+  });
+  auto pids = rt.spawn_alternatives(
+      parent,
+      {AltSpec{"w1", [](ProcCtx& ctx) { ctx.space().store<int>(0, 11); },
+               nullptr},
+       AltSpec{"w2", [](ProcCtx& ctx) { ctx.space().store<int>(0, 12); },
+               nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.space_of(pids[0]).load<int>(0), 11);
+  EXPECT_EQ(rt.space_of(pids[1]).load<int>(0), 12);
+  EXPECT_EQ(rt.space_of(rt.live_copies(parent)[0]).load<int>(0), 10);
+}
+
+TEST(SpecRuntime, RepliesReachSpeculativeSender) {
+  // An observer replies to the logical id of a speculative sender; the
+  // reply carries the observer-copy's assumptions, which the alternative
+  // already holds (it assumes its own completion) — accepted, no split.
+  SpecRuntime rt;
+  std::string reply_seen;
+  LogicalId obs = rt.spawn_root(
+      "obs", [](ProcCtx& ctx, const Message& m) {
+        ctx.send_text(m.sender_logical, "reply:" + m.text());
+      });
+  LogicalId parent = rt.spawn_root("parent");
+  rt.spawn_alternatives(
+      parent,
+      {AltSpec{"asker",
+               [&](ProcCtx& ctx) { ctx.send_text(obs, "question"); },
+               [&](ProcCtx&, const Message& m) { reply_seen = m.text(); }}});
+  rt.run();
+  EXPECT_EQ(reply_seen, "reply:question");
+  // The reply from the accepting copy to the asker needed no further split.
+  EXPECT_EQ(rt.stats().splits, 1u);
+}
+
+TEST(SpecRuntime, DeterministicReplay) {
+  auto run_once = [] {
+    SpecRuntime rt;
+    std::vector<std::string> log;
+    LogicalId obs = rt.spawn_root(
+        "obs", [&](ProcCtx&, const Message& m) { log.push_back(m.text()); });
+    LogicalId parent = rt.spawn_root("parent");
+    rt.spawn_alternatives(
+        parent,
+        {AltSpec{"a", [&](ProcCtx& ctx) { ctx.send_text(obs, "a"); }, nullptr},
+         AltSpec{"b", [&](ProcCtx& ctx) { ctx.send_text(obs, "b"); }, nullptr},
+         AltSpec{"c", [&](ProcCtx& ctx) { ctx.send_text(obs, "c"); }, nullptr}});
+    rt.run();
+    auto s = rt.stats();
+    return std::make_tuple(log, s.splits, s.accepted, s.ignored,
+                           rt.live_copies(obs).size());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(SpecRuntimeDeath, AlternativesRequireSingleParentCopy) {
+  SpecRuntime rt;
+  EXPECT_DEATH(rt.spawn_alternatives(999, {AltSpec{"x", nullptr, nullptr}}),
+               "MW_CHECK");
+}
+
+}  // namespace
+}  // namespace mw
