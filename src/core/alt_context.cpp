@@ -1,5 +1,9 @@
 #include "core/alt_context.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "fault/fault.hpp"
 #include "util/stopwatch.hpp"
 
 namespace mw {
@@ -32,6 +36,48 @@ void AltContext::checkpoint() {
 
 void AltContext::fail(std::string reason) {
   throw AltFailed{std::move(reason)};
+}
+
+void AltContext::fault_point(std::string_view name) {
+  FaultInjector* inj = fault_injector();
+  if (!inj) return;
+  // The body's natural clock is the work it has accounted so far; wall
+  // time is meaningless for replay.
+  const FaultAction action = inj->query(name, virtual_ ? work_ : 0);
+  switch (action.kind) {
+    case FaultKind::kFailAlternative:
+      fail("fault injected at " + std::string(name));
+    case FaultKind::kCrashException:
+      throw InjectedCrash{std::string(name)};
+    case FaultKind::kHang:
+      hang();
+    case FaultKind::kDelay:
+      sleep_for(action.delay);
+      break;
+    default:
+      break;  // message/node faults have no meaning inside a body
+  }
+}
+
+void AltContext::hang() {
+  if (virtual_) throw AltHung{};
+  if (!cancel_) fail("hang with no cancellation token");
+  for (;;) {
+    if (cancel_->cancelled()) throw CancelledError{};
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void AltContext::sleep_for(VDuration ticks) {
+  work_ += ticks;
+  if (!virtual_) {
+    Stopwatch sw;
+    while (sw.elapsed_us() < static_cast<double>(ticks)) {
+      checkpoint();
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  checkpoint();
 }
 
 }  // namespace mw

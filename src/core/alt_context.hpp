@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "core/world.hpp"
 #include "util/bytes.hpp"
@@ -19,6 +20,11 @@ namespace mw {
 struct AltFailed {
   std::string reason;
 };
+
+/// Thrown by AltContext::hang in the virtual backend: the backend records
+/// the alternative as never finishing on its own (it occupies a virtual
+/// processor until the block's deadline eliminates it).
+struct AltHung {};
 
 class AltContext {
  public:
@@ -53,6 +59,23 @@ class AltContext {
 
   /// Aborts this alternative (guard/computation failure): throws AltFailed.
   [[noreturn]] void fail(std::string reason = {});
+
+  /// Declares a named fault point in the body: queries the ambient
+  /// FaultInjector (clocked by this alternative's accounted work in the
+  /// virtual backend) and applies any injected action — fail, crash with a
+  /// foreign exception, hang, or extra delay. No-op without an injector.
+  void fault_point(std::string_view name);
+
+  /// This alternative stops making progress. Virtual backend: unwinds via
+  /// AltHung and is scheduled as never finishing. Thread backend: blocks
+  /// until eliminated, then unwinds via CancelledError (with no
+  /// cancellation token it degrades to fail(), which cannot wedge).
+  [[noreturn]] void hang();
+
+  /// Cancellable sleep: accounts `ticks` in the virtual backend; sleeps
+  /// roughly `ticks` microseconds of wall time in the thread backend,
+  /// polling for elimination.
+  void sleep_for(VDuration ticks);
 
   /// Publishes result bytes; delivered in AltOutcome::result if this
   /// alternative wins.

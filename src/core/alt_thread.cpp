@@ -120,7 +120,15 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
         end = End::kCancelled;
       } catch (const AltFailed&) {
         end = End::kAborted;
+      } catch (const AltHung&) {
+        // Only reachable if hang() degrades (no cancel token); treat as a
+        // plain abort so the block can still decide.
+        end = End::kAborted;
       } catch (const std::exception&) {
+        end = End::kAborted;
+      } catch (...) {
+        // Foreign exceptions (e.g. an injected crash) terminate the child
+        // as Failed instead of calling std::terminate on the whole block.
         end = End::kAborted;
       }
       results[k] = ctx.result();

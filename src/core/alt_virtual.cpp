@@ -79,6 +79,7 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
     Bytes result;
     VDuration duration = 0;
     bool success = false;
+    bool hung = false;
     std::uint64_t pages_copied = 0;
   };
   std::vector<Ran> ran;
@@ -92,6 +93,7 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
     AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), nullptr,
                    /*virtual_mode=*/true);
     bool success = true;
+    bool hung = false;
     if ((opts.guard_phases & kGuardInChild) && alt.guard &&
         !alt.guard(child)) {
       success = false;
@@ -100,7 +102,16 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
         alt.body(ctx);
       } catch (const AltFailed&) {
         success = false;
+      } catch (const AltHung&) {
+        // The body declared it will never finish: modelled below as a task
+        // that outlives the block's deadline.
+        success = false;
+        hung = true;
       } catch (const std::exception&) {
+        success = false;
+      } catch (...) {
+        // Foreign exceptions (e.g. an injected crash) must not escape the
+        // block: the child is simply Failed.
         success = false;
       }
     }
@@ -114,18 +125,24 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
     Ran r{std::move(child), ctx.result(),
           ctx.accounted_work() +
               cost.cow_copy_per_page * static_cast<VDuration>(copied),
-          success, copied};
+          success, hung, copied};
     out.alts[i].pages_copied = copied;
     out.overhead.copying +=
         cost.cow_copy_per_page * static_cast<VDuration>(copied);
     ran.push_back(std::move(r));
   }
 
-  // Phase 3: schedule on the virtual processors.
+  // Phase 3: schedule on the virtual processors. A hung alternative is a
+  // task that provably outlives the block's deadline — the timeout path
+  // fires exactly as it would against a real non-terminating child.
+  const VDuration hang_duration =
+      opts.timeout == kVTimeMax ? vt_sec(3600) : opts.timeout + 1;
   std::vector<VirtualTask> tasks(spawned.size());
   for (std::size_t k = 0; k < spawned.size(); ++k) {
-    tasks[k] = VirtualTask{sibling_pids[k], ready[k], ran[k].duration,
-                           ran[k].success};
+    const VDuration dur =
+        ran[k].hung ? std::max(ran[k].duration, hang_duration)
+                    : ran[k].duration;
+    tasks[k] = VirtualTask{sibling_pids[k], ready[k], dur, ran[k].success};
   }
   ScheduleOutcome sched =
       rt.config().sched == RuntimeConfig::Sched::kProcessorSharing

@@ -1,0 +1,77 @@
+#include "core/runtime_auditor.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "pagestore/page.hpp"
+
+namespace mw {
+
+std::string AuditReport::to_string() const {
+  if (clean()) return "audit: clean";
+  std::ostringstream os;
+  os << "audit: " << violations.size() << " violation(s)";
+  for (const auto& v : violations) os << "\n  - " << v;
+  return os.str();
+}
+
+RuntimeAuditor::RuntimeAuditor()
+    : baseline_pages_(Page::live_instances()) {}
+
+void RuntimeAuditor::add_world(const World& w) { worlds_.push_back(&w); }
+
+void RuntimeAuditor::add_table(const PageTable& t) { tables_.push_back(&t); }
+
+AuditReport RuntimeAuditor::run(const ProcessTable& table) const {
+  AuditReport report;
+
+  std::unordered_set<Pid> accounted;
+  for (const World* w : worlds_) accounted.insert(w->pid());
+
+  // Orphans: a pid still marked live that no registered world answers for.
+  // Every child of an alternative block must end Synced, Failed or
+  // Eliminated — anything else is a process the runtime lost track of.
+  for (const ProcessRecord& rec : table.snapshot()) {
+    if (is_terminal(rec.status)) continue;
+    if (accounted.count(rec.pid)) continue;
+    report.orphan_processes.push_back(rec.pid);
+    std::ostringstream os;
+    os << "orphan process: pid " << rec.pid << " (" << rec.label << ") still "
+       << mw::to_string(rec.status) << " with no live world";
+    report.violations.push_back(os.str());
+  }
+
+  // Unresolved splits: a live world still predicated on siblings that have
+  // long since been decided. Certainty must be restored before the world
+  // may touch sources (§2.4.2).
+  for (const World* w : worlds_) {
+    if (table.exists(w->pid()) && is_terminal(table.status(w->pid())))
+      continue;
+    if (w->certain()) continue;
+    report.unresolved_splits.push_back(w->pid());
+    std::ostringstream os;
+    os << "unresolved split: world pid " << w->pid() << " holds "
+       << w->predicates().size() << " unresolved predicate(s)";
+    report.violations.push_back(os.str());
+  }
+
+  // Leaks: pages alive beyond the baseline that nothing registered reaches.
+  std::unordered_set<const Page*> reachable;
+  for (const World* w : worlds_)
+    w->space().table().collect_pages(reachable);
+  for (const PageTable* t : tables_) t->collect_pages(reachable);
+  const std::int64_t live = Page::live_instances();
+  report.leaked_pages =
+      live - baseline_pages_ - static_cast<std::int64_t>(reachable.size());
+  if (report.leaked_pages > 0) {
+    std::ostringstream os;
+    os << "leaked pages: " << report.leaked_pages << " live Page instance(s) ("
+       << live << " total, " << baseline_pages_ << " baseline, "
+       << reachable.size() << " reachable)";
+    report.violations.push_back(os.str());
+  }
+
+  return report;
+}
+
+}  // namespace mw

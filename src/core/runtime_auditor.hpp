@@ -1,0 +1,70 @@
+// RuntimeAuditor: post-block invariant checking for the Multiple Worlds
+// runtime. After an alternative block (or a whole workload) finishes, the
+// auditor cross-examines the process table, the registered live worlds and
+// the global page ledger, and reports three classes of violation:
+//
+//   * orphan processes   — pids still in a non-terminal status that no
+//                          registered live world accounts for: a child that
+//                          neither synced, failed, nor was eliminated;
+//   * unresolved splits  — live worlds still carrying a non-empty predicate
+//                          set, i.e. speculative state that was never
+//                          resolved into certainty or discarded (§2.4.2);
+//   * leaked pages       — Page instances alive beyond the pre-run baseline
+//                          that are unreachable from any registered page
+//                          table: memory kept by nothing.
+//
+// The auditor holds non-owning pointers; everything registered must outlive
+// the call to run(). It is the assertion backbone of the fault-injection
+// test suite: every fault schedule must leave the runtime clean.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/world.hpp"
+#include "pagestore/page_table.hpp"
+#include "proc/process_table.hpp"
+#include "util/ids.hpp"
+
+namespace mw {
+
+struct AuditReport {
+  std::vector<Pid> orphan_processes;
+  std::vector<Pid> unresolved_splits;
+  std::int64_t leaked_pages = 0;
+  /// One human-readable line per finding, empty when the runtime is clean.
+  std::vector<std::string> violations;
+
+  bool clean() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+class RuntimeAuditor {
+ public:
+  /// Captures the current global Page population as the leak baseline —
+  /// call before constructing the system under audit.
+  RuntimeAuditor();
+
+  /// Registers a live world: its pid is excused from the orphan check and
+  /// its page table becomes a reachability root.
+  void add_world(const World& w);
+
+  /// Registers an extra reachability root that is not a world (e.g. a
+  /// standalone AddressSpace used by the dist layer).
+  void add_table(const PageTable& t);
+
+  /// Overrides the baseline captured at construction.
+  void set_baseline_pages(std::int64_t n) { baseline_pages_ = n; }
+  std::int64_t baseline_pages() const { return baseline_pages_; }
+
+  /// Runs every invariant check against `table` and the registered state.
+  AuditReport run(const ProcessTable& table) const;
+
+ private:
+  std::vector<const World*> worlds_;
+  std::vector<const PageTable*> tables_;
+  std::int64_t baseline_pages_ = 0;
+};
+
+}  // namespace mw

@@ -1,5 +1,7 @@
 #include "dist/net_sim.hpp"
 
+#include "fault/fault.hpp"
+
 namespace mw {
 
 void NetSim::send(NodeId from, NodeId to, std::size_t bytes,
@@ -8,7 +10,50 @@ void NetSim::send(NodeId from, NodeId to, std::size_t bytes,
   (void)to;
   ++messages_;
   bytes_ += bytes;
-  queue_.schedule_after(link_.transfer_time(bytes), std::move(on_delivered));
+
+  // Statistical faults from the link model, surgical ones from the "net.send"
+  // fault point. Draw order is fixed (loss, duplication, jitter per copy) so
+  // the schedule replays from the seed.
+  bool drop = link_.loss_probability > 0.0 &&
+              rng_.next_bool(link_.loss_probability);
+  bool duplicate = link_.duplicate_probability > 0.0 &&
+                   rng_.next_bool(link_.duplicate_probability);
+  VDuration extra = 0;
+  const FaultAction fault = MW_FAULT_POINT("net.send", queue_.now());
+  switch (fault.kind) {
+    case FaultKind::kDropMessage:
+    case FaultKind::kNodeCrash:
+      drop = true;
+      break;
+    case FaultKind::kDuplicateMessage:
+      duplicate = true;
+      break;
+    case FaultKind::kDelay:
+      extra = fault.delay;
+      break;
+    default:
+      break;
+  }
+
+  if (drop) {
+    ++dropped_;
+    return;
+  }
+
+  const VDuration base = link_.transfer_time(bytes) + extra;
+  const std::size_t copies = duplicate ? 2 : 1;
+  if (duplicate) ++duplicated_;
+  for (std::size_t c = 0; c < copies; ++c) {
+    const VDuration jitter =
+        link_.jitter > 0
+            ? static_cast<VDuration>(rng_.next_below(
+                  static_cast<std::uint64_t>(link_.jitter) + 1))
+            : 0;
+    ++delivered_;
+    queue_.schedule_after(base + jitter,
+                          c + 1 == copies ? std::move(on_delivered)
+                                          : on_delivered);
+  }
 }
 
 }  // namespace mw

@@ -4,13 +4,17 @@
 //
 // The link model is calibrated to the paper's era: ~10 Mb/s Ethernet
 // (≈1 MB/s effective), millisecond-scale latency, per-message protocol
-// processing cost.
+// processing cost. On top of the reliable base it models an *unreliable*
+// network — loss, duplication, jitter — either statistically (seeded
+// probabilities on the link) or surgically (armed fault points "net.send").
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
 
 #include "util/des.hpp"
+#include "util/rng.hpp"
 #include "util/vtime.hpp"
 
 namespace mw {
@@ -22,36 +26,62 @@ struct LinkModel {
   double bandwidth_bytes_per_sec = 1.0e6;  // ≈10 Mb/s effective
   VDuration per_message_overhead = vt_ms(2);  // protocol processing per msg
 
-  /// One-way time to move `bytes` as a single message.
+  // Unreliable-network knobs; all off by default (a perfect link).
+  double loss_probability = 0.0;       // per message
+  double duplicate_probability = 0.0;  // per delivered message
+  VDuration jitter = 0;                // uniform extra delay in [0, jitter]
+
+  /// One-way time to move `bytes` as a single message. Serialization is
+  /// rounded to the nearest tick (truncation would bill fractional-
+  /// microsecond messages as free).
   VDuration transfer_time(std::size_t bytes) const {
     const double serialization =
         static_cast<double>(bytes) / bandwidth_bytes_per_sec * 1e6;
     return latency + per_message_overhead +
-           static_cast<VDuration>(serialization);
+           static_cast<VDuration>(std::llround(serialization));
   }
 };
 
-/// Point-to-point message delivery on top of an EventQueue. Messages on the
-/// same (from, to) pair stay FIFO because transfer time is deterministic
-/// and the queue breaks ties by insertion order.
+/// Point-to-point message delivery on top of an EventQueue. On a perfect
+/// link, messages on the same (from, to) pair stay FIFO because transfer
+/// time is deterministic and the queue breaks ties by insertion order; with
+/// jitter, reordering is possible (that is the point — the reliable layer
+/// above must cope).
+///
+/// Loss/duplication/jitter decisions are drawn from a seeded stream in a
+/// fixed per-send order, so a given (seed, send sequence) replays exactly.
+/// The fault point "net.send" (queried with the queue clock) can force a
+/// drop (kDropMessage/kNodeCrash), a duplicate (kDuplicateMessage), or an
+/// extra delay (kDelay) on specific messages.
 class NetSim {
  public:
-  NetSim(EventQueue& queue, LinkModel link) : queue_(queue), link_(link) {}
+  NetSim(EventQueue& queue, LinkModel link, std::uint64_t seed = 0)
+      : queue_(queue), link_(link), rng_(Rng(seed).split(0x6e657473696dull)) {}
 
   const LinkModel& link() const { return link_; }
+  EventQueue& queue() { return queue_; }
 
-  /// Schedules `on_delivered` after the link-model transfer time.
+  /// Schedules `on_delivered` after the link-model transfer time — zero,
+  /// one, or two times depending on loss/duplication.
   void send(NodeId from, NodeId to, std::size_t bytes,
             std::function<void()> on_delivered);
 
   std::uint64_t messages_sent() const { return messages_; }
   std::uint64_t bytes_sent() const { return bytes_; }
+  std::uint64_t messages_dropped() const { return dropped_; }
+  std::uint64_t messages_duplicated() const { return duplicated_; }
+  /// Deliveries actually scheduled (includes duplicate copies).
+  std::uint64_t messages_delivered() const { return delivered_; }
 
  private:
   EventQueue& queue_;
   LinkModel link_;
+  Rng rng_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delivered_ = 0;
 };
 
 }  // namespace mw

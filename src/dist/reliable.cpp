@@ -1,0 +1,98 @@
+#include "dist/reliable.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+VDuration RetryPolicy::rto_for(std::size_t attempt) const {
+  double rto = static_cast<double>(rto_initial) *
+               std::pow(backoff, static_cast<double>(attempt));
+  rto = std::min(rto, static_cast<double>(rto_cap));
+  return static_cast<VDuration>(std::llround(rto));
+}
+
+VDuration RetryPolicy::exhausted_budget() const {
+  VDuration total = 0;
+  for (std::size_t k = 0; k < max_attempts; ++k) total += rto_for(k);
+  return total;
+}
+
+void ReliableChannel::send(NodeId from, NodeId to, std::size_t bytes,
+                           std::function<void()> on_delivered,
+                           std::function<void()> on_failed) {
+  MW_CHECK(policy_.max_attempts >= 1);
+  ++stats_.sends;
+  auto t = std::make_shared<Transfer>();
+  attempt(t, from, to, bytes, 0,
+          std::make_shared<std::function<void()>>(std::move(on_delivered)),
+          std::make_shared<std::function<void()>>(std::move(on_failed)));
+}
+
+void ReliableChannel::attempt(
+    std::shared_ptr<Transfer> t, NodeId from, NodeId to, std::size_t bytes,
+    std::size_t k, std::shared_ptr<std::function<void()>> on_delivered,
+    std::shared_ptr<std::function<void()>> on_failed) {
+  if (k > 0) ++stats_.retransmissions;
+
+  // Data leg. The arrival handler also runs for duplicate copies the link
+  // materializes on its own — the dedup below covers both sources.
+  net_.send(from, to, bytes, [this, t, from, to, on_delivered] {
+    if (!t->delivered) {
+      t->delivered = true;
+      if (*on_delivered) (*on_delivered)();
+    } else {
+      ++stats_.duplicates_suppressed;
+    }
+    // (Re-)ack every copy that arrives: a lost ack must not strand the
+    // sender if a retransmitted data message gets through.
+    ++stats_.acks_sent;
+    net_.send(to, from, policy_.ack_bytes, [t] { t->acked = true; });
+  });
+
+  // RTO timer for this attempt.
+  net_.queue().schedule_after(
+      policy_.rto_for(k),
+      [this, t, from, to, bytes, k, on_delivered, on_failed] {
+        if (t->acked || t->dead) return;
+        if (k + 1 >= policy_.max_attempts) {
+          t->dead = true;
+          ++stats_.failures;
+          if (*on_failed) (*on_failed)();
+          return;
+        }
+        attempt(t, from, to, bytes, k + 1, on_delivered, on_failed);
+      });
+}
+
+ReliableTransfer reliable_transfer(const LinkModel& link, std::size_t bytes,
+                                   Rng& rng, const RetryPolicy& policy) {
+  MW_CHECK(policy.max_attempts >= 1);
+  ReliableTransfer t;
+  const auto jitter_draw = [&]() -> VDuration {
+    return link.jitter > 0
+               ? static_cast<VDuration>(rng.next_below(
+                     static_cast<std::uint64_t>(link.jitter) + 1))
+               : 0;
+  };
+  for (std::size_t k = 0; k < policy.max_attempts; ++k) {
+    ++t.attempts;
+    const bool data_lost = link.loss_probability > 0.0 &&
+                           rng.next_bool(link.loss_probability);
+    const bool ack_lost = link.loss_probability > 0.0 &&
+                          rng.next_bool(link.loss_probability);
+    if (data_lost || ack_lost) {
+      t.elapsed += policy.rto_for(k);
+      continue;
+    }
+    t.elapsed += link.transfer_time(bytes) + jitter_draw() +
+                 link.transfer_time(policy.ack_bytes) + jitter_draw();
+    t.ok = true;
+    return t;
+  }
+  return t;  // retries exhausted: t.ok == false
+}
+
+}  // namespace mw

@@ -1,0 +1,99 @@
+// Reliable transmission over the unreliable link: a positive-ack /
+// retransmit protocol with capped exponential backoff, in two forms.
+//
+//  * ReliableChannel — event-driven, on NetSim's queue: every data message
+//    is acked by the receiver; the sender retransmits on RTO expiry up to
+//    max_attempts, doubling (capped) the RTO each time; the receiver
+//    deduplicates by transfer id, so the application sees exactly-once
+//    delivery as long as any attempt survives. When every attempt dies the
+//    sender reports failure instead of hanging — the graceful-degradation
+//    hook remote alternatives need.
+//
+//  * reliable_transfer — the closed-form deterministic equivalent for the
+//    analytic rfork/remote_alt paths (which compute times directly from the
+//    link model rather than through an event queue): per-attempt loss draws
+//    from a caller-supplied Rng stream, accumulating RTO waits for lost
+//    rounds and data+ack time for the surviving one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "dist/net_sim.hpp"
+#include "util/rng.hpp"
+#include "util/vtime.hpp"
+
+namespace mw {
+
+struct RetryPolicy {
+  std::size_t max_attempts = 5;
+  VDuration rto_initial = vt_ms(30);
+  double backoff = 2.0;       // RTO multiplier per retry
+  VDuration rto_cap = vt_ms(240);
+  std::size_t ack_bytes = 32;
+
+  /// RTO for attempt k (0-based): min(cap, initial * backoff^k).
+  VDuration rto_for(std::size_t attempt) const;
+  /// Worst-case sender-side wait: the sum of every attempt's RTO.
+  VDuration exhausted_budget() const;
+};
+
+class ReliableChannel {
+ public:
+  struct Stats {
+    std::uint64_t sends = 0;           // logical transfers initiated
+    std::uint64_t retransmissions = 0;  // extra data-message attempts
+    std::uint64_t acks_sent = 0;
+    std::uint64_t failures = 0;        // transfers whose retries exhausted
+    std::uint64_t duplicates_suppressed = 0;  // receiver-side dedup hits
+  };
+
+  explicit ReliableChannel(NetSim& net, RetryPolicy policy = {})
+      : net_(net), policy_(policy) {}
+
+  /// Sends `bytes` from->to. `on_delivered` runs exactly once, when the
+  /// payload first reaches the receiver; `on_failed` runs (at most once)
+  /// if every attempt's ack fails to arrive before its RTO — note the
+  /// payload may still have been delivered in that case (the acks died):
+  /// the sender cannot tell, which is precisely the two-generals residue
+  /// the caller must tolerate.
+  void send(NodeId from, NodeId to, std::size_t bytes,
+            std::function<void()> on_delivered,
+            std::function<void()> on_failed = nullptr);
+
+  const Stats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  struct Transfer {
+    bool delivered = false;  // receiver side: payload seen
+    bool acked = false;      // sender side: ack seen
+    bool dead = false;       // sender side: gave up
+  };
+
+  void attempt(std::shared_ptr<Transfer> t, NodeId from, NodeId to,
+               std::size_t bytes, std::size_t k,
+               std::shared_ptr<std::function<void()>> on_delivered,
+               std::shared_ptr<std::function<void()>> on_failed);
+
+  NetSim& net_;
+  RetryPolicy policy_;
+  Stats stats_;
+};
+
+/// Outcome of one analytic send-until-acked exchange.
+struct ReliableTransfer {
+  VDuration elapsed = 0;     // sender-observed time to ack (or to give up)
+  std::size_t attempts = 0;  // data messages sent
+  bool ok = false;           // an attempt's data AND ack both survived
+};
+
+/// Deterministic closed-form model of one reliable exchange of `bytes` over
+/// `link`: each attempt draws data-leg and ack-leg loss from `rng`; a lost
+/// round costs that attempt's RTO, the surviving round costs data + ack
+/// transfer time (plus jitter draws when the link has jitter).
+ReliableTransfer reliable_transfer(const LinkModel& link, std::size_t bytes,
+                                   Rng& rng, const RetryPolicy& policy = {});
+
+}  // namespace mw

@@ -1,5 +1,6 @@
 #include "dist/remote_alt.hpp"
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -39,6 +40,87 @@ DistributedRaceResult distributed_race(const RemoteForker& forker,
   }
   out.spawn_total = spawn_clock;
   out.elapsed = out.failed ? kVTimeMax : best;
+  return out;
+}
+
+DistributedRaceResult distributed_race(const RemoteForker& forker,
+                                       const AddressSpace& parent_image,
+                                       const std::vector<RemoteAltSpec>& specs,
+                                       const DistRaceOptions& opts) {
+  DistributedRaceResult out;
+  if (specs.empty()) return out;
+
+  const LinkModel& link = forker.link();
+  const bool lossy = link.loss_probability > 0.0 || link.jitter > 0;
+  Rng root(opts.seed);
+
+  VDuration spawn_clock = 0;
+  VDuration best = kVTimeMax;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Rng child_rng = root.split(i + 1);
+    RforkResult r;
+    if (opts.on_demand) {
+      r = forker.on_demand(parent_image, opts.touch_fraction);
+    } else if (lossy) {
+      r = forker.full_copy_unreliable(parent_image, child_rng, opts.retry);
+    } else {
+      r = forker.full_copy(parent_image);
+    }
+    if (MW_FAULT_POINT("remote.node_crash")) r.ok = false;
+
+    spawn_clock += r.checkpoint_cost;
+    const VDuration child_start =
+        spawn_clock + (r.total_elapsed - r.checkpoint_cost);
+    out.bytes_shipped += r.bytes_shipped;
+    out.retransmissions += r.retransmissions;
+    if (!r.ok) {
+      // Demoted to Failed: the parent learns the node is unreachable and
+      // stops waiting on it — it cannot win, and it cannot hang the block.
+      ++out.remotes_failed;
+      continue;
+    }
+    if (!specs[i].success) continue;
+
+    VDuration reply = link.transfer_time(256);
+    if (lossy) {
+      const ReliableTransfer t =
+          reliable_transfer(link, 256, child_rng, opts.retry);
+      out.retransmissions += t.attempts - 1;
+      if (!t.ok) {
+        ++out.remotes_failed;  // its result can never reach the parent
+        continue;
+      }
+      reply = t.elapsed;
+    }
+    const VDuration finish = child_start + specs[i].duration + reply;
+    if (finish < best) {
+      best = finish;
+      out.winner = i;
+      out.failed = false;
+    }
+  }
+  out.spawn_total = spawn_clock;
+  out.elapsed = out.failed ? kVTimeMax : best;
+
+  if (out.failed && opts.local_fallback) {
+    // Every remote was demoted or failed: degrade to the local timeshared
+    // race, charging the time already sunk into the remote attempts.
+    std::vector<VirtualTask> tasks;
+    tasks.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      tasks.push_back(VirtualTask{
+          static_cast<Pid>(i + 1),
+          opts.local_fork_cost * static_cast<VDuration>(i + 1),
+          specs[i].duration, specs[i].success});
+    }
+    const ScheduleOutcome sched = ps_schedule(opts.local_processors, tasks);
+    if (sched.winner_index.has_value()) {
+      out.failed = false;
+      out.used_local_fallback = true;
+      out.winner = *sched.winner_index;
+      out.elapsed = spawn_clock + sched.winner_finish;
+    }
+  }
   return out;
 }
 

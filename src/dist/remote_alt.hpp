@@ -28,6 +28,25 @@ struct DistributedRaceResult {
   VDuration elapsed = 0;        // parent-observed time to the winner's reply
   VDuration spawn_total = 0;    // serial rfork cost paid by the parent
   std::size_t bytes_shipped = 0;
+  /// Unreliable-race extras (zero on the reliable overload).
+  std::size_t remotes_failed = 0;   // rforks/replies demoted to Failed
+  std::size_t retransmissions = 0;
+  bool used_local_fallback = false;
+};
+
+/// Knobs for the unreliable-network race. Loss/duplication/jitter come from
+/// the forker's LinkModel; `seed` drives the per-child loss streams.
+struct DistRaceOptions {
+  bool on_demand = false;
+  double touch_fraction = 0.3;
+  std::uint64_t seed = 1;
+  RetryPolicy retry;
+  /// Graceful degradation: when *every* remote alternative is demoted
+  /// (rfork retries exhausted, node crash, or failed reply), re-run the
+  /// race locally under timesharing instead of failing outright.
+  bool local_fallback = true;
+  std::size_t local_processors = 2;
+  VDuration local_fork_cost = vt_ms(12);
 };
 
 /// Races `specs` with one remote node per alternative. The parent performs
@@ -38,6 +57,18 @@ DistributedRaceResult distributed_race(const RemoteForker& forker,
                                        const std::vector<RemoteAltSpec>& specs,
                                        bool on_demand = false,
                                        double touch_fraction = 0.3);
+
+/// The unreliable-network race: rforks go through the ack/retransmit
+/// protocol; a remote whose rfork or reply cannot be completed is demoted
+/// to Failed (it can neither win nor hang the block) rather than wedging
+/// the race; fault points "rfork.transfer" and "remote.node_crash" apply.
+/// If every remote is demoted and opts.local_fallback is set, the race is
+/// re-run locally (the time already wasted on the remote attempts is
+/// charged to the result).
+DistributedRaceResult distributed_race(const RemoteForker& forker,
+                                       const AddressSpace& parent_image,
+                                       const std::vector<RemoteAltSpec>& specs,
+                                       const DistRaceOptions& opts);
 
 /// The same race run locally on `processors` CPUs under timesharing
 /// (processor sharing) with the given per-fork cost; returns the winner's

@@ -1,0 +1,195 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+
+#include "util/check.hpp"
+
+namespace mw {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s, std::uint64_t h = 0xcbf29ce484222325ull) {
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t h) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::atomic<FaultInjector*> g_ambient{nullptr};
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kFailAlternative:
+      return "fail-alternative";
+    case FaultKind::kCrashException:
+      return "crash-exception";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDropMessage:
+      return "drop-message";
+    case FaultKind::kDuplicateMessage:
+      return "duplicate-message";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+  }
+  return "?";
+}
+
+FaultSpec FaultSpec::always(FaultKind k) {
+  FaultSpec s;
+  s.kind = k;
+  return s;
+}
+
+FaultSpec FaultSpec::every_nth(FaultKind k, std::uint64_t n,
+                               std::uint64_t offset) {
+  MW_CHECK(n >= 1);
+  FaultSpec s;
+  s.kind = k;
+  s.when = When::kEveryNth;
+  s.nth = n;
+  s.offset = offset;
+  return s;
+}
+
+FaultSpec FaultSpec::once(FaultKind k, std::uint64_t hit) {
+  FaultSpec s = always(k);
+  s.offset = hit;
+  s.max_fires = 1;
+  return s;
+}
+
+FaultSpec FaultSpec::with_probability(FaultKind k, double p) {
+  MW_CHECK(p >= 0.0 && p <= 1.0);
+  FaultSpec s;
+  s.kind = k;
+  s.when = When::kProbability;
+  s.probability = p;
+  return s;
+}
+
+FaultSpec& FaultSpec::between(VTime begin, VTime end) {
+  window_begin = begin;
+  window_end = end;
+  return *this;
+}
+
+FaultSpec& FaultSpec::limit(std::uint64_t fires) {
+  max_fires = fires;
+  return *this;
+}
+
+FaultSpec& FaultSpec::delayed(VDuration d) {
+  delay = d;
+  return *this;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Point p;
+  p.spec = spec;
+  // The stream depends only on (root seed, point name): the schedule is
+  // invariant under arm order and unrelated points' activity.
+  p.rng = Rng(seed_).split(fnv1a(point));
+  points_[point] = std::move(p);
+}
+
+void FaultInjector::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lk(mu_);
+  points_.erase(point);
+}
+
+FaultAction FaultInjector::query(std::string_view point, VTime now) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  Point& p = it->second;
+  const std::uint64_t hit = p.hits++;
+  const FaultSpec& s = p.spec;
+  if (s.kind == FaultKind::kNone) return {};
+  if (p.fires >= s.max_fires) return {};
+  if (now < s.window_begin || now >= s.window_end) return {};
+  bool fire = false;
+  switch (s.when) {
+    case FaultSpec::When::kAlways:
+      fire = hit >= s.offset;
+      break;
+    case FaultSpec::When::kEveryNth:
+      fire = hit >= s.offset && (hit - s.offset) % s.nth == 0;
+      break;
+    case FaultSpec::When::kProbability:
+      fire = p.rng.next_bool(s.probability);
+      break;
+  }
+  if (!fire) return {};
+  ++p.fires;
+  log_.push_back(FiredFault{std::string(point), hit, s.kind, now});
+  return FaultAction{s.kind, s.delay};
+}
+
+std::uint64_t FaultInjector::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_.size();
+}
+
+std::vector<FiredFault> FaultInjector::log() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return log_;
+}
+
+std::uint64_t FaultInjector::schedule_digest() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const FiredFault& f : log_) {
+    h = fnv1a(f.point, h);
+    h = fnv1a_u64(f.hit, h);
+    h = fnv1a_u64(static_cast<std::uint64_t>(f.kind), h);
+    h = fnv1a_u64(static_cast<std::uint64_t>(f.at), h);
+  }
+  return h;
+}
+
+FaultInjector* fault_injector() {
+  return g_ambient.load(std::memory_order_acquire);
+}
+
+FaultScope::FaultScope(FaultInjector& injector)
+    : prev_(g_ambient.exchange(&injector, std::memory_order_acq_rel)) {}
+
+FaultScope::~FaultScope() { g_ambient.store(prev_, std::memory_order_release); }
+
+FaultAction fault_point(std::string_view name, VTime now) {
+  FaultInjector* inj = fault_injector();
+  return inj ? inj->query(name, now) : FaultAction{};
+}
+
+}  // namespace mw

@@ -1,5 +1,6 @@
 #include "io/transaction.hpp"
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -22,6 +23,16 @@ void Transaction::commit() {
   MW_CHECK(state_ == State::kOpen);
   store_.replace(file_, std::move(shadow_));
   state_ = State::kCommitted;
+}
+
+bool Transaction::try_commit() {
+  MW_CHECK(state_ == State::kOpen);
+  if (MW_FAULT_POINT("txn.commit")) {
+    abort();
+    return false;
+  }
+  commit();
+  return true;
 }
 
 void Transaction::abort() {

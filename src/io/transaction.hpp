@@ -44,6 +44,11 @@ class Transaction {
 
   /// Atomically publishes all writes. At most one of commit/abort.
   void commit();
+  /// Like commit(), but queries the "txn.commit" fault point first: an
+  /// injected fault aborts the transaction instead (all writes dropped,
+  /// the store untouched) and returns false. The recovery path every
+  /// caller of commit() should really be prepared for.
+  bool try_commit();
   /// Discards all writes.
   void abort();
 

@@ -4,6 +4,7 @@
 // terms of pages.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -15,16 +16,28 @@ namespace mw {
 /// the owning PageTable may mutate a page only when it holds the sole
 /// reference; otherwise it must copy first (copy-on-write). That discipline
 /// is enforced by PageTable, not by this type.
+///
+/// Every live Page is counted in a process-wide ledger so the runtime
+/// auditor can prove that eliminated worlds released their pages (a leaked
+/// ref would pin memory for the lifetime of the speculation tree).
 class Page {
  public:
-  explicit Page(std::size_t size) : data_(size, 0) {}
-  Page(const Page& other) = default;
+  explicit Page(std::size_t size) : data_(size, 0) { ++live_; }
+  Page(const Page& other) : data_(other.data_) { ++live_; }
+  Page& operator=(const Page& other) = default;
+  ~Page() { --live_; }
 
   std::size_t size() const { return data_.size(); }
   const std::uint8_t* data() const { return data_.data(); }
   std::uint8_t* mutable_data() { return data_.data(); }
 
+  /// Pages currently alive in this process.
+  static std::int64_t live_instances() {
+    return live_.load(std::memory_order_relaxed);
+  }
+
  private:
+  static inline std::atomic<std::int64_t> live_{0};
   std::vector<std::uint8_t> data_;
 };
 

@@ -108,6 +108,11 @@ std::vector<std::size_t> PageTable::diff(const PageTable& other) const {
   return out;
 }
 
+void PageTable::collect_pages(std::unordered_set<const Page*>& out) const {
+  for (const PageRef& ref : slots_)
+    if (ref) out.insert(ref.get());
+}
+
 double PageTable::write_fraction() const {
   const std::size_t resident = resident_pages();
   if (resident == 0) return 0.0;

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "pagestore/page.hpp"
@@ -65,6 +66,10 @@ class PageTable {
 
   /// Page indices where this table and `other` reference different pages.
   std::vector<std::size_t> diff(const PageTable& other) const;
+
+  /// Inserts the distinct resident Page objects this table references into
+  /// `out` — the reachability set for the runtime auditor's leak check.
+  void collect_pages(std::unordered_set<const Page*>& out) const;
 
   /// Fraction of resident pages privately copied/written since the last
   /// fork: the paper's "write fraction" (observed 0.2–0.5 in [18]).

@@ -1,5 +1,7 @@
 #include "proc/process_table.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace mw {
@@ -78,6 +80,18 @@ std::size_t ProcessTable::live_count() const {
   for (const auto& [pid, rec] : records_)
     if (!is_terminal(rec.status)) ++n;
   return n;
+}
+
+std::vector<ProcessRecord> ProcessTable::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<ProcessRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [pid, rec] : records_) out.push_back(rec);
+  std::sort(out.begin(), out.end(),
+            [](const ProcessRecord& a, const ProcessRecord& b) {
+              return a.pid < b.pid;
+            });
+  return out;
 }
 
 }  // namespace mw

@@ -63,6 +63,9 @@ class ProcessTable {
   /// Number of processes currently in a non-terminal state.
   std::size_t live_count() const;
 
+  /// Copy of every record, ordered by pid — the auditor's view.
+  std::vector<ProcessRecord> snapshot() const;
+
  private:
   mutable std::mutex mu_;
   std::unordered_map<Pid, ProcessRecord> records_;

@@ -28,11 +28,19 @@ RbResult RecoveryBlock::run_sequential(Runtime& rt, World& world) const {
     bool ok = true;
     Stopwatch wall;
     try {
+      ctx.fault_point("rb." + name_ + "." + alt.name);
       alt.body(ctx);
     } catch (const AltFailed&) {
       ok = false;
+    } catch (const AltHung&) {
+      // Sequential standby-spares has no concurrent deadline; a hung
+      // alternate is detected (by a watchdog the model does not charge
+      // for) and treated as a failed spare.
+      ok = false;
     } catch (const std::exception&) {
       ok = false;
+    } catch (...) {
+      ok = false;  // injected crash or other foreign exception
     }
     const std::uint64_t copied = child.space().table().stats().pages_copied;
     out.elapsed += virtual_mode
@@ -66,7 +74,14 @@ RbResult RecoveryBlock::run_concurrent(Runtime& rt, World& world,
   std::vector<Alternative> alts;
   alts.reserve(alternates_.size());
   for (const Alternate& a : alternates_) {
-    alts.push_back(Alternative{a.name, nullptr, a.body, acceptance_});
+    // Every alternate declares a named fault point before its body: the
+    // injector can fail, crash or hang any specific alternate of any block.
+    auto body = [point = "rb." + name_ + "." + a.name,
+                 inner = a.body](AltContext& ctx) {
+      ctx.fault_point(point);
+      inner(ctx);
+    };
+    alts.push_back(Alternative{a.name, nullptr, std::move(body), acceptance_});
   }
   AltOutcome ao = run_alternatives(rt, world, alts, opts);
   out.elapsed = ao.elapsed;

@@ -312,4 +312,20 @@ bool SpecRuntime::is_alive(Pid pid) const {
   return it != procs_.end() && it->second->alive;
 }
 
+std::size_t SpecRuntime::reclaim_dead_worlds() {
+  std::size_t reclaimed = 0;
+  for (auto it = procs_.begin(); it != procs_.end();) {
+    if (it->second->alive) {
+      ++it;
+      continue;
+    }
+    const Pid pid = it->first;
+    auto& pids = copies_[it->second->lid];
+    pids.erase(std::remove(pids.begin(), pids.end(), pid), pids.end());
+    it = procs_.erase(it);
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
 }  // namespace mw

@@ -145,6 +145,12 @@ class SpecRuntime {
   bool is_alive(Pid pid) const;
   ProcessTable& processes() { return table_; }
 
+  /// Frees the worlds of dead (aborted/eliminated) copies and returns how
+  /// many were reclaimed. Opt-in: by default dead copies are retained so
+  /// post-mortem introspection (world_of on a dead pid) keeps working, but
+  /// a long-running system should reclaim to avoid holding their pages.
+  std::size_t reclaim_dead_worlds();
+
   /// Invoked when a live world copy's predicate set becomes empty during
   /// resolution: its speculation resolved in its favour and it may now
   /// cause observable side effects (flush buffered source output, §2.4.2).

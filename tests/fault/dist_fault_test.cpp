@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "dist/remote_alt.hpp"
+#include "dist/rfork.hpp"
+#include "fault/fault.hpp"
+
+namespace mw {
+namespace {
+
+AddressSpace process_70k() {
+  AddressSpace as(4096, 64);
+  for (int p = 0; p < 17; ++p) as.store<int>(4096ull * p, p + 1);
+  return as;
+}
+
+LinkModel lossy_link(double p) {
+  LinkModel link;
+  link.loss_probability = p;
+  return link;
+}
+
+TEST(RforkUnreliable, PerfectLinkMatchesFullCopy) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  Rng rng(1);
+  const RforkResult reliable = forker.full_copy(as);
+  const RforkResult r = forker.full_copy_unreliable(as, rng);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.retransmissions, 0u);
+  EXPECT_EQ(r.checkpoint_cost, reliable.checkpoint_cost);
+  EXPECT_EQ(r.restore_cost, reliable.restore_cost);
+  // Each of the three protocol legs additionally pays one ack.
+  const VDuration acks =
+      3 * forker.link().transfer_time(RetryPolicy{}.ack_bytes);
+  EXPECT_EQ(r.transfer_cost, reliable.transfer_cost + acks);
+}
+
+TEST(RforkUnreliable, ModerateLossCompletesWithRetransmissions) {
+  RemoteForker forker{lossy_link(0.3), DistCost{}};
+  const AddressSpace as = process_70k();
+  // With 30% loss some seed retransmits; the transfer still completes and
+  // costs strictly more than the loss-free run.
+  Rng rng(3);
+  const RforkResult r = forker.full_copy_unreliable(as, rng);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.retransmissions, 0u);
+  RemoteForker perfect{LinkModel{}, DistCost{}};
+  EXPECT_GT(r.transfer_cost, perfect.full_copy(as).transfer_cost);
+}
+
+TEST(RforkUnreliable, TotalLossFailsInsteadOfHanging) {
+  RemoteForker forker{lossy_link(1.0), DistCost{}};
+  const AddressSpace as = process_70k();
+  Rng rng(1);
+  RetryPolicy policy;
+  const RforkResult r = forker.full_copy_unreliable(as, rng, policy);
+  EXPECT_FALSE(r.ok);
+  // The first leg exhausted its budget; the remaining legs were not tried.
+  EXPECT_EQ(r.transfer_cost, policy.exhausted_budget());
+  EXPECT_EQ(r.restore_cost, 0);
+}
+
+TEST(RforkUnreliable, NodeCrashFaultPointFailsTheRfork) {
+  RemoteForker forker{LinkModel{}, DistCost{}};  // perfect link
+  const AddressSpace as = process_70k();
+  FaultInjector inj(1);
+  inj.arm("rfork.transfer", FaultSpec::always(FaultKind::kNodeCrash));
+  FaultScope scope(inj);
+  Rng rng(1);
+  RetryPolicy policy;
+  const RforkResult r = forker.full_copy_unreliable(as, rng, policy);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.transfer_cost, policy.exhausted_budget());
+}
+
+TEST(DistRace, LosslessOptionsOverloadMatchesLegacy) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(2), true}, {vt_sec(1), true}, {vt_sec(3), true}};
+  const DistributedRaceResult legacy = distributed_race(forker, as, specs);
+  const DistributedRaceResult opt =
+      distributed_race(forker, as, specs, DistRaceOptions{});
+  ASSERT_FALSE(opt.failed);
+  EXPECT_EQ(opt.winner, legacy.winner);
+  EXPECT_EQ(opt.elapsed, legacy.elapsed);
+  EXPECT_EQ(opt.remotes_failed, 0u);
+  EXPECT_FALSE(opt.used_local_fallback);
+}
+
+TEST(DistRace, LossyRaceStillPicksAWinnerDeterministically) {
+  RemoteForker forker{lossy_link(0.15), DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(2), true}, {vt_sec(1), true}, {vt_sec(3), true}};
+  DistRaceOptions opts;
+  opts.seed = 7;
+  const DistributedRaceResult a = distributed_race(forker, as, specs, opts);
+  const DistributedRaceResult b = distributed_race(forker, as, specs, opts);
+  ASSERT_FALSE(a.failed);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.retransmissions, b.retransmissions);
+}
+
+TEST(DistRace, CrashedNodeIsDemotedNotWaitedFor) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  // The fastest alternative's node crashes: the race must not hang on it,
+  // and a slower sibling wins instead.
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(1), true}, {vt_sec(2), true}, {vt_sec(3), true}};
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::once(FaultKind::kNodeCrash, 0));
+  FaultScope scope(inj);
+  const DistributedRaceResult r =
+      distributed_race(forker, as, specs, DistRaceOptions{});
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.remotes_failed, 1u);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_FALSE(r.used_local_fallback);
+}
+
+TEST(DistRace, AllNodesCrashedFallsBackToLocalRace) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(2), true}, {vt_sec(1), true}};
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::always(FaultKind::kNodeCrash));
+  FaultScope scope(inj);
+  const DistributedRaceResult r =
+      distributed_race(forker, as, specs, DistRaceOptions{});
+  ASSERT_FALSE(r.failed);
+  EXPECT_TRUE(r.used_local_fallback);
+  EXPECT_EQ(r.remotes_failed, 2u);
+  // The wasted remote spawn time is charged: slower than a purely local
+  // race, but the block still completes.
+  DistRaceOptions opts;
+  EXPECT_GT(r.elapsed,
+            local_race(opts.local_processors, opts.local_fork_cost, specs));
+}
+
+TEST(DistRace, AllNodesCrashedWithoutFallbackFails) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{{vt_sec(1), true}};
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::always(FaultKind::kNodeCrash));
+  FaultScope scope(inj);
+  DistRaceOptions opts;
+  opts.local_fallback = false;
+  const DistributedRaceResult r = distributed_race(forker, as, specs, opts);
+  EXPECT_TRUE(r.failed);
+  EXPECT_EQ(r.remotes_failed, 1u);
+}
+
+}  // namespace
+}  // namespace mw

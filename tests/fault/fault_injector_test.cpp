@@ -1,0 +1,168 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mw {
+namespace {
+
+TEST(FaultInjector, UnarmedPointNeverFires) {
+  FaultInjector inj(1);
+  EXPECT_FALSE(inj.query("nobody.armed.this"));
+  EXPECT_EQ(inj.hits("nobody.armed.this"), 0u);
+  EXPECT_EQ(inj.total_fires(), 0u);
+}
+
+TEST(FaultInjector, AlwaysFires) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::always(FaultKind::kFailAlternative));
+  for (int i = 0; i < 5; ++i) {
+    const FaultAction a = inj.query("p");
+    EXPECT_TRUE(a);
+    EXPECT_EQ(a.kind, FaultKind::kFailAlternative);
+  }
+  EXPECT_EQ(inj.hits("p"), 5u);
+  EXPECT_EQ(inj.fires("p"), 5u);
+}
+
+TEST(FaultInjector, EveryNthWithOffset) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::every_nth(FaultKind::kCrashException, 3, 2));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) fired.push_back(static_cast<bool>(inj.query("p")));
+  // Hits 2, 5, 8 fire.
+  EXPECT_EQ(fired, std::vector<bool>({false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST(FaultInjector, OnceFiresExactlyOnce) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::once(FaultKind::kNodeCrash, 1));
+  EXPECT_FALSE(inj.query("p"));  // hit 0
+  EXPECT_TRUE(inj.query("p"));   // hit 1
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(inj.query("p"));
+  EXPECT_EQ(inj.fires("p"), 1u);
+}
+
+TEST(FaultInjector, TimeWindowGates) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::always(FaultKind::kDropMessage)
+                   .between(vt_ms(10), vt_ms(20)));
+  EXPECT_FALSE(inj.query("p", vt_ms(5)));
+  EXPECT_TRUE(inj.query("p", vt_ms(10)));
+  EXPECT_TRUE(inj.query("p", vt_ms(19)));
+  EXPECT_FALSE(inj.query("p", vt_ms(20)));  // half-open interval
+}
+
+TEST(FaultInjector, FireLimit) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::always(FaultKind::kFailAlternative).limit(2));
+  EXPECT_TRUE(inj.query("p"));
+  EXPECT_TRUE(inj.query("p"));
+  EXPECT_FALSE(inj.query("p"));
+  EXPECT_EQ(inj.fires("p"), 2u);
+  EXPECT_EQ(inj.hits("p"), 3u);
+}
+
+TEST(FaultInjector, DelayCarriesPayload) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::always(FaultKind::kDelay).delayed(vt_ms(7)));
+  const FaultAction a = inj.query("p");
+  EXPECT_EQ(a.kind, FaultKind::kDelay);
+  EXPECT_EQ(a.delay, vt_ms(7));
+}
+
+TEST(FaultInjector, ProbabilityIsDeterministicPerSeed) {
+  auto pattern = [](std::uint64_t seed) {
+    FaultInjector inj(seed);
+    inj.arm("p", FaultSpec::with_probability(FaultKind::kDropMessage, 0.5));
+    std::vector<bool> out;
+    for (int i = 0; i < 64; ++i) out.push_back(static_cast<bool>(inj.query("p")));
+    return out;
+  };
+  EXPECT_EQ(pattern(42), pattern(42));
+  EXPECT_NE(pattern(42), pattern(43));
+}
+
+TEST(FaultInjector, ScheduleIndependentOfArmOrder) {
+  // Each point draws from its own seed-derived stream: interleaving queries
+  // of other points, or arming in a different order, must not perturb it.
+  auto run = [](bool reversed) {
+    FaultInjector inj(7);
+    if (reversed) {
+      inj.arm("b", FaultSpec::with_probability(FaultKind::kDropMessage, 0.3));
+      inj.arm("a", FaultSpec::with_probability(FaultKind::kDropMessage, 0.3));
+    } else {
+      inj.arm("a", FaultSpec::with_probability(FaultKind::kDropMessage, 0.3));
+      inj.arm("b", FaultSpec::with_probability(FaultKind::kDropMessage, 0.3));
+    }
+    std::vector<bool> out;
+    for (int i = 0; i < 32; ++i) {
+      out.push_back(static_cast<bool>(inj.query("a")));
+      out.push_back(static_cast<bool>(inj.query("b")));
+    }
+    return out;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultInjector, ScheduleDigestMatchesIffSameSchedule) {
+  auto digest = [](std::uint64_t seed, double p) {
+    FaultInjector inj(seed);
+    inj.arm("x", FaultSpec::with_probability(FaultKind::kHang, p));
+    for (int i = 0; i < 100; ++i) inj.query("x", i);
+    return inj.schedule_digest();
+  };
+  EXPECT_EQ(digest(5, 0.4), digest(5, 0.4));
+  EXPECT_NE(digest(5, 0.4), digest(6, 0.4));
+}
+
+TEST(FaultInjector, LogRecordsFiringOrder) {
+  FaultInjector inj(1);
+  inj.arm("a", FaultSpec::once(FaultKind::kHang, 0));
+  inj.arm("b", FaultSpec::once(FaultKind::kNodeCrash, 0));
+  inj.query("b", vt_ms(1));
+  inj.query("a", vt_ms(2));
+  const std::vector<FiredFault> log = inj.log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].point, "b");
+  EXPECT_EQ(log[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(log[0].at, vt_ms(1));
+  EXPECT_EQ(log[1].point, "a");
+  EXPECT_EQ(log[1].kind, FaultKind::kHang);
+}
+
+TEST(FaultInjector, RearmResetsCounters) {
+  FaultInjector inj(1);
+  inj.arm("p", FaultSpec::always(FaultKind::kFailAlternative));
+  inj.query("p");
+  inj.arm("p", FaultSpec::always(FaultKind::kFailAlternative));
+  EXPECT_EQ(inj.hits("p"), 0u);
+  inj.disarm("p");
+  EXPECT_FALSE(inj.query("p"));
+}
+
+TEST(FaultScope, InstallsAndRestoresAmbientInjector) {
+  EXPECT_EQ(fault_injector(), nullptr);
+  EXPECT_FALSE(MW_FAULT_POINT("anything"));
+  {
+    FaultInjector outer(1);
+    outer.arm("p", FaultSpec::always(FaultKind::kDelay).delayed(1));
+    FaultScope outer_scope(outer);
+    EXPECT_EQ(fault_injector(), &outer);
+    EXPECT_TRUE(MW_FAULT_POINT("p"));
+    {
+      FaultInjector inner(2);
+      FaultScope inner_scope(inner);
+      EXPECT_EQ(fault_injector(), &inner);
+      EXPECT_FALSE(MW_FAULT_POINT("p"));  // inner has nothing armed
+    }
+    EXPECT_EQ(fault_injector(), &outer);
+  }
+  EXPECT_EQ(fault_injector(), nullptr);
+}
+
+}  // namespace
+}  // namespace mw
