@@ -14,6 +14,7 @@
 // via queueing.
 //
 //   $ table1_rootfinder [--seed=8] [--procs=2] [--maxn=6] [--ms-per-iter=7]
+#include <algorithm>
 #include <iostream>
 
 #include "core/alt.hpp"
@@ -120,6 +121,8 @@ int main(int argc, char** argv) {
                "much better if there had been more than two processors\").\n";
 
   // Aggregate over a domain of inputs, as §3.3's domain analysis asks.
+  // The angle pool only holds maxn entries, so race at most that many.
+  const int domain_k = std::min(4, maxn);
   std::vector<std::vector<double>> times;
   std::vector<double> overheads;
   Rng batch_rng(seed + 1);
@@ -127,7 +130,7 @@ int main(int argc, char** argv) {
     Rng sub = batch_rng.split(static_cast<std::uint64_t>(trial) + 1);
     PolyWorkload bw = make_clustered_poly(sub);
     std::vector<double> row;
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < domain_k; ++i) {
       JtConfig jt;
       jt.start_angle_deg = angles[static_cast<std::size_t>(i)];
       RootResult r = jenkins_traub(bw.poly, jt);
@@ -141,8 +144,8 @@ int main(int argc, char** argv) {
     overheads.push_back(0.2);  // ~fork+commit+elimination at this scale
   }
   DomainStats d = domain_analysis(times, overheads);
-  std::cout << "\nDomain analysis over 8 random polynomials, 4 angles "
-               "(PI = tau(Cmean)/(tau(Cbest)+tau(overhead))):\n";
+  std::cout << "\nDomain analysis over 8 random polynomials, " << domain_k
+            << " angles (PI = tau(Cmean)/(tau(Cbest)+tau(overhead))):\n";
   std::cout << "  mean PI " << TablePrinter::num(d.mean_pi) << ", min "
             << TablePrinter::num(d.min_pi) << ", max "
             << TablePrinter::num(d.max_pi) << ", inputs improved "

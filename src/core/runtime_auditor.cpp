@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "pagestore/page.hpp"
+#include "pagestore/page_pool.hpp"
 
 namespace mw {
 
@@ -56,10 +57,14 @@ AuditReport RuntimeAuditor::run(const ProcessTable& table) const {
   }
 
   // Leaks: pages alive beyond the baseline that nothing registered reaches.
+  // collect_pages walks each table's radix tree; identical shared subtrees
+  // still insert each distinct Page exactly once via the set.
   std::unordered_set<const Page*> reachable;
   for (const World* w : worlds_)
     w->space().table().collect_pages(reachable);
   for (const PageTable* t : tables_) t->collect_pages(reachable);
+  report.pooled_frames =
+      static_cast<std::int64_t>(PagePool::global().frames_held());
   const std::int64_t live = Page::live_instances();
   report.leaked_pages =
       live - baseline_pages_ - static_cast<std::int64_t>(reachable.size());

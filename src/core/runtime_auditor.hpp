@@ -33,6 +33,11 @@ struct AuditReport {
   std::vector<Pid> orphan_processes;
   std::vector<Pid> unresolved_splits;
   std::int64_t leaked_pages = 0;
+  /// Frames cached in the global PagePool at audit time. Informational:
+  /// pooled frames are bare buffers (their Page objects were destroyed and
+  /// un-counted), so they never show up as leaks — this records how much
+  /// reclaimed-world memory is parked for reuse instead.
+  std::int64_t pooled_frames = 0;
   /// One human-readable line per finding, empty when the runtime is clean.
   std::vector<std::string> violations;
 

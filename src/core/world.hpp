@@ -1,7 +1,9 @@
 // World: one timeline of the computation — a process identity, its paged
 // sink state, and the assumptions under which it exists (§2.4.2). Forking a
-// world is cheap (COW page-map copy); committing a world back into its
-// parent is the paper's alt_wait page-pointer replacement.
+// world is O(1) in address-space size (persistent page-map root share), so
+// speculation depth and receiver splits cost the same for a 64 KiB world as
+// for a gigabyte one; committing a world back into its parent is the
+// paper's alt_wait page-pointer replacement — also an O(1) root swap.
 #pragma once
 
 #include <cstdint>

@@ -2,8 +2,8 @@
 
 namespace mw {
 
-const Segment& AddressSpace::alloc_segment(const std::string& name,
-                                           std::uint64_t bytes) {
+Segment AddressSpace::alloc_segment(const std::string& name,
+                                    std::uint64_t bytes) {
   MW_CHECK(!find_segment(name).has_value());
   const std::uint64_t ps = page_size();
   const std::uint64_t rounded = (bytes + ps - 1) / ps * ps;
@@ -21,6 +21,8 @@ std::optional<Segment> AddressSpace::find_segment(
 }
 
 AddressSpace AddressSpace::fork() const {
+  // O(1) in address-space size: the page table fork is a radix-tree root
+  // share; only the (small) segment directory is copied eagerly.
   AddressSpace child(page_size(), table_.num_pages());
   child.table_ = table_.fork();
   child.segments_ = segments_;

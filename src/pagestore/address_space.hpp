@@ -53,16 +53,20 @@ class AddressSpace {
   }
 
   /// Reserves a page-aligned named segment; aborts if the space is full.
-  /// Segment names must be unique within the address space.
-  const Segment& alloc_segment(const std::string& name, std::uint64_t bytes);
+  /// Segment names must be unique within the address space. Returned by
+  /// value: a reference into the directory would dangle as soon as the
+  /// next allocation grows it.
+  Segment alloc_segment(const std::string& name, std::uint64_t bytes);
 
   /// Looks a segment up by name.
   std::optional<Segment> find_segment(const std::string& name) const;
 
   /// COW fork: the child inherits pages *and* the segment directory.
+  /// O(1) in address-space size (persistent page-map root share).
   AddressSpace fork() const;
 
-  /// Commit a child's state into this space (atomic page-map replacement).
+  /// Commit a child's state into this space (page-map root replacement,
+  /// O(1) in address-space size).
   void adopt(AddressSpace&& child);
 
   const PageTable& table() const { return table_; }

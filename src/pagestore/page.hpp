@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 namespace mw {
@@ -19,17 +20,41 @@ namespace mw {
 ///
 /// Every live Page is counted in a process-wide ledger so the runtime
 /// auditor can prove that eliminated worlds released their pages (a leaked
-/// ref would pin memory for the lifetime of the speculation tree).
+/// ref would pin memory for the lifetime of the speculation tree). The
+/// ledger counts *objects*, not copies of their contents, so every special
+/// member below is written out explicitly: construction (from any source)
+/// increments, destruction decrements, and assignment — which neither
+/// creates nor destroys a Page — leaves the count alone.
 class Page {
  public:
   explicit Page(std::size_t size) : data_(size, 0) { ++live_; }
+
+  /// Adopts an existing buffer (the PagePool recycling path). The buffer's
+  /// contents are taken as-is; callers zero or overwrite as needed.
+  explicit Page(std::vector<std::uint8_t> buf) : data_(std::move(buf)) {
+    ++live_;
+  }
+
   Page(const Page& other) : data_(other.data_) { ++live_; }
-  Page& operator=(const Page& other) = default;
+  Page(Page&& other) noexcept : data_(std::move(other.data_)) { ++live_; }
+  Page& operator=(const Page& other) {
+    data_ = other.data_;
+    return *this;
+  }
+  Page& operator=(Page&& other) noexcept {
+    data_ = std::move(other.data_);
+    return *this;
+  }
   ~Page() { --live_; }
 
   std::size_t size() const { return data_.size(); }
   const std::uint8_t* data() const { return data_.data(); }
   std::uint8_t* mutable_data() { return data_.data(); }
+
+  /// Steals the underlying buffer (leaves this page empty). Used by the
+  /// PagePool deleter to salvage the frame of a dying page; the Page itself
+  /// stays in the ledger until it is actually destroyed.
+  std::vector<std::uint8_t> steal_buffer() { return std::move(data_); }
 
   /// Pages currently alive in this process.
   static std::int64_t live_instances() {

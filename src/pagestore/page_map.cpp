@@ -1,0 +1,217 @@
+#include "pagestore/page_map.hpp"
+
+#include "util/check.hpp"
+
+namespace mw {
+
+// A node is either an inner node (children populated) or a leaf (pages and
+// tags populated); which one is fixed by its level in the tree. Shared nodes
+// are immutable: slot_for_write clones any node whose use_count exceeds 1
+// before descending through it.
+struct PageMap::Node {
+  explicit Node(bool is_leaf) {
+    if (is_leaf) {
+      pages.resize(kFanout);
+      tags.assign(kFanout, 0);
+    } else {
+      children.resize(kFanout);
+    }
+  }
+  Node(const Node&) = default;
+
+  bool leaf() const { return children.empty(); }
+
+  std::size_t resident = 0;  // resident pages in this whole subtree
+  std::vector<NodeRef> children;       // inner nodes only
+  std::vector<PageRef> pages;          // leaves only
+  std::vector<std::uint64_t> tags;     // leaves only, parallel to pages
+};
+
+PageMap::PageMap(std::size_t num_pages) : num_pages_(num_pages), depth_(1) {
+  // Smallest depth whose capacity covers the address space; an empty map is
+  // just a null root, so construction is O(1) no matter the size.
+  std::size_t capacity = kFanout;
+  while (capacity < num_pages_) {
+    capacity <<= kFanoutBits;
+    ++depth_;
+  }
+}
+
+PageMap::PageMap(const PageMap& o)
+    : num_pages_(o.num_pages_), depth_(o.depth_), root_(o.root_) {
+  // The copy shares every node with `o`: neither side may keep a cached
+  // exclusively-owned leaf.
+  o.cached_pages_.store(nullptr, std::memory_order_relaxed);
+}
+
+PageMap::PageMap(PageMap&& o) noexcept
+    : num_pages_(o.num_pages_),
+      depth_(o.depth_),
+      root_(std::move(o.root_)),
+      cached_pages_(o.cached_pages_.load(std::memory_order_relaxed)),
+      cached_tags_(o.cached_tags_),
+      cached_prefix_(o.cached_prefix_) {
+  // Ownership transferred wholesale: the cache stays valid here, but the
+  // moved-from map must never serve it again.
+  o.cached_pages_.store(nullptr, std::memory_order_relaxed);
+}
+
+PageMap& PageMap::operator=(const PageMap& o) {
+  num_pages_ = o.num_pages_;
+  depth_ = o.depth_;
+  root_ = o.root_;
+  cached_pages_.store(nullptr, std::memory_order_relaxed);
+  o.cached_pages_.store(nullptr, std::memory_order_relaxed);
+  return *this;
+}
+
+PageMap& PageMap::operator=(PageMap&& o) noexcept {
+  num_pages_ = o.num_pages_;
+  depth_ = o.depth_;
+  root_ = std::move(o.root_);
+  cached_pages_.store(o.cached_pages_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  cached_tags_ = o.cached_tags_;
+  cached_prefix_ = o.cached_prefix_;
+  o.cached_pages_.store(nullptr, std::memory_order_relaxed);
+  return *this;
+}
+
+std::size_t PageMap::child_index(std::size_t i, int level) const {
+  const int shift = (depth_ - 1 - level) * static_cast<int>(kFanoutBits);
+  return (i >> shift) & (kFanout - 1);
+}
+
+const Page* PageMap::peek(std::size_t i) const {
+  MW_CHECK(i < num_pages_);
+  const Node* n = root_.get();
+  for (int level = 0; n && level + 1 < depth_; ++level)
+    n = n->children[child_index(i, level)].get();
+  if (!n) return nullptr;
+  return n->pages[child_index(i, depth_ - 1)].get();
+}
+
+PageMap::Slot PageMap::slot_for_write_slow(std::size_t i) {
+  MW_CHECK(i < num_pages_);
+  const std::size_t prefix = i >> kFanoutBits;
+  NodeRef* link = &root_;
+  for (int level = 0;; ++level) {
+    const bool at_leaf = (level + 1 == depth_);
+    if (!*link) {
+      *link = std::make_shared<Node>(at_leaf);
+    } else if (link->use_count() > 1) {
+      // Path copy: this node is shared with a forked sibling/ancestor map.
+      // Cloning copies kFanout child/page references but no page data.
+      *link = std::make_shared<Node>(**link);
+    }
+    Node& n = **link;
+    const std::size_t idx = child_index(i, level);
+    if (at_leaf) {
+      // The walk just certified exclusive ownership of the whole path;
+      // remember the leaf's slot arrays so locality-friendly writers take
+      // the inline fast path on the next write.
+      cached_prefix_ = prefix;
+      cached_tags_ = n.tags.data();
+      cached_pages_.store(n.pages.data(), std::memory_order_relaxed);
+      return Slot{&n.pages[idx], &n.tags[idx]};
+    }
+    link = &n.children[idx];
+  }
+}
+
+void PageMap::note_resident(std::size_t i) {
+  MW_CHECK(i < num_pages_);
+  Node* n = root_.get();
+  for (int level = 0;; ++level) {
+    MW_CHECK(n != nullptr);
+    ++n->resident;
+    if (level + 1 == depth_) return;
+    n = n->children[child_index(i, level)].get();
+  }
+}
+
+std::size_t PageMap::resident() const { return root_ ? root_->resident : 0; }
+
+std::size_t PageMap::shared_rec(const Node* a, const Node* b) {
+  if (!a || !b) return 0;
+  if (a == b) return a->resident;  // whole subtree shared: prune
+  if (a->leaf()) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kFanout; ++i)
+      if (a->pages[i] && a->pages[i] == b->pages[i]) ++n;
+    return n;
+  }
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < kFanout; ++i)
+    n += shared_rec(a->children[i].get(), b->children[i].get());
+  return n;
+}
+
+std::size_t PageMap::shared_with(const PageMap& other) const {
+  MW_CHECK(other.num_pages_ == num_pages_);
+  return shared_rec(root_.get(), other.root_.get());
+}
+
+void PageMap::diff_rec(const Node* a, const Node* b, std::size_t base,
+                       int level, std::vector<std::size_t>& out) const {
+  if (a == b) return;  // includes both-null: identical, prune
+  if (!a && b && b->resident == 0) return;
+  if (!b && a && a->resident == 0) return;
+  if (level + 1 == depth_) {
+    for (std::size_t i = 0; i < kFanout; ++i) {
+      const Page* pa = a ? a->pages[i].get() : nullptr;
+      const Page* pb = b ? b->pages[i].get() : nullptr;
+      const std::size_t idx = base + i;
+      if (idx < num_pages_ && pa != pb) out.push_back(idx);
+    }
+    return;
+  }
+  const std::size_t span = std::size_t{1}
+                           << (static_cast<std::size_t>(depth_ - 1 - level) *
+                               kFanoutBits);
+  for (std::size_t i = 0; i < kFanout; ++i)
+    diff_rec(a ? a->children[i].get() : nullptr,
+             b ? b->children[i].get() : nullptr, base + i * span, level + 1,
+             out);
+}
+
+std::vector<std::size_t> PageMap::diff(const PageMap& other) const {
+  MW_CHECK(other.num_pages_ == num_pages_);
+  std::vector<std::size_t> out;
+  diff_rec(root_.get(), other.root_.get(), 0, 0, out);
+  return out;
+}
+
+void PageMap::collect_rec(const Node* n,
+                          std::unordered_set<const Page*>& out) {
+  if (!n) return;
+  if (n->leaf()) {
+    for (const PageRef& p : n->pages)
+      if (p) out.insert(p.get());
+    return;
+  }
+  for (const NodeRef& c : n->children) collect_rec(c.get(), out);
+}
+
+void PageMap::collect_pages(std::unordered_set<const Page*>& out) const {
+  collect_rec(root_.get(), out);
+}
+
+std::size_t PageMap::count_tags_rec(const Node* n, std::uint64_t epoch) {
+  if (!n || n->resident == 0) return 0;
+  if (n->leaf()) {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < kFanout; ++i)
+      if (n->pages[i] && n->tags[i] > epoch) ++count;
+    return count;
+  }
+  std::size_t count = 0;
+  for (const NodeRef& c : n->children) count += count_tags_rec(c.get(), epoch);
+  return count;
+}
+
+std::size_t PageMap::count_written_since(std::uint64_t epoch) const {
+  return count_tags_rec(root_.get(), epoch);
+}
+
+}  // namespace mw

@@ -1,0 +1,111 @@
+#include "pagestore/page_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mw {
+
+PagePool& PagePool::global() {
+  static PagePool pool;
+  return pool;
+}
+
+std::vector<std::uint8_t> PagePool::take_frame(std::size_t size,
+                                               bool* was_hit) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find(size);
+    if (it != free_.end() && !it->second.empty()) {
+      std::vector<std::uint8_t> frame = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.hits;
+      if (was_hit) *was_hit = true;
+      return frame;
+    }
+    ++stats_.misses;
+  }
+  if (was_hit) *was_hit = false;
+  return std::vector<std::uint8_t>(size);
+}
+
+PageRef PagePool::wrap(Page* p) {
+  // The custom deleter routes the frame back here when the last world
+  // referencing this page lets go.
+  return PageRef(p, [](Page* page) { PagePool::global().recycle(page); });
+}
+
+PageRef PagePool::acquire_zeroed(std::size_t size, bool* was_hit) {
+  bool hit = false;
+  std::vector<std::uint8_t> frame = take_frame(size, &hit);
+  if (hit) std::memset(frame.data(), 0, frame.size());
+  if (was_hit) *was_hit = hit;
+  return wrap(new Page(std::move(frame)));
+}
+
+PageRef PagePool::acquire_copy(const Page& src, bool* was_hit) {
+  bool hit = false;
+  std::vector<std::uint8_t> frame = take_frame(src.size(), &hit);
+  std::memcpy(frame.data(), src.data(), src.size());
+  if (was_hit) *was_hit = hit;
+  return wrap(new Page(std::move(frame)));
+}
+
+void PagePool::recycle(Page* p) {
+  std::vector<std::uint8_t> frame = p->steal_buffer();
+  delete p;  // the ledger decrements here, before the frame is cached
+  if (frame.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cls = free_[frame.size()];
+  if (cls.size() < cap_per_class_) {
+    cls.push_back(std::move(frame));
+    ++stats_.recycled;
+  } else {
+    ++stats_.dropped;
+  }
+}
+
+std::size_t PagePool::frames_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [size, frames] : free_) n += frames.size();
+  return n;
+}
+
+std::size_t PagePool::bytes_held() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [size, frames] : free_) n += size * frames.size();
+  return n;
+}
+
+void PagePool::set_capacity_per_class(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cap_per_class_ = n;
+  for (auto& [size, frames] : free_)
+    if (frames.size() > n) frames.resize(n);
+}
+
+std::size_t PagePool::capacity_per_class() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cap_per_class_;
+}
+
+std::size_t PagePool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (auto& [size, frames] : free_) n += frames.size();
+  free_.clear();
+  return n;
+}
+
+PagePool::PoolStats PagePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void PagePool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = PoolStats{};
+}
+
+}  // namespace mw

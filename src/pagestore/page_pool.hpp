@@ -1,0 +1,81 @@
+// PagePool: a process-wide page-frame recycling allocator.
+//
+// Worlds churn pages at a ferocious rate: every COW break allocates a frame
+// and every eliminated world drops its private frames. Without recycling,
+// each break pays the system allocator (plus a zero-fill for demand pages),
+// and each elimination gives the frames straight back — a malloc/free storm
+// proportional to speculation activity. The pool intercepts the free side:
+// when the last reference to a pooled Page dies, its buffer (the *frame*)
+// is salvaged into a per-size free list instead of being returned to the
+// allocator, and the next allocation of that size reuses the warm frame.
+//
+// The Page live-instance ledger stays exact: a recycled frame is a bare
+// std::vector<uint8_t>, not a Page — the dying Page is destroyed (and
+// un-counted) normally, so the runtime auditor's leak arithmetic needs no
+// pool-awareness to stay correct. frames_held() is exposed purely as a
+// diagnostic.
+//
+// Thread safety: all operations take an internal mutex; deleters may run on
+// whatever thread drops the last reference.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "pagestore/page.hpp"
+
+namespace mw {
+
+class PagePool {
+ public:
+  /// The process-wide pool used by every PageTable.
+  static PagePool& global();
+
+  /// A zero-filled page of `size` bytes. `*was_hit` reports whether a
+  /// recycled frame was reused (true) or the system allocator was hit.
+  PageRef acquire_zeroed(std::size_t size, bool* was_hit);
+
+  /// A page holding a copy of `src`'s bytes (the COW-break path).
+  PageRef acquire_copy(const Page& src, bool* was_hit);
+
+  /// Frames currently cached, and their total size in bytes.
+  std::size_t frames_held() const;
+  std::size_t bytes_held() const;
+
+  /// Max frames retained per size class; extra frames are released to the
+  /// system allocator on recycle.
+  void set_capacity_per_class(std::size_t n);
+  std::size_t capacity_per_class() const;
+
+  /// Drops every cached frame; returns how many were released.
+  std::size_t clear();
+
+  struct PoolStats {
+    std::uint64_t hits = 0;      // allocations served from the free lists
+    std::uint64_t misses = 0;    // allocations that hit the system allocator
+    std::uint64_t recycled = 0;  // frames salvaged from dying pages
+    std::uint64_t dropped = 0;   // frames released because a class was full
+  };
+  PoolStats stats() const;
+  void reset_stats();
+
+ private:
+  PagePool() = default;
+
+  /// Deleter hook: salvage `p`'s frame, then destroy it.
+  void recycle(Page* p);
+
+  std::vector<std::uint8_t> take_frame(std::size_t size, bool* was_hit);
+  PageRef wrap(Page* p);
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::size_t, std::vector<std::vector<std::uint8_t>>>
+      free_;
+  std::size_t cap_per_class_ = 1024;
+  PoolStats stats_;
+};
+
+}  // namespace mw

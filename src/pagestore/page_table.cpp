@@ -3,36 +3,36 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pagestore/page_pool.hpp"
 #include "util/check.hpp"
 
 namespace mw {
 
 PageTable::PageTable(std::size_t page_size, std::size_t num_pages)
-    : page_size_(page_size), slots_(num_pages), touched_(num_pages, false) {
+    : page_size_(page_size), map_(num_pages) {
   MW_CHECK(page_size > 0);
 }
 
-const Page* PageTable::peek(std::size_t i) const {
-  MW_CHECK(i < slots_.size());
-  return slots_[i].get();
+const Page* PageTable::peek(std::size_t i) const { return map_.peek(i); }
+
+void PageTable::materialize_slot(PageRef& ref, std::size_t i) {
+  // Zero-fill-on-demand allocation, preferring a recycled frame.
+  bool pool_hit = false;
+  ref = PagePool::global().acquire_zeroed(page_size_, &pool_hit);
+  ++stats_.pages_allocated;
+  map_.note_resident(i);
+  ++(pool_hit ? stats_.pool_hits : stats_.pool_misses);
 }
 
-std::uint8_t* PageTable::write_page(std::size_t i) {
-  MW_CHECK(i < slots_.size());
-  PageRef& slot = slots_[i];
-  if (!slot) {
-    // Zero-fill-on-demand allocation.
-    slot = make_page(page_size_);
-    ++stats_.pages_allocated;
-  } else if (slot.use_count() > 1) {
-    // COW break: the page is inherited or shared with a sibling world.
-    slot = std::make_shared<Page>(*slot);
-    ++stats_.pages_copied;
-    stats_.bytes_copied += page_size_;
-  }
-  touched_[i] = true;
-  ++stats_.page_writes;
-  return slot->mutable_data();
+void PageTable::cow_break_slot(PageRef& ref) {
+  // COW break: the page is inherited or shared with a sibling world.
+  // (slot_for_write path-copied any shared leaf first, so a page shared
+  // through structural sharing is guaranteed to show use_count > 1 here.)
+  bool pool_hit = false;
+  ref = PagePool::global().acquire_copy(*ref, &pool_hit);
+  ++stats_.pages_copied;
+  stats_.bytes_copied += page_size_;
+  ++(pool_hit ? stats_.pool_hits : stats_.pool_misses);
 }
 
 void PageTable::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
@@ -44,7 +44,7 @@ void PageTable::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
     const std::size_t page = (off + done) / page_size_;
     const std::size_t in_page = (off + done) % page_size_;
     const std::size_t n = std::min(dst.size() - done, page_size_ - in_page);
-    if (const Page* p = slots_[page].get()) {
+    if (const Page* p = map_.peek(page)) {
       std::memcpy(dst.data() + done, p->data() + in_page, n);
     } else {
       std::memset(dst.data() + done, 0, n);
@@ -66,60 +66,49 @@ void PageTable::write(std::uint64_t off, std::span<const std::uint8_t> src) {
 }
 
 PageTable PageTable::fork() const {
-  PageTable child(page_size_, slots_.size());
-  child.slots_ = slots_;  // O(pages) reference copies, zero data movement
+  // Structural sharing: the child references the same radix-tree root, so
+  // this is O(1) in address-space size (the paper's §2.3 curve goes flat).
+  PageTable child(*this);
+  child.stats_.reset();
+  // Everything the child inherited predates its epoch: nothing is
+  // "written since fork" until the child itself writes.
+  child.epoch_ = child.gen_ = gen_;
   return child;
 }
 
 void PageTable::adopt(PageTable&& child) {
   MW_CHECK(child.page_size_ == page_size_);
-  MW_CHECK(child.slots_.size() == slots_.size());
-  slots_ = std::move(child.slots_);
+  MW_CHECK(child.num_pages() == num_pages());
+  map_ = std::move(child.map_);  // atomic in effect: a single root swap
   // The commit absorbs the child's accounting so τ(overhead) attribution
-  // (setup + run-time copying + completion) survives the swap.
-  stats_.pages_allocated += child.stats_.pages_allocated;
-  stats_.pages_copied += child.stats_.pages_copied;
-  stats_.bytes_copied += child.stats_.bytes_copied;
-  stats_.page_writes += child.stats_.page_writes;
-  stats_.page_reads += child.stats_.page_reads;
-  std::fill(touched_.begin(), touched_.end(), false);
+  // (setup + run-time copying + completion) survives the swap. merge() runs
+  // exactly once per adopt; nested trees therefore count each level once.
+  stats_.merge(child.stats_);
+  // The child's tags may exceed our generation; advancing to the max keeps
+  // every adopted tag ≤ epoch_, i.e. the write-fraction clock restarts.
+  gen_ = std::max(gen_, child.gen_);
+  epoch_ = gen_;
 }
 
-std::size_t PageTable::resident_pages() const {
-  std::size_t n = 0;
-  for (const auto& s : slots_)
-    if (s) ++n;
-  return n;
-}
+std::size_t PageTable::resident_pages() const { return map_.resident(); }
 
 std::size_t PageTable::shared_pages_with(const PageTable& other) const {
-  MW_CHECK(other.slots_.size() == slots_.size());
-  std::size_t n = 0;
-  for (std::size_t i = 0; i < slots_.size(); ++i)
-    if (slots_[i] && slots_[i] == other.slots_[i]) ++n;
-  return n;
+  return map_.shared_with(other.map_);
 }
 
 std::vector<std::size_t> PageTable::diff(const PageTable& other) const {
-  MW_CHECK(other.slots_.size() == slots_.size());
-  std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < slots_.size(); ++i)
-    if (slots_[i] != other.slots_[i]) out.push_back(i);
-  return out;
+  return map_.diff(other.map_);
 }
 
 void PageTable::collect_pages(std::unordered_set<const Page*>& out) const {
-  for (const PageRef& ref : slots_)
-    if (ref) out.insert(ref.get());
+  map_.collect_pages(out);
 }
 
 double PageTable::write_fraction() const {
-  const std::size_t resident = resident_pages();
+  const std::size_t resident = map_.resident();
   if (resident == 0) return 0.0;
-  std::size_t written = 0;
-  for (bool t : touched_)
-    if (t) ++written;
-  return static_cast<double>(written) / static_cast<double>(resident);
+  return static_cast<double>(map_.count_written_since(epoch_)) /
+         static_cast<double>(resident);
 }
 
 }  // namespace mw

@@ -1,9 +1,12 @@
 // Copy-on-write page table with parent inheritance (§2.3).
 //
-// A fork copies only the table of page references (O(pages) pointer copies,
-// no data movement) — this is exactly why the paper's measured fork latency
-// grows with address-space size while staying far below a full copy. The
-// first write to an inherited page breaks sharing by copying that one page.
+// The paper measures fork latency growing linearly with address-space size
+// because a fork copies the table of page references. This implementation
+// removes that cost: the slots live in a persistent radix tree (PageMap),
+// so fork() is a root-pointer copy, adopt() a root swap, and only writes
+// pay — a bounded path copy (≤ tree depth nodes) on first touch, then the
+// usual one-page COW break. Fork, receiver splits and commits are therefore
+// O(1) in address-space size; see DESIGN.md "Persistent page maps".
 #pragma once
 
 #include <cstddef>
@@ -13,6 +16,7 @@
 #include <vector>
 
 #include "pagestore/page.hpp"
+#include "pagestore/page_map.hpp"
 
 namespace mw {
 
@@ -24,6 +28,20 @@ struct CowStats {
   std::uint64_t bytes_copied = 0;     // data actually copied for COW breaks
   std::uint64_t page_writes = 0;      // write operations (not distinct pages)
   std::uint64_t page_reads = 0;
+  std::uint64_t pool_hits = 0;    // frames recycled from the PagePool
+  std::uint64_t pool_misses = 0;  // frames that hit the system allocator
+
+  /// Absorbs a child's accounting into this one (used exactly once per
+  /// adopt so nested speculation trees never double-count).
+  void merge(const CowStats& o) {
+    pages_allocated += o.pages_allocated;
+    pages_copied += o.pages_copied;
+    bytes_copied += o.bytes_copied;
+    page_writes += o.page_writes;
+    page_reads += o.page_reads;
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+  }
 
   void reset() { *this = CowStats{}; }
 };
@@ -35,14 +53,27 @@ class PageTable {
   PageTable(std::size_t page_size, std::size_t num_pages);
 
   std::size_t page_size() const { return page_size_; }
-  std::size_t num_pages() const { return slots_.size(); }
-  std::size_t size_bytes() const { return page_size_ * slots_.size(); }
+  std::size_t num_pages() const { return map_.num_pages(); }
+  std::size_t size_bytes() const { return page_size_ * num_pages(); }
 
   /// Read-only view of page `i`; nullptr means the zero page.
   const Page* peek(std::size_t i) const;
 
   /// Writable pointer to page `i`, allocating or COW-copying as needed.
-  std::uint8_t* write_page(std::size_t i);
+  /// Inline so the exclusively-owned-page fast path (cached leaf, no
+  /// allocation, no COW break) compiles down to a few loads per write.
+  std::uint8_t* write_page(std::size_t i) {
+    PageMap::Slot slot = map_.slot_for_write(i);
+    PageRef& ref = *slot.page;
+    if (!ref) {
+      materialize_slot(ref, i);
+    } else if (ref.use_count() > 1) {
+      cow_break_slot(ref);
+    }
+    *slot.tag = ++gen_;
+    ++stats_.page_writes;
+    return ref->mutable_data();
+  }
 
   /// Reads `dst.size()` bytes at byte offset `off`; absent pages read as 0.
   void read(std::uint64_t off, std::span<std::uint8_t> dst) const;
@@ -50,18 +81,21 @@ class PageTable {
   /// Writes `src` at byte offset `off`, breaking sharing where needed.
   void write(std::uint64_t off, std::span<const std::uint8_t> src);
 
-  /// COW fork: child shares every page with this table.
+  /// COW fork: child shares every page with this table. O(1) — the child
+  /// takes a reference to the same radix-tree root.
   PageTable fork() const;
 
   /// The paper's commit: "the parent process absorbs the state changes made
   /// by its child by atomically replacing its page pointer with that of the
-  /// child". Steals the child's slots; stats are merged.
+  /// child". O(1) root swap; stats are merged exactly once.
   void adopt(PageTable&& child);
 
-  /// Number of resident (allocated) pages.
+  /// Number of resident (allocated) pages. O(1).
   std::size_t resident_pages() const;
 
   /// Number of pages physically shared with `other` (same Page object).
+  /// Shared subtrees are counted wholesale, so the cost scales with the
+  /// divergence between the two maps, not the address-space size.
   std::size_t shared_pages_with(const PageTable& other) const;
 
   /// Page indices where this table and `other` reference different pages.
@@ -73,15 +107,23 @@ class PageTable {
 
   /// Fraction of resident pages privately copied/written since the last
   /// fork: the paper's "write fraction" (observed 0.2–0.5 in [18]).
+  /// Tracked via per-leaf generation tags: a page counts as written when
+  /// its tag exceeds the generation recorded at the last fork/adopt.
   double write_fraction() const;
 
   const CowStats& stats() const { return stats_; }
   void reset_stats() { stats_.reset(); }
 
  private:
+  /// Zero-fill-on-demand allocation into an empty slot (cold path).
+  void materialize_slot(PageRef& ref, std::size_t i);
+  /// Private copy of a page inherited from / shared with another world.
+  void cow_break_slot(PageRef& ref);
+
   std::size_t page_size_;
-  std::vector<PageRef> slots_;
-  std::vector<bool> touched_;  // pages written since last fork/adopt
+  PageMap map_;
+  std::uint64_t gen_ = 0;    // bumped on every write through this table
+  std::uint64_t epoch_ = 0;  // generation at the last fork/adopt
   CowStats stats_;
 };
 

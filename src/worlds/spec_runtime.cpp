@@ -193,6 +193,10 @@ void SpecRuntime::deliver(Pid copy, Message msg) {
       break;
     case DeliveryAction::kSplit: {
       ++stats_.splits;
+      // Splitting clones the receiver's world. With the persistent page
+      // map this is O(1) in address-space size, so split cost no longer
+      // scales with how much state the receiver holds (§2.4.2 receivers
+      // used to pay the full §2.3 fork-latency curve here).
       // The rejecting copy continues as if the message never arrived.
       World rejecting = p.world.clone_with_predicates(
           d.reject_preds, p.label + "~reject(" +
@@ -313,6 +317,10 @@ bool SpecRuntime::is_alive(Pid pid) const {
 }
 
 std::size_t SpecRuntime::reclaim_dead_worlds() {
+  // Destroying a dead copy's world drops its page references; frames whose
+  // last reference dies here are salvaged by the global PagePool, so the
+  // next split's COW breaks reuse warm frames instead of hitting the
+  // allocator.
   std::size_t reclaimed = 0;
   for (auto it = procs_.begin(); it != procs_.end();) {
     if (it->second->alive) {

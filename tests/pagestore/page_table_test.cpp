@@ -4,6 +4,8 @@
 
 #include <cstring>
 
+#include "pagestore/page_pool.hpp"
+
 namespace mw {
 namespace {
 
@@ -167,6 +169,93 @@ TEST(PageTable, GrandchildForkChains) {
   // Page 0 shared across all three generations.
   EXPECT_EQ(c.shared_pages_with(a), 1u);
   EXPECT_EQ(c.shared_pages_with(b), 2u);
+}
+
+// Nested speculation: a 3-level fork chain adopted bottom-up must merge
+// each level's accounting exactly once — no drops, no double counts.
+TEST(PageTable, NestedAdoptMergesStatsExactlyOnce) {
+  PageTable root(64, 8);
+  root.write(0, bytes({1}));  // root: 1 allocation
+  PageTable mid = root.fork();
+  mid.write(0, bytes({2}));   // mid: 1 copy
+  mid.write(64, bytes({3}));  // mid: 1 allocation
+  PageTable leaf = mid.fork();
+  leaf.write(64, bytes({4}));   // leaf: 1 copy
+  leaf.write(128, bytes({5}));  // leaf: 1 allocation
+  leaf.write(128, bytes({6}));  // leaf: in-place, no new alloc/copy
+
+  mid.adopt(std::move(leaf));
+  EXPECT_EQ(mid.stats().pages_allocated, 2u);
+  EXPECT_EQ(mid.stats().pages_copied, 2u);
+  EXPECT_EQ(mid.stats().page_writes, 5u);
+
+  root.adopt(std::move(mid));
+  EXPECT_EQ(root.stats().pages_allocated, 3u);
+  EXPECT_EQ(root.stats().pages_copied, 2u);
+  EXPECT_EQ(root.stats().bytes_copied, 2u * 64u);
+  EXPECT_EQ(root.stats().page_writes, 6u);
+  // Every frame acquisition is accounted as either a pool hit or a miss.
+  EXPECT_EQ(root.stats().pool_hits + root.stats().pool_misses,
+            root.stats().pages_allocated + root.stats().pages_copied);
+  // Adopted content is the leaf's.
+  EXPECT_EQ(read_vec(root, 0, 1), bytes({2}));
+  EXPECT_EQ(read_vec(root, 64, 1), bytes({4}));
+  EXPECT_EQ(read_vec(root, 128, 1), bytes({6}));
+}
+
+TEST(PageTable, AdoptResetsWriteFractionClock) {
+  PageTable parent(64, 8);
+  for (int p = 0; p < 4; ++p) parent.write(64 * p, bytes({1}));
+  PageTable child = parent.fork();
+  child.write(0, bytes({2}));
+  parent.adopt(std::move(child));
+  // The commit restarts the "written since last fork/adopt" measurement.
+  EXPECT_DOUBLE_EQ(parent.write_fraction(), 0.0);
+  parent.write(64, bytes({3}));
+  EXPECT_DOUBLE_EQ(parent.write_fraction(), 0.25);
+}
+
+TEST(PageTable, PoolRecyclesFramesFromDroppedWorlds) {
+  const std::size_t kPageSize = 104;  // private size class for this test
+  PagePool::global().clear();
+  PageTable parent(kPageSize, 8);
+  std::vector<std::uint8_t> one{1};
+  for (int p = 0; p < 4; ++p) parent.write(kPageSize * p, one);
+  EXPECT_EQ(parent.stats().pool_hits, 0u);
+  EXPECT_EQ(parent.stats().pool_misses, 4u);
+  {
+    // A speculative child breaks sharing on every page, then is eliminated.
+    PageTable child = parent.fork();
+    for (int p = 0; p < 4; ++p) child.write(kPageSize * p, one);
+    EXPECT_EQ(child.stats().pages_copied, 4u);
+  }
+  // The eliminated child's frames were salvaged; new allocations reuse them.
+  PageTable next = parent.fork();
+  for (int p = 4; p < 8; ++p) next.write(kPageSize * p, one);
+  EXPECT_EQ(next.stats().pages_allocated, 4u);
+  EXPECT_EQ(next.stats().pool_hits, 4u);
+  EXPECT_EQ(next.stats().pool_misses, 0u);
+}
+
+TEST(PageTable, RecycledFramesReadAsZero) {
+  const std::size_t kPageSize = 88;  // private size class for this test
+  PagePool::global().clear();
+  {
+    PageTable dirty(kPageSize, 2);
+    std::vector<std::uint8_t> junk(kPageSize, 0xEE);
+    dirty.write(0, junk);
+    dirty.write(kPageSize, junk);
+  }  // both dirty frames land in the pool
+  PageTable fresh(kPageSize, 2);
+  std::vector<std::uint8_t> got(kPageSize);
+  fresh.read(0, got);
+  EXPECT_EQ(got, std::vector<std::uint8_t>(kPageSize, 0));
+  fresh.write(0, bytes({9}));  // zero-fill-on-demand from a recycled frame
+  EXPECT_EQ(fresh.stats().pool_hits, 1u);
+  fresh.read(0, got);
+  std::vector<std::uint8_t> want(kPageSize, 0);
+  want[0] = 9;
+  EXPECT_EQ(got, want);
 }
 
 TEST(PageTableDeath, OutOfRangeReadAborts) {
