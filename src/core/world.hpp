@@ -51,6 +51,12 @@ class World {
   /// child's world object is consumed.
   void commit_from(World&& child);
 
+  /// Supervised recovery: rewind this world's sink state to a previously
+  /// captured COW snapshot (an O(1) page-map root swap, the inverse of
+  /// commit_from). Identity, status, and predicates are untouched — the
+  /// world is the same speculative process, replaying from its checkpoint.
+  void rollback(const AddressSpace& snapshot) { space_.adopt(snapshot.fork()); }
+
   /// Pages this world's map shares physically with `other` — the COW
   /// sharing the design maximizes (§2.3).
   std::size_t shared_pages_with(const World& other) const {

@@ -4,9 +4,32 @@
 // segments and returns control to the caller of the checkpoint routine when
 // this file is executed. A return value is used to distinguish between
 // return of control in the checkpoint and in the calling process."
+//
+// Image format (MWCKPT02) — self-describing and self-validating:
+//
+//   magic           u64   "MWCKPT02"
+//   checksum        u64   FNV-1a over every byte after this field
+//   kind            u64   0 = full image, 1 = delta image
+//   page_size       u64
+//   num_pages       u64
+//   base_checksum   u64   delta: checksum of the image this delta extends
+//   registers       pc, sp, gp[0..7]
+//   segment dir     count, then (name, base, size) each; watermark
+//   page_count      u64
+//   pages           (index u64, data[page_size]) — strictly ascending
+//
+// A *delta* image (PR 3) serializes only the pages whose references diverged
+// from the snapshot taken at the previous checkpoint — O(write set), found
+// through the persistent PageMap's subtree-pruning diff — and names its
+// predecessor by checksum, so a chain {full, Δ1, Δ2, ...} can only restore
+// in the order it was taken. restore rejects any image whose checksum does
+// not re-verify or whose page indices are duplicated or out of order: a
+// bit-flip or a forged record must surface as ok == false, never as a
+// silently wrong address space.
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "pagestore/address_space.hpp"
 #include "util/bytes.hpp"
@@ -28,20 +51,37 @@ struct Registers {
 
 /// A self-describing executable image: header, registers, then the
 /// resident pages (index + contents). Non-resident (zero) pages are not
-/// stored — checkpoint size tracks the *resident* set, which is why the
-/// paper's 70 KB process ships 70 KB, not its full address space.
+/// stored — a full checkpoint's size tracks the *resident* set, which is
+/// why the paper's 70 KB process ships 70 KB, not its full address space;
+/// a delta checkpoint's size tracks the *write* set since its base.
 struct CheckpointImage {
   Bytes blob;
-  std::size_t resident_pages = 0;
+  std::size_t resident_pages = 0;  // pages serialized in this image
   std::size_t page_size = 0;
   std::size_t total_pages = 0;
+  bool delta = false;
+  /// Content checksum (also embedded in the blob): the identity other
+  /// images chain on, and the replay handle in failure output.
+  std::uint64_t checksum = 0;
+  /// Delta images: checksum of the image this delta applies on top of.
+  std::uint64_t base_checksum = 0;
 
   std::size_t size_bytes() const { return blob.size(); }
 };
 
-/// Dumps `space` + `regs`; the caller sees regs.ret == kInCaller.
+/// Dumps `space` + `regs` as a full image; the caller sees
+/// regs.ret == kInCaller.
 CheckpointImage take_checkpoint(const AddressSpace& space,
                                 const Registers& regs);
+
+/// Dumps only the pages of `space` that diverged from `base_space` — the
+/// COW snapshot captured when `base` was taken. Registers and the segment
+/// directory are always serialized in full (they are tiny). The image
+/// chains on `base` by checksum; restoring it requires the whole chain.
+CheckpointImage take_delta_checkpoint(const AddressSpace& space,
+                                      const Registers& regs,
+                                      const AddressSpace& base_space,
+                                      const CheckpointImage& base);
 
 struct RestoreResult {
   AddressSpace space;
@@ -50,7 +90,22 @@ struct RestoreResult {
 };
 
 /// The bootstrapping routine: reconstructs the address space and register
-/// file from an image. Returns ok=false on a corrupt image.
+/// file from a *full* image. Returns ok=false on a corrupt, truncated, or
+/// malformed image — and on a delta image, which cannot stand alone.
 RestoreResult restore_checkpoint(const CheckpointImage& image);
+
+/// Chain restore: `chain[0]` must be a full image; each subsequent element
+/// must be a delta whose base_checksum names its predecessor's checksum.
+/// Pages apply in order (later images win); registers and segments come
+/// from the newest image. Any corrupt/misordered/mischained element fails
+/// the whole restore.
+RestoreResult restore_chain(std::span<const CheckpointImage* const> chain);
+RestoreResult restore_chain(const std::vector<CheckpointImage>& chain);
+
+/// Recomputes and re-embeds the blob checksum after the caller edited the
+/// blob. Test/tooling support: forging a *consistently sealed* image with
+/// malformed contents (duplicate page index, bad segment) is how the
+/// rejection paths beyond the checksum are exercised.
+void reseal_checkpoint(CheckpointImage& image);
 
 }  // namespace mw

@@ -32,6 +32,17 @@ struct DistributedRaceResult {
   std::size_t remotes_failed = 0;   // rforks/replies demoted to Failed
   std::size_t retransmissions = 0;
   bool used_local_fallback = false;
+  /// Supervised-recovery extras (all zero unless opts.checkpoint_interval
+  /// is set). A restart is an attempt to resume a crashed child from its
+  /// newest shipped checkpoint chain; a failover is a restart whose
+  /// re-dispatch actually reached a surviving node.
+  std::size_t restarts = 0;
+  std::size_t failovers = 0;
+  /// Computation time salvaged by failovers (work the replacement node did
+  /// NOT have to redo because checkpoints had been shipped ahead).
+  VDuration work_preserved = 0;
+  /// Checkpoint-chain bytes the failovers restored from.
+  std::size_t work_preserved_bytes = 0;
 };
 
 /// Knobs for the unreliable-network race. Loss/duplication/jitter come from
@@ -47,6 +58,20 @@ struct DistRaceOptions {
   bool local_fallback = true;
   std::size_t local_processors = 2;
   VDuration local_fork_cost = vt_ms(12);
+
+  /// Remote failover (PR 3). When nonzero, every remote child ships an
+  /// incremental checkpoint of its write set back to the file server each
+  /// `checkpoint_interval` of its own run time; a node crash mid-run
+  /// ("remote.node_crash") is then recovered by re-dispatching the child's
+  /// newest shipped chain to a surviving node instead of demoting it, so
+  /// only the work since the last shipped image is redone. 0 preserves the
+  /// pre-failover behavior: a node crash demotes the child outright.
+  VDuration checkpoint_interval = 0;
+  /// Pages in each delta image (the child's steady-state write set).
+  std::size_t checkpoint_pages = 4;
+  /// Re-dispatch budget per child; crashes beyond it demote the child
+  /// (which may still leave the race to the local fallback).
+  std::size_t max_failovers = 1;
 };
 
 /// Races `specs` with one remote node per alternative. The parent performs

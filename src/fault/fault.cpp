@@ -178,6 +178,17 @@ std::uint64_t FaultInjector::schedule_digest() const {
   return h;
 }
 
+std::string FaultInjector::log_string() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::string out = "seed=" + std::to_string(seed_) + " fires=" +
+                    std::to_string(log_.size());
+  for (const FiredFault& f : log_) {
+    out += "\n  " + f.point + "#" + std::to_string(f.hit) + " " +
+           to_string(f.kind) + " @" + std::to_string(f.at);
+  }
+  return out;
+}
+
 FaultInjector* fault_injector() {
   return g_ambient.load(std::memory_order_acquire);
 }

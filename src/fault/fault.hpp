@@ -115,6 +115,11 @@ class FaultInjector {
   /// The complete fired-fault schedule, in firing order.
   std::vector<FiredFault> log() const;
 
+  /// The schedule rendered as one printable block ("seed=… fires=…" plus
+  /// one line per fired fault) — what a failing fault-matrix test prints
+  /// so the run can be replayed from its seed.
+  std::string log_string() const;
+
   /// FNV-1a digest of the schedule: two runs injected identically iff their
   /// digests match. The replay handle for failing seeds.
   std::uint64_t schedule_digest() const;

@@ -23,6 +23,15 @@ bool SourceGate::request(Pid pid, const PredicateSet& preds, Action act) {
   return false;  // not yet observable
 }
 
+void SourceGate::transfer(Pid from, Pid to) {
+  if (from == to) return;
+  auto it = deferred_.find(from);
+  if (it == deferred_.end()) return;
+  std::vector<Action>& dst = deferred_[to];
+  for (auto& act : it->second) dst.push_back(std::move(act));
+  deferred_.erase(from);
+}
+
 std::uint64_t SourceGate::deferred_pending() const {
   std::uint64_t n = 0;
   for (const auto& [pid, acts] : deferred_) n += acts.size();

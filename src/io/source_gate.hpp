@@ -33,6 +33,14 @@ class SourceGate {
   /// until pid's fate resolves (executed on sync, dropped otherwise).
   bool request(Pid pid, const PredicateSet& preds, Action act);
 
+  /// Reassigns every intent deferred under `from` to `to`, preserving
+  /// emission order (appended after anything already queued for `to`).
+  /// The supervised-restart path: a restarted attempt runs under a fresh
+  /// pid, and its predecessor's deferred source intents must follow it —
+  /// call before marking the dead attempt terminal, or they are dropped
+  /// with it. No-op if `from` has nothing pending.
+  void transfer(Pid from, Pid to);
+
   std::uint64_t executed() const { return executed_; }
   std::uint64_t rejected() const { return rejected_; }
   std::uint64_t deferred_pending() const;

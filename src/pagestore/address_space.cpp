@@ -20,6 +20,13 @@ std::optional<Segment> AddressSpace::find_segment(
   return std::nullopt;
 }
 
+void AddressSpace::set_segments(std::vector<Segment> segs,
+                                std::uint64_t watermark) {
+  MW_CHECK(watermark <= size_bytes());
+  segments_ = std::move(segs);
+  next_free_ = watermark;
+}
+
 AddressSpace AddressSpace::fork() const {
   // O(1) in address-space size: the page table fork is a radix-tree root
   // share; only the (small) segment directory is copied eagerly.

@@ -61,6 +61,17 @@ class AddressSpace {
   /// Looks a segment up by name.
   std::optional<Segment> find_segment(const std::string& name) const;
 
+  /// The whole segment directory, in allocation order.
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// First byte not yet claimed by a segment (the allocation watermark).
+  std::uint64_t segment_watermark() const { return next_free_; }
+
+  /// Replaces the segment directory wholesale — the checkpoint bootstrap
+  /// path, which must restore naming state alongside the pages. `watermark`
+  /// must not exceed the space size; entries are taken as-is.
+  void set_segments(std::vector<Segment> segs, std::uint64_t watermark);
+
   /// COW fork: the child inherits pages *and* the segment directory.
   /// O(1) in address-space size (persistent page-map root share).
   AddressSpace fork() const;

@@ -64,6 +64,13 @@ Completion ProcessTable::complete(Pid pid) const {
   return completion_of(status(pid));
 }
 
+void ProcessTable::set_label(Pid pid, std::string label) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = records_.find(pid);
+  MW_CHECK(it != records_.end());
+  it->second.label = std::move(label);
+}
+
 void ProcessTable::subscribe(StatusListener fn) {
   std::lock_guard<std::mutex> lk(mu_);
   listeners_.push_back(std::move(fn));

@@ -53,6 +53,10 @@ class ProcessTable {
   /// The completion oracle complete(P) over live table state.
   Completion complete(Pid pid) const;
 
+  /// Replaces a process's diagnostic label — how the supervision layer
+  /// annotates a pid with its fate ("quarantined after N restarts").
+  void set_label(Pid pid, std::string label);
+
   /// Registers a listener invoked (outside the table lock) after every
   /// successful status transition. Listeners cannot be removed — the
   /// subsystems that subscribe live as long as the table.

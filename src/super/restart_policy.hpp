@@ -1,0 +1,111 @@
+// Restart and checkpoint policy knobs for supervised recovery (PR 3).
+//
+// The paper's speculation machinery treats failure as "the (n+1)-th
+// alternative": a crashed or hung attempt is simply eliminated. The
+// supervision layer adds the missing middle ground — restart the attempt
+// from its last checkpoint image instead of discarding its work — with the
+// safety rails any restart loop needs: a total restart budget, capped
+// exponential backoff between attempts, quarantine when restarting stops
+// producing progress (a deterministic crash repeats forever), and a
+// per-attempt deadline watchdog so a hung attempt is detected at all.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/vtime.hpp"
+
+namespace mw {
+
+struct RestartPolicy {
+  /// Total restarts a supervisor will fund for one task before quarantine.
+  std::size_t max_restarts = 8;
+
+  /// Consecutive failures with *no durable progress* between them (the
+  /// newest checkpoint's step never advanced) before the task is declared
+  /// deterministic-faulty and quarantined. Progress resets the count: a
+  /// task that keeps moving may spend its whole restart budget.
+  std::size_t quarantine_after = 3;
+
+  /// Capped exponential backoff charged before restart k (0-based):
+  /// min(cap, initial * factor^k).
+  VDuration backoff_initial = vt_ms(5);
+  double backoff_factor = 2.0;
+  VDuration backoff_cap = vt_ms(80);
+
+  /// Deadline watchdog: an attempt that has neither completed nor failed
+  /// within this much virtual time of its start is declared hung and
+  /// restarted. This is also the hang-fault *detection latency* — a hang
+  /// costs the deadline's residue before recovery begins.
+  VDuration attempt_deadline = vt_sec(10);
+
+  VDuration backoff_for(std::size_t restart_index) const {
+    double b = static_cast<double>(backoff_initial);
+    for (std::size_t k = 0; k < restart_index; ++k) {
+      b *= backoff_factor;
+      if (b >= static_cast<double>(backoff_cap)) return backoff_cap;
+    }
+    const auto v = static_cast<VDuration>(b);
+    return v < backoff_cap ? v : backoff_cap;
+  }
+};
+
+/// When and how a supervised task takes checkpoints, and what each image
+/// costs in virtual time (checkpoint creation is CPU work the paper calls
+/// "the major cost" of migration — it cannot be free here either).
+struct CheckpointSchedule {
+  /// Accounted work between images. 0 disables checkpointing entirely:
+  /// every restart is from scratch (the baseline the MTTR bench beats).
+  VDuration interval = 0;
+
+  /// Chain cap: after this many consecutive deltas the next image is full
+  /// again, bounding restore to full_every+1 images.
+  std::size_t full_every = 8;
+
+  /// Incremental mode: images after the first serialize only the pages
+  /// written since the previous image (PageMap::diff against the snapshot),
+  /// so checkpoint cost tracks the write set, not the resident set.
+  bool incremental = true;
+
+  /// Virtual cost of taking an image: base + per serialized page.
+  VDuration cost_base = vt_us(50);
+  VDuration cost_per_page = vt_us(10);
+  /// Virtual cost of bootstrapping from a chain: base + per restored page.
+  VDuration restore_base = vt_us(50);
+  VDuration restore_per_page = vt_us(5);
+
+  bool enabled() const { return interval > 0; }
+};
+
+/// Exactly-once side-effect ledger for replayed computations. A restarted
+/// attempt deterministically re-executes the steps since its checkpoint and
+/// therefore re-emits the same effect sequence numbers; the ledger admits
+/// each number once and suppresses the replays, so an effect is recorded
+/// (deferred into a SourceGate, or executed) exactly once no matter how
+/// many times the attempt crashes and replays through it.
+class EffectLedger {
+ public:
+  /// True if effect #seq has not been seen: records it and advances the
+  /// high-water mark. False for a replayed (already recorded) number.
+  bool admit(std::uint64_t seq) {
+    if (seq < next_) {
+      ++suppressed_;
+      return false;
+    }
+    next_ = seq + 1;
+    ++recorded_;
+    return true;
+  }
+
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+  /// The next unseen sequence number (what a checkpoint must persist).
+  std::uint64_t high_water() const { return next_; }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace mw

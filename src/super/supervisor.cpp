@@ -1,0 +1,242 @@
+#include "super/supervisor.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "io/source_gate.hpp"
+#include "proc/process_table.hpp"
+#include "util/check.hpp"
+
+namespace mw {
+
+void SuperCtx::effect(std::function<void()> act) {
+  sup_->deliver_effect(pid_, std::move(act));
+}
+
+Supervisor::Supervisor(RestartPolicy policy, CheckpointSchedule schedule)
+    : policy_(policy), schedule_(schedule) {}
+
+void Supervisor::attach(ProcessTable& table) { table_ = &table; }
+
+void Supervisor::attach_gate(SourceGate& gate, PredicateSet preds) {
+  MW_CHECK(table_ != nullptr);  // the gate observes pids in the table
+  gate_ = &gate;
+  preds_ = std::move(preds);
+}
+
+void Supervisor::deliver_effect(Pid pid, std::function<void()> act) {
+  const std::uint64_t seq = effect_seq_++;
+  if (!ledger_.admit(seq)) return;  // replay of an already-emitted effect
+  if (gate_ != nullptr) {
+    gate_->request(pid, preds_, std::move(act));
+  } else {
+    act();
+  }
+}
+
+SupervisedResult Supervisor::run(const TaskSpec& task) {
+  MW_CHECK(task.step != nullptr);
+  MW_CHECK(task.total_steps > 0);
+
+  SupervisedResult res;
+  ledger_ = EffectLedger{};
+  effect_seq_ = 0;
+
+  VTime clock = 0;
+
+  // The image chain {full, Δ, Δ, ...} plus the COW snapshot of the space
+  // as of the newest image — what the next delta diffs against.
+  std::vector<CheckpointImage> chain;
+  std::optional<AddressSpace> snapshot;
+  std::size_t deltas_since_full = 0;
+  std::size_t chain_step = 0;     // first step NOT covered by the chain
+  std::size_t chain_pages = 0;    // pages serialized across the chain
+
+  std::size_t restarts_used = 0;
+  std::size_t consecutive_no_progress = 0;
+  // Progress marker of the previous failure: (chain position, failing
+  // step). A repeat of both means the restart replayed into the same fate.
+  std::pair<std::size_t, std::size_t> prev_failure_marker{0, 0};
+  bool had_failure = false;
+
+  Pid prev_pid = kNoPid;
+
+  while (true) {
+    ++res.attempts;
+
+    Pid pid = kNoPid;
+    if (table_ != nullptr) {
+      pid = table_->create(kNoPid, 0,
+                           task.name + "#a" + std::to_string(res.attempts));
+      table_->set_status(pid, ProcStatus::kRunning);
+      if (prev_pid != kNoPid) {
+        // Hand the dead attempt's deferred intents to the successor
+        // *before* the terminal transition drops them.
+        if (gate_ != nullptr) gate_->transfer(prev_pid, pid);
+        table_->set_status(prev_pid, ProcStatus::kFailed);
+      }
+    }
+    prev_pid = pid;
+
+    AddressSpace space(task.page_size, task.num_pages);
+    Registers regs;
+    std::size_t start_step = 0;
+
+    if (!chain.empty()) {
+      RestoreResult r = restore_chain(chain);
+      MW_CHECK(r.ok);  // we sealed these images ourselves
+      space = std::move(r.space);
+      regs = r.regs;
+      start_step = static_cast<std::size_t>(regs.pc);
+      effect_seq_ = regs.gp[0];
+      snapshot = space.fork();
+      const VDuration rc =
+          schedule_.restore_base +
+          schedule_.restore_per_page * static_cast<VDuration>(chain_pages);
+      clock += rc;
+      res.restore_overhead += rc;
+    } else {
+      effect_seq_ = 0;
+    }
+
+    const VTime attempt_start = clock;
+    VDuration work_since_image = 0;
+    std::size_t steps_this_attempt = start_step;
+
+    enum class Failure { kNone, kCrash, kHang };
+    Failure failure = Failure::kNone;
+
+    for (std::size_t s = start_step; s < task.total_steps; ++s) {
+      const FaultAction fa = fault_point(task.fault_point, clock);
+      if (fa.kind == FaultKind::kCrashException ||
+          fa.kind == FaultKind::kFailAlternative ||
+          fa.kind == FaultKind::kNodeCrash) {
+        failure = Failure::kCrash;
+        break;
+      }
+      if (fa.kind == FaultKind::kHang) {
+        // The task stops making progress; the watchdog notices when the
+        // attempt's deadline expires.
+        const VTime detect_at =
+            std::max(clock, attempt_start + policy_.attempt_deadline);
+        res.detect_latency += detect_at - clock;
+        clock = detect_at;
+        failure = Failure::kHang;
+        break;
+      }
+      if (fa.kind == FaultKind::kDelay) clock += fa.delay;
+
+      SuperCtx ctx;
+      ctx.sup_ = this;
+      ctx.space_ = &space;
+      ctx.step_ = s;
+      ctx.attempt_ = res.attempts;
+      ctx.pid_ = pid;
+      task.step(ctx);
+      clock += task.step_cost;
+      work_since_image += task.step_cost;
+      ++res.steps_executed;
+      steps_this_attempt = s + 1;
+
+      if (clock - attempt_start > policy_.attempt_deadline &&
+          s + 1 < task.total_steps) {
+        // Deadline overrun (e.g. injected delays): treat as a hang-class
+        // failure — the watchdog kills and restarts the attempt.
+        failure = Failure::kHang;
+        break;
+      }
+
+      if (schedule_.enabled() && work_since_image >= schedule_.interval &&
+          s + 1 < task.total_steps) {
+        regs.pc = s + 1;
+        regs.gp[0] = effect_seq_;  // the ledger's resume point
+        CheckpointImage img;
+        if (chain.empty() || !schedule_.incremental ||
+            deltas_since_full >= schedule_.full_every) {
+          img = take_checkpoint(space, regs);
+          chain.clear();
+          chain_pages = 0;
+          deltas_since_full = 0;
+          ++res.checkpoints_full;
+          res.checkpoint_bytes_full += img.size_bytes();
+        } else {
+          img = take_delta_checkpoint(space, regs, *snapshot, chain.back());
+          ++deltas_since_full;
+          ++res.checkpoints_delta;
+          res.checkpoint_bytes_delta += img.size_bytes();
+        }
+        const VDuration cc =
+            schedule_.cost_base +
+            schedule_.cost_per_page *
+                static_cast<VDuration>(img.resident_pages);
+        chain_pages += img.resident_pages;
+        chain.push_back(std::move(img));
+        snapshot = space.fork();
+        chain_step = s + 1;
+        clock += cc;
+        res.checkpoint_overhead += cc;
+        work_since_image = 0;
+      }
+    }
+
+    if (failure == Failure::kNone) {
+      res.ok = true;
+      res.final_pid = pid;
+      res.regs = regs;
+      res.state = std::move(space);
+      if (table_ != nullptr) {
+        // Syncing releases any deferred source intents — exactly once,
+        // because replayed emissions never reached the gate.
+        table_->set_status(pid, ProcStatus::kSynced);
+      }
+      break;
+    }
+
+    if (failure == Failure::kCrash) ++res.failures_crash;
+    if (failure == Failure::kHang) ++res.failures_hang;
+    res.work_lost +=
+        static_cast<VDuration>(steps_this_attempt - chain_step) *
+        task.step_cost;
+
+    // Crash-loop detection: a failure at the same step with no new
+    // checkpoint since the previous failure means restarting replays
+    // into the same fate (a deterministic fault).
+    const std::pair<std::size_t, std::size_t> marker{chain_step,
+                                                     steps_this_attempt};
+    if (had_failure && marker == prev_failure_marker) {
+      ++consecutive_no_progress;
+    } else {
+      consecutive_no_progress = 1;
+    }
+    had_failure = true;
+    prev_failure_marker = marker;
+
+    if (restarts_used >= policy_.max_restarts ||
+        consecutive_no_progress >= policy_.quarantine_after) {
+      res.quarantined = true;
+      res.final_pid = pid;
+      if (table_ != nullptr) {
+        table_->set_label(
+            pid, task.name + " [quarantined after " +
+                     std::to_string(restarts_used) + " restarts]");
+        table_->set_status(pid, ProcStatus::kFailed);
+      }
+      break;
+    }
+
+    ++restarts_used;
+    ++res.restarts;
+    const VDuration b = policy_.backoff_for(restarts_used - 1);
+    clock += b;
+    res.backoff_total += b;
+  }
+
+  res.elapsed = clock;
+  res.effects_emitted = ledger_.recorded();
+  res.effects_suppressed = ledger_.suppressed();
+  return res;
+}
+
+}  // namespace mw

@@ -1,0 +1,163 @@
+// Supervisor — checkpoint-restart recovery for speculative alternatives.
+//
+// The paper's answer to a failed alternative is elimination: "failure is
+// the (n+1)-th alternative". A Supervisor adds *recovery*: it drives a
+// deterministic task under the ambient FaultInjector, takes periodic
+// checkpoint images of the task's address space (full or incremental — the
+// persistent PageMap's diff makes a delta image O(write set)), and when
+// the task crashes or hangs it restarts the attempt from the newest image
+// chain instead of from scratch — under a RestartPolicy's budget, backoff,
+// quarantine, and deadline watchdog.
+//
+// Process-table integration: every attempt runs under its own Pid; on
+// restart the dead attempt's deferred source intents are transferred to
+// the successor *before* the dead pid is marked Failed (otherwise the
+// SourceGate would drop them), and the successor replays through an
+// EffectLedger so each intent is emitted exactly once across any number
+// of restarts. On success the final pid syncs (kSynced) and the gate
+// releases its intents; on quarantine the pid fails and they are dropped.
+// Every path leaves the RuntimeAuditor clean.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dist/checkpoint.hpp"
+#include "pagestore/address_space.hpp"
+#include "pred/predicate_set.hpp"
+#include "super/restart_policy.hpp"
+#include "util/ids.hpp"
+#include "util/vtime.hpp"
+
+namespace mw {
+
+class ProcessTable;
+class SourceGate;
+class Supervisor;
+
+/// What a supervised step sees: its address space, its position, and the
+/// exactly-once effect channel.
+class SuperCtx {
+ public:
+  AddressSpace& space() { return *space_; }
+  /// The step index being executed (0-based).
+  std::size_t step() const { return step_; }
+  /// The attempt number (1 = first run, 2 = first restart, ...).
+  std::size_t attempt() const { return attempt_; }
+  /// True once the task has been restarted at least once.
+  bool restarted() const { return attempt_ > 1; }
+
+  /// Emits an observable side effect. Effects are numbered in emission
+  /// order; a replayed step re-emits the same numbers and the supervisor's
+  /// EffectLedger suppresses the duplicates, so each effect reaches the
+  /// outside world (directly, or deferred through an attached SourceGate)
+  /// exactly once regardless of restarts.
+  void effect(std::function<void()> act);
+
+ private:
+  friend class Supervisor;
+  Supervisor* sup_ = nullptr;
+  AddressSpace* space_ = nullptr;
+  std::size_t step_ = 0;
+  std::size_t attempt_ = 0;
+  Pid pid_ = kNoPid;
+};
+
+/// A deterministic supervised computation. `step` is called once per step
+/// index and must be a pure function of (address space, step index) — the
+/// replay-after-restart contract; effects must go through SuperCtx::effect.
+struct TaskSpec {
+  std::string name = "task";
+  std::size_t page_size = 256;
+  std::size_t num_pages = 64;
+  std::size_t total_steps = 100;
+  /// Virtual work accounted per executed step.
+  VDuration step_cost = vt_us(100);
+  std::function<void(SuperCtx&)> step;
+  /// The fault point queried before every step (clock as `now`).
+  std::string fault_point = "super.step";
+};
+
+struct SupervisedResult {
+  bool ok = false;
+  bool quarantined = false;
+
+  std::size_t attempts = 0;  // 1 + restarts
+  std::size_t restarts = 0;
+  std::size_t failures_crash = 0;
+  std::size_t failures_hang = 0;
+
+  std::size_t checkpoints_full = 0;
+  std::size_t checkpoints_delta = 0;
+  std::uint64_t checkpoint_bytes_full = 0;
+  std::uint64_t checkpoint_bytes_delta = 0;
+
+  /// Total virtual time from start to completion/quarantine, including
+  /// checkpoint overhead, backoff, restore, and replayed work.
+  VDuration elapsed = 0;
+  /// Work executed and then discarded by failures (the replay debt).
+  VDuration work_lost = 0;
+  VDuration backoff_total = 0;
+  VDuration checkpoint_overhead = 0;
+  VDuration restore_overhead = 0;
+  /// Hang faults only: time between the hang and the watchdog noticing.
+  VDuration detect_latency = 0;
+
+  std::uint64_t effects_emitted = 0;    // admitted by the ledger
+  std::uint64_t effects_suppressed = 0; // replayed duplicates swallowed
+  std::size_t steps_executed = 0;       // including replays
+
+  Pid final_pid = kNoPid;
+  /// Final address space (meaningful when ok).
+  AddressSpace state{1, 1};
+  Registers regs;
+
+  /// Mean time to repair: per-failure recovery cost — detection latency,
+  /// backoff, chain restore, and replayed work.
+  VDuration mttr() const {
+    const std::size_t f = failures_crash + failures_hang;
+    if (f == 0) return 0;
+    return (detect_latency + backoff_total + restore_overhead + work_lost) /
+           static_cast<VDuration>(f);
+  }
+};
+
+class Supervisor {
+ public:
+  Supervisor(RestartPolicy policy, CheckpointSchedule schedule);
+
+  /// Registers attempts as processes in `table` (one pid per attempt,
+  /// labeled "<name>#aN"); required for attach_gate.
+  void attach(ProcessTable& table);
+
+  /// Routes ctx.effect() through `gate` under `preds`: speculative effects
+  /// defer until the attempt's pid resolves. Must be the gate built over
+  /// the attached table.
+  void attach_gate(SourceGate& gate, PredicateSet preds);
+
+  /// Runs the task to completion or quarantine under the ambient fault
+  /// injector. Virtual time starts at 0 for each run() call.
+  SupervisedResult run(const TaskSpec& task);
+
+  const RestartPolicy& policy() const { return policy_; }
+  const CheckpointSchedule& schedule() const { return schedule_; }
+
+ private:
+  friend class SuperCtx;
+  void deliver_effect(Pid pid, std::function<void()> act);
+
+  RestartPolicy policy_;
+  CheckpointSchedule schedule_;
+  ProcessTable* table_ = nullptr;
+  SourceGate* gate_ = nullptr;
+  PredicateSet preds_;
+
+  // Per-run state (run() is not reentrant).
+  EffectLedger ledger_;
+  std::uint64_t effect_seq_ = 0;
+};
+
+}  // namespace mw

@@ -316,6 +316,19 @@ bool SpecRuntime::is_alive(Pid pid) const {
   return it != procs_.end() && it->second->alive;
 }
 
+AddressSpace SpecRuntime::checkpoint_copy(Pid pid) const {
+  const SpecProcess& p = proc(pid);
+  MW_CHECK(p.alive);
+  return p.world.space().fork();
+}
+
+void SpecRuntime::restore_copy(Pid pid, const AddressSpace& snapshot) {
+  SpecProcess& p = proc(pid);
+  MW_CHECK(p.alive);
+  p.world.rollback(snapshot);
+  ++stats_.restarted_copies;
+}
+
 std::size_t SpecRuntime::reclaim_dead_worlds() {
   // Destroying a dead copy's world drops its page references; frames whose
   // last reference dies here are salvaged by the global PagePool, so the

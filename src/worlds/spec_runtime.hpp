@@ -145,6 +145,15 @@ class SpecRuntime {
   bool is_alive(Pid pid) const;
   ProcessTable& processes() { return table_; }
 
+  /// Supervised recovery hooks. checkpoint_copy captures a COW snapshot of
+  /// a copy's sink state (O(1): page-map root share); restore_copy rewinds
+  /// the copy to such a snapshot in place — pid, predicates, mailbox, and
+  /// any deferred source intents all survive, only the pages roll back.
+  /// The copy must still be alive: a restart replays a *live* computation
+  /// from its checkpoint, it does not resurrect an eliminated one.
+  AddressSpace checkpoint_copy(Pid pid) const;
+  void restore_copy(Pid pid, const AddressSpace& snapshot);
+
   /// Frees the worlds of dead (aborted/eliminated) copies and returns how
   /// many were reclaimed. Opt-in: by default dead copies are retained so
   /// post-mortem introspection (world_of on a dead pid) keeps working, but
@@ -164,6 +173,7 @@ class SpecRuntime {
     std::uint64_t splits = 0;
     std::uint64_t pruned = 0;             // messages from dead worlds
     std::uint64_t eliminated_copies = 0;  // doomed world copies
+    std::uint64_t restarted_copies = 0;   // restore_copy rewinds
   };
   const Stats& stats() const { return stats_; }
 

@@ -1,0 +1,224 @@
+// Incremental (delta) checkpoints and image forgery rejection (PR 3).
+//
+// A delta image serializes only the pages that diverged from the COW
+// snapshot of the previous image, names its base by checksum, and can only
+// restore as part of its chain. Any corrupt, mischained, misordered, or
+// forged image must surface as ok == false — never as a silently wrong
+// address space.
+#include <gtest/gtest.h>
+
+#include "dist/checkpoint.hpp"
+
+namespace mw {
+namespace {
+
+constexpr std::size_t kPageSize = 64;
+constexpr std::size_t kNumPages = 16;
+
+// Byte offset of the first page record in an image with no segments:
+// 6 header u64s, 10 register u64s, segment count + watermark, page count.
+constexpr std::size_t kPagesOff = (6 + 10 + 2 + 1) * 8;
+constexpr std::size_t kPageRec = 8 + kPageSize;
+
+std::uint64_t read_u64_at(const Bytes& b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+  return v;
+}
+
+void write_u64_at(Bytes& b, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    b[off + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+TEST(CheckpointDelta, ChainRoundTripAppliesNewestWins) {
+  AddressSpace as(kPageSize, kNumPages);
+  as.store<int>(0, 1);               // page 0
+  as.store<int>(kPageSize * 3, 3);   // page 3
+  as.store<int>(kPageSize * 9, 9);   // page 9
+  Registers regs;
+  regs.pc = 100;
+  CheckpointImage full = take_checkpoint(as, regs);
+
+  AddressSpace snap = as.fork();
+  as.store<int>(0, 11);                // rewrite page 0
+  as.store<int>(kPageSize * 5, 5);     // brand-new page 5
+  regs.pc = 200;
+  regs.gp[0] = 7;  // e.g. the effect-ledger resume point
+  CheckpointImage d1 = take_delta_checkpoint(as, regs, snap, full);
+  EXPECT_TRUE(d1.delta);
+  EXPECT_EQ(d1.base_checksum, full.checksum);
+
+  std::vector<CheckpointImage> chain{full, d1};
+  RestoreResult r = restore_chain(chain);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.space.load<int>(0), 11);               // delta wins
+  EXPECT_EQ(r.space.load<int>(kPageSize * 3), 3);    // base survives
+  EXPECT_EQ(r.space.load<int>(kPageSize * 5), 5);    // new page applied
+  EXPECT_EQ(r.space.load<int>(kPageSize * 9), 9);
+  // Registers come from the newest image.
+  EXPECT_EQ(r.regs.pc, 200u);
+  EXPECT_EQ(r.regs.gp[0], 7u);
+  EXPECT_EQ(r.regs.ret, Registers::kRestored);
+}
+
+TEST(CheckpointDelta, SizeTracksWriteSetNotResidentSet) {
+  AddressSpace as(kPageSize, kNumPages);
+  for (std::size_t p = 0; p < 12; ++p)
+    as.store<int>(kPageSize * p, static_cast<int>(p));  // 12 resident pages
+  CheckpointImage full = take_checkpoint(as, Registers{});
+  EXPECT_EQ(full.resident_pages, 12u);
+
+  AddressSpace snap = as.fork();
+  as.store<int>(kPageSize * 2, 99);
+  as.store<int>(kPageSize * 7, 98);  // write set: 2 pages
+  CheckpointImage d = take_delta_checkpoint(as, Registers{}, snap, full);
+  EXPECT_EQ(d.resident_pages, 2u);
+  EXPECT_LT(d.size_bytes(), full.size_bytes() / 2);
+}
+
+TEST(CheckpointDelta, EmptyWriteSetMakesEmptyDelta) {
+  AddressSpace as(kPageSize, kNumPages);
+  as.store<int>(0, 1);
+  CheckpointImage full = take_checkpoint(as, Registers{});
+  AddressSpace snap = as.fork();
+  CheckpointImage d = take_delta_checkpoint(as, Registers{}, snap, full);
+  EXPECT_EQ(d.resident_pages, 0u);
+  RestoreResult r = restore_chain(std::vector<CheckpointImage>{full, d});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.space.load<int>(0), 1);
+}
+
+TEST(CheckpointDelta, DeltaCannotStandAlone) {
+  AddressSpace as(kPageSize, kNumPages);
+  as.store<int>(0, 1);
+  CheckpointImage full = take_checkpoint(as, Registers{});
+  AddressSpace snap = as.fork();
+  as.store<int>(0, 2);
+  CheckpointImage d = take_delta_checkpoint(as, Registers{}, snap, full);
+  EXPECT_FALSE(restore_checkpoint(d).ok);
+  EXPECT_FALSE(restore_chain(std::vector<CheckpointImage>{d}).ok);
+}
+
+TEST(CheckpointDelta, WrongBaseRejected) {
+  AddressSpace a(kPageSize, kNumPages);
+  a.store<int>(0, 1);
+  CheckpointImage full_a = take_checkpoint(a, Registers{});
+
+  AddressSpace b(kPageSize, kNumPages);
+  b.store<int>(0, 2);
+  CheckpointImage full_b = take_checkpoint(b, Registers{});
+  AddressSpace snap_b = b.fork();
+  b.store<int>(kPageSize, 3);
+  CheckpointImage d_on_b = take_delta_checkpoint(b, Registers{}, snap_b, full_b);
+
+  // d_on_b names full_b as its base; applying it over full_a must fail.
+  EXPECT_FALSE(restore_chain(std::vector<CheckpointImage>{full_a, d_on_b}).ok);
+}
+
+TEST(CheckpointDelta, ReorderedChainRejected) {
+  AddressSpace as(kPageSize, kNumPages);
+  as.store<int>(0, 1);
+  CheckpointImage full = take_checkpoint(as, Registers{});
+  AddressSpace snap1 = as.fork();
+  as.store<int>(0, 2);
+  CheckpointImage d1 = take_delta_checkpoint(as, Registers{}, snap1, full);
+  AddressSpace snap2 = as.fork();
+  as.store<int>(0, 3);
+  CheckpointImage d2 = take_delta_checkpoint(as, Registers{}, snap2, d1);
+
+  EXPECT_TRUE(restore_chain(std::vector<CheckpointImage>{full, d1, d2}).ok);
+  EXPECT_FALSE(restore_chain(std::vector<CheckpointImage>{full, d2, d1}).ok);
+  EXPECT_FALSE(restore_chain(std::vector<CheckpointImage>{full, d2}).ok);
+}
+
+TEST(CheckpointDelta, CorruptedDeltaFailsWholeChain) {
+  AddressSpace as(kPageSize, kNumPages);
+  as.store<int>(0, 1);
+  CheckpointImage full = take_checkpoint(as, Registers{});
+  AddressSpace snap = as.fork();
+  as.store<int>(0, 2);
+  CheckpointImage d = take_delta_checkpoint(as, Registers{}, snap, full);
+  d.blob[d.blob.size() - 1] ^= 0x01;  // flip one bit of page data
+  EXPECT_FALSE(restore_chain(std::vector<CheckpointImage>{full, d}).ok);
+}
+
+TEST(CheckpointDelta, SegmentDirectoryComesFromNewestImage) {
+  AddressSpace as(kPageSize, kNumPages);
+  as.alloc_segment("code", kPageSize * 2);
+  as.store<int>(0, 1);
+  CheckpointImage full = take_checkpoint(as, Registers{});
+
+  AddressSpace snap = as.fork();
+  const Segment data = as.alloc_segment("data", kPageSize);
+  as.store<int>(data.base, 42);
+  CheckpointImage d = take_delta_checkpoint(as, Registers{}, snap, full);
+
+  RestoreResult r = restore_chain(std::vector<CheckpointImage>{full, d});
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.space.segments().size(), 2u);
+  auto seg = r.space.find_segment("data");
+  ASSERT_TRUE(seg.has_value());
+  EXPECT_EQ(seg->base, data.base);
+  EXPECT_EQ(r.space.load<int>(seg->base), 42);
+  EXPECT_EQ(r.space.segment_watermark(), as.segment_watermark());
+}
+
+// --- Forged page records (satellite: restore rejects duplicates and
+// out-of-order indices even when the checksum is consistently resealed) ---
+
+CheckpointImage two_page_image() {
+  AddressSpace as(kPageSize, kNumPages);
+  as.store<int>(kPageSize * 2, 2);
+  as.store<int>(kPageSize * 5, 5);
+  CheckpointImage img = take_checkpoint(as, Registers{});
+  // Self-check the assumed layout before forging anything with it.
+  EXPECT_EQ(img.resident_pages, 2u);
+  EXPECT_EQ(read_u64_at(img.blob, kPagesOff - 8), 2u);  // page count
+  EXPECT_EQ(read_u64_at(img.blob, kPagesOff), 2u);      // first index
+  EXPECT_EQ(read_u64_at(img.blob, kPagesOff + kPageRec), 5u);
+  return img;
+}
+
+TEST(CheckpointDelta, DuplicatePageIndexRejected) {
+  CheckpointImage img = two_page_image();
+  write_u64_at(img.blob, kPagesOff + kPageRec, 2);  // second record: idx 5→2
+  reseal_checkpoint(img);
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(CheckpointDelta, OutOfOrderPageIndicesRejected) {
+  CheckpointImage img = two_page_image();
+  write_u64_at(img.blob, kPagesOff, 5);
+  write_u64_at(img.blob, kPagesOff + kPageRec, 2);
+  reseal_checkpoint(img);
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(CheckpointDelta, OutOfBoundsPageIndexRejected) {
+  CheckpointImage img = two_page_image();
+  write_u64_at(img.blob, kPagesOff + kPageRec, kNumPages);
+  reseal_checkpoint(img);
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(CheckpointDelta, BitFlipWithoutResealRejected) {
+  CheckpointImage img = two_page_image();
+  img.blob[kPagesOff + 8] ^= 0x40;  // flip a bit inside page data
+  EXPECT_FALSE(restore_checkpoint(img).ok);
+}
+
+TEST(CheckpointDelta, ResealAfterLegitimateEditAccepted) {
+  // reseal_checkpoint exists for forging tests; sanity-check that a
+  // resealed *well-formed* edit round-trips (the checksum, not the seal
+  // ritual, is what gates acceptance).
+  CheckpointImage img = two_page_image();
+  img.blob[kPagesOff + 8] ^= 0x40;
+  reseal_checkpoint(img);
+  RestoreResult r = restore_checkpoint(img);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.space.load<int>(kPageSize * 2) , 2 ^ 0x40);
+}
+
+}  // namespace
+}  // namespace mw

@@ -141,6 +141,122 @@ TEST(DistRace, AllNodesCrashedFallsBackToLocalRace) {
             local_race(opts.local_processors, opts.local_fork_cost, specs));
 }
 
+// --- Remote failover (PR 3): children ship periodic checkpoints to the
+// file server; a mid-race node crash re-dispatches the newest chain to a
+// surviving node instead of demoting the alternative. ---
+
+DistRaceOptions failover_opts() {
+  DistRaceOptions opts;
+  opts.checkpoint_interval = vt_ms(200);
+  opts.checkpoint_pages = 4;
+  return opts;
+}
+
+TEST(DistRace, MidRaceCrashFailsOverAndPreservesWork) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(1), true}, {vt_sec(2), true}, {vt_sec(3), true}};
+  const DistributedRaceResult calm =
+      distributed_race(forker, as, specs, failover_opts());
+  ASSERT_FALSE(calm.failed);
+
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::once(FaultKind::kNodeCrash, 0));
+  FaultScope scope(inj);
+  const DistributedRaceResult r =
+      distributed_race(forker, as, specs, failover_opts());
+  ASSERT_FALSE(r.failed);
+  // The crashed child moved nodes instead of dying: no demotion, no local
+  // fallback, and the shipped chain's bytes count as preserved work.
+  EXPECT_EQ(r.failovers, 1u);
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_EQ(r.remotes_failed, 0u);
+  EXPECT_FALSE(r.used_local_fallback);
+  EXPECT_GT(r.work_preserved_bytes, 0u);
+  EXPECT_GT(r.bytes_shipped, calm.bytes_shipped);  // the re-dispatched chain
+  // Detection + re-dispatch + restore cost real time: never faster than the
+  // crash-free race.
+  EXPECT_GE(r.elapsed, calm.elapsed);
+}
+
+TEST(DistRace, FailoverReplaysDeterministically) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(1), true}, {vt_sec(2), true}, {vt_sec(3), true}};
+  auto run_once = [&] {
+    FaultInjector inj(5);
+    inj.arm("remote.node_crash",
+            FaultSpec::with_probability(FaultKind::kNodeCrash, 0.5).limit(2));
+    FaultScope scope(inj);
+    DistRaceOptions opts = failover_opts();
+    opts.max_failovers = 2;
+    return distributed_race(forker, as, specs, opts);
+  };
+  const DistributedRaceResult a = run_once();
+  const DistributedRaceResult b = run_once();
+  ASSERT_FALSE(a.failed);
+  EXPECT_EQ(a.winner, b.winner);
+  EXPECT_EQ(a.elapsed, b.elapsed);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.restarts, b.restarts);
+  EXPECT_EQ(a.work_preserved, b.work_preserved);
+  EXPECT_EQ(a.work_preserved_bytes, b.work_preserved_bytes);
+}
+
+TEST(DistRace, FailoverBudgetExhaustionDemotesThenFallsBackLocally) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{{vt_sec(2), true}, {vt_sec(1), true}};
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::always(FaultKind::kNodeCrash));
+  FaultScope scope(inj);
+  DistRaceOptions opts = failover_opts();
+  opts.max_failovers = 1;
+  const DistributedRaceResult r = distributed_race(forker, as, specs, opts);
+  // Each child burned its one failover, crashed again, and was demoted; the
+  // block still completes via the local timeshared fallback.
+  ASSERT_FALSE(r.failed);
+  EXPECT_TRUE(r.used_local_fallback);
+  EXPECT_EQ(r.remotes_failed, 2u);
+  EXPECT_EQ(r.failovers, 2u);
+  EXPECT_EQ(r.restarts, 2u);
+}
+
+TEST(DistRace, SingleNodeCannotFailOver) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{{vt_sec(1), true}};
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::always(FaultKind::kNodeCrash));
+  FaultScope scope(inj);
+  const DistributedRaceResult r =
+      distributed_race(forker, as, specs, failover_opts());
+  ASSERT_FALSE(r.failed);
+  EXPECT_TRUE(r.used_local_fallback);  // no surviving node to fail over to
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_EQ(r.remotes_failed, 1u);
+}
+
+TEST(DistRace, ZeroIntervalKeepsLegacyCrashDemotion) {
+  RemoteForker forker{LinkModel{}, DistCost{}};
+  const AddressSpace as = process_70k();
+  const std::vector<RemoteAltSpec> specs{
+      {vt_sec(1), true}, {vt_sec(2), true}, {vt_sec(3), true}};
+  FaultInjector inj(1);
+  inj.arm("remote.node_crash", FaultSpec::once(FaultKind::kNodeCrash, 0));
+  FaultScope scope(inj);
+  const DistributedRaceResult r =
+      distributed_race(forker, as, specs, DistRaceOptions{});  // interval = 0
+  ASSERT_FALSE(r.failed);
+  EXPECT_EQ(r.winner, 1u);  // demoted, exactly as before failover existed
+  EXPECT_EQ(r.remotes_failed, 1u);
+  EXPECT_EQ(r.failovers, 0u);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_EQ(r.work_preserved_bytes, 0u);
+}
+
 TEST(DistRace, AllNodesCrashedWithoutFallbackFails) {
   RemoteForker forker{LinkModel{}, DistCost{}};
   const AddressSpace as = process_70k();

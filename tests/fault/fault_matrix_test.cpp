@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "core/alt.hpp"
@@ -165,6 +166,23 @@ TEST(FaultMatrix, ReplayingTheSeedReproducesScheduleAndOutcome) {
 
 TEST(FaultMatrix, DifferentSeedsProduceDifferentSchedules) {
   EXPECT_NE(run_matrix(1).digest, run_matrix(2).digest);
+}
+
+TEST(FaultMatrix, EnvSeedSweepAuditsClean) {
+  // CI shards this sweep across disjoint seed ranges; the seed printed on
+  // failure is the replay handle.
+  const char* base_env = std::getenv("MW_FAULT_SEED_BASE");
+  const char* count_env = std::getenv("MW_FAULT_SEED_COUNT");
+  const std::uint64_t base =
+      base_env ? std::strtoull(base_env, nullptr, 10) : 1;
+  const std::uint64_t count =
+      count_env ? std::strtoull(count_env, nullptr, 10) : 4;
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const MatrixRun r = run_matrix(seed);
+    EXPECT_EQ(r.winners.size(), 20u) << "seed=" << seed;
+    EXPECT_TRUE(r.audit.clean()) << "seed=" << seed << " digest=" << r.digest
+                                 << "\n" << r.audit.to_string();
+  }
 }
 
 TEST(FaultMatrix, ThreadBackendSurvivesCrashAndHangChildren) {

@@ -87,5 +87,54 @@ TEST_F(SourceGateTest, IndependentWorldsResolveIndependently) {
   EXPECT_EQ(b_fired, 1);
 }
 
+// --- transfer(): restart hand-off (PR 3). A supervised restart retires the
+// failed attempt's pid and continues under a fresh one; its deferred intents
+// must follow the new pid instead of dying with the old. ---
+
+TEST_F(SourceGateTest, TransferMovesDeferredIntentsToTheNewPid) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid old_pid = make_proc();
+  const Pid new_pid = make_proc();
+  std::vector<int> order;
+  gate.request(old_pid, spec(old_pid), [&] { order.push_back(1); });
+  gate.request(old_pid, spec(old_pid), [&] { order.push_back(2); });
+
+  gate.transfer(old_pid, new_pid);
+  // Retiring the old pid after the hand-off must not drop anything.
+  table_.set_status(old_pid, ProcStatus::kFailed);
+  EXPECT_EQ(gate.dropped(), 0u);
+  EXPECT_EQ(gate.deferred_pending(), 2u);
+  EXPECT_TRUE(order.empty());
+
+  // New intents queue behind the inherited ones; the sync fires all in order.
+  gate.request(new_pid, spec(new_pid), [&] { order.push_back(3); });
+  table_.set_status(new_pid, ProcStatus::kSynced);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(gate.executed(), 3u);
+  EXPECT_EQ(gate.deferred_pending(), 0u);
+}
+
+TEST_F(SourceGateTest, TransferAppendsAfterExistingIntentsOfTheTarget) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid a = make_proc();
+  const Pid b = make_proc();
+  std::vector<int> order;
+  gate.request(b, spec(b), [&] { order.push_back(1); });  // b's own intent
+  gate.request(a, spec(a), [&] { order.push_back(2); });
+  gate.transfer(a, b);
+  table_.set_status(b, ProcStatus::kSynced);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SourceGateTest, TransferFromPidWithNoIntentsIsANoOp) {
+  SourceGate gate(table_, GatePolicy::kDefer);
+  const Pid a = make_proc();
+  const Pid b = make_proc();
+  gate.transfer(a, b);  // nothing deferred anywhere
+  EXPECT_EQ(gate.deferred_pending(), 0u);
+  table_.set_status(b, ProcStatus::kSynced);
+  EXPECT_EQ(gate.executed(), 0u);
+}
+
 }  // namespace
 }  // namespace mw

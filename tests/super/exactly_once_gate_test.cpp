@@ -1,0 +1,115 @@
+// Supervised restarts × SourceGate (§2.4.2): a restarted attempt runs
+// under a fresh pid, and its predecessor's deferred source intents must
+// follow it across the restart — executed exactly once when the final
+// attempt syncs, dropped if the task is quarantined.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "io/source_gate.hpp"
+#include "super/supervisor.hpp"
+
+namespace mw {
+namespace {
+
+// The supervised task speculates on some other process S completing, so
+// every effect it emits is deferred by the gate until its own fate is known.
+struct GateFixture {
+  ProcessTable table;
+  SourceGate gate{table, GatePolicy::kDefer};
+  Pid sentinel = table.create(kNoPid, 0, "speculation-driver");
+  PredicateSet preds;
+
+  GateFixture() {
+    table.set_status(sentinel, ProcStatus::kRunning);
+    preds.assume_completes(sentinel);
+  }
+};
+
+TaskSpec emitting_task(std::size_t steps, std::vector<std::size_t>& log) {
+  TaskSpec t;
+  t.name = "emit";
+  t.total_steps = steps;
+  t.step = [&log](SuperCtx& c) {
+    c.space().store<std::uint32_t>(256 * (c.step() % 8),
+                                   static_cast<std::uint32_t>(c.step()));
+    const std::size_t s = c.step();
+    c.effect([&log, s] { log.push_back(s); });
+  };
+  return t;
+}
+
+TEST(ExactlyOnceGate, DeferredIntentsSurviveRestartAndFireOnceOnSync) {
+  GateFixture fx;
+  FaultInjector inj(1);
+  inj.arm("super.step", FaultSpec::once(FaultKind::kCrashException, 22));
+  FaultScope scope(inj);
+
+  std::vector<std::size_t> log;
+  CheckpointSchedule sched;
+  sched.interval = vt_us(500);
+  Supervisor sup(RestartPolicy{}, sched);
+  sup.attach(fx.table);
+  sup.attach_gate(fx.gate, fx.preds);
+
+  const SupervisedResult r = sup.run(emitting_task(50, log));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.restarts, 1u);
+  // Nothing fired while the task was speculative and running...
+  EXPECT_EQ(fx.gate.deferred_pending(), 0u);
+  EXPECT_EQ(fx.gate.dropped(), 0u);
+  // ...and the sync released every intent exactly once, in emission order,
+  // despite two of the steps having been replayed after the restart.
+  EXPECT_EQ(r.effects_suppressed, 2u);
+  EXPECT_EQ(fx.gate.executed(), 50u);
+  ASSERT_EQ(log.size(), 50u);
+  for (std::size_t s = 0; s < log.size(); ++s) EXPECT_EQ(log[s], s);
+}
+
+TEST(ExactlyOnceGate, IntentsArePendingUntilTheFinalSync) {
+  GateFixture fx;
+  std::vector<std::size_t> log;
+  TaskSpec t = emitting_task(10, log);
+  // Snoop mid-run: after half the steps, effects are queued, not executed.
+  t.step = [&fx, &log, inner = t.step](SuperCtx& c) {
+    inner(c);
+    if (c.step() == 5) {
+      EXPECT_EQ(fx.gate.executed(), 0u);
+      EXPECT_EQ(fx.gate.deferred_pending(), 6u);
+      EXPECT_TRUE(log.empty());
+    }
+  };
+  Supervisor sup(RestartPolicy{}, CheckpointSchedule{});
+  sup.attach(fx.table);
+  sup.attach_gate(fx.gate, fx.preds);
+  ASSERT_TRUE(sup.run(t).ok);
+  EXPECT_EQ(log.size(), 10u);
+}
+
+TEST(ExactlyOnceGate, QuarantineDropsAllDeferredIntents) {
+  GateFixture fx;
+  FaultInjector inj(1);
+  // Every attempt executes steps 0 and 1, then crashes at step 2: a
+  // deterministic crash loop. Its two admitted intents must never fire.
+  inj.arm("super.step",
+          FaultSpec::every_nth(FaultKind::kCrashException, 3, 2));
+  FaultScope scope(inj);
+
+  std::vector<std::size_t> log;
+  Supervisor sup(RestartPolicy{}, CheckpointSchedule{});
+  sup.attach(fx.table);
+  sup.attach_gate(fx.gate, fx.preds);
+  const SupervisedResult r = sup.run(emitting_task(50, log));
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(fx.gate.executed(), 0u);
+  EXPECT_EQ(fx.gate.deferred_pending(), 0u);
+  EXPECT_EQ(fx.gate.dropped(), 2u);  // the ledger admitted steps 0 and 1 once
+  EXPECT_EQ(r.effects_emitted, 2u);
+  EXPECT_GT(r.effects_suppressed, 0u);  // the replays in later attempts
+}
+
+}  // namespace
+}  // namespace mw

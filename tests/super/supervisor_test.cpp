@@ -1,0 +1,271 @@
+// Supervisor: checkpoint-restart recovery under injected faults (PR 3).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/runtime_auditor.hpp"
+#include "fault/fault.hpp"
+#include "proc/process_table.hpp"
+#include "super/supervisor.hpp"
+
+namespace mw {
+namespace {
+
+// Deterministic workload: page 0 accumulates a running sum; each step also
+// touches a data page so checkpoints have a real write set.
+TaskSpec counting_task(std::size_t steps) {
+  TaskSpec t;
+  t.name = "count";
+  t.total_steps = steps;
+  t.step = [](SuperCtx& c) {
+    const auto s = static_cast<std::uint32_t>(c.step());
+    c.space().store<std::uint32_t>(0, c.space().load<std::uint32_t>(0) + s + 1);
+    c.space().store<std::uint32_t>(256 * (1 + c.step() % 8), s);
+  };
+  return t;
+}
+
+std::uint32_t expected_sum(std::size_t steps) {
+  return static_cast<std::uint32_t>(steps * (steps + 1) / 2);
+}
+
+CheckpointSchedule every_5_steps() {
+  CheckpointSchedule s;
+  s.interval = vt_us(500);  // 5 steps of the default vt_us(100) step cost
+  return s;
+}
+
+TEST(RestartPolicy, BackoffIsCappedExponential) {
+  RestartPolicy p;
+  p.backoff_initial = vt_ms(5);
+  p.backoff_factor = 2.0;
+  p.backoff_cap = vt_ms(80);
+  EXPECT_EQ(p.backoff_for(0), vt_ms(5));
+  EXPECT_EQ(p.backoff_for(1), vt_ms(10));
+  EXPECT_EQ(p.backoff_for(2), vt_ms(20));
+  EXPECT_EQ(p.backoff_for(4), vt_ms(80));
+  EXPECT_EQ(p.backoff_for(40), vt_ms(80));  // capped, no overflow
+}
+
+TEST(EffectLedger, AdmitsEachSequenceOnce) {
+  EffectLedger l;
+  EXPECT_TRUE(l.admit(0));
+  EXPECT_TRUE(l.admit(1));
+  EXPECT_FALSE(l.admit(0));  // replay
+  EXPECT_FALSE(l.admit(1));
+  EXPECT_TRUE(l.admit(2));
+  EXPECT_EQ(l.recorded(), 3u);
+  EXPECT_EQ(l.suppressed(), 2u);
+  EXPECT_EQ(l.high_water(), 3u);
+}
+
+TEST(Supervisor, CompletesWithoutFaults) {
+  Supervisor sup(RestartPolicy{}, every_5_steps());
+  const SupervisedResult r = sup.run(counting_task(50));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.restarts, 0u);
+  EXPECT_EQ(r.work_lost, 0);
+  EXPECT_EQ(r.steps_executed, 50u);
+  EXPECT_GT(r.checkpoints_full + r.checkpoints_delta, 0u);
+  EXPECT_EQ(r.state.load<std::uint32_t>(0), expected_sum(50));
+}
+
+TEST(Supervisor, CrashRestartsFromNewestCheckpoint) {
+  FaultInjector inj(1);
+  // Crash on hit 22 = before executing step 22 of the first attempt; the
+  // newest image covers through step 20 (taken after step 19).
+  inj.arm("super.step", FaultSpec::once(FaultKind::kCrashException, 22));
+  FaultScope scope(inj);
+  Supervisor sup(RestartPolicy{}, every_5_steps());
+  const SupervisedResult r = sup.run(counting_task(50));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.attempts, 2u);
+  EXPECT_EQ(r.restarts, 1u);
+  EXPECT_EQ(r.failures_crash, 1u);
+  // Only steps 20 and 21 were lost and replayed.
+  EXPECT_EQ(r.work_lost, vt_us(200));
+  EXPECT_EQ(r.steps_executed, 52u);
+  EXPECT_GT(r.restore_overhead, 0);
+  EXPECT_GT(r.mttr(), 0);
+  EXPECT_EQ(r.state.load<std::uint32_t>(0), expected_sum(50));
+}
+
+TEST(Supervisor, ScratchRestartLosesAllWork) {
+  FaultInjector inj(1);
+  inj.arm("super.step", FaultSpec::once(FaultKind::kCrashException, 22));
+  FaultScope scope(inj);
+  Supervisor sup(RestartPolicy{}, CheckpointSchedule{});  // disabled
+  const SupervisedResult r = sup.run(counting_task(50));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.restarts, 1u);
+  // All 22 completed steps were discarded.
+  EXPECT_EQ(r.work_lost, vt_us(2200));
+  EXPECT_EQ(r.steps_executed, 72u);
+  EXPECT_EQ(r.checkpoints_full + r.checkpoints_delta, 0u);
+  EXPECT_EQ(r.restore_overhead, 0);
+  EXPECT_EQ(r.state.load<std::uint32_t>(0), expected_sum(50));
+}
+
+TEST(Supervisor, HangIsDetectedByDeadlineWatchdog) {
+  FaultInjector inj(1);
+  inj.arm("super.step", FaultSpec::once(FaultKind::kHang, 10));
+  FaultScope scope(inj);
+  RestartPolicy policy;
+  policy.attempt_deadline = vt_ms(3);  // 20-step task = 2 ms of work
+  Supervisor sup(policy, every_5_steps());
+  const SupervisedResult r = sup.run(counting_task(20));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.failures_hang, 1u);
+  EXPECT_EQ(r.failures_crash, 0u);
+  // The hang cost the deadline's residue before the watchdog fired.
+  EXPECT_GT(r.detect_latency, 0);
+  EXPECT_GE(r.elapsed, vt_ms(3));
+  EXPECT_EQ(r.state.load<std::uint32_t>(0), expected_sum(20));
+}
+
+TEST(Supervisor, DeterministicCrashLoopQuarantines) {
+  FaultInjector inj(1);
+  inj.arm("super.step", FaultSpec::always(FaultKind::kCrashException));
+  FaultScope scope(inj);
+  ProcessTable table;
+  Supervisor sup(RestartPolicy{}, every_5_steps());
+  sup.attach(table);
+  const SupervisedResult r = sup.run(counting_task(50));
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.quarantined);
+  // quarantine_after = 3 consecutive no-progress failures: 2 restarts.
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_EQ(r.restarts, 2u);
+  ASSERT_NE(r.final_pid, kNoPid);
+  EXPECT_EQ(table.status(r.final_pid), ProcStatus::kFailed);
+  EXPECT_NE(table.get(r.final_pid).label.find("quarantined"),
+            std::string::npos);
+  // Every attempt pid reached a terminal status.
+  for (const ProcessRecord& rec : table.snapshot())
+    EXPECT_TRUE(is_terminal(rec.status)) << rec.label;
+}
+
+TEST(Supervisor, RestartBudgetExhaustionQuarantines) {
+  FaultInjector inj(1);
+  inj.arm("super.step", FaultSpec::always(FaultKind::kCrashException));
+  FaultScope scope(inj);
+  RestartPolicy policy;
+  policy.max_restarts = 5;
+  policy.quarantine_after = 1000;  // budget, not the loop detector
+  Supervisor sup(policy, every_5_steps());
+  const SupervisedResult r = sup.run(counting_task(50));
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_EQ(r.restarts, 5u);
+  EXPECT_EQ(r.attempts, 6u);
+  EXPECT_GT(r.backoff_total, 0);
+}
+
+TEST(Supervisor, DeltaBytesTrackWriteSetNotResidentSet) {
+  // Population phase touches 60 distinct pages; the steady state rewrites
+  // only 4. Incremental images must stay near the write set while full
+  // images carry the whole resident set.
+  TaskSpec t;
+  t.name = "popwrite";
+  t.total_steps = 150;
+  t.step = [](SuperCtx& c) {
+    const std::size_t s = c.step();
+    c.space().store<std::uint32_t>(0, static_cast<std::uint32_t>(s));
+    const std::size_t page = s < 60 ? 1 + s : 1 + s % 4;
+    c.space().store<std::uint32_t>(256 * page, static_cast<std::uint32_t>(s));
+  };
+
+  CheckpointSchedule inc;
+  inc.interval = vt_us(400);
+  CheckpointSchedule full_only = inc;
+  full_only.incremental = false;
+
+  Supervisor sup_inc(RestartPolicy{}, inc);
+  const SupervisedResult ri = sup_inc.run(t);
+  ASSERT_TRUE(ri.ok);
+  ASSERT_GT(ri.checkpoints_delta, 0u);
+
+  Supervisor sup_full(RestartPolicy{}, full_only);
+  const SupervisedResult rf = sup_full.run(t);
+  ASSERT_TRUE(rf.ok);
+  ASSERT_GT(rf.checkpoints_full, 0u);
+  EXPECT_EQ(rf.checkpoints_delta, 0u);
+
+  const std::uint64_t avg_delta = ri.checkpoint_bytes_delta / ri.checkpoints_delta;
+  const std::uint64_t avg_full = rf.checkpoint_bytes_full / rf.checkpoints_full;
+  EXPECT_LT(avg_delta * 4, avg_full);
+}
+
+TEST(Supervisor, FullEveryBoundsTheChain) {
+  CheckpointSchedule s;
+  s.interval = vt_us(300);
+  s.full_every = 4;
+  Supervisor sup(RestartPolicy{}, s);
+  const SupervisedResult r = sup.run(counting_task(100));
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.checkpoints_full, 2u);  // the cap forced periodic fulls
+  EXPECT_LE(r.checkpoints_delta, r.checkpoints_full * s.full_every);
+}
+
+TEST(Supervisor, ReplaysDeterministicallyUnderSameSeed) {
+  auto run_once = [] {
+    FaultInjector inj(42);
+    inj.arm("super.step",
+            FaultSpec::with_probability(FaultKind::kCrashException, 0.02)
+                .limit(3));
+    FaultScope scope(inj);
+    Supervisor sup(RestartPolicy{}, every_5_steps());
+    const SupervisedResult r = sup.run(counting_task(100));
+    return std::tuple(r.ok, r.restarts, r.elapsed, r.work_lost,
+                      inj.schedule_digest());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Supervisor, EffectsEmittedExactlyOnceAcrossRestarts) {
+  FaultInjector inj(1);
+  inj.arm("super.step", FaultSpec::once(FaultKind::kCrashException, 22));
+  FaultScope scope(inj);
+
+  std::vector<std::size_t> log;
+  TaskSpec t = counting_task(50);
+  auto inner = t.step;
+  t.step = [&log, inner](SuperCtx& c) {
+    inner(c);
+    const std::size_t s = c.step();
+    c.effect([&log, s] { log.push_back(s); });
+  };
+
+  Supervisor sup(RestartPolicy{}, every_5_steps());
+  const SupervisedResult r = sup.run(t);
+  ASSERT_TRUE(r.ok);
+  // Steps 20 and 21 were replayed, but their effects were suppressed.
+  EXPECT_EQ(r.effects_suppressed, 2u);
+  EXPECT_EQ(r.effects_emitted, 50u);
+  ASSERT_EQ(log.size(), 50u);
+  for (std::size_t s = 0; s < log.size(); ++s) EXPECT_EQ(log[s], s);
+}
+
+TEST(Supervisor, RecoveryLeavesAuditorClean) {
+  RuntimeAuditor auditor;  // page baseline before any system state
+  ProcessTable table;
+  FaultInjector inj(9);
+  inj.arm("super.step",
+          FaultSpec::with_probability(FaultKind::kCrashException, 0.05)
+              .limit(3));
+  FaultScope scope(inj);
+  Supervisor sup(RestartPolicy{}, every_5_steps());
+  sup.attach(table);
+  const SupervisedResult r = sup.run(counting_task(80));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(table.status(r.final_pid), ProcStatus::kSynced);
+
+  auditor.add_table(r.state.table());
+  const AuditReport report = auditor.run(table);
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace mw

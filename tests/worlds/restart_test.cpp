@@ -1,0 +1,122 @@
+// Supervised restart inside the Multiple Worlds runtime: checkpoint_copy /
+// restore_copy rewind a live copy's sink state in place — same pid, same
+// predicates, same deferred intents — so a restarted speculative process
+// replays from its snapshot and can still win its race (PR 3).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/runtime_auditor.hpp"
+#include "io/source_gate.hpp"
+#include "super/restart_policy.hpp"
+#include "worlds/spec_runtime.hpp"
+
+namespace mw {
+namespace {
+
+TEST(WorldsRestart, RestoreRewindsPagesButKeepsIdentity) {
+  SpecRuntime rt;
+  LogicalId parent = rt.spawn_root("parent");
+  auto pids = rt.spawn_alternatives(
+      parent,
+      {AltSpec{"a", nullptr, nullptr}, AltSpec{"b", nullptr, nullptr}});
+  const Pid a = pids[0];
+
+  rt.space_of(a).store<int>(0, 1);
+  const AddressSpace snap = rt.checkpoint_copy(a);
+  rt.space_of(a).store<int>(0, 999);   // work that will be rolled back
+  rt.space_of(a).store<int>(256, 7);
+  const PredicateSet before = rt.predicates_of(a);
+
+  rt.restore_copy(a, snap);
+  EXPECT_EQ(rt.space_of(a).load<int>(0), 1);
+  EXPECT_EQ(rt.space_of(a).load<int>(256), 0);
+  EXPECT_TRUE(rt.is_alive(a));
+  EXPECT_EQ(rt.predicates_of(a), before);  // sibling rivalry intact
+  EXPECT_EQ(rt.stats().restarted_copies, 1u);
+}
+
+TEST(WorldsRestart, SnapshotIsImmuneToLaterWrites) {
+  SpecRuntime rt;
+  LogicalId root = rt.spawn_root("r");
+  const Pid p = rt.live_copies(root)[0];
+  rt.space_of(p).store<int>(0, 5);
+  const AddressSpace snap = rt.checkpoint_copy(p);
+  rt.space_of(p).store<int>(0, 6);  // COW: must not bleed into the snapshot
+  EXPECT_EQ(snap.load<int>(0), 5);
+  rt.restore_copy(p, snap);
+  EXPECT_EQ(rt.space_of(p).load<int>(0), 5);
+}
+
+TEST(WorldsRestart, RestartedAlternativeStillSyncs) {
+  SpecRuntime rt;
+  std::optional<AddressSpace> snap;
+  LogicalId parent = rt.spawn_root("parent");
+  const Pid ppid = rt.live_copies(parent)[0];
+  auto pids = rt.spawn_alternatives(
+      parent, {AltSpec{"worker",
+                       [&](ProcCtx& ctx) {
+                         ctx.space().store<int>(0, 10);
+                         snap.emplace(rt.checkpoint_copy(ctx.pid()));
+                         ctx.space().store<int>(0, 666);  // doomed epoch
+                         ctx.after(vt_ms(1), [&](ProcCtx& c2) {
+                           // Crash detected: rewind and replay the epoch.
+                           rt.restore_copy(c2.pid(), *snap);
+                           c2.space().store<int>(
+                               0, c2.space().load<int>(0) + 1);
+                           EXPECT_TRUE(c2.try_sync());
+                         });
+                       },
+                       nullptr}});
+  rt.run();
+  EXPECT_EQ(rt.processes().status(pids[0]), ProcStatus::kSynced);
+  // The parent committed the *replayed* state, not the doomed epoch's.
+  EXPECT_EQ(rt.space_of(ppid).load<int>(0), 11);
+}
+
+TEST(WorldsRestart, LedgerAndGateMakeRestartEffectsExactlyOnce) {
+  RuntimeAuditor auditor;  // page baseline before the runtime exists
+  SpecRuntime rt;
+  SourceGate gate(rt.processes(), GatePolicy::kDefer);
+  EffectLedger ledger;
+  std::vector<int> emitted;
+  std::optional<AddressSpace> snap;
+
+  LogicalId parent = rt.spawn_root("parent");
+  const Pid ppid = rt.live_copies(parent)[0];
+  auto emit = [&](ProcCtx& ctx, int seq) {
+    if (ledger.admit(static_cast<std::uint64_t>(seq)))
+      gate.request(ctx.pid(), ctx.predicates(),
+                   [&emitted, seq] { emitted.push_back(seq); });
+  };
+  rt.spawn_alternatives(
+      parent, {AltSpec{"worker",
+                       [&](ProcCtx& ctx) {
+                         emit(ctx, 0);  // epoch 1 emits effect 0
+                         snap.emplace(rt.checkpoint_copy(ctx.pid()));
+                         emit(ctx, 1);  // doomed epoch emits effect 1
+                         ctx.after(vt_ms(1), [&](ProcCtx& c2) {
+                           rt.restore_copy(c2.pid(), *snap);
+                           emit(c2, 1);  // replay re-emits effect 1
+                           emit(c2, 2);
+                           EXPECT_TRUE(c2.try_sync());
+                         });
+                       },
+                       nullptr}});
+  rt.run();
+  // Nothing fired speculatively; the sync released each effect once.
+  EXPECT_EQ(ledger.recorded(), 3u);
+  EXPECT_EQ(ledger.suppressed(), 1u);  // the replayed effect 1
+  EXPECT_EQ(gate.executed(), 3u);
+  EXPECT_EQ(emitted, (std::vector<int>{0, 1, 2}));
+
+  rt.reclaim_dead_worlds();
+  snap.reset();
+  auditor.add_world(rt.world_of(ppid));
+  const AuditReport report = auditor.run(rt.processes());
+  EXPECT_TRUE(report.clean()) << report.to_string();
+}
+
+}  // namespace
+}  // namespace mw
