@@ -6,13 +6,14 @@
 // arranged so R_o ≈ 0.5. The measured points landing on the analytic line
 // is the reproduction.
 //
-//   $ fig3_pi_vs_rmu [--alts=4] [--points=11]
+//   $ fig3_pi_vs_rmu [--alts=4] [--points=11] [--trace=FILE] [--profile]
 #include <iostream>
 
 #include "core/alt.hpp"
 #include "core/alt_context.hpp"
 #include "core/runtime.hpp"
 #include "model/perf_model.hpp"
+#include "trace/trace_cli.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int alts = static_cast<int>(cli.get_int("alts", 4));
   const int points = static_cast<int>(cli.get_int("points", 11));
+  trace::TraceSession trace_session(cli);
 
   // Calibrate the block overhead once: an empty race with the calibrated
   // cost model and a fixed parent size.
@@ -100,5 +102,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper shape to verify: a straight line of slope "
                "1/(1+R_o) = 0.67; break-even (PI = 1) at R_mu = 1.5;\n"
                "measured points track the analytic line.\n";
+  trace_session.finish(std::cout);
   return 0;
 }

@@ -22,6 +22,7 @@
 //   $ fork_latency_sweep [--minpow=8] [--maxpow=18] [--step=2] [--trials=5]
 //                        [--min_ms=2] [--page_size=128] [--check]
 //                        [--json=BENCH_fork_latency_sweep.json]
+//                        [--trace=FILE] [--profile]
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -31,6 +32,7 @@
 #include "pagestore/page_table.hpp"
 #include "pred/predicate_set.hpp"
 #include "proc/process_table.hpp"
+#include "trace/trace_cli.hpp"
 #include "util/cli.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
@@ -133,6 +135,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("page_size", 128));
   const bool check = cli.has("check");
   const std::string json_path = cli.get("json", "");
+  // Note: --trace/--profile record the sweep's own fork/split/adopt page
+  // events; the timed loops then include the (small) emit cost.
+  trace::TraceSession trace_session(cli);
 
   std::cout << "Fork/split/adopt latency vs address-space size ("
             << page_size << " B pages, fully resident; ns per op, median of "
@@ -229,5 +234,6 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   }
 
+  trace_session.finish(std::cout);
   return pass ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 //
 //   $ recovery_mttr [--steps=600] [--seed=17] [--prob=0.01] [--limit=4]
 //                   [--check] [--json=BENCH_recovery_mttr.json]
+//                   [--trace=FILE] [--profile]
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -30,6 +31,7 @@
 
 #include "fault/fault.hpp"
 #include "super/supervisor.hpp"
+#include "trace/trace_cli.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -110,6 +112,7 @@ int main(int argc, char** argv) {
   const std::size_t limit = static_cast<std::size_t>(cli.get_int("limit", 4));
   const bool check = cli.has("check");
   const std::string json_path = cli.get("json", "");
+  trace::TraceSession trace_session(cli);
 
   const std::vector<VDuration> intervals{0, vt_ms(1), vt_ms(2), vt_ms(5),
                                          vt_ms(10)};
@@ -197,5 +200,6 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << json_path << "\n";
   }
 
+  trace_session.finish(std::cout);
   return (check && !pass) ? 1 : 0;
 }

@@ -1,0 +1,261 @@
+// EXT-TRACE — cost of the observability layer (docs/OBSERVABILITY.md).
+//
+// Three tracing configurations exist:
+//
+//   off       — built with -DMW_TRACE=OFF: MW_TRACE_EVENT expands to
+//               nothing, call sites vanish. Measured by building twice and
+//               comparing bench/micro_ops; this binary cannot see it.
+//   disabled  — compiled in (the default build) but trace::enabled() is
+//               false: every site is one relaxed atomic load and a branch.
+//   enabled   — trace::set_enabled(true): every site appends a 48-byte
+//               record to the calling thread's ring.
+//
+// This bench measures disabled vs enabled on the same workloads the
+// micro_ops and overhead_fork_cow suites time, plus the raw per-event
+// emit cost. --check enforces the documented bound: enabled tracing adds
+// < 10% to the composite workloads (a race and a fork/COW storm, where
+// events amortize over real work). The owned-page write row demonstrates
+// the fast path carries no trace site at all.
+//
+//   $ trace_overhead [--trials=7] [--reps=200] [--check] [--json[=file]]
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "pagestore/page_table.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace mw;
+
+namespace {
+
+struct Workload {
+  const char* name;
+  // Runs `reps` iterations of the operation; returns ops actually done
+  // (some workloads do >1 logical op per rep).
+  std::function<std::size_t(int reps)> run;
+  bool composite;  // participates in the --check <10% bound
+};
+
+struct Measured {
+  double off_ns = 0;
+  double on_ns = 0;
+};
+
+// Best-of-trials ns/op with the configurations interleaved: disabled and
+// enabled alternate within each trial so frequency drift and co-tenant
+// noise hit both equally, and the min discards outlier trials entirely —
+// the estimator of choice for small timing deltas on shared machines.
+Measured measure(const Workload& w, int trials, int reps) {
+  Measured m;
+  m.off_ns = m.on_ns = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    trace::set_enabled(false);
+    trace::reset();
+    {
+      Stopwatch sw;
+      const std::size_t ops = w.run(reps);
+      m.off_ns = std::min(m.off_ns,
+                          sw.elapsed_us() * 1e3 / static_cast<double>(ops));
+    }
+    trace::set_enabled(true);
+    trace::reset();  // empty rings; keeps enabled trials comparable
+    {
+      Stopwatch sw;
+      const std::size_t ops = w.run(reps);
+      m.on_ns = std::min(m.on_ns,
+                         sw.elapsed_us() * 1e3 / static_cast<double>(ops));
+    }
+  }
+  trace::set_enabled(false);
+  trace::reset();
+  return m;
+}
+
+std::vector<Workload> make_workloads() {
+  std::vector<Workload> ws;
+
+  // Owned-page write: the hot path deliberately has no trace site.
+  ws.push_back({"page_write_owned",
+                [](int reps) {
+                  PageTable t(4096, 64);
+                  std::vector<std::uint8_t> data(64, 1);
+                  t.write(0, data);
+                  for (int i = 0; i < reps; ++i) t.write(0, data);
+                  return static_cast<std::size_t>(reps);
+                },
+                false});
+
+  // Fork + COW storm: fork a 64-page parent and rewrite 32 pages, which
+  // emits page_fork + 32 page_copy (+ page_alloc) events per rep. Mirrors
+  // overhead_fork_cow part D and BM_PageWriteCowBreak.
+  ws.push_back({"fork_cow_storm",
+                [](int reps) {
+                  PageTable parent(4096, 64);
+                  std::vector<std::uint8_t> one{1};
+                  for (std::size_t p = 0; p < 64; ++p)
+                    parent.write(p * 4096, one);
+                  for (int i = 0; i < reps; ++i) {
+                    PageTable child = parent.fork();
+                    for (std::size_t p = 0; p < 32; ++p)
+                      child.write(p * 4096, one);
+                  }
+                  return static_cast<std::size_t>(reps);
+                },
+                true});
+
+  // A whole 3-alternative race through the virtual backend. Each race
+  // emits ~20 lifecycle events (block begin/end, spawns, child spans,
+  // fates, world fork/commit, page traffic), so the per-race overhead is
+  // essentially fixed; what varies is the work it amortizes over.
+  auto race = [](int reps, int body_iters) {
+    RuntimeConfig cfg;
+    cfg.backend = AltBackend::kVirtual;
+    cfg.processors = 3;
+    cfg.cost = CostModel::free();
+    cfg.page_size = 256;
+    cfg.num_pages = 64;
+    Runtime rt(cfg);
+    for (int i = 0; i < reps; ++i) {
+      World root = rt.make_root("ovh");
+      std::vector<Alternative> alts;
+      for (int a = 0; a < 3; ++a) {
+        const VDuration cost = vt_us(10 * (a + 1));
+        alts.push_back(Alternative{
+            "a" + std::to_string(a), nullptr,
+            [cost, body_iters](AltContext& ctx) {
+              // A murmur-style mix chain stands in for a real
+              // alternative body (a rootfinder attempt, a replica
+              // call); zero iterations = the do-nothing worst case.
+              std::uint64_t h = 0x9e3779b97f4a7c15ull + ctx.pid();
+              for (int it = 0; it < body_iters; ++it) {
+                h ^= h >> 33;
+                h *= 0xff51afd7ed558ccdull;
+              }
+              ctx.space().store<std::uint64_t>(0, h);
+              ctx.work(cost);
+            },
+            nullptr});
+      }
+      run_alternatives(rt, root, alts);
+    }
+    return static_cast<std::size_t>(reps);
+  };
+
+  // Empty bodies: every event amortizes over pure engine overhead. The
+  // honest worst case — reported, not bounded.
+  ws.push_back({"alt_block_empty",
+                [race](int reps) { return race(reps, 0); }, false});
+
+  // Bodies doing ~2 us of real computation each, the regime the <10%
+  // bound is documented for (real alternatives compute something).
+  ws.push_back({"alt_block_compute",
+                [race](int reps) { return race(reps, 2000); }, true});
+
+  return ws;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 7));
+  const int reps = static_cast<int>(cli.get_int("reps", 200));
+  const bool check = cli.has("check");
+  const bool json = cli.has("json");
+  const std::string json_path = cli.get("json", "");
+
+#if defined(MW_TRACE_DISABLED)
+  std::cout << "trace_overhead: built with MW_TRACE=OFF — every trace site "
+               "is compiled out;\nthe disabled/enabled columns below measure "
+               "the same (instrumentation-free) code.\n\n";
+#endif
+
+  // Raw emit cost: the tightest possible loop around trace::emit. This is
+  // the per-event constant the composite rows amortize.
+  trace::reset();
+  trace::set_enabled(true);
+  double emit_ns;
+  {
+    constexpr int kEmits = 200000;
+    Stopwatch sw;
+    for (int i = 0; i < kEmits; ++i)
+      MW_TRACE_EVENT(trace::EventKind::kPageCopy, 1, kNoPid,
+                     static_cast<std::uint64_t>(i));
+    emit_ns = sw.elapsed_us() * 1e3 / kEmits;
+  }
+  trace::set_enabled(false);
+  trace::reset();
+
+  TablePrinter table({"workload", "disabled_ns_op", "enabled_ns_op",
+                      "overhead_pct"});
+  bool pass = true;
+  std::vector<std::pair<std::string, double>> overheads;
+  for (const Workload& w : make_workloads()) {
+    // Warm-up run so allocators and the page pool reach steady state
+    // before either configuration is timed.
+    w.run(reps / 4 + 1);
+    Measured m = measure(w, trials, reps);
+    double pct = (m.on_ns / m.off_ns - 1.0) * 100.0;
+    if (check && w.composite) {
+      // Co-tenant noise on shared CI runners occasionally lands a whole
+      // burst inside one configuration's trials. A genuine regression
+      // reproduces; noise does not — so re-measure before failing.
+      for (int retry = 0; retry < 2 && pct >= 10.0; ++retry) {
+        m = measure(w, trials, reps);
+        pct = (m.on_ns / m.off_ns - 1.0) * 100.0;
+      }
+      if (pct >= 10.0) {
+        std::printf("CHECK FAIL: %s enabled overhead %.1f%% >= 10%%\n", w.name,
+                    pct);
+        pass = false;
+      }
+    }
+    overheads.emplace_back(w.name, pct);
+    table.add_row({w.name, TablePrinter::num(m.off_ns, 1),
+                   TablePrinter::num(m.on_ns, 1), TablePrinter::num(pct, 1)});
+  }
+
+  if (json) {
+    std::ostringstream os;
+    os << "{\"emit_ns\": " << TablePrinter::num(emit_ns, 1);
+    for (const auto& [name, pct] : overheads)
+      os << ", \"" << name << "_overhead_pct\": " << TablePrinter::num(pct, 1);
+    os << "}\n";
+    if (json_path.empty()) {
+      std::cout << os.str();
+    } else {
+      std::ofstream(json_path) << os.str();
+      std::cout << "wrote " << json_path << "\n";
+    }
+    return check && !pass ? 1 : 0;
+  }
+
+  std::cout << "Tracing overhead: compiled-in-disabled vs enabled ("
+            << trials << " trials x " << reps << " reps)\n";
+  table.print(std::cout);
+  std::printf("\nraw emit cost: %.1f ns/event (48-byte record into a "
+              "thread-local ring)\n", emit_ns);
+  std::cout << "page_write_owned has no trace site (the COW fast path is "
+               "untouched); the\ncomposite rows amortize per-event cost over "
+               "real work and must stay <10%\nenabled. The third "
+               "configuration — MW_TRACE=OFF — is measured by rebuilding\n"
+               "and comparing bench/micro_ops (see docs/OBSERVABILITY.md).\n";
+  if (check)
+    std::printf("%s\n", pass ? "CHECK PASS: enabled overhead <10% on all "
+                               "composite workloads"
+                             : "CHECK FAIL (see above)");
+  return check && !pass ? 1 : 0;
+}

@@ -3,19 +3,66 @@
 //
 //   $ altc_tool input.cpp.in [--rt=rt] [--world=world] > output.cpp
 //   $ echo '...' | altc_tool -
+//
+// --demo-trace skips translation and instead runs the canned race that a
+// translated ALT_BLOCK turns into, printing the SpecProfile speculation
+// summary (and a Chrome-trace file with --trace=FILE) — a way to see what
+// the generated code does at runtime without compiling anything.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "altc/altc.hpp"
+#include "core/alt.hpp"
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "trace/trace_cli.hpp"
 #include "util/cli.hpp"
+
+namespace {
+
+// The race every ALT_BLOCK compiles down to: three alternatives with
+// different costs, first one to sync wins, the rest are eliminated.
+int run_demo_race(mw::Cli& cli) {
+  using namespace mw;
+  trace::TraceSession trace_session(cli);
+  RuntimeConfig cfg;
+  cfg.backend = AltBackend::kVirtual;
+  cfg.processors = 3;
+  cfg.cost = CostModel::free();
+  cfg.page_size = 64;
+  cfg.num_pages = 32;
+  Runtime rt(cfg);
+  World root = rt.make_root("altc_demo");
+
+  std::vector<Alternative> alts;
+  const VDuration costs[] = {vt_ms(30), vt_ms(10), vt_ms(20)};
+  for (int i = 0; i < 3; ++i) {
+    const VDuration cost = costs[i];
+    alts.push_back(Alternative{"alt" + std::to_string(i + 1), nullptr,
+                               [cost](AltContext& ctx) {
+                                 ctx.space().store<int>(0, 1);
+                                 ctx.work(cost);
+                               },
+                               nullptr});
+  }
+  const AltOutcome out = run_alternatives(rt, root, alts);
+  std::printf("demo race: winner %s in %.1f ms\n",
+              out.winner_name.c_str(), vt_to_ms(out.elapsed));
+  trace_session.finish(std::cout);
+  return out.failed ? 1 : 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   mw::Cli cli(argc, argv);
+  if (cli.has("demo-trace")) return run_demo_race(cli);
   if (cli.positional().empty()) {
     std::fprintf(stderr,
-                 "usage: altc_tool <file|-> [--rt=expr] [--world=expr]\n");
+                 "usage: altc_tool <file|-> [--rt=expr] [--world=expr]\n"
+                 "       altc_tool --demo-trace [--trace=FILE] [--profile]\n");
     return 2;
   }
   std::string source;

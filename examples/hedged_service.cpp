@@ -2,10 +2,18 @@
 // latency, hedged by first-wins replicas, plus a majority-voted variant
 // that survives a value-corrupting replica.
 //
-//   $ hedged_service [--replicas=4]
+//   $ hedged_service [--replicas=4] [--trace=trace.json] [--profile]
+//
+// --trace writes the world lineage as Chrome-trace JSON (open the file in
+// chrome://tracing or ui.perfetto.dev: each race is a process row, each
+// replica a world span, with flow arrows from spawn to the winning
+// commit); --profile prints the SpecProfile speculation accounting.
 #include <cstdio>
+#include <iostream>
 
 #include "core/replicate.hpp"
+#include "core/runtime_auditor.hpp"
+#include "trace/trace_cli.hpp"
 #include "util/cli.hpp"
 
 using namespace mw;
@@ -13,6 +21,7 @@ using namespace mw;
 int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const int k = static_cast<int>(cli.get_int("replicas", 4));
+  trace::TraceSession trace_session(cli);
 
   RuntimeConfig cfg;
   cfg.backend = AltBackend::kVirtual;
@@ -59,6 +68,20 @@ int main(int argc, char** argv) {
     std::printf("majority of 3 (with one corrupt replica): %d "
                 "(%d/%d agreed)\n",
                 *voted.value, voted.agreeing, voted.completed);
+  }
+
+  if (trace_session.active()) {
+    // Validate the trace against the process table before exporting: the
+    // auditor replays the traced spawns/fates and insists the table agrees.
+    trace::set_enabled(false);
+    RuntimeAuditor auditor;
+    auditor.add_world(root);
+    auditor.add_world(root2);
+    const AuditReport audit =
+        auditor.run(rt.processes(), trace::collect(), trace::dropped());
+    std::printf("%s\n", audit.to_string().c_str());
+    trace_session.finish(std::cout);
+    if (!audit.clean()) return 1;
   }
   return 0;
 }

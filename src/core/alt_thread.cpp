@@ -11,6 +11,7 @@
 #include "core/alt.hpp"
 #include "core/alt_context.hpp"
 #include "core/runtime.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -61,10 +62,15 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
   for (std::size_t i : spawned)
     sibling_pids.push_back(table.create(parent.pid(), group, alts[i].name));
 
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockBegin, parent.pid(), kNoPid,
+                 group, m, 0);
   Stopwatch setup_clock;
   std::vector<World> worlds;
   worlds.reserve(m);
   for (std::size_t k = 0; k < m; ++k) {
+    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, sibling_pids[k], parent.pid(),
+                   group, spawned[k] + 1,
+                   static_cast<VTime>(block_clock.elapsed_us()));
     worlds.push_back(parent.fork_alternative(sibling_pids[k], sibling_pids));
     table.set_status(sibling_pids[k], ProcStatus::kRunning);
   }
@@ -95,6 +101,9 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
       World& child = worlds[k];
       AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), &cancels[k],
                      /*virtual_mode=*/false);
+      MW_TRACE_EVENT(trace::EventKind::kAltChildBegin, sibling_pids[k],
+                     kNoPid, group, 0,
+                     static_cast<VTime>(block_clock.elapsed_us()));
       End end = End::kAborted;
       try {
         bool success = true;
@@ -132,6 +141,13 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
         end = End::kAborted;
       }
       results[k] = ctx.result();
+      MW_TRACE_EVENT(trace::EventKind::kAltChildEnd, sibling_pids[k], kNoPid,
+                     group, child.space().table().stats().pages_copied,
+                     static_cast<VTime>(block_clock.elapsed_us()));
+      if (end == End::kSynced)
+        MW_TRACE_EVENT(trace::EventKind::kAltSync, sibling_pids[k],
+                       parent.pid(), group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
       {
         std::lock_guard<std::mutex> lk(shared.mu);
         ends[k] = end;
@@ -144,6 +160,8 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
 
   // alt_wait in the parent: blocked until a child synchronizes, every child
   // ends, or the timeout elapses.
+  MW_TRACE_EVENT(trace::EventKind::kAltWait, parent.pid(), kNoPid, group, 0,
+                 static_cast<VTime>(block_clock.elapsed_us()));
   int wk = -1;
   bool all_done = false;
   {
@@ -225,13 +243,22 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
         break;  // already kSynced (or eliminated, if it raced a timeout)
       case End::kAborted:
         table.set_status(sibling_pids[k], ProcStatus::kFailed);
+        MW_TRACE_EVENT(trace::EventKind::kAltAbort, sibling_pids[k], kNoPid,
+                       group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
         break;
       case End::kPending:
       case End::kCancelled:
         table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+        MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k],
+                       kNoPid, group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
         break;
     }
   }
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockEnd, parent.pid(), kNoPid, group,
+                 static_cast<std::uint64_t>(out.failure),
+                 static_cast<VTime>(block_clock.elapsed_us()));
   return out;
 }
 

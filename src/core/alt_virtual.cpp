@@ -13,6 +13,7 @@
 #include "core/alt_context.hpp"
 #include "core/runtime.hpp"
 #include "proc/vsched.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -88,6 +89,9 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
   for (std::size_t k = 0; k < spawned.size(); ++k) {
     const std::size_t i = spawned[k];
     const Alternative& alt = alts[i];
+    // Page/world events emitted while this body runs carry the child's
+    // ready time; the precise lifecycle events are emitted post-scheduling.
+    MW_TRACE_SET_NOW(ready[k]);
     World child = parent.fork_alternative(sibling_pids[k], sibling_pids);
     table.set_status(sibling_pids[k], ProcStatus::kRunning);
     AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), nullptr,
@@ -152,7 +156,25 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
   const bool winner_in_time =
       sched.winner_index.has_value() && sched.winner_finish <= opts.timeout;
 
-  // Phase 4: statuses, commit, elimination.
+  // Phase 4: statuses, commit, elimination. Scheduling fixed every virtual
+  // timestamp, so the lifecycle trace is emitted here with exact times.
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockBegin, parent.pid(), kNoPid,
+                 group, spawned.size(), 0);
+  for (std::size_t k = 0; k < spawned.size(); ++k) {
+    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, sibling_pids[k], parent.pid(),
+                   group, spawned[k] + 1,
+                   static_cast<VTime>(fork_cost) * static_cast<VTime>(k));
+  }
+  MW_TRACE_EVENT(trace::EventKind::kAltWait, parent.pid(), kNoPid, group, 0,
+                 ready.back());
+  for (std::size_t k = 0; k < spawned.size(); ++k) {
+    const TaskSchedule& s = sched.tasks[k];
+    if (!s.ran) continue;
+    MW_TRACE_EVENT(trace::EventKind::kAltChildBegin, sibling_pids[k], kNoPid,
+                   group, 0, s.start);
+    MW_TRACE_EVENT(trace::EventKind::kAltChildEnd, sibling_pids[k], kNoPid,
+                   group, ran[k].pages_copied, s.finish);
+  }
   for (std::size_t k = 0; k < spawned.size(); ++k) {
     const std::size_t i = spawned[k];
     AltReport& rep = out.alts[i];
@@ -176,6 +198,9 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
         ran[wk].world.space().table().diff(parent.space().table()).size();
     out.overhead.commit = cost.commit_cost(changed);
     table.set_status(sibling_pids[wk], ProcStatus::kSynced);
+    MW_TRACE_EVENT(trace::EventKind::kAltSync, sibling_pids[wk], parent.pid(),
+                   group, 0, sched.winner_finish);
+    MW_TRACE_SET_NOW(sched.winner_finish + out.overhead.commit);
     parent.commit_from(std::move(ran[wk].world));
 
     // Eliminate the siblings. Issue costs always land on the parent;
@@ -190,12 +215,20 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
       if (!ran[k].success && sched.tasks[k].ran &&
           sched.tasks[k].finish <= sched.winner_finish) {
         table.set_status(sibling_pids[k], ProcStatus::kFailed);
+        MW_TRACE_EVENT(trace::EventKind::kAltAbort, sibling_pids[k], kNoPid,
+                       group, 0, sched.tasks[k].finish);
       } else {
         table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+        MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k],
+                       kNoPid, group, 0,
+                       sched.winner_finish + out.overhead.commit +
+                           out.overhead.elimination);
       }
     }
     out.elapsed = sched.winner_finish + out.overhead.commit +
                   out.overhead.elimination;
+    MW_TRACE_EVENT(trace::EventKind::kAltBlockEnd, parent.pid(), kNoPid,
+                   group, 0, out.elapsed);
     return out;
   }
 
@@ -208,8 +241,11 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
     // last child does, and nothing is left to eliminate.
     out.failure = AltFailure::kAllFailed;
     out.elapsed = last_finish;
-    for (std::size_t k = 0; k < spawned.size(); ++k)
+    for (std::size_t k = 0; k < spawned.size(); ++k) {
       table.set_status(sibling_pids[k], ProcStatus::kFailed);
+      MW_TRACE_EVENT(trace::EventKind::kAltAbort, sibling_pids[k], kNoPid,
+                     group, 0, sched.tasks[k].finish);
+    }
   } else {
     // Timed out with children still running (or succeeding too late): the
     // parent returns from alt_wait, fails, and kills everything.
@@ -217,9 +253,14 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
     out.overhead.elimination = cost.elimination_cost(
         spawned.size(), opts.elimination == Elimination::kSynchronous);
     out.elapsed = opts.timeout + out.overhead.elimination;
-    for (std::size_t k = 0; k < spawned.size(); ++k)
+    for (std::size_t k = 0; k < spawned.size(); ++k) {
       table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+      MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k], kNoPid,
+                     group, 0, out.elapsed);
+    }
   }
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockEnd, parent.pid(), kNoPid, group,
+                 static_cast<std::uint64_t>(out.failure), out.elapsed);
   return out;
 }
 

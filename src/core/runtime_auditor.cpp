@@ -1,6 +1,7 @@
 #include "core/runtime_auditor.hpp"
 
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "pagestore/page.hpp"
@@ -9,10 +10,14 @@
 namespace mw {
 
 std::string AuditReport::to_string() const {
-  if (clean()) return "audit: clean";
   std::ostringstream os;
-  os << "audit: " << violations.size() << " violation(s)";
-  for (const auto& v : violations) os << "\n  - " << v;
+  if (clean()) {
+    os << "audit: clean";
+  } else {
+    os << "audit: " << violations.size() << " violation(s)";
+    for (const auto& v : violations) os << "\n  - " << v;
+  }
+  for (const auto& n : notes) os << "\n  (note) " << n;
   return os.str();
 }
 
@@ -74,6 +79,92 @@ AuditReport RuntimeAuditor::run(const ProcessTable& table) const {
        << live << " total, " << baseline_pages_ << " baseline, "
        << reachable.size() << " reachable)";
     report.violations.push_back(os.str());
+  }
+
+  return report;
+}
+
+AuditReport RuntimeAuditor::run(const ProcessTable& table,
+                                const std::vector<trace::TraceEvent>& events,
+                                std::uint64_t dropped) const {
+  AuditReport report = run(table);
+  report.trace_events = events.size();
+  if (dropped > 0) {
+    report.notes.push_back(
+        "trace cross-check skipped: " + std::to_string(dropped) +
+        " event(s) dropped by full rings; the stream is incomplete");
+    return report;
+  }
+  report.trace_checked = true;
+
+  // Reconstruct the trace's view: who was spawned into which group, and
+  // each world's final traced fate (the last fate event wins — a loser of
+  // the at-most-once race can legitimately overwrite nothing else).
+  std::unordered_map<Pid, trace::TraceEvent> spawn_of;
+  std::unordered_map<Pid, trace::EventKind> fate_of;
+  std::unordered_map<std::uint64_t, std::size_t> group_spawns;
+  for (const trace::TraceEvent& e : events) {
+    switch (e.kind) {
+      case trace::EventKind::kAltSpawn:
+        spawn_of[e.pid] = e;
+        ++group_spawns[e.a];
+        break;
+      case trace::EventKind::kAltSync:
+      case trace::EventKind::kAltEliminate:
+      case trace::EventKind::kAltAbort:
+        fate_of[e.pid] = e.kind;
+        break;
+      default: break;
+    }
+  }
+
+  auto mismatch = [&report](const std::string& what) {
+    report.violations.push_back("trace mismatch: " + what);
+  };
+
+  for (const auto& [pid, e] : spawn_of) {
+    if (!table.exists(pid)) {
+      mismatch("traced spawn of pid " + std::to_string(pid) +
+               " unknown to the process table");
+      continue;
+    }
+    const ProcessRecord& rec = table.get(pid);
+    if (rec.alt_group != e.a)
+      mismatch("pid " + std::to_string(pid) + " traced in group " +
+               std::to_string(e.a) + " but tabled in group " +
+               std::to_string(rec.alt_group));
+    if (e.other != kNoPid && rec.parent != e.other)
+      mismatch("pid " + std::to_string(pid) + " traced parent " +
+               std::to_string(e.other) + " but tabled parent " +
+               std::to_string(rec.parent));
+    const auto fit = fate_of.find(pid);
+    if (fit == fate_of.end()) continue;  // still racing at snapshot time
+    ProcStatus expected = ProcStatus::kSynced;
+    switch (fit->second) {
+      case trace::EventKind::kAltSync: expected = ProcStatus::kSynced; break;
+      case trace::EventKind::kAltEliminate:
+        expected = ProcStatus::kEliminated;
+        break;
+      default: expected = ProcStatus::kFailed; break;
+    }
+    if (table.status(pid) != expected)
+      mismatch("pid " + std::to_string(pid) + " traced fate " +
+               trace::kind_name(fit->second) + " but tabled status " +
+               mw::to_string(table.status(pid)));
+  }
+
+  // World counts per race: the table must hold exactly as many members of
+  // each traced alt group as the trace saw spawned.
+  std::unordered_map<std::uint64_t, std::size_t> group_tabled;
+  for (const ProcessRecord& rec : table.snapshot())
+    if (rec.alt_group != 0) ++group_tabled[rec.alt_group];
+  for (const auto& [group, traced] : group_spawns) {
+    const auto git = group_tabled.find(group);
+    const std::size_t tabled = git == group_tabled.end() ? 0 : git->second;
+    if (tabled != traced)
+      mismatch("alt group " + std::to_string(group) + " spawned " +
+               std::to_string(traced) + " world(s) in the trace but holds " +
+               std::to_string(tabled) + " in the process table");
   }
 
   return report;

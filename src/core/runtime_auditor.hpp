@@ -25,6 +25,7 @@
 #include "core/world.hpp"
 #include "pagestore/page_table.hpp"
 #include "proc/process_table.hpp"
+#include "trace/trace.hpp"
 #include "util/ids.hpp"
 
 namespace mw {
@@ -38,8 +39,16 @@ struct AuditReport {
   /// un-counted), so they never show up as leaks — this records how much
   /// reclaimed-world memory is parked for reuse instead.
   std::int64_t pooled_frames = 0;
+  /// True when a trace stream was cross-checked against the process table
+  /// (the three-argument run()); false when the check was skipped because
+  /// the collector dropped events — a partial stream cannot be audited.
+  bool trace_checked = false;
+  std::size_t trace_events = 0;
   /// One human-readable line per finding, empty when the runtime is clean.
   std::vector<std::string> violations;
+  /// Informational remarks (e.g. why the trace check was skipped); these do
+  /// not make the report unclean.
+  std::vector<std::string> notes;
 
   bool clean() const { return violations.empty(); }
   std::string to_string() const;
@@ -65,6 +74,17 @@ class RuntimeAuditor {
 
   /// Runs every invariant check against `table` and the registered state.
   AuditReport run(const ProcessTable& table) const;
+
+  /// run(table) plus a trace cross-check: every traced alt_spawn must name
+  /// a pid the table knows (with the matching alt group and parent), every
+  /// traced fate (sync / eliminate / abort) must agree with the pid's
+  /// terminal status, and per-group spawn counts must match the table.
+  /// `dropped` is the collector's dropped() counter at snapshot time: when
+  /// non-zero the cross-check is skipped with a note, not failed — a ring
+  /// that overwrote records cannot be audited exactly.
+  AuditReport run(const ProcessTable& table,
+                  const std::vector<trace::TraceEvent>& events,
+                  std::uint64_t dropped = 0) const;
 
  private:
   std::vector<const World*> worlds_;

@@ -1,5 +1,6 @@
 #include "core/world.hpp"
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -21,6 +22,7 @@ World World::fork_alternative(Pid self_pid,
                               const std::vector<Pid>& sibling_pids) {
   PredicateSet child_preds =
       PredicateSet::for_alternative(preds_, self_pid, sibling_pids);
+  MW_TRACE_EVENT(trace::EventKind::kWorldFork, self_pid, pid_);
   return World(*table_, self_pid, space_.fork(), std::move(child_preds));
 }
 
@@ -28,16 +30,24 @@ World World::clone_with_predicates(PredicateSet preds,
                                    std::string label) const {
   const Pid pid = table_->create(table_->get(pid_).parent, 0, std::move(label));
   table_->set_status(pid, ProcStatus::kRunning);
+  MW_TRACE_EVENT(trace::EventKind::kWorldSplit, pid, pid_, 0,
+                 table_->get(pid_).alt_group);
   return World(*table_, pid, space_.fork(), std::move(preds));
 }
 
 void World::commit_from(World&& child) {
   MW_CHECK(child.table_ == table_);
+  MW_TRACE_EVENT(trace::EventKind::kWorldCommit, pid_, child.pid_);
   space_.adopt(std::move(child.space_));
   // The flow of control through the child "appears to have been seamless,
   // up to and including maintenance of the process id" — the parent keeps
   // its own pid; the child's assumptions about itself are now resolved and
   // do not transfer.
+}
+
+void World::rollback(const AddressSpace& snapshot) {
+  MW_TRACE_EVENT(trace::EventKind::kWorldRollback, pid_);
+  space_.adopt(snapshot.fork());
 }
 
 }  // namespace mw

@@ -55,7 +55,7 @@ class World {
   /// captured COW snapshot (an O(1) page-map root swap, the inverse of
   /// commit_from). Identity, status, and predicates are untouched — the
   /// world is the same speculative process, replaying from its checkpoint.
-  void rollback(const AddressSpace& snapshot) { space_.adopt(snapshot.fork()); }
+  void rollback(const AddressSpace& snapshot);
 
   /// Pages this world's map shares physically with `other` — the COW
   /// sharing the design maximizes (§2.3).

@@ -1,6 +1,7 @@
 #include "dist/remote_alt.hpp"
 
 #include "fault/fault.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -136,6 +137,8 @@ DistributedRaceResult distributed_race(const RemoteForker& forker,
         redispatch = link.transfer_time(chain_bytes);
       }
       ++out.failovers;
+      MW_TRACE_EVENT(trace::EventKind::kDistFailover, kNoPid, kNoPid, i,
+                     chain_bytes, crash_at);
       out.work_preserved += preserved;
       out.work_preserved_bytes += chain_bytes;
       out.bytes_shipped += chain_bytes;
@@ -153,6 +156,7 @@ DistributedRaceResult distributed_race(const RemoteForker& forker,
       // Demoted to Failed: the parent learns the node is unreachable and
       // stops waiting on it — it cannot win, and it cannot hang the block.
       ++out.remotes_failed;
+      MW_TRACE_EVENT(trace::EventKind::kDistDemote, kNoPid, kNoPid, i);
       continue;
     }
     // Steady-state checkpoint shipping over the rest of the run.
@@ -172,6 +176,7 @@ DistributedRaceResult distributed_race(const RemoteForker& forker,
       out.retransmissions += t.attempts - 1;
       if (!t.ok) {
         ++out.remotes_failed;  // its result can never reach the parent
+        MW_TRACE_EVENT(trace::EventKind::kDistDemote, kNoPid, kNoPid, i);
         continue;
       }
       reply = t.elapsed;

@@ -1,5 +1,7 @@
 #include "io/source_gate.hpp"
 
+#include "trace/trace.hpp"
+
 namespace mw {
 
 SourceGate::SourceGate(ProcessTable& table, GatePolicy policy)
@@ -17,9 +19,12 @@ bool SourceGate::request(Pid pid, const PredicateSet& preds, Action act) {
   }
   if (policy_ == GatePolicy::kReject) {
     ++rejected_;
+    MW_TRACE_EVENT(trace::EventKind::kGateReject, pid);
     return false;
   }
-  deferred_[pid].push_back(std::move(act));
+  std::vector<Action>& q = deferred_[pid];
+  q.push_back(std::move(act));
+  MW_TRACE_EVENT(trace::EventKind::kGateDefer, pid, kNoPid, q.size());
   return false;  // not yet observable
 }
 
@@ -43,12 +48,16 @@ void SourceGate::on_status(Pid pid, ProcStatus now) {
   auto it = deferred_.find(pid);
   if (it == deferred_.end()) return;
   if (now == ProcStatus::kSynced) {
+    MW_TRACE_EVENT(trace::EventKind::kGateRelease, pid, kNoPid,
+                   it->second.size());
     for (auto& act : it->second) {
       act();
       ++executed_;
     }
   } else {
     dropped_ += it->second.size();
+    MW_TRACE_EVENT(trace::EventKind::kGateDrop, pid, kNoPid,
+                   it->second.size());
   }
   deferred_.erase(it);
 }

@@ -1,6 +1,30 @@
 #include "msg/delivery.hpp"
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
+
+namespace {
+
+// The timestamp comes from the calling layer's trace clock (set_now) —
+// delivery itself has no clock in scope.
+void trace_decision(mw::DeliveryAction action, const mw::Message& msg,
+                    const mw::PredicateSet& receiver) {
+  using mw::trace::EventKind;
+  EventKind kind = EventKind::kMsgAccept;
+  switch (action) {
+    case mw::DeliveryAction::kAccept: kind = EventKind::kMsgAccept; break;
+    case mw::DeliveryAction::kIgnore: kind = EventKind::kMsgIgnore; break;
+    case mw::DeliveryAction::kSplit: kind = EventKind::kMsgSplit; break;
+  }
+  MW_TRACE_EVENT(kind, msg.sender, mw::kNoPid, receiver.size());
+#if defined(MW_TRACE_DISABLED)
+  (void)kind;
+  (void)msg;
+  (void)receiver;
+#endif
+}
+
+}  // namespace
 
 namespace mw {
 
@@ -14,11 +38,13 @@ DeliveryDecision decide_delivery(const PredicateSet& receiver,
       // complete(sender) implies every assumption the sender holds.
       d.action = DeliveryAction::kAccept;
       d.accept_preds = receiver;
+      trace_decision(d.action, msg, receiver);
       return d;
     }
     if (receiver.assumes_fails(msg.sender)) {
       // A message from a world this receiver already rejects.
       d.action = DeliveryAction::kIgnore;
+      trace_decision(d.action, msg, receiver);
       return d;
     }
   }
@@ -27,9 +53,11 @@ DeliveryDecision decide_delivery(const PredicateSet& receiver,
     case PredRelation::kImplied:
       d.action = DeliveryAction::kAccept;
       d.accept_preds = receiver;
+      trace_decision(d.action, msg, receiver);
       return d;
     case PredRelation::kConflict:
       d.action = DeliveryAction::kIgnore;
+      trace_decision(d.action, msg, receiver);
       return d;
     case PredRelation::kExtension:
       break;
@@ -45,6 +73,7 @@ DeliveryDecision decide_delivery(const PredicateSet& receiver,
   // no opinion about the sender yet.
   MW_CHECK(d.accept_preds.assume_completes(msg.sender));
   MW_CHECK(d.reject_preds.assume_fails(msg.sender));
+  trace_decision(d.action, msg, receiver);
   return d;
 }
 

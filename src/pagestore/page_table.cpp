@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "pagestore/page_pool.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -22,9 +23,10 @@ void PageTable::materialize_slot(PageRef& ref, std::size_t i) {
   ++stats_.pages_allocated;
   map_.note_resident(i);
   ++(pool_hit ? stats_.pool_hits : stats_.pool_misses);
+  MW_TRACE_EVENT(trace::EventKind::kPageAlloc, kNoPid, kNoPid, i);
 }
 
-void PageTable::cow_break_slot(PageRef& ref) {
+void PageTable::cow_break_slot(PageRef& ref, std::size_t i) {
   // COW break: the page is inherited or shared with a sibling world.
   // (slot_for_write path-copied any shared leaf first, so a page shared
   // through structural sharing is guaranteed to show use_count > 1 here.)
@@ -33,6 +35,7 @@ void PageTable::cow_break_slot(PageRef& ref) {
   ++stats_.pages_copied;
   stats_.bytes_copied += page_size_;
   ++(pool_hit ? stats_.pool_hits : stats_.pool_misses);
+  MW_TRACE_EVENT(trace::EventKind::kPageCopy, kNoPid, kNoPid, i, page_size_);
 }
 
 void PageTable::read(std::uint64_t off, std::span<std::uint8_t> dst) const {
@@ -73,6 +76,8 @@ PageTable PageTable::fork() const {
   // Everything the child inherited predates its epoch: nothing is
   // "written since fork" until the child itself writes.
   child.epoch_ = child.gen_ = gen_;
+  MW_TRACE_EVENT(trace::EventKind::kPageFork, kNoPid, kNoPid,
+                 map_.resident());
   return child;
 }
 
@@ -88,6 +93,8 @@ void PageTable::adopt(PageTable&& child) {
   // every adopted tag ≤ epoch_, i.e. the write-fraction clock restarts.
   gen_ = std::max(gen_, child.gen_);
   epoch_ = gen_;
+  MW_TRACE_EVENT(trace::EventKind::kPageAdopt, kNoPid, kNoPid,
+                 map_.resident());
 }
 
 std::size_t PageTable::resident_pages() const { return map_.resident(); }

@@ -68,7 +68,7 @@ class PageTable {
     if (!ref) {
       materialize_slot(ref, i);
     } else if (ref.use_count() > 1) {
-      cow_break_slot(ref);
+      cow_break_slot(ref, i);
     }
     *slot.tag = ++gen_;
     ++stats_.page_writes;
@@ -118,7 +118,7 @@ class PageTable {
   /// Zero-fill-on-demand allocation into an empty slot (cold path).
   void materialize_slot(PageRef& ref, std::size_t i);
   /// Private copy of a page inherited from / shared with another world.
-  void cow_break_slot(PageRef& ref);
+  void cow_break_slot(PageRef& ref, std::size_t i);
 
   std::size_t page_size_;
   PageMap map_;

@@ -7,6 +7,7 @@
 #include "fault/fault.hpp"
 #include "io/source_gate.hpp"
 #include "proc/process_table.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -78,7 +79,11 @@ SupervisedResult Supervisor::run(const TaskSpec& task) {
         table_->set_status(prev_pid, ProcStatus::kFailed);
       }
     }
+    if (res.attempts > 1)
+      MW_TRACE_EVENT(trace::EventKind::kSuperRestart, pid, prev_pid,
+                     res.attempts, 0, clock);
     prev_pid = pid;
+    MW_TRACE_SET_NOW(clock);
 
     AddressSpace space(task.page_size, task.num_pages);
     Registers regs;
@@ -172,6 +177,8 @@ SupervisedResult Supervisor::run(const TaskSpec& task) {
             schedule_.cost_per_page *
                 static_cast<VDuration>(img.resident_pages);
         chain_pages += img.resident_pages;
+        MW_TRACE_EVENT(trace::EventKind::kSuperCheckpoint, pid, kNoPid,
+                       img.resident_pages, chain.empty() ? 0 : 1, clock);
         chain.push_back(std::move(img));
         snapshot = space.fork();
         chain_step = s + 1;
@@ -216,6 +223,8 @@ SupervisedResult Supervisor::run(const TaskSpec& task) {
     if (restarts_used >= policy_.max_restarts ||
         consecutive_no_progress >= policy_.quarantine_after) {
       res.quarantined = true;
+      MW_TRACE_EVENT(trace::EventKind::kSuperQuarantine, pid, kNoPid,
+                     restarts_used, 0, clock);
       res.final_pid = pid;
       if (table_ != nullptr) {
         table_->set_label(

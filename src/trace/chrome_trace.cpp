@@ -1,0 +1,242 @@
+#include "trace/chrome_trace.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace mw::trace {
+
+namespace {
+
+// Per-world reconstruction of one race participant.
+struct WorldSpan {
+  std::uint64_t group = 0;
+  Pid parent = kNoPid;
+  std::uint64_t alt_index = 0;  // 1-based position in the block; 0 unknown
+  VTime spawn = kNoTraceTime;   // parent-side spawn timestamp
+  VTime start = kNoTraceTime;
+  VTime end = kNoTraceTime;
+  VTime fate_t = kNoTraceTime;
+  std::uint64_t pages = 0;
+  const char* fate = "pending";
+};
+
+struct RaceSpan {
+  Pid parent = kNoPid;
+  VTime begin = kNoTraceTime;
+  VTime end = kNoTraceTime;
+  bool timed_out = false;
+};
+
+VTime or_zero(VTime t) { return t == kNoTraceTime ? 0 : t; }
+
+// One JSON trace-event object. Field order matches the Chrome examples so
+// diffs against reference traces stay readable.
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostringstream& os) : os_(os) {}
+
+  void meta(const char* what, std::uint64_t pid, std::uint64_t tid,
+            const std::string& name) {
+    sep();
+    os_ << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << name << "\"}}";
+  }
+
+  void complete(const std::string& name, std::uint64_t pid, std::uint64_t tid,
+                VTime ts, VTime dur, const std::string& args_json) {
+    sep();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"X\",\"ts\":" << ts
+        << ",\"dur\":" << (dur < 1 ? 1 : dur) << ",\"pid\":" << pid
+        << ",\"tid\":" << tid;
+    if (!args_json.empty()) os_ << ",\"args\":{" << args_json << "}";
+    os_ << "}";
+  }
+
+  void instant(const std::string& name, std::uint64_t pid, std::uint64_t tid,
+               VTime ts) {
+    sep();
+    os_ << "{\"name\":\"" << name << "\",\"ph\":\"i\",\"ts\":" << ts
+        << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"s\":\"t\"}";
+  }
+
+  void flow(char phase, std::uint64_t id, std::uint64_t pid, std::uint64_t tid,
+            VTime ts) {
+    sep();
+    os_ << "{\"name\":\"lineage\",\"cat\":\"world\",\"ph\":\"" << phase
+        << "\",\"id\":" << id << ",\"ts\":" << ts << ",\"pid\":" << pid
+        << ",\"tid\":" << tid;
+    if (phase == 'f') os_ << ",\"bp\":\"e\"";
+    os_ << "}";
+  }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ",\n";
+    first_ = false;
+    os_ << "  ";
+  }
+
+  std::ostringstream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string to_chrome_json(const std::vector<TraceEvent>& events) {
+  // Pass 1: reconstruct races and world spans from the flat stream.
+  std::map<std::uint64_t, RaceSpan> races;       // group -> block span
+  std::map<Pid, WorldSpan> worlds;               // child pid -> span
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kAltBlockBegin: {
+        RaceSpan& r = races[e.a];
+        r.parent = e.pid;
+        r.begin = e.t;
+        break;
+      }
+      case EventKind::kAltBlockEnd: {
+        RaceSpan& r = races[e.a];
+        r.end = e.t;
+        r.timed_out = e.b != 0;
+        break;
+      }
+      case EventKind::kAltSpawn: {
+        WorldSpan& w = worlds[e.pid];
+        w.group = e.a;
+        w.parent = e.other;
+        w.alt_index = e.b;
+        w.spawn = e.t;
+        break;
+      }
+      case EventKind::kAltChildBegin: {
+        WorldSpan& w = worlds[e.pid];
+        w.group = e.a;
+        w.start = e.t;
+        break;
+      }
+      case EventKind::kAltChildEnd: {
+        WorldSpan& w = worlds[e.pid];
+        w.end = e.t;
+        w.pages = e.b;
+        break;
+      }
+      case EventKind::kAltSync: {
+        WorldSpan& w = worlds[e.pid];
+        w.fate = "won";
+        w.fate_t = e.t;
+        break;
+      }
+      case EventKind::kAltEliminate: {
+        WorldSpan& w = worlds[e.pid];
+        w.fate = "eliminated";
+        w.fate_t = e.t;
+        break;
+      }
+      case EventKind::kAltAbort: {
+        WorldSpan& w = worlds[e.pid];
+        w.fate = "aborted";
+        w.fate_t = e.t;
+        break;
+      }
+      default: break;
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventWriter w(os);
+
+  // Trace-process 0 carries runtime-wide instants (gate, super, dist).
+  w.meta("process_name", 0, 0, "runtime");
+  w.meta("thread_name", 0, 0, "events");
+
+  for (const auto& [group, race] : races) {
+    const std::uint64_t tpid = group + 1;  // trace pid 0 is the runtime
+    w.meta("process_name", tpid, 0,
+           "race #" + std::to_string(group) + " (parent p" +
+               std::to_string(race.parent) + ")");
+    w.meta("thread_name", tpid, race.parent,
+           "parent p" + std::to_string(race.parent));
+    const VTime rb = or_zero(race.begin);
+    const VTime re = race.end == kNoTraceTime ? rb : race.end;
+    w.complete("alt block #" + std::to_string(group), tpid, race.parent, rb,
+               re - rb,
+               std::string("\"timed_out\":") +
+                   (race.timed_out ? "true" : "false"));
+  }
+
+  for (const auto& [pid, world] : worlds) {
+    const std::uint64_t tpid = world.group + 1;
+    std::string label = "world p" + std::to_string(pid);
+    if (world.alt_index > 0)
+      label += " (alt " + std::to_string(world.alt_index) + ")";
+    w.meta("thread_name", tpid, pid, label);
+
+    const VTime start =
+        world.start != kNoTraceTime ? world.start : or_zero(world.spawn);
+    VTime end = world.end;
+    if (end == kNoTraceTime) end = world.fate_t;
+    if (end == kNoTraceTime) end = start;
+    std::string args = "\"fate\":\"" + std::string(world.fate) +
+                       "\",\"pages_copied\":" + std::to_string(world.pages);
+    w.complete(world.alt_index > 0
+                   ? "alt " + std::to_string(world.alt_index)
+                   : "world",
+               tpid, pid, start, end - start, args);
+    if (world.fate_t != kNoTraceTime)
+      w.instant(world.fate, tpid, pid, world.fate_t);
+
+    // Flow arrows: parent spawn -> child span start; winner's sync ->
+    // parent block end (the commit edge).
+    if (world.parent != kNoPid) {
+      w.flow('s', pid, tpid, world.parent, or_zero(world.spawn));
+      w.flow('f', pid, tpid, pid, start);
+    }
+    if (std::string(world.fate) == "won") {
+      auto rit = races.find(world.group);
+      if (rit != races.end() && rit->second.end != kNoTraceTime) {
+        const std::uint64_t commit_id = (std::uint64_t{1} << 32) | pid;
+        w.flow('s', commit_id, tpid, pid, or_zero(world.fate_t));
+        w.flow('f', commit_id, tpid, rit->second.parent, rit->second.end);
+      }
+    }
+  }
+
+  // Runtime-wide instants that aren't part of a reconstructed race span.
+  for (const TraceEvent& e : events) {
+    if (e.t == kNoTraceTime) continue;
+    switch (e.kind) {
+      case EventKind::kGateDefer:
+      case EventKind::kGateRelease:
+      case EventKind::kGateDrop:
+      case EventKind::kGateReject:
+      case EventKind::kSuperRestart:
+      case EventKind::kSuperQuarantine:
+      case EventKind::kSuperCheckpoint:
+      case EventKind::kDistFailover:
+      case EventKind::kDistDemote:
+      case EventKind::kWorldRollback:
+        w.instant(std::string(kind_name(e.kind)) + " p" +
+                      std::to_string(e.pid),
+                  0, 0, e.t);
+        break;
+      default: break;
+    }
+  }
+
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool write_chrome_json(const std::string& path,
+                       const std::vector<TraceEvent>& events) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_chrome_json(events);
+  return static_cast<bool>(out);
+}
+
+}  // namespace mw::trace

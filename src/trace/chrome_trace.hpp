@@ -1,0 +1,27 @@
+// Chrome-trace (Perfetto) exporter for the mw_trace event stream.
+//
+// Renders world lineage as nested spans: each race (alt group) becomes a
+// trace "process", each world in the race a "thread" whose span covers the
+// world's execution; instants mark sync/eliminate/abort fates, and flow
+// arrows connect the parent's spawn to each child's span and the winning
+// child's commit back to the parent. Timestamps are virtual ticks, which
+// the runtime models as microseconds — exactly the unit chrome://tracing
+// and ui.perfetto.dev expect. Open the written file directly in either.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mw::trace {
+
+/// Serialises the stream as Chrome trace-event JSON ("traceEvents" array).
+std::string to_chrome_json(const std::vector<TraceEvent>& events);
+
+/// Writes to_chrome_json(events) to `path`. Returns false on I/O failure.
+bool write_chrome_json(const std::string& path,
+                       const std::vector<TraceEvent>& events);
+
+}  // namespace mw::trace

@@ -1,0 +1,85 @@
+// SpecProfile: speculation-efficiency metrics derived from the raw trace
+// stream. The paper's core trade is throughput burned as wasted speculative
+// work in exchange for response time; this aggregator makes the burn rate a
+// number. Grouped per race (alt group id) and totalled:
+//
+//   * worlds spawned vs. survived (committed) vs. eliminated/aborted;
+//   * wasted-work ratio — losing alternatives' execution time over all
+//     alternatives' execution time (0 = no speculation overhead,
+//     (k-1)/k = perfectly balanced k-way race);
+//   * pages copied by losers — COW traffic thrown away at elimination;
+//   * time-to-first-win vs. time-to-quiesce — how long before the block
+//     had its answer vs. how long until the last loser stopped burning
+//     cycles (identical in the DES backends, which eliminate losers
+//     instantly; they diverge on the thread backend).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace mw::trace {
+
+/// Per-race (per alt-group) speculation accounting.
+struct RaceProfile {
+  std::uint64_t group = 0;
+  Pid parent = kNoPid;
+  std::size_t spawned = 0;     // worlds forked for this race
+  std::size_t survived = 0;    // worlds that won their sync (committed)
+  std::size_t eliminated = 0;  // losers killed by a sibling's win
+  std::size_t aborted = 0;     // self-aborts (guard/body/accept failure)
+  std::size_t splits = 0;      // receiver splits charged to this race
+  VDuration work_total = 0;    // sum of all alternatives' execution time
+  VDuration work_wasted = 0;   // execution time of non-surviving worlds
+  std::uint64_t pages_copied_total = 0;
+  std::uint64_t pages_copied_losers = 0;
+  VTime first_win = kNoTraceTime;  // earliest kAltSync timestamp
+  VTime quiesce = kNoTraceTime;    // latest child-end/eliminate timestamp
+  bool timed_out = false;          // block ended with no winner
+
+  /// Fraction of alternative execution time spent in worlds that lost.
+  double wasted_ratio() const {
+    return work_total > 0
+               ? static_cast<double>(work_wasted) /
+                     static_cast<double>(work_total)
+               : 0.0;
+  }
+};
+
+/// Whole-run aggregation over a trace stream.
+struct SpecProfile {
+  std::vector<RaceProfile> races;  // in first-seen order
+  std::uint64_t events = 0;        // trace records consumed
+  std::uint64_t dropped = 0;       // ring drops (metrics are lower bounds)
+  std::uint64_t page_copies = 0;   // all kPageCopy events
+  std::uint64_t page_copy_bytes = 0;
+  std::uint64_t msg_accepted = 0;
+  std::uint64_t msg_ignored = 0;
+  std::uint64_t msg_split = 0;
+  std::uint64_t gate_deferred = 0;
+  std::uint64_t gate_released = 0;
+  std::uint64_t gate_dropped = 0;
+  std::uint64_t restarts = 0;   // supervisor restarts + dist failovers
+
+  std::size_t worlds_spawned() const;
+  std::size_t worlds_survived() const;
+  std::size_t worlds_eliminated() const;
+  VDuration work_total() const;
+  VDuration work_wasted() const;
+  std::uint64_t pages_copied_losers() const;
+  double wasted_ratio() const;
+
+  /// Compact multi-line text summary for benches and altc_tool.
+  std::string to_string() const;
+};
+
+/// Builds the profile from a trace stream (as returned by collect()).
+/// `dropped` is the collector's dropped() counter at snapshot time; when
+/// non-zero the derived metrics are lower bounds and to_string says so.
+SpecProfile build_spec_profile(const std::vector<TraceEvent>& events,
+                               std::uint64_t dropped = 0);
+
+}  // namespace mw::trace

@@ -1,0 +1,175 @@
+// mw_trace: the runtime observability layer — a lock-free, thread-local
+// ring-buffer event collector instrumenting the full world lifecycle
+// (spawn / split / commit / eliminate, page COW traffic, predicated
+// delivery decisions, gate deferral, restart/failover).
+//
+// Design constraints, in order:
+//   1. Near-zero cost when off. Every instrumentation site is the
+//      MW_TRACE_EVENT macro: one relaxed atomic load when tracing is
+//      compiled in but disabled; nothing at all when compiled out
+//      (cmake -DMW_TRACE=OFF).
+//   2. No cross-thread contention when on. Each emitting thread owns a
+//      private fixed-size ring; the only shared write is one relaxed
+//      fetch_add allocating the global sequence number that makes the
+//      merged stream totally ordered.
+//   3. Fixed-size binary records. No strings, no allocation on the emit
+//      path after the ring exists; a full ring drops its *oldest* record
+//      and counts the drop — the collector never blocks the runtime.
+//
+// The raw stream feeds three consumers (see the sibling headers):
+// SpecProfile (per-race speculation-efficiency metrics), the Chrome-trace
+// exporter (world lineage as nested spans for chrome://tracing /
+// ui.perfetto.dev), and the RuntimeAuditor's trace cross-check.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/vtime.hpp"
+
+namespace mw::trace {
+
+/// Everything the runtime reports. Values are part of the on-disk schema
+/// (docs/OBSERVABILITY.md): append new kinds, never renumber.
+enum class EventKind : std::uint16_t {
+  // Alternative-block lifecycle (src/core backends + src/worlds races).
+  kAltBlockBegin = 1,   // pid=parent, a=group, b=alternatives spawned
+  kAltSpawn = 2,        // pid=child, other=parent, a=group, b=alt index (1-based)
+  kAltChildBegin = 3,   // pid=child, a=group — child starts executing
+  kAltChildEnd = 4,     // pid=child, a=group, b=pages copied in its world
+  kAltSync = 5,         // pid=winner, other=parent, a=group — at-most-once win
+  kAltEliminate = 6,    // pid=loser, a=group
+  kAltAbort = 7,        // pid=child, a=group — guard/body/accept failure
+  kAltWait = 8,         // pid=parent, a=group — parent blocks in alt_wait
+  kAltBlockEnd = 9,     // pid=parent, a=group, b=AltFailure (0 = won)
+  // World lifecycle (src/core/world, src/worlds).
+  kWorldFork = 16,      // pid=child, other=parent — fork_alternative
+  kWorldSplit = 17,     // pid=new (rejecting) copy, other=split world, b=group
+  kWorldCommit = 18,    // pid=parent, other=child — page-pointer replacement
+  kWorldRollback = 19,  // pid=world — rewind to checkpoint snapshot
+  // Page traffic (src/pagestore).
+  kPageFork = 32,       // a=resident pages at fork
+  kPageAdopt = 33,      // a=resident pages adopted
+  kPageAlloc = 34,      // a=page index — zero-fill-on-demand
+  kPageCopy = 35,       // a=page index, b=bytes — one COW break
+  // Predicated delivery (src/msg).
+  kMsgAccept = 48,      // pid=sender, a=receiver predicate count
+  kMsgIgnore = 49,      // pid=sender, a=receiver predicate count
+  kMsgSplit = 50,       // pid=sender, a=receiver predicate count
+  // Source gate (src/io).
+  kGateDefer = 64,      // pid=speculative requester, a=pending after defer
+  kGateRelease = 65,    // pid=synced world, a=intents executed
+  kGateDrop = 66,       // pid=dead world, a=intents dropped
+  kGateReject = 67,     // pid=speculative requester (kReject policy)
+  // Supervision & distribution (src/super, src/dist).
+  kSuperRestart = 80,     // pid=new attempt, other=dead attempt, a=attempt #
+  kSuperQuarantine = 81,  // pid=final attempt, a=restarts burned
+  kSuperCheckpoint = 82,  // pid=attempt, a=resident pages, b=1 if delta
+  kDistFailover = 83,     // a=child index, b=bytes re-dispatched
+  kDistDemote = 84,       // a=child index — remote child demoted to Failed
+};
+
+/// Sentinel for "the emitter had no clock in scope"; the event still
+/// carries its global sequence number, which is the authoritative order.
+inline constexpr VTime kNoTraceTime = -1;
+
+/// One fixed-size binary record. 48 bytes; the whole ring is one flat
+/// allocation, so drop-oldest is a modulo store, never a shift.
+struct TraceEvent {
+  std::uint64_t seq = 0;   // global total order (allocation order)
+  VTime t = kNoTraceTime;  // virtual ticks; kNoTraceTime if unknown
+  std::uint64_t a = 0;     // kind-specific payload (see EventKind)
+  std::uint64_t b = 0;     // kind-specific payload
+  Pid pid = kNoPid;        // primary process/world
+  Pid other = kNoPid;      // secondary process/world (parent, child, ...)
+  EventKind kind{};
+  std::uint16_t tid = 0;   // small per-thread id of the emitting thread
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(TraceEvent) == 48, "records are fixed-size binary");
+
+/// True iff events would be recorded right now. One relaxed atomic load —
+/// this is the entire cost of a disabled instrumentation site.
+bool enabled();
+
+/// Master switch. Enabling starts recording into per-thread rings;
+/// disabling stops recording but keeps buffered events for collect().
+void set_enabled(bool on);
+
+/// Ring capacity (events per emitting thread) applied to rings created
+/// *after* the call; rounded up to a power of two (minimum 2) so the
+/// ring index is a mask. Default 1 << 16. Call before set_enabled(true).
+void set_ring_capacity(std::size_t events);
+
+/// Emits one event, stamped with the calling thread's trace clock (see
+/// set_now) unless `t` is given explicitly. Callable even when disabled
+/// (it is then a no-op) — but prefer the MW_TRACE_EVENT macro, which
+/// compiles out entirely under -DMW_TRACE=OFF.
+void emit(EventKind kind, Pid pid = kNoPid, Pid other = kNoPid,
+          std::uint64_t a = 0, std::uint64_t b = 0, VTime t = kNoTraceTime);
+
+/// Sets the calling thread's trace clock: the timestamp attached to
+/// subsequent emits that do not pass an explicit time. The DES-driven
+/// layers (SpecRuntime, Supervisor) call this as their virtual clock
+/// advances; wall-clock backends leave it unset.
+void set_now(VTime t);
+VTime now();
+
+/// Snapshot of every ring, merged and sorted by seq. Does not clear.
+std::vector<TraceEvent> collect();
+
+/// collect() + clear all rings and the dropped counter.
+std::vector<TraceEvent> drain();
+
+/// Events overwritten because some ring was full (drop-oldest), plus
+/// events discarded because a thread's ring could not be registered.
+std::uint64_t dropped();
+
+/// Total events ever emitted (recorded + dropped) since the last drain().
+std::uint64_t emitted();
+
+/// Clears all rings and counters; tracing enablement is unchanged.
+void reset();
+
+/// RAII enable/disable — benches and tests bracket a region with this.
+class Scope {
+ public:
+  explicit Scope(bool on = true) : prev_(enabled()) { set_enabled(on); }
+  ~Scope() { set_enabled(prev_); }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Human-readable kind name ("alt_sync", "page_copy", ...).
+const char* kind_name(EventKind k);
+
+}  // namespace mw::trace
+
+// The instrumentation-site macro. Compiled out under -DMW_TRACE=OFF
+// (cmake option MW_TRACE, which defines MW_TRACE_DISABLED); otherwise a
+// relaxed load guards the call into the collector.
+#if defined(MW_TRACE_DISABLED)
+#define MW_TRACE_EVENT(...) \
+  do {                      \
+  } while (0)
+#define MW_TRACE_SET_NOW(t) \
+  do {                      \
+  } while (0)
+#else
+#define MW_TRACE_EVENT(...)                            \
+  do {                                                 \
+    if (::mw::trace::enabled()) {                      \
+      ::mw::trace::emit(__VA_ARGS__);                  \
+    }                                                  \
+  } while (0)
+#define MW_TRACE_SET_NOW(t)                            \
+  do {                                                 \
+    if (::mw::trace::enabled()) {                      \
+      ::mw::trace::set_now(t);                         \
+    }                                                  \
+  } while (0)
+#endif

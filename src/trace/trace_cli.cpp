@@ -1,0 +1,39 @@
+#include "trace/trace_cli.hpp"
+
+#include <iostream>
+
+#include "trace/chrome_trace.hpp"
+
+namespace mw::trace {
+
+TraceSession::TraceSession(const Cli& cli)
+    : path_(cli.get("trace", "")), want_profile_(cli.has("profile")) {
+  active_ = !path_.empty() || want_profile_;
+  if (active_) {
+    reset();
+    set_enabled(true);
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (active_ && !finished_) set_enabled(false);
+}
+
+void TraceSession::finish(std::ostream& out) {
+  if (!active_ || finished_) return;
+  finished_ = true;
+  set_enabled(false);
+  const std::uint64_t drops = dropped();
+  const std::vector<TraceEvent> events = drain();
+  profile_ = build_spec_profile(events, drops);
+  if (!path_.empty()) {
+    if (write_chrome_json(path_, events))
+      out << "wrote " << path_ << " (" << events.size()
+          << " events; open in chrome://tracing or ui.perfetto.dev)\n";
+    else
+      out << "trace: failed to write " << path_ << "\n";
+  }
+  if (want_profile_) out << profile_.to_string();
+}
+
+}  // namespace mw::trace

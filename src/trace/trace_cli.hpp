@@ -1,0 +1,50 @@
+// TraceSession: the 3-line wiring that gives any bench or example the
+// standard observability flags:
+//
+//   --trace=<file>   enable tracing, export Chrome-trace JSON on finish
+//   --profile        enable tracing, print the SpecProfile summary
+//
+//   TraceSession trace(cli);
+//   ...run the workload...
+//   trace.finish(std::cout);
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/spec_profile.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
+
+namespace mw::trace {
+
+class TraceSession {
+ public:
+  /// Reads --trace / --profile from `cli` and enables collection if either
+  /// is present. Tracing state is restored by finish() (or the destructor).
+  explicit TraceSession(const Cli& cli);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Drains the collected stream; writes the Chrome-trace file if --trace
+  /// was given (logging the path to `out`) and prints the SpecProfile
+  /// summary if --profile was given. Safe to call once; no-op when neither
+  /// flag was passed.
+  void finish(std::ostream& out);
+
+  /// The profile built by finish() (empty before, or without --profile).
+  const SpecProfile& profile() const { return profile_; }
+
+ private:
+  std::string path_;
+  bool want_profile_ = false;
+  bool active_ = false;
+  bool finished_ = false;
+  SpecProfile profile_;
+};
+
+}  // namespace mw::trace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -111,9 +112,18 @@ std::vector<Pid> SpecRuntime::spawn_alternatives(LogicalId parent,
   // executing, it could cause state changes which would make its state
   // inconsistent after the synchronization").
   table_.set_status(pp.world.pid(), ProcStatus::kBlocked);
+  MW_TRACE_SET_NOW(queue_.now());
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockBegin, pp.world.pid(), kNoPid,
+                 gid, alts.size(), queue_.now());
+  MW_TRACE_EVENT(trace::EventKind::kAltWait, pp.world.pid(), kNoPid, gid, 0,
+                 queue_.now());
 
   for (std::size_t k = 0; k < alts.size(); ++k) {
     const LogicalId lid = next_lid_++;
+    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, pids[k], pp.world.pid(), gid,
+                   k + 1,
+                   queue_.now() + cfg_.spawn_latency *
+                                      static_cast<VDuration>(k + 1));
     World child = pp.world.fork_alternative(pids[k], pids);
     SpecProcess& cp = create_process(lid, alts[k].name, std::move(child),
                                      std::move(alts[k].on_message));
@@ -176,6 +186,9 @@ void SpecRuntime::deliver(Pid copy, Message msg) {
     return;
   }
   ++stats_.delivered;
+  // Delivery decisions (src/msg) and any split's page traffic carry the
+  // event-queue's virtual time through the thread-local trace clock.
+  MW_TRACE_SET_NOW(queue_.now());
 
   // Fold in facts that resolved while the message was in flight; a message
   // whose sending assumptions are now known false came from a dead world.
@@ -218,18 +231,25 @@ bool SpecRuntime::do_try_sync(SpecProcess& p) {
   MW_CHECK(p.alternative);
   if (!p.alive) return false;
   Group& g = groups_[p.group];
+  MW_TRACE_SET_NOW(queue_.now());
   if (g.synced) {
     // Lost the at-most-once race: this alternative is eliminated.
     p.alive = false;
     ++stats_.eliminated_copies;
+    MW_TRACE_EVENT(trace::EventKind::kAltEliminate, p.world.pid(), kNoPid,
+                   p.group, 0, queue_.now());
     table_.set_status(p.world.pid(), ProcStatus::kEliminated);
     return false;
   }
   g.synced = true;
+  MW_TRACE_EVENT(trace::EventKind::kAltSync, p.world.pid(), g.parent_pid,
+                 p.group, 0, queue_.now());
 
   // The parent absorbs the child's state: page-pointer replacement.
   auto pit = procs_.find(g.parent_pid);
   if (pit != procs_.end() && pit->second->alive) {
+    MW_TRACE_EVENT(trace::EventKind::kWorldCommit, g.parent_pid,
+                   p.world.pid(), 0, 0, queue_.now());
     pit->second->world.space().adopt(p.world.space().fork());
     table_.set_status(g.parent_pid, ProcStatus::kRunning);
     // Drain messages that queued while the parent was blocked, in arrival
@@ -255,6 +275,8 @@ bool SpecRuntime::do_try_sync(SpecProcess& p) {
 void SpecRuntime::do_abort(SpecProcess& p) {
   if (!p.alive) return;
   p.alive = false;
+  MW_TRACE_EVENT(trace::EventKind::kAltAbort, p.world.pid(), kNoPid, p.group,
+                 0, queue_.now());
   table_.set_status(p.world.pid(), ProcStatus::kFailed);
 }
 
@@ -285,6 +307,8 @@ void SpecRuntime::on_terminal(Pid pid, bool completed) {
     if (it == procs_.end() || !it->second->alive) continue;
     it->second->alive = false;
     ++stats_.eliminated_copies;
+    MW_TRACE_EVENT(trace::EventKind::kAltEliminate, d, kNoPid,
+                   it->second->group, 0, queue_.now());
     table_.set_status(d, ProcStatus::kEliminated);
   }
   --cascade_depth_;

@@ -1,0 +1,120 @@
+// Collector mechanics: ring overflow, drop accounting, enable gating and
+// the thread-local trace clock. Each TEST runs as its own ctest process,
+// but the cases are also written to survive sharing one process: every
+// capacity-sensitive case emits from a fresh thread, because
+// set_ring_capacity only applies to rings created after the call.
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace mw::trace {
+namespace {
+
+// Events emitted by `fn` on a brand-new thread (and therefore a
+// brand-new ring with the currently configured capacity).
+void on_fresh_thread(const std::function<void()>& fn) {
+  std::thread t(fn);
+  t.join();
+}
+
+std::vector<TraceEvent> events_of_kind(EventKind k) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : collect())
+    if (e.kind == k) out.push_back(e);
+  return out;
+}
+
+TEST(TraceRing, OverflowDropsOldestAndCounts) {
+  reset();
+  set_ring_capacity(8);
+  set_enabled(true);
+  on_fresh_thread([] {
+    for (std::uint64_t i = 0; i < 100; ++i)
+      emit(EventKind::kPageCopy, 7, kNoPid, i, i * 3);
+  });
+  set_enabled(false);
+
+  // 100 pushed into an 8-slot ring: the 8 newest survive, 92 dropped.
+  EXPECT_EQ(dropped(), 92u);
+  std::vector<TraceEvent> copies = events_of_kind(EventKind::kPageCopy);
+  ASSERT_EQ(copies.size(), 8u);
+  std::sort(copies.begin(), copies.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              return x.a < y.a;
+            });
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint64_t expect_a = 92 + i;
+    EXPECT_EQ(copies[i].a, expect_a);
+    // Drop-oldest must never tear a surviving record.
+    EXPECT_EQ(copies[i].b, expect_a * 3);
+    EXPECT_EQ(copies[i].pid, 7u);
+    EXPECT_EQ(copies[i].kind, EventKind::kPageCopy);
+  }
+  set_ring_capacity(std::size_t{1} << 16);
+  reset();
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  reset();
+  set_ring_capacity(5);  // rounds to 8
+  set_enabled(true);
+  on_fresh_thread([] {
+    for (std::uint64_t i = 0; i < 8; ++i)
+      emit(EventKind::kPageAlloc, 1, kNoPid, i);
+  });
+  set_enabled(false);
+  EXPECT_EQ(dropped(), 0u);
+  EXPECT_EQ(events_of_kind(EventKind::kPageAlloc).size(), 8u);
+  set_ring_capacity(std::size_t{1} << 16);
+  reset();
+}
+
+TEST(TraceRing, DisabledEmitsNothing) {
+  reset();
+  set_enabled(false);
+  const std::uint64_t before = emitted();
+  MW_TRACE_EVENT(EventKind::kWorldFork, 1, 2);
+  emit(EventKind::kWorldFork, 1, 2);  // direct call is also a no-op
+  EXPECT_EQ(emitted(), before);
+  EXPECT_TRUE(collect().empty());
+}
+
+TEST(TraceRing, ThreadClockStampsEvents) {
+  reset();
+  set_enabled(true);
+  set_now(1234);
+  emit(EventKind::kGateDefer, 3);            // inherits the thread clock
+  emit(EventKind::kGateRelease, 3, kNoPid, 0, 0, 99);  // explicit t wins
+  set_enabled(false);
+  const auto defers = events_of_kind(EventKind::kGateDefer);
+  const auto releases = events_of_kind(EventKind::kGateRelease);
+  ASSERT_EQ(defers.size(), 1u);
+  ASSERT_EQ(releases.size(), 1u);
+  EXPECT_EQ(defers[0].t, 1234);
+  EXPECT_EQ(releases[0].t, 99);
+  set_now(kNoTraceTime);
+  reset();
+}
+
+TEST(TraceRing, DrainEmptiesAndResets) {
+  reset();
+  set_enabled(true);
+  emit(EventKind::kMsgAccept, 1);
+  emit(EventKind::kMsgIgnore, 2);
+  set_enabled(false);
+  EXPECT_EQ(drain().size(), 2u);
+  EXPECT_TRUE(collect().empty());
+  EXPECT_EQ(emitted(), 0u);  // drain rewinds the global sequence
+}
+
+TEST(TraceRing, RecordIs48Bytes) {
+  // The schema contract documented in docs/OBSERVABILITY.md.
+  EXPECT_EQ(sizeof(TraceEvent), 48u);
+}
+
+}  // namespace
+}  // namespace mw::trace

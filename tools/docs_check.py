@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Documentation checker: intra-repo links and compilable C++ snippets.
+
+Two checks over every tracked markdown file:
+
+1. Relative links — every [text](path) that is not an external URL or a
+   pure #anchor must name a file or directory that exists, relative to
+   the file containing the link (or to the repo root for /-leading
+   paths). Anchors are stripped before the existence check.
+
+2. Fenced snippets — every ```cpp block must compile as a standalone
+   translation unit with -fsyntax-only against -I src. The convention:
+   ```cpp marks a compiled snippet (self-contained: includes what it
+   uses; top-level statements are fine, they are global definitions),
+   ```c++ marks an illustrative fragment the checker skips.
+
+Exit code 0 when everything passes; 1 with one line per failure.
+
+Usage: tools/docs_check.py [--compiler g++] [files...]
+(no files = every *.md under the repo, skipping build/ and hidden dirs)
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+# Markdown the check owns. Generated or vendored text would go here.
+SKIP_DIRS = {"build", ".git", ".github"}
+
+
+def md_files():
+    out = []
+    for p in sorted(REPO.rglob("*.md")):
+        rel = p.relative_to(REPO)
+        if any(part in SKIP_DIRS or part.startswith(".") for part in rel.parts):
+            continue
+        out.append(p)
+    return out
+
+
+def strip_fences(text):
+    """Yields (line_number, line) for lines outside fenced code blocks."""
+    in_fence = False
+    for i, line in enumerate(text.splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            yield i, line
+
+
+def check_links(path, text, errors):
+    for lineno, line in strip_fences(text):
+        for target in LINK_RE.findall(line):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):  # same-file anchor
+                continue
+            clean = target.split("#", 1)[0]
+            if not clean:
+                continue
+            base = REPO if clean.startswith("/") else path.parent
+            resolved = (base / clean.lstrip("/")).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken link "
+                    f"'{target}'"
+                )
+
+
+def cpp_snippets(text):
+    """Yields (first_line_number, snippet_source) for ```cpp fences."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = FENCE_RE.match(lines[i])
+        if m and m.group(1) == "cpp":
+            start = i + 2  # 1-based line of first snippet line
+            body = []
+            i += 1
+            while i < len(lines) and not FENCE_RE.match(lines[i]):
+                body.append(lines[i])
+                i += 1
+            yield start, "\n".join(body) + "\n"
+        elif m and m.group(1):
+            # Some other fenced language: skip to its closing fence.
+            i += 1
+            while i < len(lines) and not FENCE_RE.match(lines[i]):
+                i += 1
+        i += 1
+
+
+def check_snippets(path, text, compiler, errors):
+    for lineno, src in cpp_snippets(text):
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".cpp", prefix="docsnip_", delete=False
+        ) as f:
+            f.write(src)
+            tmp = f.name
+        try:
+            proc = subprocess.run(
+                [
+                    compiler,
+                    "-std=c++20",
+                    "-fsyntax-only",
+                    "-I",
+                    str(REPO / "src"),
+                    tmp,
+                ],
+                capture_output=True,
+                text=True,
+            )
+            if proc.returncode != 0:
+                first = proc.stderr.strip().splitlines()
+                detail = first[0] if first else "compiler error"
+                errors.append(
+                    f"{path.relative_to(REPO)}:{lineno}: ```cpp snippet "
+                    f"fails to compile: {detail}"
+                )
+        finally:
+            pathlib.Path(tmp).unlink(missing_ok=True)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--compiler", default="g++")
+    ap.add_argument("files", nargs="*")
+    args = ap.parse_args()
+
+    files = [pathlib.Path(f).resolve() for f in args.files] or md_files()
+    errors = []
+    snippets = 0
+    for path in files:
+        text = path.read_text(encoding="utf-8")
+        check_links(path, text, errors)
+        before = len(errors)
+        snippet_list = list(cpp_snippets(text))
+        snippets += len(snippet_list)
+        check_snippets(path, text, args.compiler, errors)
+        status = "ok" if len(errors) == before else "FAIL"
+        print(
+            f"{status:4} {path.relative_to(REPO)} "
+            f"({len(snippet_list)} compiled snippet(s))"
+        )
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"{len(files)} file(s), {snippets} snippet(s), "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
