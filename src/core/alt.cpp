@@ -11,6 +11,9 @@ AltOutcome run_alternatives_virtual(Runtime& rt, World& parent,
 AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
                                    const std::vector<Alternative>& alts,
                                    const AltOptions& opts);
+AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
+                                 const std::vector<Alternative>& alts,
+                                 const AltOptions& opts);
 }  // namespace internal
 
 AltOutcome run_alternatives(Runtime& rt, World& parent,
@@ -23,6 +26,9 @@ AltOutcome run_alternatives(Runtime& rt, World& parent,
       break;
     case AltBackend::kThread:
       out = internal::run_alternatives_thread(rt, parent, alts, opts);
+      break;
+    case AltBackend::kPool:
+      out = internal::run_alternatives_pool(rt, parent, alts, opts);
       break;
   }
   rt.record_outcome(out);

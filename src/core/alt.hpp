@@ -40,7 +40,12 @@ enum class Elimination { kSynchronous, kAsynchronous };
 ///    winner. Reproducible on any host.
 ///  * kThread — wall-clock backend: one OS thread per alternative, first
 ///    successful sync wins a CAS; losers are cancelled cooperatively.
-enum class AltBackend { kVirtual, kThread };
+///  * kPool — wall-clock backend for *many concurrent races*: alternatives
+///    are enqueued as tasks on a shared work-stealing pool (one worker per
+///    hardware thread) with bounded admission and cancellation-aware
+///    pruning — queued losers are revoked before they ever run. See
+///    core/spec_scheduler.hpp.
+enum class AltBackend { kVirtual, kThread, kPool };
 
 struct Alternative {
   std::string name;
@@ -51,6 +56,10 @@ struct Alternative {
   /// Acceptance test over the child's final state, evaluated at the sync
   /// point. Null = accept.
   std::function<bool(const World&)> accept;
+  /// Scheduling hint: estimated success probability / preference. The pool
+  /// backend runs high-priority alternatives first locally and steals
+  /// low-priority ones last; other backends ignore it.
+  double priority = 0.0;
 };
 
 struct AltOptions {
@@ -61,6 +70,12 @@ struct AltOptions {
   VDuration timeout = kVTimeMax;
   Elimination elimination = Elimination::kAsynchronous;
   unsigned guard_phases = kGuardInChild;
+  /// Thread backend: how long (µs of wall time) the block waits for
+  /// eliminated siblings to acknowledge cancellation before detaching them
+  /// as stragglers. Losers normally unwind at their next checkpoint; this
+  /// deadline bounds the damage of a loser that never checks (e.g. a hang
+  /// with no cancellation token). kVTimeMax = wait forever (join).
+  VDuration reap_deadline = 1'000'000;
 };
 
 /// τ(overhead) decomposition (§3.3): (1) setting up the worlds, (2)
@@ -81,12 +96,28 @@ struct AltReport {
   bool spawned = false;  // false if a pre-spawn guard rejected it
   bool ran = false;      // started before the winner synchronized
   bool success = false;  // reached a successful sync
+  /// Pool backend: pruned from the queue before its body ever ran (its
+  /// world copied zero pages). Implies !ran.
+  bool revoked = false;
+  /// Thread backend: still running at the reap deadline and detached. Its
+  /// world/result slots are kept alive until it unwinds, but its page
+  /// counters were not sampled.
+  bool straggler = false;
   VTime start = 0;
   VTime finish = 0;
   std::uint64_t pages_copied = 0;  // COW breaks in its world
 };
 
-enum class AltFailure { kNone, kAllFailed, kTimeout, kNoAlternatives };
+enum class AltFailure {
+  kNone,
+  kAllFailed,
+  kTimeout,
+  kNoAlternatives,
+  /// Pool backend: the admission controller could not fit this race within
+  /// the speculation budget (live worlds / resident pages) before the
+  /// admission deadline; nothing was spawned.
+  kAdmissionRejected,
+};
 
 struct AltOutcome {
   bool failed = false;

@@ -1,0 +1,387 @@
+// kPool: alternative blocks as work-stealing tasks. See alt_pool.hpp for
+// the contract; the block-level semantics mirror alt_thread.cpp with three
+// structural changes — admission before any world is forked, alternatives
+// submitted as prioritized tasks instead of threads, and winner-side
+// revocation of queued siblings at the sync point.
+#include "core/alt_pool.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+#include "core/alt_context.hpp"
+#include "core/runtime.hpp"
+#include "core/spec_scheduler.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace mw {
+
+namespace internal {
+
+namespace {
+
+// How a spawned alternative's task ended. Extends the thread backend's
+// fates with the two never-ran terminals the scheduler introduces.
+enum class End {
+  kPending,
+  kSynced,
+  kAborted,
+  kCancelled,
+  kRevoked,  // pruned while queued: body never ran, zero pages copied
+  kFaulted,  // killed by sched.steal fault injection: body never ran
+};
+
+}  // namespace
+
+AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
+                                 const std::vector<Alternative>& alts,
+                                 const AltOptions& opts) {
+  const std::size_t n = alts.size();
+  AltOutcome out;
+  out.alts.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.alts[i].index = i + 1;
+    out.alts[i].name = alts[i].name;
+  }
+  if (n == 0) {
+    out.failed = true;
+    out.failure = AltFailure::kNoAlternatives;
+    return out;
+  }
+
+  SpecScheduler& sched = rt.scheduler();
+  const std::uint64_t group = rt.next_alt_group();
+  ProcessTable& table = rt.processes();
+  Stopwatch block_clock;
+
+  std::vector<std::size_t> spawned;
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((opts.guard_phases & kGuardPreSpawn) && alts[i].guard &&
+        !alts[i].guard(parent)) {
+      continue;
+    }
+    spawned.push_back(i);
+    out.alts[i].spawned = true;
+  }
+  if (spawned.empty()) {
+    out.failed = true;
+    out.failure = AltFailure::kAllFailed;
+    return out;
+  }
+  const std::size_t m = spawned.size();
+
+  // Admission: fit the race inside the global speculation budget before a
+  // single world exists. A rejected race spawns nothing — the block fails
+  // the same way an all-guards-false block does, and the caller decides
+  // whether to retry sequentially.
+  if (!sched.admit(m, parent.pid(), group)) {
+    for (std::size_t i = 0; i < n; ++i) out.alts[i].spawned = false;
+    out.failed = true;
+    out.failure = AltFailure::kAdmissionRejected;
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+    return out;
+  }
+
+  std::vector<Pid> sibling_pids;
+  sibling_pids.reserve(m);
+  for (std::size_t i : spawned)
+    sibling_pids.push_back(table.create(parent.pid(), group, alts[i].name));
+
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockBegin, parent.pid(), kNoPid,
+                 group, m, 0);
+  Stopwatch setup_clock;
+  std::vector<World> worlds;
+  worlds.reserve(m);
+  for (std::size_t k = 0; k < m; ++k) {
+    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, sibling_pids[k], parent.pid(),
+                   group, spawned[k] + 1,
+                   static_cast<VTime>(block_clock.elapsed_us()));
+    worlds.push_back(parent.fork_alternative(sibling_pids[k], sibling_pids));
+    table.set_status(sibling_pids[k], ProcStatus::kRunning);
+  }
+  out.overhead.setup = static_cast<VDuration>(setup_clock.elapsed_us());
+
+  struct Block {
+    std::mutex mu;
+    std::condition_variable cv;
+    // At-most-once sync arbiter, as in the thread backend. The parent waits
+    // on `synced`/`terminal`, published under the mutex.
+    std::atomic<int> race{-1};
+    int synced = -1;
+    std::size_t terminal = 0;  // done + revoked + faulted
+  } block;
+
+  std::vector<CancelToken> cancels(m);
+  std::vector<Bytes> results(m);
+  std::vector<End> ends(m, End::kPending);
+  // Task handles, written by the submit loop and read by the winner's
+  // pruning pass — both under block.mu (a task can win while later
+  // siblings are still being submitted).
+  std::vector<SchedTaskRef> tasks(m);
+
+  // Prune every queued sibling of `self` and request cooperative
+  // cancellation of the running ones. Called by the winning task at sync
+  // time (before the parent wakes: the window in which another worker
+  // could start a doomed sibling is the CAS-to-revoke gap, not the
+  // sync-to-parent-wakeup gap) and again by the parent, which sweeps any
+  // sibling submitted after the winner's pass.
+  auto prune_siblings = [&](std::size_t self) {
+    std::vector<SchedTaskRef> snapshot;
+    {
+      std::lock_guard<std::mutex> lk(block.mu);
+      snapshot = tasks;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (j == self || !snapshot[j]) continue;
+      sched.revoke(snapshot[j]);
+      cancels[j].request();
+    }
+  };
+
+  const bool virtual_bodies = sched.deterministic();
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = spawned[k];
+    auto body_fn = [&, k, i] {
+      const Alternative& alt = alts[i];
+      World& child = worlds[k];
+      AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), &cancels[k],
+                     virtual_bodies);
+      MW_TRACE_EVENT(trace::EventKind::kAltChildBegin, sibling_pids[k],
+                     kNoPid, group, 0,
+                     static_cast<VTime>(block_clock.elapsed_us()));
+      End end = End::kAborted;
+      try {
+        bool success = true;
+        if ((opts.guard_phases & kGuardInChild) && alt.guard &&
+            !alt.guard(child)) {
+          success = false;
+        } else {
+          alt.body(ctx);
+        }
+        if (success && (opts.guard_phases & kGuardAtSync) && alt.guard &&
+            !alt.guard(child)) {
+          success = false;
+        }
+        if (success && alt.accept && !alt.accept(child)) success = false;
+        if (success) {
+          int expected = -1;
+          end = block.race.compare_exchange_strong(expected,
+                                                   static_cast<int>(k))
+                    ? End::kSynced
+                    : End::kCancelled;  // lost the race: eliminated
+        }
+      } catch (const CancelledError&) {
+        end = End::kCancelled;
+      } catch (const AltFailed&) {
+        end = End::kAborted;
+      } catch (const AltHung&) {
+        end = End::kAborted;
+      } catch (const std::exception&) {
+        end = End::kAborted;
+      } catch (...) {
+        // Foreign exceptions (e.g. an injected crash) fail the alternative
+        // without taking down the pool worker executing it.
+        end = End::kAborted;
+      }
+      results[k] = ctx.result();
+      MW_TRACE_EVENT(trace::EventKind::kAltChildEnd, sibling_pids[k], kNoPid,
+                     group, child.space().table().stats().pages_copied,
+                     static_cast<VTime>(block_clock.elapsed_us()));
+      if (end == End::kSynced) {
+        MW_TRACE_EVENT(trace::EventKind::kAltSync, sibling_pids[k],
+                       parent.pid(), group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
+        // Cancellation-aware pruning: kill the queued siblings while they
+        // have copied zero pages, before the parent even wakes.
+        prune_siblings(k);
+      }
+      {
+        std::lock_guard<std::mutex> lk(block.mu);
+        ends[k] = end;
+        if (end == End::kSynced) block.synced = static_cast<int>(k);
+        ++block.terminal;
+      }
+      block.cv.notify_all();
+    };
+    auto on_skipped = [&, k](SchedTask& t) {
+      {
+        std::lock_guard<std::mutex> lk(block.mu);
+        ends[k] = t.faulted() ? End::kFaulted : End::kRevoked;
+        ++block.terminal;
+      }
+      block.cv.notify_all();
+    };
+    SchedTaskRef task =
+        sched.submit(std::move(body_fn), alts[i].priority, group,
+                     sibling_pids[k], std::move(on_skipped), parent.pid(),
+                     spawned[k] + 1);
+    {
+      std::lock_guard<std::mutex> lk(block.mu);
+      tasks[k] = std::move(task);
+    }
+  }
+
+  // alt_wait. A helping parent (pool worker or deterministic driver) runs
+  // tasks between checks instead of sleeping — a fully subscribed pool
+  // with nested races must never deadlock on its own parents.
+  MW_TRACE_EVENT(trace::EventKind::kAltWait, parent.pid(), kNoPid, group, 0,
+                 static_cast<VTime>(block_clock.elapsed_us()));
+  const bool bounded = opts.timeout != kVTimeMax;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(bounded ? opts.timeout : 0);
+  auto wait_for_pred = [&](auto pred, bool use_deadline) -> bool {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(block.mu);
+        if (pred()) return true;
+      }
+      if (use_deadline && std::chrono::steady_clock::now() >= deadline)
+        return false;
+      if (sched.should_help()) {
+        if (sched.run_one()) continue;
+        if (sched.deterministic()) {
+          // Single-threaded and nothing runnable: every task of this block
+          // is terminal, so the predicate must hold now.
+          std::unique_lock<std::mutex> lk(block.mu);
+          MW_CHECK(pred());
+          return true;
+        }
+        std::unique_lock<std::mutex> lk(block.mu);
+        block.cv.wait_for(lk, std::chrono::microseconds(200), pred);
+      } else {
+        std::unique_lock<std::mutex> lk(block.mu);
+        if (use_deadline) {
+          if (!block.cv.wait_until(lk, deadline, pred)) return false;
+        } else {
+          block.cv.wait(lk, pred);
+        }
+        return true;
+      }
+    }
+  };
+
+  auto decided = [&] { return block.synced >= 0 || block.terminal == m; };
+  auto all_terminal = [&] { return block.terminal == m; };
+
+  const bool decided_in_time = wait_for_pred(decided, bounded);
+  int wk;
+  {
+    std::lock_guard<std::mutex> lk(block.mu);
+    wk = block.synced;
+  }
+
+  if (!decided_in_time && wk < 0) {
+    // Timeout: revoke what never started, cancel what did, then wait the
+    // stragglers out. A child that synced while the timeout fired keeps
+    // its at-most-once win and is honoured below.
+    prune_siblings(m);  // no winner: prune everyone
+    wait_for_pred(all_terminal, false);
+    std::lock_guard<std::mutex> lk(block.mu);
+    wk = block.synced;
+    if (wk < 0) {
+      out.failed = true;
+      out.failure = AltFailure::kTimeout;
+    }
+  }
+
+  if (wk >= 0) {
+    // The winner already pruned its queued siblings; sweep again from the
+    // parent to catch any sibling submitted after the winner's pass, then
+    // honour the elimination mode.
+    Stopwatch elim_clock;
+    prune_siblings(static_cast<std::size_t>(wk));
+    if (opts.elimination == Elimination::kSynchronous)
+      wait_for_pred(all_terminal, false);
+    out.overhead.elimination = static_cast<VDuration>(elim_clock.elapsed_us());
+
+    const auto wku = static_cast<std::size_t>(wk);
+    const std::size_t wi = spawned[wku];
+    out.winner = wi;
+    out.winner_name = alts[wi].name;
+    out.alts[wi].pages_copied =
+        worlds[wku].space().table().stats().pages_copied;
+
+    Stopwatch commit_clock;
+    table.set_status(sibling_pids[wku], ProcStatus::kSynced);
+    out.result = std::move(results[wku]);
+    parent.commit_from(std::move(worlds[wku]));
+    out.overhead.commit = static_cast<VDuration>(commit_clock.elapsed_us());
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+  } else if (decided_in_time) {
+    out.failed = true;
+    out.failure = AltFailure::kAllFailed;
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+  } else {
+    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+  }
+
+  // The pool's equivalent of joining the threads: every task must be
+  // terminal before the worlds vector leaves scope. Running losers unwind
+  // at their next checkpoint; revoked ones are already terminal.
+  wait_for_pred(all_terminal, false);
+
+  for (std::size_t k = 0; k < m; ++k) {
+    const std::size_t i = spawned[k];
+    AltReport& rep = out.alts[i];
+    rep.pid = sibling_pids[k];
+    rep.success = static_cast<int>(k) == wk;
+    if (static_cast<int>(k) != wk)
+      rep.pages_copied = worlds[k].space().table().stats().pages_copied;
+    switch (ends[k]) {
+      case End::kSynced:
+        rep.ran = true;
+        break;
+      case End::kAborted:
+        rep.ran = true;
+        table.set_status(sibling_pids[k], ProcStatus::kFailed);
+        MW_TRACE_EVENT(trace::EventKind::kAltAbort, sibling_pids[k], kNoPid,
+                       group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
+        break;
+      case End::kPending:
+      case End::kCancelled:
+        rep.ran = ends[k] == End::kCancelled;
+        table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+        MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k],
+                       kNoPid, group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
+        break;
+      case End::kRevoked:
+        rep.revoked = true;
+        table.set_status(sibling_pids[k], ProcStatus::kEliminated);
+        MW_TRACE_EVENT(trace::EventKind::kSchedRevoke, sibling_pids[k],
+                       kNoPid, group, rep.pages_copied,
+                       static_cast<VTime>(block_clock.elapsed_us()));
+        MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k],
+                       kNoPid, group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
+        break;
+      case End::kFaulted:
+        // Killed by an injected fault at the steal point: the sibling
+        // crashed before its body ran. Failed, not eliminated — a
+        // supervisor watching this pid must see a crash to recover.
+        table.set_status(sibling_pids[k], ProcStatus::kFailed);
+        MW_TRACE_EVENT(trace::EventKind::kAltAbort, sibling_pids[k], kNoPid,
+                       group, 0,
+                       static_cast<VTime>(block_clock.elapsed_us()));
+        break;
+    }
+  }
+  MW_TRACE_EVENT(trace::EventKind::kAltBlockEnd, parent.pid(), kNoPid, group,
+                 static_cast<std::uint64_t>(out.failure),
+                 static_cast<VTime>(block_clock.elapsed_us()));
+
+  // Drop terminal task records of this race still parked in the deques,
+  // then give the admitted worlds back to the budget.
+  sched.scrub(group);
+  sched.release(m);
+  return out;
+}
+
+}  // namespace internal
+
+}  // namespace mw

@@ -1,0 +1,36 @@
+// The kPool backend: alternative blocks executed as tasks on the shared
+// work-stealing SpecScheduler instead of one OS thread per alternative.
+//
+// Differences from the kThread backend, in decreasing order of importance:
+//   * Admission — the block asks the scheduler's speculation budget for
+//     room *before* forking any world; a rejected block fails with
+//     AltFailure::kAdmissionRejected and spawns nothing.
+//   * Pruning — when a winner synchronizes it immediately revokes its
+//     still-queued siblings, inside the winning task and before the parent
+//     even wakes. A revoked alternative's body never runs and its world
+//     never breaks a COW page (AltReport::revoked, pages_copied == 0).
+//   * Helping — a parent that is itself a pool worker (nested races) or a
+//     deterministic-mode driver executes tasks while it waits instead of
+//     blocking, so a fully subscribed pool cannot deadlock on nesting.
+//
+// Semantics (winner selection, guards, accept, commit, elimination of
+// running losers) are identical to kThread.
+#pragma once
+
+#include <vector>
+
+#include "core/alt.hpp"
+
+namespace mw {
+
+class Runtime;
+
+namespace internal {
+
+AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
+                                 const std::vector<Alternative>& alts,
+                                 const AltOptions& opts);
+
+}  // namespace internal
+
+}  // namespace mw

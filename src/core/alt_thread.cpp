@@ -2,9 +2,19 @@
 // alternative, at-most-once synchronization by CAS, cooperative
 // elimination. On a multi-core host this delivers real response-time wins;
 // semantics are identical to the virtual backend.
+//
+// Elimination is cooperative, so a loser that never observes its cancel
+// token (a hang with no checkpoint) used to wedge the block forever in the
+// final join. The block now *reaps* with a bounded join: losers get
+// opts.reap_deadline microseconds to acknowledge cancellation, then are
+// detached as stragglers (AltReport::straggler). Everything a detached
+// thread can still touch lives in a heap-allocated Block shared with each
+// thread — the block call can return while a straggler unwinds.
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -18,6 +28,106 @@
 namespace mw {
 
 namespace internal {
+
+namespace {
+
+enum class End { kPending, kSynced, kAborted, kCancelled };
+
+// Everything an alternative thread reads or writes after spawn. Heap
+// allocated and shared (parent + one ref per thread) so a detached
+// straggler never touches the parent's dead stack frame — it owns copies
+// of the alternatives themselves (callers pass temporaries), the forked
+// worlds, and pre-derived RNG streams; nothing of Runtime or the parent
+// World is reachable from a child thread.
+struct Block {
+  explicit Block(std::size_t m)
+      : cancels(m), results(m), ends(m, End::kPending) {}
+
+  std::vector<Alternative> alts;       // the spawned subset, copied
+  std::vector<std::size_t> alt_index;  // original 0-based index per entry
+  std::vector<Pid> pids;
+  std::vector<World> worlds;
+  std::vector<Rng> rngs;
+  std::vector<CancelToken> cancels;
+  std::vector<Bytes> results;
+
+  unsigned guard_phases = 0;
+  Pid parent_pid = kNoPid;
+  std::uint64_t group = 0;
+  Stopwatch clock;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  // CAS arbiter for the at-most-once sync (§2.2.1). The parent never
+  // reads this directly; it waits for `synced`, which the winning thread
+  // publishes under the mutex *after* its results are in place.
+  std::atomic<int> race{-1};
+  int synced = -1;
+  std::size_t done = 0;
+  std::vector<End> ends;  // ends[k] != kPending <=> thread k published
+};
+
+void run_alternative(const std::shared_ptr<Block>& blk, std::size_t k) {
+  const Alternative& alt = blk->alts[k];
+  World& child = blk->worlds[k];
+  AltContext ctx(child, blk->alt_index[k] + 1, blk->rngs[k],
+                 &blk->cancels[k], /*virtual_mode=*/false);
+  MW_TRACE_EVENT(trace::EventKind::kAltChildBegin, blk->pids[k], kNoPid,
+                 blk->group, 0,
+                 static_cast<VTime>(blk->clock.elapsed_us()));
+  End end = End::kAborted;
+  try {
+    bool success = true;
+    if ((blk->guard_phases & kGuardInChild) && alt.guard &&
+        !alt.guard(child)) {
+      success = false;
+    } else {
+      alt.body(ctx);
+    }
+    if (success && (blk->guard_phases & kGuardAtSync) && alt.guard &&
+        !alt.guard(child)) {
+      success = false;
+    }
+    if (success && alt.accept && !alt.accept(child)) success = false;
+    if (success) {
+      int expected = -1;
+      end = blk->race.compare_exchange_strong(expected, static_cast<int>(k))
+                ? End::kSynced
+                : End::kCancelled;  // lost the race: eliminated
+    }
+  } catch (const CancelledError&) {
+    end = End::kCancelled;
+  } catch (const AltFailed&) {
+    end = End::kAborted;
+  } catch (const AltHung&) {
+    // Only reachable if hang() degrades (no cancel token); treat as a
+    // plain abort so the block can still decide.
+    end = End::kAborted;
+  } catch (const std::exception&) {
+    end = End::kAborted;
+  } catch (...) {
+    // Foreign exceptions (e.g. an injected crash) terminate the child
+    // as Failed instead of calling std::terminate on the whole block.
+    end = End::kAborted;
+  }
+  blk->results[k] = ctx.result();
+  MW_TRACE_EVENT(trace::EventKind::kAltChildEnd, blk->pids[k], kNoPid,
+                 blk->group, child.space().table().stats().pages_copied,
+                 static_cast<VTime>(blk->clock.elapsed_us()));
+  if (end == End::kSynced)
+    MW_TRACE_EVENT(trace::EventKind::kAltSync, blk->pids[k], blk->parent_pid,
+                   blk->group, 0,
+                   static_cast<VTime>(blk->clock.elapsed_us()));
+  {
+    std::lock_guard<std::mutex> lk(blk->mu);
+    blk->ends[k] = end;
+    if (end == End::kSynced) blk->synced = static_cast<int>(k);
+    ++blk->done;
+  }
+  blk->cv.notify_all();
+}
+
+}  // namespace
 
 AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
                                    const std::vector<Alternative>& alts,
@@ -37,7 +147,6 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
 
   const std::uint64_t group = rt.next_alt_group();
   ProcessTable& table = rt.processes();
-  Stopwatch block_clock;
 
   std::vector<std::size_t> spawned;
   for (std::size_t i = 0; i < n; ++i) {
@@ -55,137 +164,99 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
   }
   const std::size_t m = spawned.size();
 
+  auto blk = std::make_shared<Block>(m);
+  blk->alt_index = spawned;
+  blk->guard_phases = opts.guard_phases;
+  blk->parent_pid = parent.pid();
+  blk->group = group;
+  blk->alts.reserve(m);
+  blk->rngs.reserve(m);
+  for (std::size_t i : spawned) {
+    blk->alts.push_back(alts[i]);
+    blk->rngs.push_back(rt.rng_for(group, i + 1));
+    blk->pids.push_back(table.create(parent.pid(), group, alts[i].name));
+  }
+
   // Spawn: fork the worlds up front (serial, charged as setup), then start
   // one thread per alternative; the OS plays the role of the processors.
-  std::vector<Pid> sibling_pids;
-  sibling_pids.reserve(m);
-  for (std::size_t i : spawned)
-    sibling_pids.push_back(table.create(parent.pid(), group, alts[i].name));
-
   MW_TRACE_EVENT(trace::EventKind::kAltBlockBegin, parent.pid(), kNoPid,
                  group, m, 0);
   Stopwatch setup_clock;
-  std::vector<World> worlds;
-  worlds.reserve(m);
+  blk->worlds.reserve(m);
   for (std::size_t k = 0; k < m; ++k) {
-    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, sibling_pids[k], parent.pid(),
+    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, blk->pids[k], parent.pid(),
                    group, spawned[k] + 1,
-                   static_cast<VTime>(block_clock.elapsed_us()));
-    worlds.push_back(parent.fork_alternative(sibling_pids[k], sibling_pids));
-    table.set_status(sibling_pids[k], ProcStatus::kRunning);
+                   static_cast<VTime>(blk->clock.elapsed_us()));
+    blk->worlds.push_back(parent.fork_alternative(blk->pids[k], blk->pids));
+    table.set_status(blk->pids[k], ProcStatus::kRunning);
   }
   out.overhead.setup = static_cast<VDuration>(setup_clock.elapsed_us());
 
-  enum class End { kPending, kSynced, kAborted, kCancelled };
-  struct Shared {
-    std::mutex mu;
-    std::condition_variable cv;
-    // CAS arbiter for the at-most-once sync (§2.2.1). The parent never
-    // reads this directly; it waits for `synced`, which the winning thread
-    // publishes under the mutex *after* its results are in place.
-    std::atomic<int> race{-1};
-    int synced = -1;
-    std::size_t done = 0;
-  } shared;
-
-  std::vector<CancelToken> cancels(m);
-  std::vector<Bytes> results(m);
-  std::vector<End> ends(m, End::kPending);
-
   std::vector<std::thread> threads;
   threads.reserve(m);
-  for (std::size_t k = 0; k < m; ++k) {
-    threads.emplace_back([&, k] {
-      const std::size_t i = spawned[k];
-      const Alternative& alt = alts[i];
-      World& child = worlds[k];
-      AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), &cancels[k],
-                     /*virtual_mode=*/false);
-      MW_TRACE_EVENT(trace::EventKind::kAltChildBegin, sibling_pids[k],
-                     kNoPid, group, 0,
-                     static_cast<VTime>(block_clock.elapsed_us()));
-      End end = End::kAborted;
-      try {
-        bool success = true;
-        if ((opts.guard_phases & kGuardInChild) && alt.guard &&
-            !alt.guard(child)) {
-          success = false;
-        } else {
-          alt.body(ctx);
-        }
-        if (success && (opts.guard_phases & kGuardAtSync) && alt.guard &&
-            !alt.guard(child)) {
-          success = false;
-        }
-        if (success && alt.accept && !alt.accept(child)) success = false;
-        if (success) {
-          int expected = -1;
-          end = shared.race.compare_exchange_strong(expected,
-                                                    static_cast<int>(k))
-                    ? End::kSynced
-                    : End::kCancelled;  // lost the race: eliminated
-        }
-      } catch (const CancelledError&) {
-        end = End::kCancelled;
-      } catch (const AltFailed&) {
-        end = End::kAborted;
-      } catch (const AltHung&) {
-        // Only reachable if hang() degrades (no cancel token); treat as a
-        // plain abort so the block can still decide.
-        end = End::kAborted;
-      } catch (const std::exception&) {
-        end = End::kAborted;
-      } catch (...) {
-        // Foreign exceptions (e.g. an injected crash) terminate the child
-        // as Failed instead of calling std::terminate on the whole block.
-        end = End::kAborted;
+  for (std::size_t k = 0; k < m; ++k)
+    threads.emplace_back([blk, k] { run_alternative(blk, k); });
+
+  // Bounded join: wait for every thread to publish its end, up to the reap
+  // deadline; whoever has published joins instantly, whoever has not is
+  // detached as a straggler (it holds its own reference to blk).
+  std::vector<bool> straggler(m, false);
+  auto reap = [&] {
+    bool outstanding = false;
+    for (auto& t : threads) outstanding = outstanding || t.joinable();
+    if (!outstanding) return;  // already reaped (e.g. the timeout path)
+    {
+      std::unique_lock<std::mutex> lk(blk->mu);
+      auto all_done = [&] { return blk->done == m; };
+      if (opts.reap_deadline == kVTimeMax) {
+        blk->cv.wait(lk, all_done);
+      } else {
+        blk->cv.wait_for(lk,
+                         std::chrono::microseconds(opts.reap_deadline),
+                         all_done);
       }
-      results[k] = ctx.result();
-      MW_TRACE_EVENT(trace::EventKind::kAltChildEnd, sibling_pids[k], kNoPid,
-                     group, child.space().table().stats().pages_copied,
-                     static_cast<VTime>(block_clock.elapsed_us()));
-      if (end == End::kSynced)
-        MW_TRACE_EVENT(trace::EventKind::kAltSync, sibling_pids[k],
-                       parent.pid(), group, 0,
-                       static_cast<VTime>(block_clock.elapsed_us()));
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      if (!threads[k].joinable()) continue;
+      bool published;
       {
-        std::lock_guard<std::mutex> lk(shared.mu);
-        ends[k] = end;
-        if (end == End::kSynced) shared.synced = static_cast<int>(k);
-        ++shared.done;
+        std::lock_guard<std::mutex> lk(blk->mu);
+        published = blk->ends[k] != End::kPending;
       }
-      shared.cv.notify_all();
-    });
-  }
+      if (published) {
+        threads[k].join();
+      } else {
+        threads[k].detach();
+        straggler[k] = true;
+      }
+    }
+  };
 
   // alt_wait in the parent: blocked until a child synchronizes, every child
   // ends, or the timeout elapses.
   MW_TRACE_EVENT(trace::EventKind::kAltWait, parent.pid(), kNoPid, group, 0,
-                 static_cast<VTime>(block_clock.elapsed_us()));
+                 static_cast<VTime>(blk->clock.elapsed_us()));
   int wk = -1;
   bool all_done = false;
   {
-    std::unique_lock<std::mutex> lk(shared.mu);
-    auto decided = [&] { return shared.synced >= 0 || shared.done == m; };
+    std::unique_lock<std::mutex> lk(blk->mu);
+    auto decided = [&] { return blk->synced >= 0 || blk->done == m; };
     if (opts.timeout == kVTimeMax) {
-      shared.cv.wait(lk, decided);
+      blk->cv.wait(lk, decided);
     } else {
-      shared.cv.wait_for(lk, std::chrono::microseconds(opts.timeout),
-                         decided);
+      blk->cv.wait_for(lk, std::chrono::microseconds(opts.timeout), decided);
     }
-    wk = shared.synced;
-    all_done = shared.done == m;
+    wk = blk->synced;
+    all_done = blk->done == m;
   }
 
   if (wk < 0 && !all_done) {
-    // Timeout. Cancel everyone and wait out the stragglers; if a child
-    // synchronized while the timeout fired, the at-most-once sync stands
-    // and it is honoured as the winner.
-    for (auto& c : cancels) c.request();
-    for (auto& t : threads) t.join();
-    threads.clear();
-    std::lock_guard<std::mutex> lk(shared.mu);
-    wk = shared.synced;
+    // Timeout. Cancel everyone and reap; if a child synchronized while the
+    // timeout fired, the at-most-once sync stands and it is honoured.
+    for (auto& c : blk->cancels) c.request();
+    reap();
+    std::lock_guard<std::mutex> lk(blk->mu);
+    wk = blk->synced;
     if (wk < 0) {
       out.failed = true;
       out.failure = AltFailure::kTimeout;
@@ -195,13 +266,21 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
   if (wk >= 0) {
     // Eliminate the losing siblings (cooperative: they unwind at their next
     // checkpoint). Asynchronous elimination resumes the parent immediately;
-    // synchronous waits for their termination first (§2.2.1).
+    // synchronous waits for their termination first (§2.2.1) — bounded by
+    // the reap deadline, so a wedged loser cannot hold the parent hostage.
     Stopwatch elim_clock;
     for (std::size_t k = 0; k < m; ++k)
-      if (static_cast<int>(k) != wk) cancels[k].request();
+      if (static_cast<int>(k) != wk) blk->cancels[k].request();
     if (opts.elimination == Elimination::kSynchronous) {
-      std::unique_lock<std::mutex> lk(shared.mu);
-      shared.cv.wait(lk, [&] { return shared.done == m; });
+      std::unique_lock<std::mutex> lk(blk->mu);
+      auto drained = [&] { return blk->done == m; };
+      if (opts.reap_deadline == kVTimeMax) {
+        blk->cv.wait(lk, drained);
+      } else {
+        blk->cv.wait_for(lk,
+                         std::chrono::microseconds(opts.reap_deadline),
+                         drained);
+      }
     }
     out.overhead.elimination = static_cast<VDuration>(elim_clock.elapsed_us());
 
@@ -209,56 +288,65 @@ AltOutcome run_alternatives_thread(Runtime& rt, World& parent,
     const std::size_t wi = spawned[wku];
     out.winner = wi;
     out.winner_name = alts[wi].name;
-    out.alts[wi].pages_copied = worlds[wku].space().table().stats().pages_copied;
+    out.alts[wi].pages_copied =
+        blk->worlds[wku].space().table().stats().pages_copied;
 
     Stopwatch commit_clock;
-    table.set_status(sibling_pids[wku], ProcStatus::kSynced);
-    out.result = std::move(results[wku]);
-    parent.commit_from(std::move(worlds[wku]));
+    table.set_status(blk->pids[wku], ProcStatus::kSynced);
+    out.result = std::move(blk->results[wku]);
+    parent.commit_from(std::move(blk->worlds[wku]));
     out.overhead.commit = static_cast<VDuration>(commit_clock.elapsed_us());
-    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+    out.elapsed = static_cast<VDuration>(blk->clock.elapsed_us());
   } else if (all_done) {
     out.failed = true;
     out.failure = AltFailure::kAllFailed;
-    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+    out.elapsed = static_cast<VDuration>(blk->clock.elapsed_us());
   } else {
-    out.elapsed = static_cast<VDuration>(block_clock.elapsed_us());
+    out.elapsed = static_cast<VDuration>(blk->clock.elapsed_us());
   }
 
-  // Join everything before the worlds vector goes out of scope. Under
-  // asynchronous elimination the response time was already recorded; this
-  // join is the throughput cost the paper accepts.
-  for (auto& t : threads) t.join();
+  // Reap whatever is still out. Under asynchronous elimination the response
+  // time was already recorded; this bounded join is the throughput cost the
+  // paper accepts, now capped at reap_deadline per block.
+  reap();
 
   for (std::size_t k = 0; k < m; ++k) {
     const std::size_t i = spawned[k];
     AltReport& rep = out.alts[i];
-    rep.pid = sibling_pids[k];
+    rep.pid = blk->pids[k];
     rep.ran = true;
-    if (static_cast<int>(k) != wk)
-      rep.pages_copied = worlds[k].space().table().stats().pages_copied;
+    rep.straggler = straggler[k];
+    // A straggler's world is still being written by its detached thread;
+    // its page counters are not sampled (left 0).
+    if (static_cast<int>(k) != wk && !straggler[k])
+      rep.pages_copied = blk->worlds[k].space().table().stats().pages_copied;
     rep.success = static_cast<int>(k) == wk;
-    switch (ends[k]) {
+    End end;
+    {
+      std::lock_guard<std::mutex> lk(blk->mu);
+      end = blk->ends[k];
+    }
+    switch (end) {
       case End::kSynced:
         break;  // already kSynced (or eliminated, if it raced a timeout)
       case End::kAborted:
-        table.set_status(sibling_pids[k], ProcStatus::kFailed);
-        MW_TRACE_EVENT(trace::EventKind::kAltAbort, sibling_pids[k], kNoPid,
+        table.set_status(blk->pids[k], ProcStatus::kFailed);
+        MW_TRACE_EVENT(trace::EventKind::kAltAbort, blk->pids[k], kNoPid,
                        group, 0,
-                       static_cast<VTime>(block_clock.elapsed_us()));
+                       static_cast<VTime>(blk->clock.elapsed_us()));
         break;
       case End::kPending:
       case End::kCancelled:
-        table.set_status(sibling_pids[k], ProcStatus::kEliminated);
-        MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k],
+        table.set_status(blk->pids[k], ProcStatus::kEliminated);
+        MW_TRACE_EVENT(trace::EventKind::kAltEliminate, blk->pids[k],
                        kNoPid, group, 0,
-                       static_cast<VTime>(block_clock.elapsed_us()));
+                       static_cast<VTime>(blk->clock.elapsed_us()));
         break;
     }
   }
   MW_TRACE_EVENT(trace::EventKind::kAltBlockEnd, parent.pid(), kNoPid, group,
                  static_cast<std::uint64_t>(out.failure),
-                 static_cast<VTime>(block_clock.elapsed_us()));
+                 static_cast<VTime>(blk->clock.elapsed_us()));
   return out;
 }
 

@@ -30,6 +30,12 @@ enum class ReplicaMode { kFirstWins, kMajority };
 struct ReplicateOptions {
   ReplicaMode mode = ReplicaMode::kFirstWins;
   AltOptions alt;  // timeout / elimination / guard phases
+  /// Hedging ladder for the kPool backend: replica r gets priority
+  /// -(r-1) * stagger_priority, so replica 1 runs eagerly and the backups
+  /// sit at the cold end of the deque — likely revoked unrun when the
+  /// primary wins, which makes first-wins hedging nearly free under a
+  /// bounded speculation budget. 0 = all replicas equal (true race).
+  double stagger_priority = 0.0;
 };
 
 template <typename T>
@@ -64,7 +70,7 @@ ReplicateResult<T> replicate(Runtime& rt, World& parent,
           std::memcpy(buf, &value, sizeof(T));
           ctx.set_result(std::span<const std::uint8_t>(buf, sizeof(T)));
         },
-        nullptr});
+        nullptr, -static_cast<double>(i) * opts.stagger_priority});
   }
 
   if (opts.mode == ReplicaMode::kFirstWins) {

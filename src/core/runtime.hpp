@@ -4,9 +4,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 
 #include "core/alt.hpp"
+#include "core/spec_scheduler.hpp"
 #include "core/world.hpp"
 #include "proc/cost_model.hpp"
 #include "proc/process_table.hpp"
@@ -38,6 +40,10 @@ struct RuntimeConfig {
 
   /// Root seed; every alternative derives an independent stream.
   std::uint64_t seed = 1;
+
+  /// The kPool backend's scheduler: worker count, admission budget,
+  /// deterministic mode. Ignored by the other backends.
+  SchedConfig pool;
 };
 
 /// Aggregate speculation accounting across a runtime's lifetime: the
@@ -49,6 +55,9 @@ struct RuntimeStats {
   std::uint64_t alternatives_spawned = 0;
   std::uint64_t alternatives_eliminated = 0;  // losers killed
   std::uint64_t alternatives_aborted = 0;     // guard/body failures
+  /// Pool backend: losers pruned from the queue before their body ever ran
+  /// (a subset of alternatives_eliminated — free eliminations).
+  std::uint64_t alternatives_revoked = 0;
   VDuration total_elapsed = 0;           // sum of block response times
   VDuration total_overhead = 0;          // sum of charged tau(overhead)
   /// Work performed by losers: pure throughput cost (virtual backend).
@@ -88,6 +97,7 @@ class Runtime {
     for (const AltReport& a : out.alts) {
       if (!a.spawned) continue;
       ++stats_.alternatives_spawned;
+      if (a.revoked) ++stats_.alternatives_revoked;
       if (a.success) continue;
       if (a.pid != kNoPid &&
           table_.status(a.pid) == ProcStatus::kFailed) {
@@ -111,6 +121,16 @@ class Runtime {
     return group_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
+  /// The shared work-stealing scheduler behind the kPool backend, built
+  /// lazily from config().sched on first use — a Runtime that never runs a
+  /// pool block never spawns a worker thread.
+  SpecScheduler& scheduler() {
+    std::call_once(sched_once_,
+                   [this] { sched_ = std::make_unique<SpecScheduler>(
+                                config_.pool); });
+    return *sched_;
+  }
+
   /// Deterministic per-(group, alternative) random stream.
   Rng rng_for(std::uint64_t group, std::size_t alt_index) const {
     Rng base(config_.seed);
@@ -121,6 +141,8 @@ class Runtime {
   RuntimeConfig config_;
   ProcessTable table_;
   std::atomic<std::uint64_t> group_counter_{0};
+  std::once_flag sched_once_;
+  std::unique_ptr<SpecScheduler> sched_;
   std::mutex stats_mu_;
   RuntimeStats stats_;
 };

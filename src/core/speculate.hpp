@@ -29,6 +29,9 @@ struct TypedAlternative {
   /// Returns the alternative's value; throw AltFailed (ctx.fail) to abort.
   std::function<T(AltContext&)> body;
   std::function<bool(const World&)> guard;
+  /// Scheduling hint for the kPool backend (see Alternative::priority):
+  /// the caller's estimate of how likely this method is to win.
+  double priority = 0.0;
 };
 
 template <typename T>
@@ -59,7 +62,7 @@ SpeculateResult<T> speculate(Runtime& rt,
           std::memcpy(buf, &value, sizeof(T));
           ctx.set_result(std::span<const std::uint8_t>(buf, sizeof(T)));
         },
-        nullptr});
+        nullptr, a.priority});
   }
   SpeculateResult<T> out;
   out.outcome = run_alternatives(rt, scratch, raw, opts);

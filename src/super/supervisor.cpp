@@ -1,9 +1,12 @@
 #include "super/supervisor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <utility>
 
+#include "core/spec_scheduler.hpp"
 #include "fault/fault.hpp"
 #include "io/source_gate.hpp"
 #include "proc/process_table.hpp"
@@ -38,6 +41,16 @@ void Supervisor::deliver_effect(Pid pid, std::function<void()> act) {
 }
 
 SupervisedResult Supervisor::run(const TaskSpec& task) {
+  return run_impl(task, nullptr);
+}
+
+SupervisedResult Supervisor::run_on(SpecScheduler& sched,
+                                    const TaskSpec& task) {
+  return run_impl(task, &sched);
+}
+
+SupervisedResult Supervisor::run_impl(const TaskSpec& task,
+                                      SpecScheduler* sched) {
   MW_CHECK(task.step != nullptr);
   MW_CHECK(task.total_steps > 0);
 
@@ -113,78 +126,116 @@ SupervisedResult Supervisor::run(const TaskSpec& task) {
     enum class Failure { kNone, kCrash, kHang };
     Failure failure = Failure::kNone;
 
-    for (std::size_t s = start_step; s < task.total_steps; ++s) {
-      const FaultAction fa = fault_point(task.fault_point, clock);
-      if (fa.kind == FaultKind::kCrashException ||
-          fa.kind == FaultKind::kFailAlternative ||
-          fa.kind == FaultKind::kNodeCrash) {
-        failure = Failure::kCrash;
-        break;
-      }
-      if (fa.kind == FaultKind::kHang) {
-        // The task stops making progress; the watchdog notices when the
-        // attempt's deadline expires.
-        const VTime detect_at =
-            std::max(clock, attempt_start + policy_.attempt_deadline);
-        res.detect_latency += detect_at - clock;
-        clock = detect_at;
-        failure = Failure::kHang;
-        break;
-      }
-      if (fa.kind == FaultKind::kDelay) clock += fa.delay;
+    // The attempt body: the whole step loop. Inline for run(); dispatched
+    // as one pool task for run_on(), where an exception escaping a step
+    // (e.g. an injected crash object) is contained as a crash failure
+    // rather than unwinding through a pool worker.
+    auto attempt_body = [&] {
+      try {
+        for (std::size_t s = start_step; s < task.total_steps; ++s) {
+          const FaultAction fa = fault_point(task.fault_point, clock);
+          if (fa.kind == FaultKind::kCrashException ||
+              fa.kind == FaultKind::kFailAlternative ||
+              fa.kind == FaultKind::kNodeCrash) {
+            failure = Failure::kCrash;
+            break;
+          }
+          if (fa.kind == FaultKind::kHang) {
+            // The task stops making progress; the watchdog notices when the
+            // attempt's deadline expires.
+            const VTime detect_at =
+                std::max(clock, attempt_start + policy_.attempt_deadline);
+            res.detect_latency += detect_at - clock;
+            clock = detect_at;
+            failure = Failure::kHang;
+            break;
+          }
+          if (fa.kind == FaultKind::kDelay) clock += fa.delay;
 
-      SuperCtx ctx;
-      ctx.sup_ = this;
-      ctx.space_ = &space;
-      ctx.step_ = s;
-      ctx.attempt_ = res.attempts;
-      ctx.pid_ = pid;
-      task.step(ctx);
-      clock += task.step_cost;
-      work_since_image += task.step_cost;
-      ++res.steps_executed;
-      steps_this_attempt = s + 1;
+          SuperCtx ctx;
+          ctx.sup_ = this;
+          ctx.space_ = &space;
+          ctx.step_ = s;
+          ctx.attempt_ = res.attempts;
+          ctx.pid_ = pid;
+          task.step(ctx);
+          clock += task.step_cost;
+          work_since_image += task.step_cost;
+          ++res.steps_executed;
+          steps_this_attempt = s + 1;
 
-      if (clock - attempt_start > policy_.attempt_deadline &&
-          s + 1 < task.total_steps) {
-        // Deadline overrun (e.g. injected delays): treat as a hang-class
-        // failure — the watchdog kills and restarts the attempt.
-        failure = Failure::kHang;
-        break;
-      }
+          if (clock - attempt_start > policy_.attempt_deadline &&
+              s + 1 < task.total_steps) {
+            // Deadline overrun (e.g. injected delays): treat as a hang-class
+            // failure — the watchdog kills and restarts the attempt.
+            failure = Failure::kHang;
+            break;
+          }
 
-      if (schedule_.enabled() && work_since_image >= schedule_.interval &&
-          s + 1 < task.total_steps) {
-        regs.pc = s + 1;
-        regs.gp[0] = effect_seq_;  // the ledger's resume point
-        CheckpointImage img;
-        if (chain.empty() || !schedule_.incremental ||
-            deltas_since_full >= schedule_.full_every) {
-          img = take_checkpoint(space, regs);
-          chain.clear();
-          chain_pages = 0;
-          deltas_since_full = 0;
-          ++res.checkpoints_full;
-          res.checkpoint_bytes_full += img.size_bytes();
-        } else {
-          img = take_delta_checkpoint(space, regs, *snapshot, chain.back());
-          ++deltas_since_full;
-          ++res.checkpoints_delta;
-          res.checkpoint_bytes_delta += img.size_bytes();
+          if (schedule_.enabled() && work_since_image >= schedule_.interval &&
+              s + 1 < task.total_steps) {
+            regs.pc = s + 1;
+            regs.gp[0] = effect_seq_;  // the ledger's resume point
+            CheckpointImage img;
+            if (chain.empty() || !schedule_.incremental ||
+                deltas_since_full >= schedule_.full_every) {
+              img = take_checkpoint(space, regs);
+              chain.clear();
+              chain_pages = 0;
+              deltas_since_full = 0;
+              ++res.checkpoints_full;
+              res.checkpoint_bytes_full += img.size_bytes();
+            } else {
+              img = take_delta_checkpoint(space, regs, *snapshot, chain.back());
+              ++deltas_since_full;
+              ++res.checkpoints_delta;
+              res.checkpoint_bytes_delta += img.size_bytes();
+            }
+            const VDuration cc =
+                schedule_.cost_base +
+                schedule_.cost_per_page *
+                    static_cast<VDuration>(img.resident_pages);
+            chain_pages += img.resident_pages;
+            MW_TRACE_EVENT(trace::EventKind::kSuperCheckpoint, pid, kNoPid,
+                           img.resident_pages, chain.empty() ? 0 : 1, clock);
+            chain.push_back(std::move(img));
+            snapshot = space.fork();
+            chain_step = s + 1;
+            clock += cc;
+            res.checkpoint_overhead += cc;
+            work_since_image = 0;
+          }
         }
-        const VDuration cc =
-            schedule_.cost_base +
-            schedule_.cost_per_page *
-                static_cast<VDuration>(img.resident_pages);
-        chain_pages += img.resident_pages;
-        MW_TRACE_EVENT(trace::EventKind::kSuperCheckpoint, pid, kNoPid,
-                       img.resident_pages, chain.empty() ? 0 : 1, clock);
-        chain.push_back(std::move(img));
-        snapshot = space.fork();
-        chain_step = s + 1;
-        clock += cc;
-        res.checkpoint_overhead += cc;
-        work_since_image = 0;
+      } catch (...) {
+        failure = Failure::kCrash;
+      }
+    };
+
+    if (sched == nullptr) {
+      attempt_body();
+    } else {
+      // Submit through the shared inbox: the executing worker always
+      // *steals* the attempt (sched.steal coverage). The supervisor thread
+      // is the only writer of the captured state until the task reaches a
+      // terminal state, which it waits for here.
+      SchedTaskRef t = sched->submit(attempt_body, /*priority=*/1.0,
+                                     /*group=*/0, pid, nullptr, kNoPid,
+                                     res.attempts);
+      for (;;) {
+        const SchedTask::State st = t->state();
+        if (st == SchedTask::State::kDone) break;
+        if (st == SchedTask::State::kFaulted ||
+            st == SchedTask::State::kRevoked) {
+          // The worker died with the attempt in hand (or the pool is
+          // shutting down): a crash failure, recovered like any other.
+          failure = Failure::kCrash;
+          break;
+        }
+        if (sched->should_help()) {
+          if (!sched->run_one()) std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
       }
     }
 

@@ -36,6 +36,7 @@ namespace mw {
 
 class ProcessTable;
 class SourceGate;
+class SpecScheduler;
 class Supervisor;
 
 /// What a supervised step sees: its address space, its position, and the
@@ -142,12 +143,21 @@ class Supervisor {
   /// injector. Virtual time starts at 0 for each run() call.
   SupervisedResult run(const TaskSpec& task);
 
+  /// Like run(), but each attempt executes as a task on `sched`'s
+  /// work-stealing pool instead of inline. The attempt goes through the
+  /// shared inbox, so a worker always *steals* it — which places it under
+  /// the `sched.steal` fault point: a worker killed with the attempt in
+  /// hand surfaces as a crash failure and is restarted from the newest
+  /// checkpoint chain, with the effect ledger still exactly-once.
+  SupervisedResult run_on(SpecScheduler& sched, const TaskSpec& task);
+
   const RestartPolicy& policy() const { return policy_; }
   const CheckpointSchedule& schedule() const { return schedule_; }
 
  private:
   friend class SuperCtx;
   void deliver_effect(Pid pid, std::function<void()> act);
+  SupervisedResult run_impl(const TaskSpec& task, SpecScheduler* sched);
 
   RestartPolicy policy_;
   CheckpointSchedule schedule_;

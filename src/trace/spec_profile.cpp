@@ -68,6 +68,18 @@ std::uint64_t SpecProfile::pages_copied_losers() const {
   return n;
 }
 
+std::size_t SpecProfile::worlds_revoked() const {
+  std::size_t n = 0;
+  for (const RaceProfile& r : races) n += r.revoked;
+  return n;
+}
+
+std::uint64_t SpecProfile::revoked_pages() const {
+  std::uint64_t n = 0;
+  for (const RaceProfile& r : races) n += r.revoked_pages;
+  return n;
+}
+
 double SpecProfile::wasted_ratio() const {
   const VDuration total = work_total();
   return total > 0 ? static_cast<double>(work_wasted()) /
@@ -166,6 +178,15 @@ SpecProfile build_spec_profile(const std::vector<TraceEvent>& events,
       case EventKind::kGateDrop: p.gate_dropped++; break;
       case EventKind::kSuperRestart:
       case EventKind::kDistFailover: p.restarts++; break;
+      case EventKind::kSchedEnqueue: p.sched_enqueued++; break;
+      case EventKind::kSchedSteal: p.sched_steals++; break;
+      case EventKind::kSchedAdmitDefer: p.sched_admission_deferred++; break;
+      case EventKind::kSchedRevoke: {
+        RaceProfile& r = race_for(e.a);
+        r.revoked++;
+        r.revoked_pages += e.b;
+        break;
+      }
       default: break;
     }
   }
@@ -205,6 +226,12 @@ std::string SpecProfile::to_string() const {
     os << "  gate: " << gate_deferred << " deferred, " << gate_released
        << " released, " << gate_dropped << " dropped\n";
   if (restarts > 0) os << "  restarts/failovers: " << restarts << "\n";
+  if (sched_enqueued + sched_steals + sched_admission_deferred +
+          worlds_revoked() > 0)
+    os << "  scheduler: " << sched_enqueued << " enqueued, " << sched_steals
+       << " stolen, " << worlds_revoked() << " revoked unrun ("
+       << revoked_pages() << " page(s)), " << sched_admission_deferred
+       << " admission-deferred\n";
   for (const RaceProfile& r : races) {
     os << "  race #" << r.group << ": " << r.spawned << " spawned, "
        << r.survived << " won, " << r.eliminated << " eliminated, "

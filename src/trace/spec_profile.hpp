@@ -36,6 +36,12 @@ struct RaceProfile {
   VDuration work_wasted = 0;   // execution time of non-surviving worlds
   std::uint64_t pages_copied_total = 0;
   std::uint64_t pages_copied_losers = 0;
+  /// Pool backend: losers revoked while still queued — their bodies never
+  /// ran and they copied zero pages. Counted inside `eliminated` too.
+  std::size_t revoked = 0;
+  /// COW pages the revoked siblings had copied when pruned. The pruning
+  /// guarantee is that this is always 0; the bench asserts it.
+  std::uint64_t revoked_pages = 0;
   VTime first_win = kNoTraceTime;  // earliest kAltSync timestamp
   VTime quiesce = kNoTraceTime;    // latest child-end/eliminate timestamp
   bool timed_out = false;          // block ended with no winner
@@ -63,6 +69,10 @@ struct SpecProfile {
   std::uint64_t gate_released = 0;
   std::uint64_t gate_dropped = 0;
   std::uint64_t restarts = 0;   // supervisor restarts + dist failovers
+  // Speculation-scheduler traffic (kPool backend).
+  std::uint64_t sched_enqueued = 0;
+  std::uint64_t sched_steals = 0;
+  std::uint64_t sched_admission_deferred = 0;
 
   std::size_t worlds_spawned() const;
   std::size_t worlds_survived() const;
@@ -70,6 +80,8 @@ struct SpecProfile {
   VDuration work_total() const;
   VDuration work_wasted() const;
   std::uint64_t pages_copied_losers() const;
+  std::size_t worlds_revoked() const;
+  std::uint64_t revoked_pages() const;
   double wasted_ratio() const;
 
   /// Compact multi-line text summary for benches and altc_tool.

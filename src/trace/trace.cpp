@@ -216,6 +216,10 @@ const char* kind_name(EventKind k) {
     case EventKind::kSuperCheckpoint: return "super_checkpoint";
     case EventKind::kDistFailover: return "dist_failover";
     case EventKind::kDistDemote: return "dist_demote";
+    case EventKind::kSchedEnqueue: return "sched_enqueue";
+    case EventKind::kSchedSteal: return "sched_steal";
+    case EventKind::kSchedRevoke: return "sched_revoke";
+    case EventKind::kSchedAdmitDefer: return "sched_admit_defer";
   }
   return "unknown";
 }

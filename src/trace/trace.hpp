@@ -68,6 +68,13 @@ enum class EventKind : std::uint16_t {
   kSuperCheckpoint = 82,  // pid=attempt, a=resident pages, b=1 if delta
   kDistFailover = 83,     // a=child index, b=bytes re-dispatched
   kDistDemote = 84,       // a=child index — remote child demoted to Failed
+  // Speculation scheduler (src/core/spec_scheduler, the kPool backend).
+  kSchedEnqueue = 96,     // pid=task, other=parent, a=group, b=alt index
+  kSchedSteal = 97,       // pid=task, a=group, b=taking worker (kSchedInbox
+                          //   from the shared inbox / an external helper)
+  kSchedRevoke = 98,      // pid=task, a=group, b=pages copied (0: pruned
+                          //   before it ever ran)
+  kSchedAdmitDefer = 99,  // pid=requester, a=group, b=live worlds at defer
 };
 
 /// Sentinel for "the emitter had no clock in scope"; the event still

@@ -118,22 +118,64 @@ std::vector<Pid> SpecRuntime::spawn_alternatives(LogicalId parent,
   MW_TRACE_EVENT(trace::EventKind::kAltWait, pp.world.pid(), kNoPid, gid, 0,
                  queue_.now());
 
-  for (std::size_t k = 0; k < alts.size(); ++k) {
+  PendingSpawn spawn;
+  spawn.parent_pid = pp.world.pid();
+  spawn.gid = gid;
+  spawn.pids = pids;
+  spawn.alts = std::move(alts);
+
+  // Bounded admission: if forking this group would blow the live-copy
+  // budget, queue it — the pids and the rivalry's predicates exist now,
+  // the page footprint only when capacity frees up (drain_admission).
+  if (cfg_.max_live_copies != 0 &&
+      live_copy_count() + spawn.alts.size() > cfg_.max_live_copies) {
+    ++stats_.admission_deferred;
+    MW_TRACE_EVENT(trace::EventKind::kSchedAdmitDefer, spawn.parent_pid,
+                   kNoPid, gid, live_copy_count(), queue_.now());
+    deferred_spawns_.push_back(std::move(spawn));
+    return pids;
+  }
+  materialize(std::move(spawn));
+  return pids;
+}
+
+std::size_t SpecRuntime::live_copy_count() const {
+  std::size_t n = 0;
+  for (const auto& [pid, p] : procs_)
+    if (p->alive) ++n;
+  return n;
+}
+
+void SpecRuntime::materialize(PendingSpawn spawn) {
+  auto pit = procs_.find(spawn.parent_pid);
+  if (pit == procs_.end() || !pit->second->alive) {
+    // The parent died while this group waited for admission (an outer
+    // rivalry resolved against it): the children are stillborn.
+    for (Pid c : spawn.pids) {
+      MW_TRACE_EVENT(trace::EventKind::kAltEliminate, c, kNoPid, spawn.gid,
+                     0, queue_.now());
+      table_.set_status(c, ProcStatus::kEliminated);
+    }
+    return;
+  }
+  SpecProcess& pp = *pit->second;
+  for (std::size_t k = 0; k < spawn.alts.size(); ++k) {
     const LogicalId lid = next_lid_++;
-    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, pids[k], pp.world.pid(), gid,
-                   k + 1,
+    MW_TRACE_EVENT(trace::EventKind::kAltSpawn, spawn.pids[k],
+                   spawn.parent_pid, spawn.gid, k + 1,
                    queue_.now() + cfg_.spawn_latency *
                                       static_cast<VDuration>(k + 1));
-    World child = pp.world.fork_alternative(pids[k], pids);
-    SpecProcess& cp = create_process(lid, alts[k].name, std::move(child),
-                                     std::move(alts[k].on_message));
+    World child = pp.world.fork_alternative(spawn.pids[k], spawn.pids);
+    SpecProcess& cp =
+        create_process(lid, spawn.alts[k].name, std::move(child),
+                       std::move(spawn.alts[k].on_message));
     cp.alternative = true;
-    cp.group = gid;
-    cp.parent_pid = pp.world.pid();
-    table_.set_status(pids[k], ProcStatus::kRunning);
+    cp.group = spawn.gid;
+    cp.parent_pid = spawn.parent_pid;
+    table_.set_status(spawn.pids[k], ProcStatus::kRunning);
     // Serial spawn: child k's program starts after k+1 fork charges.
-    const Pid cpid = pids[k];
-    auto init = std::move(alts[k].init);
+    const Pid cpid = spawn.pids[k];
+    auto init = std::move(spawn.alts[k].init);
     queue_.schedule_after(
         cfg_.spawn_latency * static_cast<VDuration>(k + 1),
         [this, cpid, init = std::move(init)] {
@@ -145,7 +187,19 @@ std::vector<Pid> SpecRuntime::spawn_alternatives(LogicalId parent,
           }
         });
   }
-  return pids;
+}
+
+void SpecRuntime::drain_admission() {
+  while (!deferred_spawns_.empty()) {
+    if (cfg_.max_live_copies != 0 &&
+        live_copy_count() + deferred_spawns_.front().alts.size() >
+            cfg_.max_live_copies) {
+      return;  // strict FIFO: later, smaller groups do not jump the queue
+    }
+    PendingSpawn spawn = std::move(deferred_spawns_.front());
+    deferred_spawns_.pop_front();
+    materialize(std::move(spawn));
+  }
 }
 
 void SpecRuntime::send_external(LogicalId to, Bytes data) {
@@ -312,6 +366,12 @@ void SpecRuntime::on_terminal(Pid pid, bool completed) {
     table_.set_status(d, ProcStatus::kEliminated);
   }
   --cascade_depth_;
+
+  // Copies died — budget may have freed. Drain from a fresh event, not
+  // from inside the cascade: materializing forks worlds and fires inits,
+  // which must not observe a half-resolved predicate system.
+  if (cascade_depth_ == 0 && !deferred_spawns_.empty())
+    queue_.schedule_after(0, [this] { drain_admission(); });
 }
 
 std::vector<Pid> SpecRuntime::live_copies(LogicalId lid) const {

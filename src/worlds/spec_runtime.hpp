@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -107,6 +108,13 @@ struct SpecConfig {
   /// Serial per-child spawn cost charged before an alternative's init runs.
   VDuration spawn_latency = vt_us(5);
   std::uint64_t seed = 1;
+  /// Speculation budget: maximum live world copies across the whole
+  /// runtime. 0 = unbounded. A spawn_alternatives that would exceed it is
+  /// *deferred* — its pids and predicates exist immediately, but the world
+  /// forks and init programs wait (FIFO) until enough copies die. The
+  /// parent stays blocked either way, so semantics are unchanged; only the
+  /// peak page footprint is.
+  std::size_t max_live_copies = 0;
 };
 
 class SpecRuntime {
@@ -174,16 +182,28 @@ class SpecRuntime {
     std::uint64_t pruned = 0;             // messages from dead worlds
     std::uint64_t eliminated_copies = 0;  // doomed world copies
     std::uint64_t restarted_copies = 0;   // restore_copy rewinds
+    std::uint64_t admission_deferred = 0;  // spawns held back by the budget
   };
   const Stats& stats() const { return stats_; }
 
  private:
   friend class ProcCtx;
 
+  /// A spawn_alternatives whose forks are waiting for the budget.
+  struct PendingSpawn {
+    Pid parent_pid = kNoPid;
+    std::uint64_t gid = 0;
+    std::vector<Pid> pids;
+    std::vector<AltSpec> alts;
+  };
+
   SpecProcess& proc(Pid pid);
   const SpecProcess& proc(Pid pid) const;
   SpecProcess& create_process(LogicalId lid, std::string label, World world,
                               Handler on_message);
+  std::size_t live_copy_count() const;
+  void materialize(PendingSpawn spawn);
+  void drain_admission();
   void send_from(SpecProcess* sender, LogicalId to, Bytes data);
   void deliver(Pid copy, Message msg);
   void on_terminal(Pid pid, bool completed);
@@ -203,6 +223,7 @@ class SpecRuntime {
   std::map<Pid, std::unique_ptr<SpecProcess>> procs_;
   std::map<LogicalId, std::vector<Pid>> copies_;
   std::map<std::uint64_t, Group> groups_;
+  std::deque<PendingSpawn> deferred_spawns_;  // FIFO admission queue
   LogicalId next_lid_ = 1;
   std::uint64_t next_group_ = 1;
   Stats stats_;
