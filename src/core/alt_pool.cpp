@@ -9,6 +9,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <exception>
+#include <memory>
 #include <mutex>
 
 #include "core/alt_context.hpp"
@@ -105,6 +106,14 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
   }
   out.overhead.setup = static_cast<VDuration>(setup_clock.elapsed_us());
 
+  // Heap-allocated and shared with every task closure, as in the thread
+  // backend: a task's trailing notify_all runs after blk->mu is released,
+  // so the parent — woken by a timed poll on the helping path, or a
+  // spurious wakeup — can observe terminal == m and return first,
+  // destroying a stack block under the notifier. The sync state must own
+  // its own lifetime; everything else (worlds, results, cancels) is
+  // written strictly before the terminal count is published and may stay
+  // on this frame.
   struct Block {
     std::mutex mu;
     std::condition_variable cv;
@@ -113,13 +122,15 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
     std::atomic<int> race{-1};
     int synced = -1;
     std::size_t terminal = 0;  // done + revoked + faulted
-  } block;
+    std::vector<End> ends;
+  };
+  auto blk = std::make_shared<Block>();
+  blk->ends.assign(m, End::kPending);
 
   std::vector<CancelToken> cancels(m);
   std::vector<Bytes> results(m);
-  std::vector<End> ends(m, End::kPending);
   // Task handles, written by the submit loop and read by the winner's
-  // pruning pass — both under block.mu (a task can win while later
+  // pruning pass — both under blk->mu (a task can win while later
   // siblings are still being submitted).
   std::vector<SchedTaskRef> tasks(m);
 
@@ -132,7 +143,7 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
   auto prune_siblings = [&](std::size_t self) {
     std::vector<SchedTaskRef> snapshot;
     {
-      std::lock_guard<std::mutex> lk(block.mu);
+      std::lock_guard<std::mutex> lk(blk->mu);
       snapshot = tasks;
     }
     for (std::size_t j = 0; j < m; ++j) {
@@ -145,7 +156,7 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
   const bool virtual_bodies = sched.deterministic();
   for (std::size_t k = 0; k < m; ++k) {
     const std::size_t i = spawned[k];
-    auto body_fn = [&, k, i] {
+    auto body_fn = [&, blk, k, i] {
       const Alternative& alt = alts[i];
       World& child = worlds[k];
       AltContext ctx(child, i + 1, rt.rng_for(group, i + 1), &cancels[k],
@@ -169,8 +180,8 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
         if (success && alt.accept && !alt.accept(child)) success = false;
         if (success) {
           int expected = -1;
-          end = block.race.compare_exchange_strong(expected,
-                                                   static_cast<int>(k))
+          end = blk->race.compare_exchange_strong(expected,
+                                                  static_cast<int>(k))
                     ? End::kSynced
                     : End::kCancelled;  // lost the race: eliminated
         }
@@ -200,27 +211,27 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
         prune_siblings(k);
       }
       {
-        std::lock_guard<std::mutex> lk(block.mu);
-        ends[k] = end;
-        if (end == End::kSynced) block.synced = static_cast<int>(k);
-        ++block.terminal;
+        std::lock_guard<std::mutex> lk(blk->mu);
+        blk->ends[k] = end;
+        if (end == End::kSynced) blk->synced = static_cast<int>(k);
+        ++blk->terminal;
       }
-      block.cv.notify_all();
+      blk->cv.notify_all();
     };
-    auto on_skipped = [&, k](SchedTask& t) {
+    auto on_skipped = [blk, k](SchedTask& t) {
       {
-        std::lock_guard<std::mutex> lk(block.mu);
-        ends[k] = t.faulted() ? End::kFaulted : End::kRevoked;
-        ++block.terminal;
+        std::lock_guard<std::mutex> lk(blk->mu);
+        blk->ends[k] = t.faulted() ? End::kFaulted : End::kRevoked;
+        ++blk->terminal;
       }
-      block.cv.notify_all();
+      blk->cv.notify_all();
     };
     SchedTaskRef task =
         sched.submit(std::move(body_fn), alts[i].priority, group,
                      sibling_pids[k], std::move(on_skipped), parent.pid(),
                      spawned[k] + 1);
     {
-      std::lock_guard<std::mutex> lk(block.mu);
+      std::lock_guard<std::mutex> lk(blk->mu);
       tasks[k] = std::move(task);
     }
   }
@@ -236,7 +247,7 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
   auto wait_for_pred = [&](auto pred, bool use_deadline) -> bool {
     for (;;) {
       {
-        std::unique_lock<std::mutex> lk(block.mu);
+        std::unique_lock<std::mutex> lk(blk->mu);
         if (pred()) return true;
       }
       if (use_deadline && std::chrono::steady_clock::now() >= deadline)
@@ -246,32 +257,32 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
         if (sched.deterministic()) {
           // Single-threaded and nothing runnable: every task of this block
           // is terminal, so the predicate must hold now.
-          std::unique_lock<std::mutex> lk(block.mu);
+          std::unique_lock<std::mutex> lk(blk->mu);
           MW_CHECK(pred());
           return true;
         }
-        std::unique_lock<std::mutex> lk(block.mu);
-        block.cv.wait_for(lk, std::chrono::microseconds(200), pred);
+        std::unique_lock<std::mutex> lk(blk->mu);
+        blk->cv.wait_for(lk, std::chrono::microseconds(200), pred);
       } else {
-        std::unique_lock<std::mutex> lk(block.mu);
+        std::unique_lock<std::mutex> lk(blk->mu);
         if (use_deadline) {
-          if (!block.cv.wait_until(lk, deadline, pred)) return false;
+          if (!blk->cv.wait_until(lk, deadline, pred)) return false;
         } else {
-          block.cv.wait(lk, pred);
+          blk->cv.wait(lk, pred);
         }
         return true;
       }
     }
   };
 
-  auto decided = [&] { return block.synced >= 0 || block.terminal == m; };
-  auto all_terminal = [&] { return block.terminal == m; };
+  auto decided = [&] { return blk->synced >= 0 || blk->terminal == m; };
+  auto all_terminal = [&] { return blk->terminal == m; };
 
   const bool decided_in_time = wait_for_pred(decided, bounded);
   int wk;
   {
-    std::lock_guard<std::mutex> lk(block.mu);
-    wk = block.synced;
+    std::lock_guard<std::mutex> lk(blk->mu);
+    wk = blk->synced;
   }
 
   if (!decided_in_time && wk < 0) {
@@ -280,8 +291,8 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
     // its at-most-once win and is honoured below.
     prune_siblings(m);  // no winner: prune everyone
     wait_for_pred(all_terminal, false);
-    std::lock_guard<std::mutex> lk(block.mu);
-    wk = block.synced;
+    std::lock_guard<std::mutex> lk(blk->mu);
+    wk = blk->synced;
     if (wk < 0) {
       out.failed = true;
       out.failure = AltFailure::kTimeout;
@@ -331,7 +342,7 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
     rep.success = static_cast<int>(k) == wk;
     if (static_cast<int>(k) != wk)
       rep.pages_copied = worlds[k].space().table().stats().pages_copied;
-    switch (ends[k]) {
+    switch (blk->ends[k]) {
       case End::kSynced:
         rep.ran = true;
         break;
@@ -344,7 +355,7 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
         break;
       case End::kPending:
       case End::kCancelled:
-        rep.ran = ends[k] == End::kCancelled;
+        rep.ran = blk->ends[k] == End::kCancelled;
         table.set_status(sibling_pids[k], ProcStatus::kEliminated);
         MW_TRACE_EVENT(trace::EventKind::kAltEliminate, sibling_pids[k],
                        kNoPid, group, 0,
@@ -376,8 +387,12 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
                  static_cast<VTime>(block_clock.elapsed_us()));
 
   // Drop terminal task records of this race still parked in the deques,
-  // then give the admitted worlds back to the budget.
+  // then destroy this block's worlds (the losers' pages die here) before
+  // giving the grant back — releasing first would let a new race admit
+  // while the old one's pages are still resident, transiently blowing the
+  // max_live_worlds/max_resident_pages budget.
   sched.scrub(group);
+  worlds.clear();
   sched.release(m);
   return out;
 }

@@ -53,13 +53,24 @@ SpecScheduler::~SpecScheduler() {
   work_cv_.notify_all();
   for (auto& t : worker_threads_) t.join();
   // Anything still queued is an orphan of a block that never completed;
-  // mark it revoked so its state is terminal before the closures die.
+  // revoke it through the normal terminal path — on_skipped fires exactly
+  // once for a task whose body never ran, shutdown included.
   for (auto& d : deques_) {
     std::lock_guard<std::mutex> lk(d->mu);
     for (auto& t : d->tasks) {
       int expected = static_cast<int>(SchedTask::State::kQueued);
-      t->state_.compare_exchange_strong(
-          expected, static_cast<int>(SchedTask::State::kRevoked));
+      if (!t->state_.compare_exchange_strong(
+              expected, static_cast<int>(SchedTask::State::kRevoked))) {
+        continue;
+      }
+      pending_.fetch_sub(1, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        ++stats_.revoked;
+      }
+      if (t->on_skipped_) t->on_skipped_(*t);
+      t->fn_ = nullptr;
+      t->on_skipped_ = nullptr;
     }
     d->tasks.clear();
   }
@@ -307,7 +318,7 @@ bool SpecScheduler::run_one_deterministic() {
     as_thief = det_rng_.next_bool(cfg_.deterministic_steal_prob);
   }
   SchedTaskRef task =
-      as_thief ? steal_from(victim, victim) : pop_own(victim);
+      as_thief ? steal_from(victim, kSchedDetDriver) : pop_own(victim);
   if (!task) return false;
   return execute(task, as_thief);
 }

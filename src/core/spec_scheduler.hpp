@@ -62,6 +62,11 @@ namespace mw {
 /// task is taken from the shared inbox by an external helper thread.
 inline constexpr std::uint64_t kSchedExternalHelper = ~0ull;
 
+/// Reported as the taking worker id when the deterministic driver's
+/// scheduling coin lands on the thief path — there is no real thief, and
+/// reporting the victim's own index would misattribute the steal.
+inline constexpr std::uint64_t kSchedDetDriver = ~0ull - 1;
+
 struct SchedConfig {
   /// Worker threads. 0 = one per hardware thread.
   std::size_t workers = 0;

@@ -70,8 +70,10 @@ enum class EventKind : std::uint16_t {
   kDistDemote = 84,       // a=child index — remote child demoted to Failed
   // Speculation scheduler (src/core/spec_scheduler, the kPool backend).
   kSchedEnqueue = 96,     // pid=task, other=parent, a=group, b=alt index
-  kSchedSteal = 97,       // pid=task, a=group, b=taking worker (kSchedInbox
-                          //   from the shared inbox / an external helper)
+  kSchedSteal = 97,       // pid=task, a=group, b=taking worker
+                          //   (kSchedExternalHelper: an external helper
+                          //   thread; kSchedDetDriver: the deterministic
+                          //   driver's thief coin)
   kSchedRevoke = 98,      // pid=task, a=group, b=pages copied (0: pruned
                           //   before it ever ran)
   kSchedAdmitDefer = 99,  // pid=requester, a=group, b=live worlds at defer

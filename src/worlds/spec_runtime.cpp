@@ -124,14 +124,13 @@ std::vector<Pid> SpecRuntime::spawn_alternatives(LogicalId parent,
   spawn.pids = pids;
   spawn.alts = std::move(alts);
 
-  // Bounded admission: if forking this group would blow the live-copy
+  // Bounded admission: if forking this group would blow the speculation
   // budget, queue it — the pids and the rivalry's predicates exist now,
   // the page footprint only when capacity frees up (drain_admission).
-  if (cfg_.max_live_copies != 0 &&
-      live_copy_count() + spawn.alts.size() > cfg_.max_live_copies) {
+  if (!fits_budget(spawn.alts.size())) {
     ++stats_.admission_deferred;
     MW_TRACE_EVENT(trace::EventKind::kSchedAdmitDefer, spawn.parent_pid,
-                   kNoPid, gid, live_copy_count(), queue_.now());
+                   kNoPid, gid, live_speculative_count(), queue_.now());
     deferred_spawns_.push_back(std::move(spawn));
     return pids;
   }
@@ -139,11 +138,20 @@ std::vector<Pid> SpecRuntime::spawn_alternatives(LogicalId parent,
   return pids;
 }
 
-std::size_t SpecRuntime::live_copy_count() const {
+std::size_t SpecRuntime::live_speculative_count() const {
   std::size_t n = 0;
   for (const auto& [pid, p] : procs_)
-    if (p->alive) ++n;
+    if (p->alive && p->alternative) ++n;
   return n;
+}
+
+bool SpecRuntime::fits_budget(std::size_t group_size) const {
+  if (cfg_.max_live_copies == 0) return true;
+  // A group that alone exceeds the whole budget could never be admitted by
+  // waiting for copies to die; soft-cap and admit it now instead of
+  // wedging it — and the strict-FIFO queue behind it — forever.
+  if (group_size > cfg_.max_live_copies) return true;
+  return live_speculative_count() + group_size <= cfg_.max_live_copies;
 }
 
 void SpecRuntime::materialize(PendingSpawn spawn) {
@@ -191,11 +199,8 @@ void SpecRuntime::materialize(PendingSpawn spawn) {
 
 void SpecRuntime::drain_admission() {
   while (!deferred_spawns_.empty()) {
-    if (cfg_.max_live_copies != 0 &&
-        live_copy_count() + deferred_spawns_.front().alts.size() >
-            cfg_.max_live_copies) {
+    if (!fits_budget(deferred_spawns_.front().alts.size()))
       return;  // strict FIFO: later, smaller groups do not jump the queue
-    }
     PendingSpawn spawn = std::move(deferred_spawns_.front());
     deferred_spawns_.pop_front();
     materialize(std::move(spawn));

@@ -108,12 +108,18 @@ struct SpecConfig {
   /// Serial per-child spawn cost charged before an alternative's init runs.
   VDuration spawn_latency = vt_us(5);
   std::uint64_t seed = 1;
-  /// Speculation budget: maximum live world copies across the whole
-  /// runtime. 0 = unbounded. A spawn_alternatives that would exceed it is
-  /// *deferred* — its pids and predicates exist immediately, but the world
-  /// forks and init programs wait (FIFO) until enough copies die. The
-  /// parent stays blocked either way, so semantics are unchanged; only the
-  /// peak page footprint is.
+  /// Speculation budget: maximum live *speculative* copies (alternative
+  /// children of unresolved groups) across the runtime. 0 = unbounded.
+  /// Roots and blocked parents do not count — they live for the whole run,
+  /// and charging them would make a deferral permanent once the settled
+  /// population alone fills the budget. A spawn_alternatives that would
+  /// exceed it is *deferred* — its pids and predicates exist immediately,
+  /// but the world forks and init programs wait (FIFO) until enough
+  /// speculative copies die. A single group larger than the entire budget
+  /// could never fit by waiting and is admitted anyway (soft cap) rather
+  /// than wedging itself and the queue behind it. The parent stays blocked
+  /// either way, so semantics are unchanged; only the peak page footprint
+  /// is.
   std::size_t max_live_copies = 0;
 };
 
@@ -201,7 +207,8 @@ class SpecRuntime {
   const SpecProcess& proc(Pid pid) const;
   SpecProcess& create_process(LogicalId lid, std::string label, World world,
                               Handler on_message);
-  std::size_t live_copy_count() const;
+  std::size_t live_speculative_count() const;
+  bool fits_budget(std::size_t group_size) const;
   void materialize(PendingSpawn spawn);
   void drain_admission();
   void send_from(SpecProcess* sender, LogicalId to, Bytes data);
