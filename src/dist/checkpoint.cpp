@@ -247,6 +247,26 @@ RestoreResult restore_chain(const std::vector<CheckpointImage>& chain) {
   return restore_chain(std::span<const CheckpointImage* const>(ptrs));
 }
 
+bool parse_checkpoint_blob(Bytes blob, CheckpointImage& out) {
+  CheckpointImage img;
+  img.blob = std::move(blob);
+  ByteReader r(img.blob);
+  ParsedHeader h;
+  if (!read_header(r, img, h)) return false;
+  // Page records are not replayed here (restore does that); only the
+  // record *count* is needed to rebuild resident_pages.
+  const std::uint64_t count = r.get_u64();
+  if (!r.ok() || count > h.num_pages) return false;
+  img.resident_pages = count;
+  img.page_size = h.page_size;
+  img.total_pages = h.num_pages;
+  img.delta = h.kind == kKindDelta;
+  img.checksum = h.checksum;
+  img.base_checksum = h.base_checksum;
+  out = std::move(img);
+  return true;
+}
+
 void reseal_checkpoint(CheckpointImage& image) {
   if (image.blob.size() < kPayloadOffset) return;
   image.checksum = payload_checksum(image.blob);

@@ -102,6 +102,14 @@ RestoreResult restore_checkpoint(const CheckpointImage& image);
 RestoreResult restore_chain(std::span<const CheckpointImage* const> chain);
 RestoreResult restore_chain(const std::vector<CheckpointImage>& chain);
 
+/// Reconstructs a CheckpointImage (metadata included) from a raw blob — the
+/// receive side of checkpoint shipping: only the bytes cross the wire, and
+/// every metadata field is re-derived from the validated header. Returns
+/// false (leaving `out` untouched) if the blob fails the same checks
+/// restore would apply to its header, so a corrupt shipment is rejected at
+/// ingest, before it can enter a chain.
+bool parse_checkpoint_blob(Bytes blob, CheckpointImage& out);
+
 /// Recomputes and re-embeds the blob checksum after the caller edited the
 /// blob. Test/tooling support: forging a *consistently sealed* image with
 /// malformed contents (duplicate page index, bad segment) is how the

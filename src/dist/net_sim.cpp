@@ -1,15 +1,51 @@
 #include "dist/net_sim.hpp"
 
+#include <algorithm>
+
 #include "fault/fault.hpp"
+#include "trace/trace.hpp"
 
 namespace mw {
 
+void LinkModel::block(NodeId from, NodeId to) {
+  if (!blocks(from, to)) blocked.emplace_back(from, to);
+}
+
+void LinkModel::unblock(NodeId from, NodeId to) {
+  blocked.erase(std::remove(blocked.begin(), blocked.end(),
+                            std::make_pair(from, to)),
+                blocked.end());
+}
+
+void LinkModel::partition(NodeId a, NodeId b) {
+  block(a, b);
+  block(b, a);
+}
+
+void LinkModel::heal(NodeId a, NodeId b) {
+  unblock(a, b);
+  unblock(b, a);
+}
+
+bool LinkModel::blocks(NodeId from, NodeId to) const {
+  return std::find(blocked.begin(), blocked.end(),
+                   std::make_pair(from, to)) != blocked.end();
+}
+
 void NetSim::send(NodeId from, NodeId to, std::size_t bytes,
                   std::function<void()> on_delivered) {
-  (void)from;
-  (void)to;
   ++messages_;
   bytes_ += bytes;
+
+  // Partition first, before any stochastic draw: a healed partition must
+  // leave the seeded loss/jitter schedule of every other link untouched.
+  if (link_.blocks(from, to) ||
+      MW_FAULT_POINT("net.partition", queue_.now())) {
+    ++partitioned_;
+    MW_TRACE_EVENT(trace::EventKind::kNetPartition, kNoPid, kNoPid, from, to,
+                   queue_.now());
+    return;
+  }
 
   // Statistical faults from the link model, surgical ones from the "net.send"
   // fault point. Draw order is fixed (loss, duplication, jitter per copy) so
@@ -34,6 +70,12 @@ void NetSim::send(NodeId from, NodeId to, std::size_t bytes,
     default:
       break;
   }
+  // The transport-level points, shared with the socket backend. Each is a
+  // separate seeded stream, so arming one never perturbs the others.
+  if (MW_FAULT_POINT("net.drop", queue_.now())) drop = true;
+  if (MW_FAULT_POINT("net.dup", queue_.now())) duplicate = true;
+  if (const FaultAction d = MW_FAULT_POINT("net.delay", queue_.now()))
+    extra += d.delay;
 
   if (drop) {
     ++dropped_;

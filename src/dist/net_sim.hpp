@@ -12,6 +12,8 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "util/des.hpp"
 #include "util/rng.hpp"
@@ -30,6 +32,24 @@ struct LinkModel {
   double loss_probability = 0.0;       // per message
   double duplicate_probability = 0.0;  // per delivered message
   VDuration jitter = 0;                // uniform extra delay in [0, jitter]
+
+  /// Partitioned (directed) links: a message whose (from, to) pair is
+  /// blocked is swallowed before any loss/duplication/jitter draw, so
+  /// arming or healing a partition never perturbs the seeded fault
+  /// schedule of the surviving links. Symmetric partitions block both
+  /// directions; blocking one direction models the asymmetric case (A can
+  /// reach B but B's replies vanish — the split-brain the health tracker
+  /// must survive).
+  std::vector<std::pair<NodeId, NodeId>> blocked;
+
+  /// Blocks from -> to only (asymmetric partition).
+  void block(NodeId from, NodeId to);
+  void unblock(NodeId from, NodeId to);
+  /// Blocks both directions between a and b (symmetric partition).
+  void partition(NodeId a, NodeId b);
+  void heal(NodeId a, NodeId b);
+  void heal_all() { blocked.clear(); }
+  bool blocks(NodeId from, NodeId to) const;
 
   /// One-way time to move `bytes` as a single message. Serialization is
   /// rounded to the nearest tick (truncation would bill fractional-
@@ -52,13 +72,22 @@ struct LinkModel {
 /// fixed per-send order, so a given (seed, send sequence) replays exactly.
 /// The fault point "net.send" (queried with the queue clock) can force a
 /// drop (kDropMessage/kNodeCrash), a duplicate (kDuplicateMessage), or an
-/// extra delay (kDelay) on specific messages.
+/// extra delay (kDelay) on specific messages. The transport-level points
+/// "net.drop" / "net.dup" / "net.delay" / "net.partition" apply here too,
+/// so a fault matrix written against the socket backend injects the same
+/// schedule into the simulated one. Partition checks (the link's blocked
+/// pairs, then "net.partition") run before any stochastic draw: healing a
+/// partition never shifts the loss/jitter stream of other links.
 class NetSim {
  public:
   NetSim(EventQueue& queue, LinkModel link, std::uint64_t seed = 0)
       : queue_(queue), link_(link), rng_(Rng(seed).split(0x6e657473696dull)) {}
 
   const LinkModel& link() const { return link_; }
+  /// Mutable access for partition control mid-run (SimTransport's
+  /// set_link_blocked); the stochastic knobs should not be retuned after
+  /// traffic starts if replayability matters.
+  LinkModel& mutable_link() { return link_; }
   EventQueue& queue() { return queue_; }
 
   /// Schedules `on_delivered` after the link-model transfer time — zero,
@@ -70,6 +99,9 @@ class NetSim {
   std::uint64_t bytes_sent() const { return bytes_; }
   std::uint64_t messages_dropped() const { return dropped_; }
   std::uint64_t messages_duplicated() const { return duplicated_; }
+  /// Messages swallowed by a partition (blocked link or "net.partition");
+  /// not counted in messages_dropped.
+  std::uint64_t messages_partitioned() const { return partitioned_; }
   /// Deliveries actually scheduled (includes duplicate copies).
   std::uint64_t messages_delivered() const { return delivered_; }
 
@@ -81,6 +113,7 @@ class NetSim {
   std::uint64_t bytes_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t partitioned_ = 0;
   std::uint64_t delivered_ = 0;
 };
 

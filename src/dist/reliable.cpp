@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace mw {
@@ -12,6 +13,14 @@ VDuration RetryPolicy::rto_for(std::size_t attempt) const {
                std::pow(backoff, static_cast<double>(attempt));
   rto = std::min(rto, static_cast<double>(rto_cap));
   return static_cast<VDuration>(std::llround(rto));
+}
+
+VDuration RetryPolicy::rto_jittered(std::size_t attempt, Rng& rng) const {
+  // Always draw: a policy toggling jitter on must not shift the caller's
+  // stream for every draw after this one.
+  const double scale = 1.0 + rng.next_double() * std::max(jitter, 0.0);
+  return static_cast<VDuration>(
+      std::llround(static_cast<double>(rto_for(attempt)) * scale));
 }
 
 VDuration RetryPolicy::exhausted_budget() const {
@@ -36,6 +45,7 @@ void ReliableChannel::attempt(
     std::size_t k, std::shared_ptr<std::function<void()>> on_delivered,
     std::shared_ptr<std::function<void()>> on_failed) {
   if (k > 0) ++stats_.retransmissions;
+  ++stats_.frames_sent;
 
   // Data leg. The arrival handler also runs for duplicate copies the link
   // materializes on its own — the dedup below covers both sources.
@@ -49,20 +59,30 @@ void ReliableChannel::attempt(
     // (Re-)ack every copy that arrives: a lost ack must not strand the
     // sender if a retransmitted data message gets through.
     ++stats_.acks_sent;
+    ++stats_.frames_sent;
     net_.send(to, from, policy_.ack_bytes, [t] { t->acked = true; });
   });
 
   // RTO timer for this attempt.
+  const VDuration rto = policy_.rto_for(k);
   net_.queue().schedule_after(
-      policy_.rto_for(k),
-      [this, t, from, to, bytes, k, on_delivered, on_failed] {
+      rto, [this, t, from, to, bytes, k, rto, on_delivered, on_failed] {
         if (t->acked || t->dead) return;
+        // The transfer is still unacked at RTO expiry: a timeout, whose
+        // wait we just paid as backoff.
+        ++stats_.timeouts;
+        stats_.backoff_total += rto;
         if (k + 1 >= policy_.max_attempts) {
           t->dead = true;
           ++stats_.failures;
+          MW_TRACE_EVENT(trace::EventKind::kNetTimeout, kNoPid, kNoPid, k + 1,
+                         0, net_.queue().now());
           if (*on_failed) (*on_failed)();
           return;
         }
+        MW_TRACE_EVENT(trace::EventKind::kNetRetransmit, kNoPid, kNoPid,
+                       k + 1, static_cast<std::uint64_t>(rto),
+                       net_.queue().now());
         attempt(t, from, to, bytes, k + 1, on_delivered, on_failed);
       });
 }

@@ -32,10 +32,25 @@ struct RetryPolicy {
   double backoff = 2.0;       // RTO multiplier per retry
   VDuration rto_cap = vt_ms(240);
   std::size_t ack_bytes = 32;
+  /// Jitter fraction: each attempt's effective RTO is scaled by a factor
+  /// drawn uniformly from [1, 1 + jitter) out of the caller's seeded
+  /// stream, decorrelating retry storms across peers. 0 = no jitter (the
+  /// deterministic schedule the analytic paths rely on). The jittered RTO
+  /// is NOT re-capped: the cap bounds the base schedule, jitter rides on
+  /// top of it.
+  double jitter = 0.0;
+  /// Per-request deadline: a request still unresolved this long after it
+  /// was issued fails at its next timer check even if retry attempts
+  /// remain. 0 = no deadline (the retry budget alone bounds the wait).
+  VDuration deadline = 0;
 
   /// RTO for attempt k (0-based): min(cap, initial * backoff^k).
   VDuration rto_for(std::size_t attempt) const;
-  /// Worst-case sender-side wait: the sum of every attempt's RTO.
+  /// rto_for(attempt) scaled by a seeded jitter draw (one draw per call,
+  /// even when jitter == 0, so arming jitter never shifts the rest of the
+  /// caller's stream).
+  VDuration rto_jittered(std::size_t attempt, Rng& rng) const;
+  /// Worst-case sender-side wait: the sum of every attempt's base RTO.
   VDuration exhausted_budget() const;
 };
 
@@ -47,6 +62,16 @@ class ReliableChannel {
     std::uint64_t acks_sent = 0;
     std::uint64_t failures = 0;        // transfers whose retries exhausted
     std::uint64_t duplicates_suppressed = 0;  // receiver-side dedup hits
+    /// Retry-discipline health (PR 6): every RTO expiry that found the
+    /// transfer unacked, the backoff actually paid waiting through those
+    /// expiries, and requests killed by their deadline rather than by
+    /// attempt exhaustion. TransportChannel reuses this struct, so the
+    /// counters mean the same thing on the simulated and socket backends.
+    std::uint64_t timeouts = 0;          // RTO expiries on unacked transfers
+    VDuration backoff_total = 0;         // summed RTO ticks those cost
+    std::uint64_t deadline_failures = 0; // subset of failures: deadline hit
+    std::uint64_t frames_sent = 0;       // raw frames (data + ack + beat)
+    std::uint64_t heartbeats_sent = 0;
   };
 
   explicit ReliableChannel(NetSim& net, RetryPolicy policy = {})

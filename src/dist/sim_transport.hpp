@@ -1,0 +1,55 @@
+// SimTransport: the deterministic Transport backend, wrapping the existing
+// NetSim/LinkModel stack byte-for-byte. Every stochastic decision (loss,
+// duplication, jitter) is drawn by the embedded NetSim in the same per-send
+// order as before the Transport layer existed, so a (seed, send-sequence)
+// pair replays the exact schedule the pre-transport dist tests pinned down.
+// All nodes of a simulated cluster live on one SimTransport, sharing one
+// EventQueue — the multiple-worlds DES substrate is the network.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "dist/transport.hpp"
+#include "util/bytes.hpp"
+
+namespace mw {
+
+class SimTransport : public Transport {
+ public:
+  SimTransport(EventQueue& queue, LinkModel link, std::uint64_t seed = 0,
+               std::size_t max_payload = kMaxFrameBytes)
+      : net_(queue, std::move(link), seed), max_payload_(max_payload) {}
+
+  // The embedded simulator: legacy stats, and the seeded stream the
+  // determinism contract is defined against.
+  NetSim& net() { return net_; }
+  const NetSim& net() const { return net_; }
+
+  void bind(NodeId node, TransportReceiver& receiver) override;
+  void unbind(NodeId node) override;
+  bool send(NodeId from, NodeId to,
+            std::span<const std::uint8_t> payload) override;
+  TimerId schedule(VDuration delay, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+  VTime now() const override { return net_.queue().now(); }
+  void run() override;
+  void run_until(VTime deadline) override;
+  bool poll() override;
+  void close() override { closed_ = true; }
+  void set_link_blocked(NodeId from, NodeId to, bool blocked) override;
+  const TransportStats& stats() const override;
+  bool simulated() const override { return true; }
+  std::size_t max_payload() const override { return max_payload_; }
+
+ private:
+  mutable NetSim net_;  // queue access in now() is const from outside
+  std::size_t max_payload_;
+  bool closed_ = false;
+  std::map<NodeId, TransportReceiver*> receivers_;
+  TimerId next_timer_ = 1;
+  std::map<TimerId, std::shared_ptr<bool>> live_timers_;
+  mutable TransportStats stats_;
+};
+
+}  // namespace mw

@@ -1,0 +1,331 @@
+#include "dist/socket_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+
+namespace mw {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x4d575450u;  // "MWTP"
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 8 + 8;
+constexpr std::size_t kMaxDatagram = kMaxFrameBytes + kHeaderBytes;
+
+VTime monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<VTime>(ts.tv_sec) * 1'000'000 +
+         static_cast<VTime>(ts.tv_nsec) / 1'000;
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(NodeId self) : self_(self) {
+  epoch_ = monotonic_us();
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  MW_CHECK(fd_ >= 0);
+
+  // Checkpoint chains arrive in bursts; a default-sized receive buffer
+  // would shed them on loopback and force the channel into retransmits.
+  int rcvbuf = 4 * 1024 * 1024;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+  int sndbuf = 4 * 1024 * 1024;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof sndbuf);
+
+  // Ephemeral port, always: binding a fixed port is how parallel ctest
+  // runs earn EADDRINUSE flakes. The kernel picks; peers are told.
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  MW_CHECK(::bind(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0);
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  MW_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0);
+  port_ = ntohs(bound.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  MW_CHECK(epoll_fd_ >= 0);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd_;
+  MW_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd_, &ev) == 0);
+
+  rx_buf_.resize(kMaxDatagram + 1);  // +1 detects over-size datagrams
+}
+
+SocketTransport::~SocketTransport() { close(); }
+
+void SocketTransport::close() {
+  if (closed_) return;
+  closed_ = true;
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (fd_ >= 0) ::close(fd_);
+  epoll_fd_ = -1;
+  fd_ = -1;
+}
+
+std::size_t SocketTransport::max_payload() const { return kMaxFrameBytes; }
+
+VTime SocketTransport::now() const { return monotonic_us() - epoch_; }
+
+void SocketTransport::add_peer(NodeId node, std::uint16_t port) {
+  peer_ip_[node] = htonl(INADDR_LOOPBACK);
+  peer_port_[node] = port;
+}
+
+bool SocketTransport::knows_peer(NodeId node) const {
+  return peer_port_.count(node) != 0;
+}
+
+void SocketTransport::bind(NodeId node, TransportReceiver& receiver) {
+  receivers_[node] = &receiver;
+}
+
+void SocketTransport::unbind(NodeId node) { receivers_.erase(node); }
+
+void SocketTransport::set_link_blocked(NodeId from, NodeId to, bool blocked) {
+  if (blocked) {
+    links_.block(from, to);
+  } else {
+    links_.unblock(from, to);
+  }
+}
+
+bool SocketTransport::send_frame(NodeId to, const Bytes& frame) {
+  auto ip = peer_ip_.find(to);
+  auto pp = peer_port_.find(to);
+  if (ip == peer_ip_.end() || pp == peer_port_.end()) {
+    // Self-delivery without an explicit peer entry: loop through the
+    // socket anyway so faults and framing treat it like any other frame.
+    if (receivers_.count(to) == 0) {
+      ++stats_.messages_unroutable;
+      return false;
+    }
+    add_peer(to, port_);
+    ip = peer_ip_.find(to);
+    pp = peer_port_.find(to);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = ip->second;
+  addr.sin_port = htons(pp->second);
+  const ssize_t n =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  if (n != static_cast<ssize_t>(frame.size())) {
+    ++stats_.send_errors;
+    return false;
+  }
+  return true;
+}
+
+bool SocketTransport::send(NodeId from, NodeId to,
+                           std::span<const std::uint8_t> payload) {
+  if (closed_ || payload.size() > max_payload()) {
+    ++stats_.send_errors;
+    return false;
+  }
+
+  const FrameFaults f = query_frame_faults(from, to, now(), &links_);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  MW_TRACE_EVENT(trace::EventKind::kNetSend, kNoPid, kNoPid, payload.size(),
+                 to, now());
+  if (f.partitioned) {
+    ++stats_.messages_partitioned;
+    MW_TRACE_EVENT(trace::EventKind::kNetPartition, kNoPid, kNoPid, from, to,
+                   now());
+    return true;
+  }
+  if (f.drop) {
+    ++stats_.messages_dropped;
+    return true;
+  }
+
+  ByteWriter w;
+  w.put_u32(kFrameMagic);
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_u64(from);
+  w.put_u64(to);
+  w.put_u64(tx_seq_[to]++);
+  w.put_bytes(payload);
+  Bytes frame = w.take();
+
+  const std::size_t copies = f.duplicate ? 2 : 1;
+  if (f.duplicate) ++stats_.messages_duplicated;
+  bool ok = true;
+  for (std::size_t c = 0; c < copies; ++c) {
+    if (f.delay > 0) {
+      ++stats_.messages_delayed;
+      schedule(f.delay, [this, to, frame] {
+        if (!closed_) send_frame(to, frame);
+      });
+    } else {
+      ok = send_frame(to, frame) && ok;
+    }
+  }
+  return ok;
+}
+
+void SocketTransport::dispatch(const std::uint8_t* data, std::size_t len) {
+  ByteReader r(std::span<const std::uint8_t>(data, len));
+  const std::uint32_t magic = r.get_u32();
+  const std::uint32_t plen = r.get_u32();
+  const NodeId from = static_cast<NodeId>(r.get_u64());
+  const NodeId to = static_cast<NodeId>(r.get_u64());
+  const std::uint64_t seq = r.get_u64();
+  if (!r.ok() || magic != kFrameMagic || r.remaining() != plen) {
+    ++stats_.messages_corrupt;  // truncated, foreign, or length-forged
+    return;
+  }
+
+  // Receive-side partition: how a process cuts itself off from a peer in
+  // another process (the send side of that peer can't be reached into).
+  if (links_.blocks(from, to)) {
+    ++stats_.messages_partitioned;
+    MW_TRACE_EVENT(trace::EventKind::kNetPartition, kNoPid, kNoPid, from, to,
+                   now());
+    return;
+  }
+
+  // Per-peer sequence accounting: duplicates and reordering are normal
+  // UDP behavior — observable, not corrected, at this layer.
+  auto [it, fresh] = rx_seq_.try_emplace(from, seq);
+  if (!fresh) {
+    if (seq <= it->second) {
+      ++stats_.messages_out_of_order;
+    } else {
+      it->second = seq;
+    }
+  }
+
+  auto rcv = receivers_.find(to);
+  if (rcv == receivers_.end()) {
+    ++stats_.messages_unroutable;
+    return;
+  }
+  ++stats_.messages_delivered;
+  stats_.bytes_delivered += plen;
+  MW_TRACE_EVENT(trace::EventKind::kNetDeliver, kNoPid, kNoPid, plen, from,
+                 now());
+  rcv->second->on_message(
+      from, std::span<const std::uint8_t>(data + (len - plen), plen));
+}
+
+std::size_t SocketTransport::drain_socket() {
+  std::size_t dispatched = 0;
+  while (!closed_) {
+    sockaddr_in src{};
+    socklen_t srclen = sizeof src;
+    const ssize_t n =
+        ::recvfrom(fd_, rx_buf_.data(), rx_buf_.size(), 0,
+                   reinterpret_cast<sockaddr*>(&src), &srclen);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: drained
+    }
+    if (n < static_cast<ssize_t>(kHeaderBytes) ||
+        n > static_cast<ssize_t>(kMaxDatagram)) {
+      ++stats_.messages_corrupt;
+      continue;
+    }
+    // Learn/refresh the sender's address from the frame header before
+    // dispatching, so replies route even on first contact. Parse just the
+    // `from` field here; dispatch() re-validates everything.
+    ByteReader peek(std::span<const std::uint8_t>(
+        rx_buf_.data(), static_cast<std::size_t>(n)));
+    const std::uint32_t magic = peek.get_u32();
+    peek.get_u32();
+    const NodeId from = static_cast<NodeId>(peek.get_u64());
+    if (magic == kFrameMagic && from != self_) {
+      peer_ip_[from] = src.sin_addr.s_addr;
+      peer_port_[from] = ntohs(src.sin_port);
+    }
+    dispatch(rx_buf_.data(), static_cast<std::size_t>(n));
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+std::size_t SocketTransport::fire_due_timers() {
+  std::size_t fired = 0;
+  while (!closed_ && !timer_heap_.empty() && timer_heap_.top().at <= now()) {
+    const Timer t = timer_heap_.top();
+    timer_heap_.pop();
+    auto it = timer_fns_.find(t.id);
+    if (it == timer_fns_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    timer_fns_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+TimerId SocketTransport::schedule(VDuration delay, std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timer_fns_[id] = std::move(fn);
+  timer_heap_.push(Timer{now() + std::max<VDuration>(delay, 0), id});
+  return id;
+}
+
+void SocketTransport::cancel(TimerId id) { timer_fns_.erase(id); }
+
+bool SocketTransport::poll() {
+  if (closed_) return false;
+  const std::size_t n = drain_socket() + fire_due_timers();
+  return n > 0;
+}
+
+void SocketTransport::run_until(VTime deadline) {
+  while (!closed_) {
+    fire_due_timers();
+    if (closed_) break;
+    const VTime t = now();
+    if (t >= deadline) break;
+    VTime next = deadline;
+    // Skip over cancelled heap entries so they don't truncate the wait.
+    while (!timer_heap_.empty() &&
+           timer_fns_.count(timer_heap_.top().id) == 0) {
+      timer_heap_.pop();
+    }
+    if (!timer_heap_.empty() && timer_heap_.top().at < next) {
+      next = timer_heap_.top().at;
+    }
+    const VDuration wait = next > t ? next - t : 0;
+    const int timeout_ms =
+        static_cast<int>(std::min<VDuration>((wait + 999) / 1000, 1000));
+    epoll_event ev{};
+    const int nready = ::epoll_wait(epoll_fd_, &ev, 1, timeout_ms);
+    if (nready < 0 && errno != EINTR) break;
+    if (nready > 0) drain_socket();
+  }
+  if (!closed_) fire_due_timers();
+}
+
+void SocketTransport::run() {
+  // Without pending timers there is nothing to wait for deterministically;
+  // callers that want pure arrival-driven service use run_until slices.
+  while (!closed_ && !timer_fns_.empty()) {
+    while (!timer_heap_.empty() &&
+           timer_fns_.count(timer_heap_.top().id) == 0) {
+      timer_heap_.pop();
+    }
+    if (timer_heap_.empty()) break;
+    run_until(timer_heap_.top().at);
+  }
+}
+
+}  // namespace mw

@@ -1,0 +1,117 @@
+// SocketTransport: the real-network Transport backend — UDP datagrams on
+// loopback/LAN with an epoll-driven, single-threaded event loop.
+//
+// Framing: every datagram is one length-prefixed frame
+//
+//   magic  u32  "MWTP"
+//   len    u32  payload bytes (validated against the datagram size)
+//   from   u64  sender NodeId
+//   to     u64  destination NodeId
+//   seq    u64  per-(sender, destination) sequence number
+//
+// A datagram that fails any framing check is counted corrupt and dropped —
+// a truncated or foreign packet must never reach a receiver. Per-peer
+// sequence numbers make reordering and duplication observable (stats), but
+// this layer deliberately does NOT retransmit, dedup, or order: UDP's
+// failure modes are surfaced to TransportChannel, the same reliability
+// discipline the simulated backend uses.
+//
+// Ports are always ephemeral: the constructor binds 127.0.0.1:0 and the
+// chosen port is read back with port(), then handed to peers (add_peer) or
+// learned automatically from the `from` field of valid inbound frames —
+// the EADDRINUSE-proof discipline parallel test runners need.
+//
+// Fault injection: the send path consults the same seeded fault points as
+// the simulated backend — "net.partition" (and blocked link pairs), then
+// "net.drop" / "net.dup" / "net.delay" — so one fault matrix drives both
+// backends. Receive-side partition checks let a process partition *itself*
+// from a peer it cannot reach into.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "dist/transport.hpp"
+#include "util/bytes.hpp"
+
+struct sockaddr_in;
+
+namespace mw {
+
+class SocketTransport : public Transport {
+ public:
+  /// Binds a UDP socket on 127.0.0.1 with an ephemeral port. `self` is the
+  /// node this process hosts by default (bind() can add more).
+  explicit SocketTransport(NodeId self);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  NodeId self() const { return self_; }
+  /// The kernel-chosen port — pass this to peers; never hardcode one.
+  std::uint16_t port() const { return port_; }
+  /// Registers where `node` lives (loopback). Inbound frames refresh the
+  /// mapping automatically, so only the bootstrap direction needs this.
+  void add_peer(NodeId node, std::uint16_t port);
+  bool knows_peer(NodeId node) const;
+
+  void bind(NodeId node, TransportReceiver& receiver) override;
+  void unbind(NodeId node) override;
+  bool send(NodeId from, NodeId to,
+            std::span<const std::uint8_t> payload) override;
+  TimerId schedule(VDuration delay, std::function<void()> fn) override;
+  void cancel(TimerId id) override;
+  VTime now() const override;
+  void run() override;
+  void run_until(VTime deadline) override;
+  bool poll() override;
+  void close() override;
+  void set_link_blocked(NodeId from, NodeId to, bool blocked) override;
+  const TransportStats& stats() const override { return stats_; }
+  bool simulated() const override { return false; }
+  std::size_t max_payload() const override;
+
+ private:
+  struct Timer {
+    VTime at = 0;
+    TimerId id = 0;
+    bool operator>(const Timer& o) const {
+      return at != o.at ? at > o.at : id > o.id;
+    }
+  };
+
+  bool send_frame(NodeId to, const Bytes& frame);
+  /// Drains the socket; returns frames dispatched.
+  std::size_t drain_socket();
+  /// Fires every timer due at `now`; returns how many ran.
+  std::size_t fire_due_timers();
+  void dispatch(const std::uint8_t* data, std::size_t len);
+
+  NodeId self_;
+  int fd_ = -1;
+  int epoll_fd_ = -1;
+  std::uint16_t port_ = 0;
+  VTime epoch_ = 0;  // CLOCK_MONOTONIC µs at construction
+  bool closed_ = false;
+
+  std::map<NodeId, TransportReceiver*> receivers_;
+  std::map<NodeId, std::uint32_t> peer_ip_;    // network-order IPv4
+  std::map<NodeId, std::uint16_t> peer_port_;  // host order
+  std::map<NodeId, std::uint64_t> tx_seq_;     // per-destination
+  std::map<NodeId, std::uint64_t> rx_seq_;     // per-sender, highest seen
+  LinkModel links_;  // only the blocked pairs are meaningful here
+
+  TimerId next_timer_ = 1;
+  std::map<TimerId, std::function<void()>> timer_fns_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>>
+      timer_heap_;
+
+  TransportStats stats_;
+  Bytes rx_buf_;
+};
+
+}  // namespace mw

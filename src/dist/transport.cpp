@@ -1,0 +1,77 @@
+#include "dist/transport.hpp"
+
+#include "fault/fault.hpp"
+#include "trace/trace.hpp"
+
+namespace mw {
+
+const char* to_string(PeerState s) {
+  switch (s) {
+    case PeerState::kAlive: return "alive";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDead: return "dead";
+  }
+  return "?";
+}
+
+void PeerHealth::watch(NodeId peer, VTime now) {
+  peers_[peer] = Entry{now, PeerState::kAlive};
+}
+
+void PeerHealth::forget(NodeId peer) { peers_.erase(peer); }
+
+void PeerHealth::heard_from(NodeId peer, VTime now) {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return;  // only watched peers are tracked
+  if (now > it->second.last_heard) it->second.last_heard = now;
+}
+
+PeerState PeerHealth::state(NodeId peer, VTime now) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end()) return PeerState::kDead;  // unwatched = unknown
+  const VDuration silence = now - it->second.last_heard;
+  if (silence >= config_.dead_after) return PeerState::kDead;
+  if (silence >= config_.suspect_after) return PeerState::kSuspect;
+  return PeerState::kAlive;
+}
+
+std::vector<PeerHealth::Transition> PeerHealth::check(VTime now) {
+  std::vector<Transition> out;
+  for (auto& [peer, entry] : peers_) {
+    const PeerState s = state(peer, now);
+    if (s == entry.reported) continue;
+    entry.reported = s;
+    out.push_back(Transition{peer, s});
+    if (s == PeerState::kSuspect) {
+      MW_TRACE_EVENT(trace::EventKind::kNetPeerSuspect, kNoPid, kNoPid, peer,
+                     0, now);
+    } else if (s == PeerState::kDead) {
+      MW_TRACE_EVENT(trace::EventKind::kNetPeerDead, kNoPid, kNoPid, peer, 0,
+                     now);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> PeerHealth::watched() const {
+  std::vector<NodeId> out;
+  out.reserve(peers_.size());
+  for (const auto& [peer, entry] : peers_) out.push_back(peer);
+  return out;
+}
+
+FrameFaults query_frame_faults(NodeId from, NodeId to, VTime now,
+                               const LinkModel* link) {
+  FrameFaults f;
+  if ((link && link->blocks(from, to)) ||
+      MW_FAULT_POINT("net.partition", now)) {
+    f.partitioned = true;
+    return f;
+  }
+  if (MW_FAULT_POINT("net.drop", now)) f.drop = true;
+  if (MW_FAULT_POINT("net.dup", now)) f.duplicate = true;
+  if (const FaultAction d = MW_FAULT_POINT("net.delay", now)) f.delay = d.delay;
+  return f;
+}
+
+}  // namespace mw

@@ -1,0 +1,187 @@
+// Pluggable transport: the seam between the distributed layer and the
+// network it runs on, modeled on oscar's TransportReceiver / Simulated
+// split. Everything above this interface — the reliable channel, rfork
+// shipping, checkpoint deltas, failover — is written once against
+// `Transport` and runs unchanged on either backend:
+//
+//  * SimTransport (sim_transport.hpp) — the deterministic event-queue
+//    backend, wrapping the existing NetSim link model byte-for-byte. Kept
+//    for the fault-matrix suites: a seed replays one exact schedule.
+//  * SocketTransport (socket_transport.hpp) — UDP datagrams over a real
+//    socket with an epoll-driven event loop. Kept for multi-process races:
+//    a kill -9 is a real kill.
+//
+// The contract is deliberately unreliable datagrams plus timers: loss,
+// duplication, reordering, and partitions are the *interface*, not an
+// accident of one backend. Reliability is a layer above (TransportChannel),
+// so the retry/backoff/deadline discipline is identical on both backends
+// and a fault matrix written once covers them both.
+//
+// Threading: a Transport is single-threaded by construction. All sends,
+// timer callbacks, and deliveries happen on the thread driving run() /
+// run_until() / poll(). Cross-process concurrency (the interesting kind)
+// comes from separate processes owning separate transports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dist/net_sim.hpp"  // NodeId, LinkModel
+#include "util/vtime.hpp"
+
+namespace mw {
+
+/// Default frame ceiling, aligned with the socket backend's UDP datagram
+/// budget so TransportChannel fragments identically on both backends.
+inline constexpr std::size_t kMaxFrameBytes = 56 * 1024;
+
+/// Delivery counters every backend maintains. Sim keeps the authoritative
+/// loss/duplication accounting inside its NetSim too; these are the
+/// backend-independent subset the benches and tests compare across
+/// backends.
+struct TransportStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t messages_dropped = 0;      // lost (stochastic or injected)
+  std::uint64_t messages_partitioned = 0;  // blocked by a partition
+  std::uint64_t messages_duplicated = 0;
+  std::uint64_t messages_delayed = 0;      // "net.delay" hits
+  std::uint64_t messages_corrupt = 0;      // framing rejects (socket)
+  std::uint64_t messages_unroutable = 0;   // no bound receiver / no address
+  std::uint64_t messages_out_of_order = 0; // per-peer seq went backwards
+  std::uint64_t send_errors = 0;           // syscall failures (socket)
+};
+
+/// A bound endpoint: gets every payload addressed to its node. Payload
+/// spans are only valid for the duration of the call — copy to keep.
+class TransportReceiver {
+ public:
+  virtual ~TransportReceiver() = default;
+  virtual void on_message(NodeId from,
+                          std::span<const std::uint8_t> payload) = 0;
+};
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Registers `receiver` as `node`'s endpoint. One receiver per node;
+  /// re-binding replaces. The receiver must outlive the binding.
+  virtual void bind(NodeId node, TransportReceiver& receiver) = 0;
+  virtual void unbind(NodeId node) = 0;
+
+  /// Fire-and-forget datagram. Returns false only when the send could not
+  /// even be attempted (transport closed, payload over max_payload(), no
+  /// route) — a `true` promises nothing about delivery.
+  virtual bool send(NodeId from, NodeId to,
+                    std::span<const std::uint8_t> payload) = 0;
+
+  /// One-shot timer `delay` ticks from now (virtual ticks on sim, real
+  /// microseconds on sockets). Returns a handle for cancel(); fired and
+  /// cancelled timers are both safe to cancel again.
+  virtual TimerId schedule(VDuration delay, std::function<void()> fn) = 0;
+  virtual void cancel(TimerId id) = 0;
+
+  /// The backend's clock: the event-queue clock (sim) or a monotonic
+  /// microsecond clock starting near 0 at construction (socket).
+  virtual VTime now() const = 0;
+
+  /// Drives deliveries and timers until no work is pending (sim: queue
+  /// drained; socket: no outstanding timers — arrivals need run_until).
+  virtual void run() = 0;
+  /// Drives until the clock reaches `deadline` or the transport closes.
+  virtual void run_until(VTime deadline) = 0;
+  /// One step of work if any is due; returns whether anything ran.
+  virtual bool poll() = 0;
+
+  /// Stops delivering; further sends return false. Idempotent.
+  virtual void close() = 0;
+
+  /// Partition control, symmetric with LinkModel::block: while blocked,
+  /// frames from -> to are swallowed (counted in messages_partitioned).
+  /// The socket backend interprets pairs involving nodes it hosts; others
+  /// are recorded but moot.
+  virtual void set_link_blocked(NodeId from, NodeId to, bool blocked) = 0;
+
+  virtual const TransportStats& stats() const = 0;
+  virtual bool simulated() const = 0;
+  /// Largest payload one send() may carry (frames are not fragmented at
+  /// this layer; TransportChannel fragments above it).
+  virtual std::size_t max_payload() const = 0;
+};
+
+/// Heartbeat-driven peer liveness, shared by both backends. The channel
+/// feeds every frame arrival into heard_from(); a periodic check() walks
+/// the table and reports transitions. Suspect peers get grace (a slow peer
+/// is not a dead peer — demoting on first silence would turn every GC
+/// pause into a failover); dead peers are failover-eligible.
+enum class PeerState { kAlive, kSuspect, kDead };
+
+const char* to_string(PeerState s);
+
+struct PeerHealthConfig {
+  VDuration heartbeat_interval = vt_ms(25);  // how often we emit beats
+  VDuration suspect_after = vt_ms(100);      // silence before kSuspect
+  VDuration dead_after = vt_ms(300);         // silence before kDead
+};
+
+class PeerHealth {
+ public:
+  explicit PeerHealth(PeerHealthConfig config = {}) : config_(config) {}
+
+  /// Starts tracking `peer` as alive as of `now`.
+  void watch(NodeId peer, VTime now);
+  void forget(NodeId peer);
+
+  /// Any frame from the peer counts as life — data and acks included, so
+  /// a chatty peer never pays heartbeat overhead. A dead peer heard from
+  /// again is resurrected (partitions heal).
+  void heard_from(NodeId peer, VTime now);
+
+  PeerState state(NodeId peer, VTime now) const;
+
+  struct Transition {
+    NodeId peer = 0;
+    PeerState state = PeerState::kAlive;
+  };
+  /// Re-evaluates every watched peer at `now`; returns the transitions
+  /// since the last check (suspect, dead, or back to alive) and emits
+  /// kNetPeerSuspect / kNetPeerDead trace events for the bad ones.
+  std::vector<Transition> check(VTime now);
+
+  const PeerHealthConfig& config() const { return config_; }
+  std::vector<NodeId> watched() const;
+
+ private:
+  PeerHealthConfig config_;
+  struct Entry {
+    VTime last_heard = 0;
+    PeerState reported = PeerState::kAlive;
+  };
+  std::map<NodeId, Entry> peers_;  // ordered: deterministic iteration
+};
+
+/// The shared send-side fault decision both backends apply per frame, in
+/// this order: partition (blocked link pair, then the "net.partition"
+/// point), then "net.drop", "net.dup", "net.delay". Partition wins
+/// outright; drop beats dup; delay stacks onto a duplicated send. All four
+/// points draw from their own seeded streams, so a matrix arms any subset
+/// without perturbing the others.
+struct FrameFaults {
+  bool partitioned = false;
+  bool drop = false;
+  bool duplicate = false;
+  VDuration delay = 0;
+};
+FrameFaults query_frame_faults(NodeId from, NodeId to, VTime now,
+                               const LinkModel* link);
+
+}  // namespace mw

@@ -1,0 +1,142 @@
+// TransportChannel: exactly-once(ish) payload delivery over any Transport
+// backend — the retry/backoff/deadline discipline of ReliableChannel,
+// rebuilt on the Transport seam so the identical channel code runs on the
+// deterministic simulator and on real UDP sockets.
+//
+// Protocol (all little-endian, riding inside one transport frame):
+//
+//   kData  u8=1 | xfer u64 | frag u32 | count u32 | total u32 | bytes...
+//   kAck   u8=2 | xfer u64 | bitmap u64        (frags the receiver holds)
+//   kBeat  u8=3                                 (heartbeat, no body)
+//
+// A logical message is split into at most 64 fragments (one ack-bitmap
+// word); each RTO expiry retransmits only the fragments the last ack said
+// were missing. The receiver reassembles, delivers exactly once, and keeps
+// a completed-transfer set per sender so duplicate fragments re-ack but
+// never redeliver. Deadlines, capped exponential backoff, and seeded RTO
+// jitter all come from RetryPolicy; the counters land in the same
+// ReliableChannel::Stats struct the simulator channel reports, so
+// mw_trace/SpecProfile read both backends with one vocabulary.
+//
+// Heartbeats: enable_heartbeats() makes the channel beat every watched
+// peer on PeerHealthConfig::heartbeat_interval and run the PeerHealth
+// check; a peer that crosses dead_after silence fires on_peer_dead —
+// the failover trigger. Any frame (data, ack, beat) counts as life.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "dist/reliable.hpp"  // RetryPolicy, ReliableChannel::Stats
+#include "dist/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace mw {
+
+class TransportChannel : public TransportReceiver {
+ public:
+  using Stats = ReliableChannel::Stats;
+  using Handler = std::function<void(NodeId from, const Bytes& payload)>;
+  using PeerCallback = std::function<void(NodeId peer, PeerState state)>;
+
+  /// Binds itself to `self` on `transport`. `seed` feeds the RTO-jitter
+  /// stream (split per channel so two nodes' jitters decorrelate).
+  TransportChannel(Transport& transport, NodeId self, RetryPolicy policy = {},
+                   PeerHealthConfig health = {}, std::uint64_t seed = 0);
+  ~TransportChannel() override;
+
+  TransportChannel(const TransportChannel&) = delete;
+  TransportChannel& operator=(const TransportChannel&) = delete;
+
+  NodeId self() const { return self_; }
+  Transport& transport() { return transport_; }
+
+  /// Delivered exactly once per completed inbound transfer, in completion
+  /// order. Payload reference is valid only during the call.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Reliable send of an arbitrary payload (fragmented up to 64 frames).
+  /// `on_delivered` fires when every fragment is acked; `on_failed` when
+  /// the retry budget or the policy deadline is exhausted first — the
+  /// two-generals residue applies: a failed send may still have been
+  /// delivered (the acks died). Returns false only if the payload exceeds
+  /// max_message_bytes() or the channel is closed.
+  bool send(NodeId to, Bytes payload, std::function<void()> on_delivered = {},
+            std::function<void()> on_failed = {});
+
+  /// Largest payload send() accepts: 64 fragments of (frame - header).
+  std::size_t max_message_bytes() const;
+
+  /// Starts watching `peer` and (if heartbeats are enabled) beating it.
+  void watch_peer(NodeId peer);
+  void forget_peer(NodeId peer);
+  /// Arms the periodic beat + health check; `on_transition` fires on every
+  /// state change (suspect, dead, recovered). Idempotent.
+  void enable_heartbeats(PeerCallback on_transition = {});
+
+  PeerHealth& health() { return health_; }
+  const Stats& stats() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+  /// Transfers still awaiting their final ack.
+  std::size_t inflight() const { return outbound_.size(); }
+
+  /// Cancels every timer and unbinds from the transport. Pending sends
+  /// neither succeed nor fail after this. Idempotent.
+  void close();
+
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+
+ private:
+  struct Outbound {
+    NodeId to = 0;
+    std::uint64_t xfer = 0;
+    std::vector<Bytes> frames;   // pre-encoded kData frames, one per frag
+    std::uint64_t acked = 0;     // bitmap
+    std::uint64_t want = 0;      // bitmap of all fragments
+    std::size_t attempt = 0;     // 0-based; attempt 0 is the initial send
+    VTime issued_at = 0;
+    TimerId rto_timer = kNoTimer;
+    std::function<void()> on_delivered;
+    std::function<void()> on_failed;
+  };
+
+  struct Inbound {
+    std::uint32_t count = 0;
+    std::uint32_t total = 0;
+    std::uint64_t have = 0;  // bitmap
+    std::vector<Bytes> frags;
+  };
+
+  void transmit_missing(Outbound& t);
+  void arm_rto(std::uint64_t xfer);
+  void on_rto(std::uint64_t xfer);
+  void fail_transfer(std::uint64_t xfer, bool deadline_hit);
+  void send_ack(NodeId to, std::uint64_t xfer, std::uint64_t bitmap);
+  void handle_data(NodeId from, ByteReader& r);
+  void handle_ack(NodeId from, ByteReader& r);
+  void heartbeat_tick();
+
+  Transport& transport_;
+  NodeId self_;
+  RetryPolicy policy_;
+  PeerHealth health_;
+  Rng rng_;
+  Handler handler_;
+  PeerCallback on_transition_;
+  bool closed_ = false;
+  bool beating_ = false;
+  TimerId beat_timer_ = kNoTimer;
+
+  std::uint64_t next_xfer_ = 1;
+  std::map<std::uint64_t, Outbound> outbound_;
+  std::map<std::pair<NodeId, std::uint64_t>, Inbound> inbound_;
+  std::map<NodeId, std::set<std::uint64_t>> completed_;  // dedup memory
+  Stats stats_;
+};
+
+}  // namespace mw

@@ -219,6 +219,11 @@ std::string to_chrome_json(const std::vector<TraceEvent>& events) {
       case EventKind::kDistFailover:
       case EventKind::kDistDemote:
       case EventKind::kWorldRollback:
+      case EventKind::kNetRetransmit:
+      case EventKind::kNetTimeout:
+      case EventKind::kNetPeerSuspect:
+      case EventKind::kNetPeerDead:
+      case EventKind::kNetPartition:
         w.instant(std::string(kind_name(e.kind)) + " p" +
                       std::to_string(e.pid),
                   0, 0, e.t);

@@ -181,6 +181,22 @@ SpecProfile build_spec_profile(const std::vector<TraceEvent>& events,
       case EventKind::kSchedEnqueue: p.sched_enqueued++; break;
       case EventKind::kSchedSteal: p.sched_steals++; break;
       case EventKind::kSchedAdmitDefer: p.sched_admission_deferred++; break;
+      case EventKind::kNetSend:
+        p.net_sends++;
+        p.net_send_bytes += e.a;
+        break;
+      case EventKind::kNetDeliver: p.net_delivered++; break;
+      case EventKind::kNetRetransmit:
+        p.net_retransmits++;
+        p.net_backoff_total += static_cast<VDuration>(e.b);
+        break;
+      case EventKind::kNetTimeout:
+        p.net_timeouts++;
+        if (e.b != 0) p.net_deadline_expired++;
+        break;
+      case EventKind::kNetPeerSuspect: p.net_peer_suspects++; break;
+      case EventKind::kNetPeerDead: p.net_peer_deaths++; break;
+      case EventKind::kNetPartition: p.net_partition_drops++; break;
       case EventKind::kSchedRevoke: {
         RaceProfile& r = race_for(e.a);
         r.revoked++;
@@ -226,6 +242,20 @@ std::string SpecProfile::to_string() const {
     os << "  gate: " << gate_deferred << " deferred, " << gate_released
        << " released, " << gate_dropped << " dropped\n";
   if (restarts > 0) os << "  restarts/failovers: " << restarts << "\n";
+  if (net_sends + net_retransmits + net_timeouts + net_partition_drops > 0) {
+    os << "  transport: " << net_sends << " frame(s) sent (" << net_send_bytes
+       << " B), " << net_delivered << " delivered, " << net_retransmits
+       << " retransmit(s) (" << vt_to_ms(net_backoff_total)
+       << " ms backoff), " << net_timeouts << " timeout(s)";
+    if (net_deadline_expired > 0)
+      os << " (" << net_deadline_expired << " deadline)";
+    if (net_partition_drops > 0)
+      os << ", " << net_partition_drops << " partition-dropped";
+    os << "\n";
+    if (net_peer_suspects + net_peer_deaths > 0)
+      os << "  peer health: " << net_peer_suspects << " suspect event(s), "
+         << net_peer_deaths << " death(s)\n";
+  }
   if (sched_enqueued + sched_steals + sched_admission_deferred +
           worlds_revoked() > 0)
     os << "  scheduler: " << sched_enqueued << " enqueued, " << sched_steals

@@ -73,6 +73,19 @@ struct SpecProfile {
   std::uint64_t sched_enqueued = 0;
   std::uint64_t sched_steals = 0;
   std::uint64_t sched_admission_deferred = 0;
+  // Transport health (Sim/Socket backends + reliable channel): how many
+  // frames moved, how hard the retry discipline worked, and whether peers
+  // went suspect/dead — the observable shape of a partition or a slow link.
+  std::uint64_t net_sends = 0;
+  std::uint64_t net_send_bytes = 0;
+  std::uint64_t net_delivered = 0;
+  std::uint64_t net_retransmits = 0;
+  VDuration net_backoff_total = 0;   // RTO ticks paid across retransmits
+  std::uint64_t net_timeouts = 0;    // transfers that gave up
+  std::uint64_t net_deadline_expired = 0;  // subset: per-request deadline
+  std::uint64_t net_peer_suspects = 0;
+  std::uint64_t net_peer_deaths = 0;
+  std::uint64_t net_partition_drops = 0;
 
   std::size_t worlds_spawned() const;
   std::size_t worlds_survived() const;

@@ -220,6 +220,13 @@ const char* kind_name(EventKind k) {
     case EventKind::kSchedSteal: return "sched_steal";
     case EventKind::kSchedRevoke: return "sched_revoke";
     case EventKind::kSchedAdmitDefer: return "sched_admit_defer";
+    case EventKind::kNetSend: return "net_send";
+    case EventKind::kNetDeliver: return "net_deliver";
+    case EventKind::kNetRetransmit: return "net_retransmit";
+    case EventKind::kNetTimeout: return "net_timeout";
+    case EventKind::kNetPeerSuspect: return "net_peer_suspect";
+    case EventKind::kNetPeerDead: return "net_peer_dead";
+    case EventKind::kNetPartition: return "net_partition";
   }
   return "unknown";
 }

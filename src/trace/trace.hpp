@@ -77,6 +77,17 @@ enum class EventKind : std::uint16_t {
   kSchedRevoke = 98,      // pid=task, a=group, b=pages copied (0: pruned
                           //   before it ever ran)
   kSchedAdmitDefer = 99,  // pid=requester, a=group, b=live worlds at defer
+  // Transport layer (src/dist: SimTransport / SocketTransport and the
+  // reliable channel riding on them).
+  kNetSend = 112,        // a=bytes, b=destination node
+  kNetDeliver = 113,     // a=bytes, b=source node
+  kNetRetransmit = 114,  // a=attempt # (1-based retry), b=RTO paid (ticks)
+  kNetTimeout = 115,     // a=attempts burned, b=0 retries exhausted /
+                         //   1 per-request deadline expired
+  kNetPeerSuspect = 116, // a=peer node — heartbeats overdue
+  kNetPeerDead = 117,    // a=peer node — declared dead, failover eligible
+  kNetPartition = 118,   // a=from node, b=to node — frame blocked by a
+                         //   partition (LinkModel pair or "net.partition")
 };
 
 /// Sentinel for "the emitter had no clock in scope"; the event still

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/runtime_auditor.hpp"
+#include "dist/sim_transport.hpp"
+#include "dist/socket_transport.hpp"
+#include "dist/transport_race.hpp"
+#include "fault/fault.hpp"
+#include "util/des.hpp"
+
+namespace mw {
+namespace {
+
+RaceConfig sim_config() {
+  RaceConfig c;
+  c.steps_per_checkpoint = 64;
+  c.slice_delay = vt_ms(1);
+  return c;
+}
+
+/// One in-process sim cluster: a coordinator plus `n` workers sharing a
+/// SimTransport. Nodes: coordinator = 100, workers = 1..n.
+struct SimCluster {
+  explicit SimCluster(std::size_t n, RaceConfig config = sim_config(),
+                      LinkModel link = {}, std::uint64_t seed = 1)
+      : transport(queue, link, seed), coordinator(transport, 100, config) {
+    for (std::size_t i = 1; i <= n; ++i)
+      workers.push_back(
+          std::make_unique<RaceWorker>(transport, NodeId(i), 100, config));
+    transport.run_until(vt_ms(10));  // let the joins land
+  }
+  EventQueue queue;
+  SimTransport transport;
+  RaceCoordinator coordinator;
+  std::vector<std::unique_ptr<RaceWorker>> workers;
+};
+
+TEST(RaceReference, RecurrenceIsDeterministic) {
+  EXPECT_EQ(race_reference(0), 0u);
+  EXPECT_EQ(race_reference(1000), race_reference(1000));
+  EXPECT_NE(race_reference(1000), race_reference(1001));
+}
+
+TEST(RaceSim, UndisturbedRaceCompletesWithCorrectAccumulators) {
+  SimCluster c(2);
+  ASSERT_EQ(c.coordinator.joined(), 2u);
+  c.coordinator.start({1000, 600});
+  c.transport.run_until(vt_sec(2));
+  ASSERT_TRUE(c.coordinator.done());
+  const RaceOutcome& out = c.coordinator.outcome();
+  EXPECT_TRUE(out.all_completed);
+  ASSERT_EQ(out.alts.size(), 2u);
+  for (const RaceAltOutcome& alt : out.alts) {
+    EXPECT_TRUE(alt.accumulator_ok);
+    EXPECT_EQ(alt.start_step, 0u);  // nobody restored anything
+    EXPECT_EQ(alt.failovers, 0u);
+    EXPECT_FALSE(alt.finished_locally);
+  }
+  EXPECT_EQ(out.alts[0].accumulator, race_reference(1000));
+  EXPECT_EQ(out.alts[1].accumulator, race_reference(600));
+  EXPECT_GT(out.checkpoints_received, 0u);
+  EXPECT_EQ(out.failovers, 0u);
+  EXPECT_FALSE(out.used_local_fallback);
+}
+
+TEST(RaceSim, KilledWorkerFailsOverToStandbyPreservingWork) {
+  SimCluster c(3);  // 2 assigned + 1 standby
+  ASSERT_EQ(c.coordinator.joined(), 3u);
+  c.coordinator.start({4000, 500});
+
+  // Let the victim ship real deltas, then kill it mid-run.
+  while (c.coordinator.chain_length(0) < 4) c.transport.poll();
+  ASSERT_FALSE(c.coordinator.done());
+  const NodeId victim = c.coordinator.workers()[0];
+  c.workers[victim - 1]->kill();
+
+  c.transport.run_until(c.transport.now() + vt_sec(5));
+  ASSERT_TRUE(c.coordinator.done());
+  const RaceOutcome& out = c.coordinator.outcome();
+  EXPECT_TRUE(out.all_completed);
+  EXPECT_EQ(out.failovers, 1u);
+  const RaceAltOutcome& failed_over = out.alts[0];
+  EXPECT_TRUE(failed_over.accumulator_ok);
+  EXPECT_EQ(failed_over.accumulator, race_reference(4000));
+  EXPECT_EQ(failed_over.failovers, 1u);
+  // The proof of work preservation: the replacement resumed from shipped
+  // state, not from zero.
+  EXPECT_GT(failed_over.start_step, 0u);
+  EXPECT_FALSE(failed_over.finished_locally);
+  EXPECT_FALSE(out.used_local_fallback);
+}
+
+TEST(RaceSim, FailoverIsDeterministicPerSeed) {
+  auto run = [] {
+    SimCluster c(3);
+    c.coordinator.start({4000, 500});
+    while (c.coordinator.chain_length(0) < 4) c.transport.poll();
+    c.workers[c.coordinator.workers()[0] - 1]->kill();
+    c.transport.run_until(c.transport.now() + vt_sec(5));
+    EXPECT_TRUE(c.coordinator.done());
+    const RaceOutcome& out = c.coordinator.outcome();
+    return std::tuple(out.checkpoints_received, out.bytes_shipped,
+                      out.alts[0].start_step, out.alts[0].accumulator);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(RaceSim, TotalPartitionDegradesToLocalExecution) {
+  SimCluster c(1);
+  c.coordinator.start({4000});
+  while (c.coordinator.chain_length(0) < 4) c.transport.poll();
+  ASSERT_FALSE(c.coordinator.done());
+
+  // Sever both directions: the worker is alive but unreachable — the
+  // coordinator must finish the alternative itself from the shipped chain.
+  const NodeId worker = c.coordinator.workers()[0];
+  c.transport.set_link_blocked(100, worker, true);
+  c.transport.set_link_blocked(worker, 100, true);
+  c.transport.run_until(c.transport.now() + vt_sec(5));
+
+  ASSERT_TRUE(c.coordinator.done());
+  const RaceOutcome& out = c.coordinator.outcome();
+  EXPECT_TRUE(out.used_local_fallback);
+  EXPECT_TRUE(out.alts[0].finished_locally);
+  EXPECT_TRUE(out.alts[0].accumulator_ok);
+  EXPECT_GT(out.alts[0].start_step, 0u);
+  EXPECT_GT(c.transport.stats().messages_partitioned, 0u);
+}
+
+TEST(RaceSim, FailoverCompletesAuditorClean) {
+  // Checkpoint shipping + chain restore churns a lot of COW pages; a
+  // failover must not leak any of them. Baseline before the cluster
+  // exists, audit after it is torn down.
+  RuntimeAuditor auditor;
+  {
+    SimCluster c(3);
+    c.coordinator.start({4000, 500});
+    while (c.coordinator.chain_length(0) < 4) c.transport.poll();
+    c.workers[c.coordinator.workers()[0] - 1]->kill();
+    c.transport.run_until(c.transport.now() + vt_sec(5));
+    ASSERT_TRUE(c.coordinator.done());
+    EXPECT_TRUE(c.coordinator.outcome().all_completed);
+    EXPECT_EQ(c.coordinator.outcome().failovers, 1u);
+  }
+  const ProcessTable empty;
+  const AuditReport report = auditor.run(empty);
+  EXPECT_EQ(report.leaked_pages, 0)
+      << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(RaceSimFaultMatrix, DropAndDelayFaultsNeverBreakTheRace) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultInjector inj(seed);
+    inj.arm("net.drop",
+            FaultSpec::with_probability(FaultKind::kDropMessage, 0.05));
+    inj.arm("net.delay",
+            FaultSpec::with_probability(FaultKind::kDelay, 0.1)
+                .delayed(vt_ms(3)));
+    inj.arm("net.dup",
+            FaultSpec::with_probability(FaultKind::kDuplicateMessage, 0.05));
+    FaultScope scope(inj);
+    SimCluster c(2, sim_config(), LinkModel{}, seed);
+    c.coordinator.start({1500, 800});
+    c.transport.run_until(vt_sec(10));
+    ASSERT_TRUE(c.coordinator.done())
+        << "seed " << seed << "\n" << inj.log_string();
+    EXPECT_TRUE(c.coordinator.outcome().all_completed)
+        << "seed " << seed << "\n" << inj.log_string();
+  }
+}
+
+// --- the multi-process socket race ----------------------------------------
+
+/// Forked worker process body: joins the coordinator over loopback UDP,
+/// serves the race protocol, exits on shutdown (or a 30 s safety budget).
+[[noreturn]] void worker_process(NodeId node, std::uint16_t coord_port,
+                                 const RaceConfig& config) {
+  SocketTransport transport(node);
+  transport.add_peer(100, coord_port);
+  RaceWorker worker(transport, node, 100, config);
+  const VTime budget = transport.now() + 30 * vt_sec(1);
+  while (!worker.done() && transport.now() < budget)
+    transport.run_until(transport.now() + vt_ms(2));
+  _exit(0);
+}
+
+RaceConfig socket_config() {
+  RaceConfig c;
+  c.steps_per_checkpoint = 64;
+  c.slice_delay = vt_ms(2);  // real milliseconds
+  c.retry.rto_initial = vt_ms(10);
+  c.retry.rto_cap = vt_ms(80);
+  c.retry.max_attempts = 8;
+  c.health.heartbeat_interval = vt_ms(10);
+  c.health.suspect_after = vt_ms(60);
+  c.health.dead_after = vt_ms(150);
+  return c;
+}
+
+/// Reaps every child at scope exit so a failing ASSERT can't leak zombies
+/// or orphaned workers into the test runner.
+struct ChildReaper {
+  std::vector<pid_t> pids;
+  ~ChildReaper() {
+    for (pid_t p : pids) ::kill(p, SIGKILL);
+    for (pid_t p : pids) ::waitpid(p, nullptr, 0);
+  }
+};
+
+TEST(RaceSocket, MultiProcessRaceSurvivesSigkilledWorker) {
+  const RaceConfig config = socket_config();
+  SocketTransport transport(100);  // bound before forking: children know it
+  RaceCoordinator coordinator(transport, 100, config);
+
+  ChildReaper children;
+  for (NodeId node = 1; node <= 3; ++node) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) worker_process(node, transport.port(), config);
+    children.pids.push_back(pid);
+  }
+
+  auto pump = [&](const std::function<bool()>& pred, int budget_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(budget_ms);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      transport.run_until(transport.now() + vt_ms(2));
+    }
+    return true;
+  };
+
+  ASSERT_TRUE(pump([&] { return coordinator.joined() == 3; }, 5000));
+  coordinator.start({6000, 2000});
+
+  // Kill the worker running alt 0 — a real SIGKILL of a real process —
+  // but only after its checkpoints have actually crossed the wire.
+  ASSERT_TRUE(pump([&] { return coordinator.chain_length(0) >= 3; }, 5000));
+  ASSERT_FALSE(coordinator.done());
+  const NodeId victim = coordinator.workers()[0];
+  const pid_t victim_pid = children.pids[victim - 1];
+  ASSERT_EQ(::kill(victim_pid, SIGKILL), 0);
+  ::waitpid(victim_pid, nullptr, 0);
+
+  ASSERT_TRUE(pump([&] { return coordinator.done(); }, 20000));
+  const RaceOutcome& out = coordinator.outcome();
+  EXPECT_TRUE(out.all_completed);
+  EXPECT_GE(out.failovers, 1u);
+  const RaceAltOutcome& failed_over = out.alts[0];
+  EXPECT_TRUE(failed_over.accumulator_ok);
+  EXPECT_EQ(failed_over.accumulator, race_reference(6000));
+  // Failover re-dispatched the newest shipped chain: the replacement
+  // resumed mid-run instead of recomputing from step 0.
+  EXPECT_GT(failed_over.start_step, 0u);
+  EXPECT_TRUE(out.alts[1].accumulator_ok);
+
+  // The survivors exit on kShutdown; reap them here so the reaper's
+  // SIGKILL backstop stays a no-op on the happy path.
+  for (pid_t p : children.pids) {
+    if (p == victim_pid) continue;
+    int status = 0;
+    EXPECT_EQ(::waitpid(p, &status, 0), p);
+    EXPECT_TRUE(WIFEXITED(status));
+  }
+  children.pids.clear();
+}
+
+TEST(RaceSocketFaultMatrix, InjectedDropsNeverBreakTheMultiProcessRace) {
+  // Faults are injected in the *coordinator* process (children inherit no
+  // injector): its sends and acks are the ones randomly eaten.
+  FaultInjector inj(3);
+  inj.arm("net.drop",
+          FaultSpec::with_probability(FaultKind::kDropMessage, 0.05));
+  FaultScope scope(inj);
+
+  const RaceConfig config = socket_config();
+  SocketTransport transport(100);
+  RaceCoordinator coordinator(transport, 100, config);
+  ChildReaper children;
+  for (NodeId node = 1; node <= 2; ++node) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) worker_process(node, transport.port(), config);
+    children.pids.push_back(pid);
+  }
+  auto pump = [&](const std::function<bool()>& pred, int budget_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(budget_ms);
+    while (!pred()) {
+      if (std::chrono::steady_clock::now() > deadline) return false;
+      transport.run_until(transport.now() + vt_ms(2));
+    }
+    return true;
+  };
+  ASSERT_TRUE(pump([&] { return coordinator.joined() == 2; }, 5000));
+  coordinator.start({3000, 1500});
+  ASSERT_TRUE(pump([&] { return coordinator.done(); }, 20000));
+  EXPECT_TRUE(coordinator.outcome().all_completed) << inj.log_string();
+}
+
+}  // namespace
+}  // namespace mw
