@@ -68,8 +68,12 @@ AuditReport RuntimeAuditor::run(const ProcessTable& table) const {
   for (const World* w : worlds_)
     w->space().table().collect_pages(reachable);
   for (const PageTable* t : tables_) t->collect_pages(reachable);
-  report.pooled_frames =
-      static_cast<std::int64_t>(PagePool::global().frames_held());
+  const PagePool& pool = PagePool::global();
+  report.pooled_frames = static_cast<std::int64_t>(pool.frames_held());
+  report.pooled_frames_per_shard.reserve(pool.shard_count());
+  for (std::size_t s = 0; s < pool.shard_count(); ++s)
+    report.pooled_frames_per_shard.push_back(
+        static_cast<std::int64_t>(pool.shard_frames_held(s)));
   const std::int64_t live = Page::live_instances();
   report.leaked_pages =
       live - baseline_pages_ - static_cast<std::int64_t>(reachable.size());

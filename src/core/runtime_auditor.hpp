@@ -39,6 +39,10 @@ struct AuditReport {
   /// un-counted), so they never show up as leaks — this records how much
   /// reclaimed-world memory is parked for reuse instead.
   std::int64_t pooled_frames = 0;
+  /// Per-shard breakdown of pooled_frames (slot 0 is the unbound-thread
+  /// global shard). Sums to pooled_frames; shows how evenly reclaimed
+  /// frames spread over the scheduler workers' shards.
+  std::vector<std::int64_t> pooled_frames_per_shard;
   /// True when a trace stream was cross-checked against the process table
   /// (the three-argument run()); false when the check was skipped because
   /// the collector dropped events — a partial stream cannot be audited.

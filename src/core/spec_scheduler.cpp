@@ -5,8 +5,10 @@
 
 #include "fault/fault.hpp"
 #include "pagestore/page.hpp"
+#include "pagestore/shard.hpp"
 #include "trace/trace.hpp"
 #include "util/check.hpp"
+#include "util/threading.hpp"
 
 namespace mw {
 
@@ -31,7 +33,7 @@ bool is_kill_fault(FaultKind k) {
 SpecScheduler::SpecScheduler(SchedConfig cfg)
     : cfg_(cfg), det_rng_(cfg.deterministic_seed) {
   std::size_t workers = cfg_.workers;
-  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  if (workers == 0) workers = hw_threads();
   if (deterministic()) {
     // No OS threads: the seed drives execution via run_one()/drain(), but
     // the deque geometry (and therefore the interleaving space) still
@@ -247,6 +249,10 @@ bool SpecScheduler::execute(const SchedTaskRef& task, bool stolen) {
 void SpecScheduler::worker_loop(std::size_t self) {
   t_worker.sched = this;
   t_worker.index = self;
+  // Bind this worker to its pagestore shard: every page the tasks it runs
+  // allocate, recycle, or destroy accounts against a per-worker free list
+  // and ledger slot instead of one contended global.
+  PageShard::bind(self);
   while (true) {
     SchedTaskRef task = pop_own(self);
     bool stolen = false;
@@ -268,6 +274,7 @@ void SpecScheduler::worker_loop(std::size_t self) {
       break;
     }
   }
+  PageShard::unbind();
   t_worker.sched = nullptr;
 }
 

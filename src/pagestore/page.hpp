@@ -11,32 +11,82 @@
 #include <utility>
 #include <vector>
 
+#include "pagestore/shard.hpp"
+
 namespace mw {
+
+/// The process-wide live-Page ledger, sharded to keep page churn from many
+/// scheduler workers off a single contended cacheline. Each thread bumps
+/// the counter of its bound shard (PageShard; unbound threads share slot
+/// 0), and total() merges on read. A page destroyed on a different thread
+/// than the one that created it leaves one shard counter positive and
+/// another negative — individual shard counters are *deltas*, only the sum
+/// is meaningful, and the sum stays exact: every construction adds +1 to
+/// exactly one shard and every destruction -1 to exactly one shard.
+class PageLedger {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  static void add(std::int64_t d) {
+    counter(PageShard::current()).fetch_add(d, std::memory_order_relaxed);
+  }
+
+  /// Live Page instances process-wide (merge-on-read over the shards).
+  /// Exact whenever the ledger is quiescent; the same guarantee the old
+  /// single atomic gave the RuntimeAuditor's leak arithmetic.
+  static std::int64_t total() {
+    std::int64_t sum = 0;
+    for (std::size_t s = 0; s < kShards; ++s)
+      sum += counters_[s].v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Counter {
+    std::atomic<std::int64_t> v{0};
+  };
+
+  static std::atomic<std::int64_t>& counter(std::size_t shard) {
+    const std::size_t slot =
+        shard == PageShard::kUnbound ? 0 : 1 + shard % (kShards - 1);
+    return counters_[slot].v;
+  }
+
+  // Defined out of class: an in-class inline definition would need the
+  // nested Counter's default member initializer before the enclosing
+  // class is complete.
+  static Counter counters_[kShards];
+};
+
+inline PageLedger::Counter PageLedger::counters_[PageLedger::kShards]{};
 
 /// A page is a fixed-size byte block. Pages are *immutable while shared*:
 /// the owning PageTable may mutate a page only when it holds the sole
 /// reference; otherwise it must copy first (copy-on-write). That discipline
 /// is enforced by PageTable, not by this type.
 ///
-/// Every live Page is counted in a process-wide ledger so the runtime
-/// auditor can prove that eliminated worlds released their pages (a leaked
-/// ref would pin memory for the lifetime of the speculation tree). The
-/// ledger counts *objects*, not copies of their contents, so every special
-/// member below is written out explicitly: construction (from any source)
-/// increments, destruction decrements, and assignment — which neither
-/// creates nor destroys a Page — leaves the count alone.
+/// Every live Page is counted in a process-wide ledger (PageLedger, above)
+/// so the runtime auditor can prove that eliminated worlds released their
+/// pages (a leaked ref would pin memory for the lifetime of the
+/// speculation tree). The ledger counts *objects*, not copies of their
+/// contents, so every special member below is written out explicitly:
+/// construction (from any source) increments, destruction decrements, and
+/// assignment — which neither creates nor destroys a Page — leaves the
+/// count alone.
 class Page {
  public:
-  explicit Page(std::size_t size) : data_(size, 0) { ++live_; }
+  explicit Page(std::size_t size) : data_(size, 0) { PageLedger::add(1); }
 
   /// Adopts an existing buffer (the PagePool recycling path). The buffer's
   /// contents are taken as-is; callers zero or overwrite as needed.
   explicit Page(std::vector<std::uint8_t> buf) : data_(std::move(buf)) {
-    ++live_;
+    PageLedger::add(1);
   }
 
-  Page(const Page& other) : data_(other.data_) { ++live_; }
-  Page(Page&& other) noexcept : data_(std::move(other.data_)) { ++live_; }
+  Page(const Page& other) : data_(other.data_) { PageLedger::add(1); }
+  Page(Page&& other) noexcept : data_(std::move(other.data_)) {
+    PageLedger::add(1);
+  }
   Page& operator=(const Page& other) {
     data_ = other.data_;
     return *this;
@@ -45,7 +95,7 @@ class Page {
     data_ = std::move(other.data_);
     return *this;
   }
-  ~Page() { --live_; }
+  ~Page() { PageLedger::add(-1); }
 
   std::size_t size() const { return data_.size(); }
   const std::uint8_t* data() const { return data_.data(); }
@@ -56,13 +106,10 @@ class Page {
   /// stays in the ledger until it is actually destroyed.
   std::vector<std::uint8_t> steal_buffer() { return std::move(data_); }
 
-  /// Pages currently alive in this process.
-  static std::int64_t live_instances() {
-    return live_.load(std::memory_order_relaxed);
-  }
+  /// Pages currently alive in this process (sharded ledger, merge-on-read).
+  static std::int64_t live_instances() { return PageLedger::total(); }
 
  private:
-  static inline std::atomic<std::int64_t> live_{0};
   std::vector<std::uint8_t> data_;
 };
 

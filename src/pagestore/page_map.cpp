@@ -214,4 +214,101 @@ std::size_t PageMap::count_written_since(std::uint64_t epoch) const {
   return count_tags_rec(root_.get(), epoch);
 }
 
+// Counts slots where the child references a different, non-null page —
+// i.e. genuine child writes — under this subtree. Identical subtrees are
+// pruned wholesale, like diff_rec.
+std::size_t PageMap::count_child_diff_rec(const Node* base, const Node* child,
+                                          std::size_t sub_base,
+                                          int level) const {
+  if (base == child) return 0;
+  if (!child || child->resident == 0) return 0;  // child has no pages here
+  if (level + 1 == depth_) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < kFanout; ++i) {
+      if (sub_base + i >= num_pages_) break;
+      const Page* pc = child->pages[i].get();
+      const Page* pb = base ? base->pages[i].get() : nullptr;
+      if (pc != nullptr && pc != pb) ++n;
+    }
+    return n;
+  }
+  std::size_t n = 0;
+  const std::size_t span = std::size_t{1}
+                           << (static_cast<std::size_t>(depth_ - 1 - level) *
+                               kFanoutBits);
+  for (std::size_t i = 0; i < kFanout; ++i)
+    n += count_child_diff_rec(base ? base->children[i].get() : nullptr,
+                              child->children[i].get(), sub_base + i * span,
+                              level + 1);
+  return n;
+}
+
+void PageMap::extract_rec(const Node* base, const Node* child,
+                          std::size_t sub_base, int level, std::size_t lo,
+                          std::size_t hi, RangeDelta& out) const {
+  if (base == child) return;  // identical subtree (or both absent): no writes
+  if (!child || child->resident == 0) return;
+  const std::size_t span =
+      level + 1 == depth_
+          ? kFanout
+          : std::size_t{1} << (static_cast<std::size_t>(depth_ - level) *
+                               kFanoutBits);
+  if (sub_base >= hi || sub_base + span <= lo) {
+    // Entirely outside the declared range: count escaped writes only.
+    out.out_of_range += count_child_diff_rec(base, child, sub_base, level);
+    return;
+  }
+  if (level + 1 == depth_) {
+    for (std::size_t i = 0; i < kFanout; ++i) {
+      const std::size_t idx = sub_base + i;
+      if (idx >= num_pages_) break;
+      const Page* pc = child->pages[i].get();
+      const Page* pb = base ? base->pages[i].get() : nullptr;
+      if (pc == nullptr || pc == pb) continue;
+      if (idx < lo || idx >= hi) {
+        ++out.out_of_range;
+        continue;
+      }
+      out.index.push_back(idx);
+      out.page.push_back(child->pages[i]);
+      out.tag.push_back(child->tags[i]);
+    }
+    return;
+  }
+  const std::size_t child_span = span >> kFanoutBits;
+  for (std::size_t i = 0; i < kFanout; ++i)
+    extract_rec(base ? base->children[i].get() : nullptr,
+                child->children[i].get(), sub_base + i * child_span, level + 1,
+                lo, hi, out);
+}
+
+PageMap::RangeDelta PageMap::extract_delta(const PageMap& child,
+                                           std::size_t lo,
+                                           std::size_t hi) const {
+  MW_CHECK(child.num_pages_ == num_pages_);
+  MW_CHECK(lo <= hi && hi <= num_pages_);
+  RangeDelta out;
+  out.lo = lo;
+  out.hi = hi;
+  extract_rec(root_.get(), child.root_.get(), 0, 0, lo, hi, out);
+  return out;
+}
+
+std::size_t PageMap::apply_delta(const RangeDelta& d) {
+  std::size_t became_resident = 0;
+  for (std::size_t k = 0; k < d.index.size(); ++k) {
+    const std::size_t idx = d.index[k];
+    MW_CHECK(idx < num_pages_);
+    Slot slot = slot_for_write(idx);
+    const bool was_resident = (*slot.page != nullptr);
+    *slot.page = d.page[k];
+    *slot.tag = d.tag[k];
+    if (!was_resident) {
+      note_resident(idx);
+      ++became_resident;
+    }
+  }
+  return became_resident;
+}
+
 }  // namespace mw

@@ -3,35 +3,107 @@
 #include <algorithm>
 #include <cstring>
 
+#include "pagestore/shard.hpp"
+#include "trace/spec_profile.hpp"
+#include "util/threading.hpp"
+
 namespace mw {
+
+namespace {
+
+// Frames pulled in one steal refill: one to satisfy the miss, the rest
+// deposited in the home shard so a busy worker stops missing after the
+// first steal instead of paying a sibling lock per allocation.
+constexpr std::size_t kRefillBatch = 8;
+
+}  // namespace
+
+PagePool::PagePool(std::size_t worker_shards) {
+  if (worker_shards == 0) worker_shards = hw_threads();
+  shards_.reserve(worker_shards + 1);
+  for (std::size_t s = 0; s < worker_shards + 1; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
 
 PagePool& PagePool::global() {
   static PagePool pool;
   return pool;
 }
 
+std::size_t PagePool::home_shard() const {
+  const std::size_t id = PageShard::current();
+  if (id == PageShard::kUnbound || shards_.size() == 1) return 0;
+  return 1 + id % (shards_.size() - 1);
+}
+
 std::vector<std::uint8_t> PagePool::take_frame(std::size_t size,
                                                bool* was_hit) {
+  const std::size_t home = home_shard();
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = free_.find(size);
-    if (it != free_.end() && !it->second.empty()) {
+    Shard& h = *shards_[home];
+    std::lock_guard<std::mutex> lock(h.mu);
+    auto it = h.free.find(size);
+    if (it != h.free.end() && !it->second.empty()) {
       std::vector<std::uint8_t> frame = std::move(it->second.back());
       it->second.pop_back();
-      ++stats_.hits;
+      --h.frames;
+      h.bytes -= size;
+      ++h.stats.hits;
       if (was_hit) *was_hit = true;
       return frame;
     }
-    ++stats_.misses;
+  }
+
+  // Steal refill: take a small batch from the first sibling that has the
+  // class, keep one frame, park the rest at home. At most one shard lock
+  // is held at a time (home was released above), so shards never deadlock.
+  std::vector<std::vector<std::uint8_t>> batch;
+  for (std::size_t v = 0; v < shards_.size() && batch.empty(); ++v) {
+    if (v == home) continue;
+    Shard& victim = *shards_[v];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    auto it = victim.free.find(size);
+    if (it == victim.free.end() || it->second.empty()) continue;
+    const std::size_t take = std::min(kRefillBatch, it->second.size());
+    for (std::size_t k = 0; k < take; ++k) {
+      batch.push_back(std::move(it->second.back()));
+      it->second.pop_back();
+    }
+    victim.frames -= take;
+    victim.bytes -= take * size;
+  }
+  if (!batch.empty()) {
+    std::vector<std::uint8_t> frame = std::move(batch.back());
+    batch.pop_back();
+    Shard& h = *shards_[home];
+    std::lock_guard<std::mutex> lock(h.mu);
+    ++h.stats.hits;
+    h.stats.steal_refills += batch.size() + 1;
+    if (!batch.empty()) {
+      auto& cls = h.free[size];
+      h.frames += batch.size();
+      h.bytes += batch.size() * size;
+      for (auto& f : batch) cls.push_back(std::move(f));
+    }
+    if (was_hit) *was_hit = true;
+    return frame;
+  }
+
+  {
+    Shard& h = *shards_[home];
+    std::lock_guard<std::mutex> lock(h.mu);
+    ++h.stats.misses;
   }
   if (was_hit) *was_hit = false;
   return std::vector<std::uint8_t>(size);
 }
 
 PageRef PagePool::wrap(Page* p) {
-  // The custom deleter routes the frame back here when the last world
-  // referencing this page lets go.
-  return PageRef(p, [](Page* page) { PagePool::global().recycle(page); });
+  // The custom deleter routes the frame back to the pool instance that
+  // allocated it when the last world referencing this page lets go — a
+  // non-global pool (or a future NUMA pool) must recycle into itself, not
+  // into whatever the global pool happens to be.
+  return PageRef(p, [this](Page* page) { recycle(page); });
 }
 
 PageRef PagePool::acquire_zeroed(std::size_t size, bool* was_hit) {
@@ -54,58 +126,137 @@ void PagePool::recycle(Page* p) {
   std::vector<std::uint8_t> frame = p->steal_buffer();
   delete p;  // the ledger decrements here, before the frame is cached
   if (frame.empty()) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& cls = free_[frame.size()];
-  if (cls.size() < cap_per_class_) {
-    cls.push_back(std::move(frame));
-    ++stats_.recycled;
-  } else {
-    ++stats_.dropped;
+  const std::size_t size = frame.size();
+  const std::size_t cap = cap_per_class_.load(std::memory_order_relaxed);
+  const std::size_t home = home_shard();
+  {
+    Shard& h = *shards_[home];
+    std::lock_guard<std::mutex> lock(h.mu);
+    auto& cls = h.free[size];
+    if (cls.size() < cap) {
+      cls.push_back(std::move(frame));
+      ++h.frames;
+      h.bytes += size;
+      ++h.stats.recycled;
+      return;
+    }
   }
+  // Overflow: the home class is full — park the frame in the first sibling
+  // with room so a shard running hot does not bleed warm frames back to
+  // the system allocator while its neighbours sit under capacity.
+  for (std::size_t v = 0; v < shards_.size(); ++v) {
+    if (v == home) continue;
+    Shard& s = *shards_[v];
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto& cls = s.free[size];
+    if (cls.size() >= cap) continue;
+    cls.push_back(std::move(frame));
+    ++s.frames;
+    s.bytes += size;
+    ++s.stats.recycled;
+    ++s.stats.overflows;
+    return;
+  }
+  Shard& h = *shards_[home];
+  std::lock_guard<std::mutex> lock(h.mu);
+  ++h.stats.dropped;
 }
 
 std::size_t PagePool::frames_held() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& [size, frames] : free_) n += frames.size();
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->frames;
+  }
   return n;
 }
 
 std::size_t PagePool::bytes_held() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const auto& [size, frames] : free_) n += size * frames.size();
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    n += s->bytes;
+  }
   return n;
 }
 
+std::size_t PagePool::shard_frames_held(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.frames;
+}
+
 void PagePool::set_capacity_per_class(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  cap_per_class_ = n;
-  for (auto& [size, frames] : free_)
-    if (frames.size() > n) frames.resize(n);
+  cap_per_class_.store(n, std::memory_order_relaxed);
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [size, frames] : s.free) {
+      while (frames.size() > n) {
+        frames.pop_back();
+        --s.frames;
+        s.bytes -= size;
+      }
+    }
+  }
 }
 
 std::size_t PagePool::capacity_per_class() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cap_per_class_;
+  return cap_per_class_.load(std::memory_order_relaxed);
 }
 
 std::size_t PagePool::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (auto& [size, frames] : free_) n += frames.size();
-  free_.clear();
+  for (const auto& sp : shards_) {
+    Shard& s = *sp;
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.frames;
+    s.free.clear();
+    s.frames = 0;
+    s.bytes = 0;
+  }
   return n;
 }
 
 PagePool::PoolStats PagePool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PoolStats merged;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    merged.merge(s->stats);
+  }
+  return merged;
+}
+
+PagePool::PoolStats PagePool::shard_stats(std::size_t shard) const {
+  const Shard& s = *shards_.at(shard);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.stats;
 }
 
 void PagePool::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = PoolStats{};
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->stats = PoolStats{};
+  }
+}
+
+void PagePool::fold_into(trace::SpecProfile& profile) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    trace::PoolShardCounters c;
+    c.shard = i;
+    {
+      std::lock_guard<std::mutex> lock(s.mu);
+      c.hits = s.stats.hits;
+      c.misses = s.stats.misses;
+      c.recycled = s.stats.recycled;
+      c.dropped = s.stats.dropped;
+      c.steal_refills = s.stats.steal_refills;
+      c.overflows = s.stats.overflows;
+      c.frames_held = s.frames;
+    }
+    profile.pool_shards.push_back(c);
+  }
 }
 
 }  // namespace mw

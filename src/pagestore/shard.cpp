@@ -1,0 +1,7 @@
+#include "pagestore/shard.hpp"
+
+namespace mw {
+
+thread_local std::size_t PageShard::bound_ = PageShard::kUnbound;
+
+}  // namespace mw

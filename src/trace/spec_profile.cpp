@@ -256,6 +256,30 @@ std::string SpecProfile::to_string() const {
       os << "  peer health: " << net_peer_suspects << " suspect event(s), "
          << net_peer_deaths << " death(s)\n";
   }
+  if (!pool_shards.empty()) {
+    PoolShardCounters sum;
+    for (const PoolShardCounters& c : pool_shards) {
+      sum.hits += c.hits;
+      sum.misses += c.misses;
+      sum.steal_refills += c.steal_refills;
+      sum.overflows += c.overflows;
+      sum.frames_held += c.frames_held;
+    }
+    os << "  page pool: " << pool_shards.size() << " shard(s), " << sum.hits
+       << " hit(s), " << sum.misses << " miss(es), " << sum.steal_refills
+       << " steal-refill(s), " << sum.overflows << " overflow(s), "
+       << sum.frames_held << " frame(s) held\n";
+    for (const PoolShardCounters& c : pool_shards) {
+      if (c.hits + c.misses + c.recycled + c.dropped + c.steal_refills +
+              c.overflows + c.frames_held == 0)
+        continue;
+      os << "    shard #" << c.shard << (c.shard == 0 ? " (global)" : "")
+         << ": " << c.hits << " hit(s), " << c.misses << " miss(es), "
+         << c.recycled << " recycled, " << c.dropped << " dropped, "
+         << c.steal_refills << " stolen-in, " << c.overflows
+         << " overflowed-in, " << c.frames_held << " held\n";
+    }
+  }
   if (sched_enqueued + sched_steals + sched_admission_deferred +
           worlds_revoked() > 0)
     os << "  scheduler: " << sched_enqueued << " enqueued, " << sched_steals

@@ -55,6 +55,23 @@ struct RaceProfile {
   }
 };
 
+/// One PagePool shard's counters at profile time. The trace layer defines
+/// only the carrier struct (it cannot depend on the pagestore); the pool
+/// fills it via PagePool::fold_into, typically through TraceSession's
+/// profile hook. hits/misses/steal_refills are attributed to the shard the
+/// allocating thread was homed to, recycled/overflows to the shard the
+/// frame landed in.
+struct PoolShardCounters {
+  std::size_t shard = 0;  // 0 = the unbound-thread global fallback shard
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t recycled = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t steal_refills = 0;
+  std::uint64_t overflows = 0;
+  std::uint64_t frames_held = 0;
+};
+
 /// Whole-run aggregation over a trace stream.
 struct SpecProfile {
   std::vector<RaceProfile> races;  // in first-seen order
@@ -86,6 +103,9 @@ struct SpecProfile {
   std::uint64_t net_peer_suspects = 0;
   std::uint64_t net_peer_deaths = 0;
   std::uint64_t net_partition_drops = 0;
+  // Per-shard frame-pool counters (empty unless a caller folded them in;
+  // see PagePool::fold_into and TraceSession::set_profile_hook).
+  std::vector<PoolShardCounters> pool_shards;
 
   std::size_t worlds_spawned() const;
   std::size_t worlds_survived() const;

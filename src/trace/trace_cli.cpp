@@ -26,6 +26,7 @@ void TraceSession::finish(std::ostream& out) {
   const std::uint64_t drops = dropped();
   const std::vector<TraceEvent> events = drain();
   profile_ = build_spec_profile(events, drops);
+  if (profile_hook_) profile_hook_(profile_);
   if (!path_.empty()) {
     if (write_chrome_json(path_, events))
       out << "wrote " << path_ << " (" << events.size()

@@ -9,8 +9,10 @@
 //   trace.finish(std::cout);
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <utility>
 
 #include "trace/spec_profile.hpp"
 #include "trace/trace.hpp"
@@ -39,12 +41,21 @@ class TraceSession {
   /// The profile built by finish() (empty before, or without --profile).
   const SpecProfile& profile() const { return profile_; }
 
+  /// Runs after finish() builds the profile from the event stream but
+  /// before it prints — the seam for folding in state the stream doesn't
+  /// carry (e.g. PagePool::fold_into for per-shard pool counters, which
+  /// live in the pagestore layer the trace library cannot link against).
+  void set_profile_hook(std::function<void(SpecProfile&)> hook) {
+    profile_hook_ = std::move(hook);
+  }
+
  private:
   std::string path_;
   bool want_profile_ = false;
   bool active_ = false;
   bool finished_ = false;
   SpecProfile profile_;
+  std::function<void(SpecProfile&)> profile_hook_;
 };
 
 }  // namespace mw::trace

@@ -19,6 +19,15 @@
 
 namespace mw {
 
+/// std::thread::hardware_concurrency with a floor: the standard permits 0
+/// ("unknown"), which would make worker sweeps and bench --check bounds
+/// degenerate in constrained containers — fall back to 2 so "per hardware
+/// thread" sizing always means at least a pair of workers.
+inline std::size_t hw_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 2 : static_cast<std::size_t>(n);
+}
+
 /// Cooperative cancellation flag shared between a parent and one
 /// alternative. Thread-safe; `request()` is idempotent.
 class CancelToken {

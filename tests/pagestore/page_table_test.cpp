@@ -258,6 +258,58 @@ TEST(PageTable, RecycledFramesReadAsZero) {
   EXPECT_EQ(got, want);
 }
 
+TEST(CowStats, MergeCoversEveryFieldIncludingPoolCounters) {
+  // Regression: merge() must absorb every counter — pool_hits/pool_misses
+  // were added after the original field set, and under per-shard
+  // merge-on-read accounting a field merge() misses silently vanishes from
+  // every adopted child's totals.
+  CowStats a;
+  a.pages_allocated = 1;
+  a.pages_copied = 2;
+  a.bytes_copied = 3;
+  a.page_writes = 4;
+  a.page_reads = 5;
+  a.pool_hits = 6;
+  a.pool_misses = 7;
+  CowStats b;
+  b.pages_allocated = 10;
+  b.pages_copied = 20;
+  b.bytes_copied = 30;
+  b.page_writes = 40;
+  b.page_reads = 50;
+  b.pool_hits = 60;
+  b.pool_misses = 70;
+
+  a.merge(b);
+  EXPECT_EQ(a.pages_allocated, 11u);
+  EXPECT_EQ(a.pages_copied, 22u);
+  EXPECT_EQ(a.bytes_copied, 33u);
+  EXPECT_EQ(a.page_writes, 44u);
+  EXPECT_EQ(a.page_reads, 55u);
+  EXPECT_EQ(a.pool_hits, 66u);
+  EXPECT_EQ(a.pool_misses, 77u);
+
+  // Merging a default (all-zero) CowStats is the identity.
+  a.merge(CowStats{});
+  EXPECT_EQ(a.pages_allocated, 11u);
+  EXPECT_EQ(a.pool_hits, 66u);
+  EXPECT_EQ(a.pool_misses, 77u);
+}
+
+TEST(CowStats, PoolCountersFlowThroughAdopt) {
+  PageTable parent(64, 8);
+  PageTable child = parent.fork();
+  child.write_page(0);
+  child.write_page(1);
+  const std::uint64_t child_pool_ops =
+      child.stats().pool_hits + child.stats().pool_misses;
+  EXPECT_EQ(child_pool_ops, 2u);
+
+  parent.adopt(std::move(child));
+  EXPECT_EQ(parent.stats().pool_hits + parent.stats().pool_misses,
+            child_pool_ops);
+}
+
 TEST(PageTableDeath, OutOfRangeReadAborts) {
   PageTable t(64, 2);
   std::vector<std::uint8_t> buf(1);

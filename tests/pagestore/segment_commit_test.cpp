@@ -1,0 +1,230 @@
+// Segment commits: the parallel-commit half of the sharded pagestore.
+// Deterministic functional coverage — extraction confinement, disjoint
+// batch splicing, overlap/escape fallback to serialized adopts, and the
+// World/AddressSpace wrappers — all on the main thread; the concurrent
+// behaviour rides in pool_shard_stress_test under TSan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime_auditor.hpp"
+#include "core/world.hpp"
+#include "pagestore/address_space.hpp"
+#include "pagestore/page_table.hpp"
+#include "proc/process_table.hpp"
+
+namespace mw {
+namespace {
+
+constexpr std::size_t kPageSize = 64;
+
+void stamp(PageTable& t, std::size_t page, std::uint8_t v) {
+  t.write_page(page)[0] = v;
+}
+
+std::uint8_t first_byte(const PageTable& t, std::size_t page) {
+  const Page* p = t.peek(page);
+  return p ? p->data()[0] : 0;
+}
+
+TEST(SegmentCommit, ExtractIsConfinedAndApplySplices) {
+  PageTable parent(kPageSize, 128);
+  for (std::size_t p = 0; p < 16; ++p) stamp(parent, p, 1);
+
+  PageTable child = parent.fork();
+  stamp(child, 4, 42);   // COW break inside [0, 16)
+  stamp(child, 40, 43);  // fresh page inside [32, 48)
+
+  // Confined to [0, 16): page 40 counts as escaped, page 4 is collected.
+  PageMap::RangeDelta d = parent.extract_segment(child, 0, 16);
+  EXPECT_FALSE(d.confined());
+  EXPECT_EQ(d.out_of_range, 1u);
+  ASSERT_EQ(d.index.size(), 1u);
+  EXPECT_EQ(d.index[0], 4u);
+
+  // Confined to the child's full write set: everything is collected.
+  d = parent.extract_segment(child, 0, 48);
+  EXPECT_TRUE(d.confined());
+  ASSERT_EQ(d.index.size(), 2u);
+
+  const std::size_t spliced = parent.apply_segment(d, child.stats());
+  EXPECT_EQ(spliced, 2u);
+  EXPECT_EQ(first_byte(parent, 4), 42);
+  EXPECT_EQ(first_byte(parent, 40), 43);
+  EXPECT_EQ(first_byte(parent, 5), 1);  // untouched pages survive
+  EXPECT_EQ(parent.resident_pages(), 17u);
+  // The write-fraction clock restarts, exactly like a full adopt.
+  EXPECT_DOUBLE_EQ(parent.write_fraction(), 0.0);
+}
+
+TEST(SegmentCommit, BaseAdvancingAfterForkIsNotAChildWrite) {
+  PageTable parent(kPageSize, 64);
+  stamp(parent, 0, 1);
+  PageTable child = parent.fork();
+  stamp(parent, 9, 7);  // the base moves on; the child never wrote page 9
+
+  PageMap::RangeDelta d = parent.extract_segment(child, 0, 64);
+  // child-null/base-nonnull differences are ignored: a fork cannot remove
+  // a page, so page 9 must neither splice nor count as escaped.
+  EXPECT_TRUE(d.confined());
+  EXPECT_TRUE(d.index.empty());
+  parent.apply_segment(d, child.stats());
+  EXPECT_EQ(first_byte(parent, 9), 7);
+}
+
+TEST(SegmentCommit, DisjointBatchCommitsEveryChildInParallel) {
+  PageTable parent(kPageSize, 192);
+  for (std::size_t p = 0; p < 192; ++p) stamp(parent, p, 1);
+
+  std::vector<PageTable> kids;
+  for (std::size_t k = 0; k < 3; ++k) kids.push_back(parent.fork());
+  for (std::size_t k = 0; k < 3; ++k)
+    for (std::size_t p = 0; p < 8; ++p)
+      stamp(kids[k], k * 64 + p, static_cast<std::uint8_t>(100 + k));
+
+  std::vector<PageTable::SegmentAdoptOp> ops;
+  for (std::size_t k = 0; k < 3; ++k)
+    ops.push_back({&kids[k], k * 64, (k + 1) * 64});
+  const PageTable::AdoptBatchStats batch =
+      parent.adopt_segments(std::move(ops));
+
+  EXPECT_EQ(batch.children, 3u);
+  EXPECT_EQ(batch.pages_spliced, 24u);
+  EXPECT_EQ(batch.out_of_range, 0u);
+  EXPECT_TRUE(batch.parallel);
+  EXPECT_FALSE(batch.fell_back);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(first_byte(parent, k * 64),
+              static_cast<std::uint8_t>(100 + k));
+    EXPECT_EQ(first_byte(parent, k * 64 + 63), 1);
+  }
+}
+
+TEST(SegmentCommit, OverlappingRangesFallBackToSerialOrder) {
+  PageTable parent(kPageSize, 64);
+  PageTable a = parent.fork();
+  PageTable b = parent.fork();
+  stamp(a, 10, 50);
+  stamp(b, 10, 60);  // both write page 10; declared ranges overlap
+
+  std::vector<PageTable::SegmentAdoptOp> ops;
+  ops.push_back({&a, 0, 32});
+  ops.push_back({&b, 16, 48});
+  const PageTable::AdoptBatchStats batch =
+      parent.adopt_segments(std::move(ops));
+
+  EXPECT_TRUE(batch.fell_back);
+  EXPECT_FALSE(batch.parallel);
+  // Serialized semantics: children adopted in vector order, last writer
+  // (b) wins the contended page.
+  EXPECT_EQ(first_byte(parent, 10), 60);
+  EXPECT_EQ(batch.pages_spliced, 2u);
+}
+
+TEST(SegmentCommit, EscapedWriteFallsBackAndStillLands) {
+  PageTable parent(kPageSize, 64);
+  PageTable a = parent.fork();
+  PageTable b = parent.fork();
+  stamp(a, 1, 50);
+  stamp(a, 55, 51);  // outside a's declared [0, 32): ownership violated
+  stamp(b, 40, 60);
+
+  std::vector<PageTable::SegmentAdoptOp> ops;
+  ops.push_back({&a, 0, 32});
+  ops.push_back({&b, 32, 64});
+  const PageTable::AdoptBatchStats batch =
+      parent.adopt_segments(std::move(ops));
+
+  EXPECT_TRUE(batch.fell_back);
+  // The fallback re-extracts over the full range, so the escaped write is
+  // not lost — it commits with serialized semantics instead.
+  EXPECT_EQ(first_byte(parent, 1), 50);
+  EXPECT_EQ(first_byte(parent, 55), 51);
+  EXPECT_EQ(first_byte(parent, 40), 60);
+  EXPECT_EQ(batch.pages_spliced, 3u);
+}
+
+TEST(SegmentCommit, StatsMergeExactlyOncePerChild) {
+  PageTable parent(kPageSize, 128);
+  PageTable a = parent.fork();
+  PageTable b = parent.fork();
+  for (std::size_t p = 0; p < 4; ++p) stamp(a, p, 2);
+  for (std::size_t p = 64; p < 70; ++p) stamp(b, p, 3);
+  const std::uint64_t expected = parent.stats().pages_allocated +
+                                 a.stats().pages_allocated +
+                                 b.stats().pages_allocated;
+
+  std::vector<PageTable::SegmentAdoptOp> ops;
+  ops.push_back({&a, 0, 64});
+  ops.push_back({&b, 64, 128});
+  parent.adopt_segments(std::move(ops));
+  EXPECT_EQ(parent.stats().pages_allocated, expected);
+}
+
+TEST(SegmentCommit, AddressSpaceSegmentsMapToPageRanges) {
+  AddressSpace space(kPageSize, 64);
+  const Segment s0 = space.alloc_segment("a", 16 * kPageSize);
+  const Segment s1 = space.alloc_segment("b", 16 * kPageSize);
+  EXPECT_EQ(space.page_range(s0), (std::pair<std::size_t, std::size_t>{0, 16}));
+  EXPECT_EQ(space.page_range(s1),
+            (std::pair<std::size_t, std::size_t>{16, 32}));
+
+  AddressSpace c0 = space.fork();
+  AddressSpace c1 = space.fork();
+  c0.store<std::uint32_t>(s0.base, 0xAAu);
+  c1.store<std::uint32_t>(s1.base, 0xBBu);
+
+  const PageTable::AdoptBatchStats batch =
+      space.adopt_parallel({{&c0, s0}, {&c1, s1}});
+  EXPECT_FALSE(batch.fell_back);
+  EXPECT_EQ(batch.pages_spliced, 2u);
+  EXPECT_EQ(space.load<std::uint32_t>(s0.base), 0xAAu);
+  EXPECT_EQ(space.load<std::uint32_t>(s1.base), 0xBBu);
+}
+
+TEST(SegmentCommit, WorldsCommitInParallelAndAuditClean) {
+  RuntimeAuditor auditor;
+  ProcessTable procs;
+  {
+    World parent(procs, kPageSize, 128, "parent");
+    const Segment left = parent.space().alloc_segment("left", 64 * kPageSize);
+    const Segment right =
+        parent.space().alloc_segment("right", 64 * kPageSize);
+
+    const Pid p0 = procs.create(parent.pid());
+    const Pid p1 = procs.create(parent.pid());
+    World w0 = parent.fork_alternative(p0, {p0, p1});
+    World w1 = parent.fork_alternative(p1, {p0, p1});
+    w0.space().store<std::uint64_t>(left.base, 7);
+    w1.space().store<std::uint64_t>(right.base, 9);
+
+    const PageTable::AdoptBatchStats batch =
+        parent.commit_from_parallel({{&w0, left}, {&w1, right}});
+    EXPECT_FALSE(batch.fell_back);
+    EXPECT_EQ(batch.children, 2u);
+    EXPECT_EQ(parent.space().load<std::uint64_t>(left.base), 7u);
+    EXPECT_EQ(parent.space().load<std::uint64_t>(right.base), 9u);
+    procs.set_status(p0, ProcStatus::kSynced);
+    procs.set_status(p1, ProcStatus::kSynced);
+    procs.set_status(parent.pid(), ProcStatus::kSynced);
+  }
+  // Every world is gone: the commit must not have leaked a single page.
+  EXPECT_TRUE(auditor.run(procs).clean()) << auditor.run(procs).to_string();
+}
+
+TEST(SegmentCommit, SingleChildAdoptSegmentViaWorld) {
+  ProcessTable procs;
+  World parent(procs, kPageSize, 64, "parent");
+  const Segment seg = parent.space().alloc_segment("seg", 8 * kPageSize);
+  World child = parent.clone_with_predicates(PredicateSet{}, "child");
+  child.space().store<std::uint32_t>(seg.base, 123u);
+
+  const std::size_t spliced =
+      parent.commit_from_segment(std::move(child), seg);
+  EXPECT_EQ(spliced, 1u);
+  EXPECT_EQ(parent.space().load<std::uint32_t>(seg.base), 123u);
+}
+
+}  // namespace
+}  // namespace mw
