@@ -1,8 +1,12 @@
 // Replication × speculation (§5): a "service call" with heavy-tailed
 // latency, hedged by first-wins replicas, plus a majority-voted variant
-// that survives a value-corrupting replica.
+// that survives a value-corrupting replica. The races run on the real
+// work-stealing SpecScheduler (AltBackend::kPool) — the same engine the
+// hedged service dispatches through — so the run also reports the
+// scheduler's submit/steal/revoke traffic.
 //
-//   $ hedged_service [--replicas=4] [--trace=trace.json] [--profile]
+//   $ hedged_service [--replicas=4] [--workers=2] [--trace=trace.json]
+//                    [--profile]
 //
 // --trace writes the world lineage as Chrome-trace JSON (open the file in
 // chrome://tracing or ui.perfetto.dev: each race is a process row, each
@@ -24,8 +28,8 @@ int main(int argc, char** argv) {
   trace::TraceSession trace_session(cli);
 
   RuntimeConfig cfg;
-  cfg.backend = AltBackend::kVirtual;
-  cfg.processors = static_cast<std::size_t>(k);
+  cfg.backend = AltBackend::kPool;
+  cfg.pool.workers = static_cast<std::size_t>(cli.get_int("workers", 2));
   cfg.cost = CostModel::free();
   cfg.page_size = 64;
   cfg.num_pages = 32;
@@ -69,6 +73,17 @@ int main(int argc, char** argv) {
                 "(%d/%d agreed)\n",
                 *voted.value, voted.agreeing, voted.completed);
   }
+
+  // What the upgrade to kPool buys: real scheduler traffic to inspect.
+  const SchedStats sched = rt.scheduler().stats();
+  std::printf("\npool scheduler (%zu workers): %llu submitted, "
+              "%llu executed, %llu stolen, %llu revoked, %llu deferred\n",
+              cfg.pool.workers,
+              static_cast<unsigned long long>(sched.submitted),
+              static_cast<unsigned long long>(sched.executed),
+              static_cast<unsigned long long>(sched.stolen),
+              static_cast<unsigned long long>(sched.revoked),
+              static_cast<unsigned long long>(sched.admission_deferred));
 
   if (trace_session.active()) {
     // Validate the trace against the process table before exporting: the

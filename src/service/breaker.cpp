@@ -1,0 +1,14 @@
+#include "service/breaker.hpp"
+
+namespace mw {
+
+const char* breaker_state_name(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace mw

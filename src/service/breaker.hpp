@@ -1,0 +1,124 @@
+// Per-backend circuit breaker, driven by two signals: direct outcome
+// observations (exec sends that fail, attempts the backend never answered)
+// and PeerHealth transitions (suspect/dead/resurrected). The classic three
+// states:
+//
+//   kClosed    normal traffic; `failure_threshold` consecutive failures
+//              (or a PeerHealth death) trip it open.
+//   kOpen      no traffic at all — not even hedges — until `cooldown`
+//              elapses or PeerHealth hears the peer again (resurrection),
+//              either of which arms a half-open probe.
+//   kHalfOpen  exactly one probe request may pass; its success closes the
+//              breaker, its failure re-opens it (fresh cooldown).
+//
+// Suspect peers keep a *closed* breaker (a slow peer is not a dead peer)
+// but the server separately refuses to aim hedges at them: hedging exists
+// to shave the tail, and a suspect backend IS the tail.
+#pragma once
+
+#include <cstdint>
+
+#include "util/vtime.hpp"
+
+namespace mw {
+
+enum class BreakerState : std::uint8_t { kClosed = 0, kOpen = 1,
+                                         kHalfOpen = 2 };
+
+const char* breaker_state_name(BreakerState s);
+
+struct BreakerConfig {
+  std::size_t failure_threshold = 3;  // consecutive failures to trip
+  VDuration cooldown = vt_ms(100);    // open -> half-open delay
+};
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig config = {}) : config_(config) {}
+
+  /// May a request (primary, failover, or probe) go to this backend now?
+  /// Half-open admits exactly one in-flight probe.
+  bool allow(VTime now) {
+    refresh(now);
+    if (state_ == BreakerState::kClosed) return true;
+    if (state_ == BreakerState::kHalfOpen && !probe_outstanding_) {
+      probe_outstanding_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// True while requests beyond the probe must not be routed here —
+  /// hedging eligibility. (allow() is the mutating gate; this just reads.)
+  BreakerState state(VTime now) {
+    refresh(now);
+    return state_;
+  }
+
+  void record_success() {
+    failures_ = 0;
+    probe_outstanding_ = false;
+    if (state_ != BreakerState::kClosed) ++closes_;
+    state_ = BreakerState::kClosed;
+  }
+
+  /// Returns true when this failure tripped the breaker open (so the
+  /// caller can trace the transition exactly once).
+  bool record_failure(VTime now) {
+    probe_outstanding_ = false;
+    if (state_ == BreakerState::kHalfOpen) {  // failed probe: re-open
+      trip(now);
+      return true;
+    }
+    if (state_ == BreakerState::kOpen) return false;
+    if (++failures_ < config_.failure_threshold) return false;
+    trip(now);
+    return true;
+  }
+
+  /// PeerHealth declared the backend dead: trip immediately regardless of
+  /// the consecutive-failure count. Returns true on a fresh open.
+  bool on_peer_dead(VTime now) {
+    if (state_ == BreakerState::kOpen) return false;
+    trip(now);
+    return true;
+  }
+
+  /// PeerHealth heard a dead peer again: skip the cooldown residue and arm
+  /// the probe — resurrection is better evidence than a timer.
+  void on_peer_resurrected() {
+    if (state_ == BreakerState::kOpen) {
+      state_ = BreakerState::kHalfOpen;
+      probe_outstanding_ = false;
+    }
+  }
+
+  std::uint64_t opens() const { return opens_; }
+  std::uint64_t closes() const { return closes_; }
+
+ private:
+  void refresh(VTime now) {
+    if (state_ == BreakerState::kOpen && now >= open_until_) {
+      state_ = BreakerState::kHalfOpen;
+      probe_outstanding_ = false;
+    }
+  }
+
+  void trip(VTime now) {
+    state_ = BreakerState::kOpen;
+    open_until_ = now + config_.cooldown;
+    failures_ = 0;
+    probe_outstanding_ = false;
+    ++opens_;
+  }
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::size_t failures_ = 0;
+  VTime open_until_ = 0;
+  bool probe_outstanding_ = false;
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+};
+
+}  // namespace mw

@@ -1,0 +1,89 @@
+#include "service/service_backend.hpp"
+
+#include "fault/fault.hpp"
+
+namespace mw {
+
+ServiceBackend::ServiceBackend(Transport& transport, NodeId self,
+                               NodeId server, BackendConfig config)
+    : transport_(transport),
+      self_(self),
+      server_(server),
+      config_(config),
+      rng_(config.seed ^ self * 0x9e3779b97f4a7c15ull) {
+  transport_.bind(self_, *this);
+  beat();  // immediate join beat: teaches SocketTransport our address
+}
+
+ServiceBackend::~ServiceBackend() {
+  done_ = true;
+  if (beat_timer_ != kNoTimer) transport_.cancel(beat_timer_);
+  for (const auto& [job, timer] : jobs_) transport_.cancel(timer);
+  transport_.unbind(self_);
+}
+
+void ServiceBackend::kill() {
+  done_ = true;
+  if (beat_timer_ != kNoTimer) transport_.cancel(beat_timer_);
+  beat_timer_ = kNoTimer;
+  for (const auto& [job, timer] : jobs_) transport_.cancel(timer);
+  jobs_.clear();
+}
+
+void ServiceBackend::beat() {
+  if (done_) return;
+  const Bytes frame = encode_beat();
+  transport_.send(self_, server_,
+                  std::span<const std::uint8_t>(frame.data(), frame.size()));
+  beat_timer_ = transport_.schedule(config_.health.heartbeat_interval,
+                                    [this] { beat(); });
+}
+
+void ServiceBackend::on_message(NodeId from,
+                                std::span<const std::uint8_t> payload) {
+  if (done_ || from != server_) return;
+  if (svc_message_tag(payload) != kSvcTagExec) return;
+  if (auto e = decode_exec(payload)) on_exec(*e);
+}
+
+void ServiceBackend::on_exec(const SvcExec& e) {
+  VDuration delay = draw_service_delay();
+  if (FaultAction a = MW_FAULT_POINT("svc.exec", transport_.now())) {
+    switch (a.kind) {
+      case FaultKind::kNodeCrash:
+      case FaultKind::kCrashException:
+        kill();
+        return;
+      case FaultKind::kHang:
+        ++hung_;  // this exec never answers; hedge/deadline covers it
+        return;
+      case FaultKind::kDelay:
+        delay += a.delay;
+        break;
+      default:
+        break;
+    }
+  }
+  const std::uint64_t value = service_reference(e.payload, e.work);
+  const std::uint64_t ticket = e.ticket;
+  const std::uint64_t job = next_job_++;
+  jobs_[job] = transport_.schedule(delay, [this, ticket, value, job] {
+    jobs_.erase(job);
+    if (done_) return;
+    ++executed_;
+    const Bytes frame = encode_exec_done({ticket, value});
+    transport_.send(self_, server_,
+                    std::span<const std::uint8_t>(frame.data(),
+                                                  frame.size()));
+  });
+}
+
+VDuration ServiceBackend::draw_service_delay() {
+  double d =
+      rng_.next_exponential(static_cast<double>(config_.service_mean));
+  if (rng_.next_bool(config_.tail_prob)) d *= config_.tail_factor;
+  const auto v = static_cast<VDuration>(d);
+  return v < 1 ? 1 : v;
+}
+
+}  // namespace mw

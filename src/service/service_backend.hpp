@@ -1,0 +1,71 @@
+// ServiceBackend: a stateless executor node. It computes
+// service_reference(payload, work) for each kSvcExec after a seeded
+// service delay and reports kSvcExecDone; all session/effect state lives
+// at the server, so a backend can be killed, duplicated, partitioned, or
+// replaced without any hand-off protocol — exactly the property hedging
+// needs (the same exec may run on two backends at once; the server keeps
+// one answer and the effect commits once).
+//
+// Chaos surface: every kSvcExec passes the "svc.exec" fault point —
+// kNodeCrash / kCrashException kill the backend silently (the observable
+// behavior of a SIGKILLed process: no more execs, answers, or beats),
+// kHang swallows that one exec (the server's hedge or deadline covers
+// it), kDelay stretches its service time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace mw {
+
+struct BackendConfig {
+  std::uint64_t seed = 1;
+  PeerHealthConfig health;  // heartbeat_interval paces kSvcBeat
+  // Service-time model (matches ServiceConfig's by default).
+  VDuration service_mean = vt_ms(4);
+  double tail_prob = 0.05;
+  double tail_factor = 5.0;
+};
+
+class ServiceBackend : public TransportReceiver {
+ public:
+  ServiceBackend(Transport& transport, NodeId self, NodeId server,
+                 BackendConfig config = {});
+  ~ServiceBackend() override;
+
+  ServiceBackend(const ServiceBackend&) = delete;
+  ServiceBackend& operator=(const ServiceBackend&) = delete;
+
+  NodeId self() const { return self_; }
+  bool done() const { return done_; }
+
+  /// Simulated process death for in-process (sim) tests: immediately
+  /// silent — no execs, answers, or beats — like a SIGKILLed process.
+  void kill();
+
+  std::uint64_t executed() const { return executed_; }
+  std::uint64_t hung() const { return hung_; }
+
+ private:
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void on_exec(const SvcExec& e);
+  void beat();
+  VDuration draw_service_delay();
+
+  Transport& transport_;
+  NodeId self_;
+  NodeId server_;
+  BackendConfig config_;
+  Rng rng_;
+  bool done_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t hung_ = 0;
+  TimerId beat_timer_ = kNoTimer;
+  std::uint64_t next_job_ = 1;
+  std::map<std::uint64_t, TimerId> jobs_;  // live completion timers
+};
+
+}  // namespace mw

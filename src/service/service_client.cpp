@@ -1,0 +1,87 @@
+#include "service/service_client.hpp"
+
+#include <algorithm>
+
+namespace mw {
+
+ServiceClient::ServiceClient(Transport& transport, NodeId self, NodeId server,
+                             ClientConfig config)
+    : transport_(transport), self_(self), server_(server), config_(config) {
+  transport_.bind(self_, *this);
+}
+
+ServiceClient::~ServiceClient() {
+  if (retry_timer_ != kNoTimer) transport_.cancel(retry_timer_);
+  transport_.unbind(self_);
+}
+
+std::uint64_t ServiceClient::call(std::uint64_t work, std::uint64_t payload) {
+  current_ = CallRecord{};
+  current_.seq = ++next_seq_;
+  current_.work = work;
+  current_.payload = payload;
+  current_.sent_at = transport_.now();
+  outstanding_ = true;
+  send_current();
+  return current_.seq;
+}
+
+void ServiceClient::send_current() {
+  SvcRequest r;
+  r.client = self_;
+  r.seq = current_.seq;
+  // Deadline residue: the server should not spend budget this call has
+  // already burned waiting for a lost frame.
+  const VDuration spent = transport_.now() - current_.sent_at;
+  r.deadline = config_.deadline > spent ? config_.deadline - spent : 1;
+  r.work = current_.work;
+  r.payload = current_.payload;
+  const Bytes frame = encode_request(r);
+  transport_.send(self_, server_,
+                  std::span<const std::uint8_t>(frame.data(), frame.size()));
+  double rto = static_cast<double>(config_.retry_after);
+  for (std::size_t i = 0; i < current_.retries; ++i)
+    rto *= config_.backoff_factor;
+  rto = std::min(rto, static_cast<double>(config_.retry_cap));
+  retry_timer_ = transport_.schedule(static_cast<VDuration>(rto),
+                                     [this] { on_retry_timer(); });
+}
+
+void ServiceClient::on_retry_timer() {
+  retry_timer_ = kNoTimer;
+  if (!outstanding_) return;
+  if (current_.retries >= config_.max_retries) {
+    complete(false, nullptr);  // persistent silence: local timeout
+    return;
+  }
+  ++current_.retries;
+  send_current();
+}
+
+void ServiceClient::on_message(NodeId from,
+                               std::span<const std::uint8_t> payload) {
+  if (from != server_ || !outstanding_) return;
+  if (svc_message_tag(payload) != kSvcTagResponse) return;
+  auto r = decode_response(payload);
+  if (!r || r->client != self_ || r->seq != current_.seq) return;
+  complete(true, &*r);
+}
+
+void ServiceClient::complete(bool answered, const SvcResponse* r) {
+  if (retry_timer_ != kNoTimer) {
+    transport_.cancel(retry_timer_);
+    retry_timer_ = kNoTimer;
+  }
+  outstanding_ = false;
+  current_.answered = answered;
+  if (r) {
+    current_.status = r->status;
+    current_.value = r->value;
+    current_.flags = r->flags;
+  }
+  current_.latency = transport_.now() - current_.sent_at;
+  records_.push_back(current_);
+  if (on_complete) on_complete(records_.back());
+}
+
+}  // namespace mw

@@ -1,0 +1,79 @@
+// ServiceClient: the at-most-once request discipline from the client side
+// (oscar's model): one outstanding call at a time, each numbered by a
+// monotonically increasing seq. A timeout retries the SAME seq with capped
+// exponential backoff — the retry is exactly the duplicate the server's
+// SessionTable must absorb — and a retry budget turns persistent silence
+// into a local timeout failure. Responses for superseded seqs are ignored.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace mw {
+
+struct ClientConfig {
+  VDuration retry_after = vt_ms(10);  // initial retransmit timeout
+  double backoff_factor = 2.0;
+  VDuration retry_cap = vt_ms(80);
+  std::size_t max_retries = 4;        // beyond the first send
+  VDuration deadline = vt_ms(50);     // propagated to the server
+};
+
+struct CallRecord {
+  std::uint64_t seq = 0;
+  bool answered = false;      // any response arrived (vs. local timeout)
+  SvcStatus status = SvcStatus::kFailed;
+  std::uint64_t value = 0;
+  std::uint8_t flags = 0;     // kSvcFlagReplayed / kSvcFlagLocal
+  std::size_t retries = 0;    // duplicate sends this call made
+  VTime sent_at = 0;
+  VDuration latency = 0;      // first send -> terminal response
+  std::uint64_t work = 0;
+  std::uint64_t payload = 0;
+
+  bool ok() const { return answered && status == SvcStatus::kOk; }
+};
+
+class ServiceClient : public TransportReceiver {
+ public:
+  ServiceClient(Transport& transport, NodeId self, NodeId server,
+                ClientConfig config = {});
+  ~ServiceClient() override;
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  NodeId self() const { return self_; }
+  bool idle() const { return !outstanding_; }
+
+  /// Starts the next call (requires idle()). Returns its seq.
+  std::uint64_t call(std::uint64_t work, std::uint64_t payload);
+
+  /// Completed calls in completion order. Calls that exhausted their retry
+  /// budget appear with answered == false.
+  const std::vector<CallRecord>& records() const { return records_; }
+  /// Invoked as each call reaches a terminal state (open-loop generators
+  /// use this to start the next call).
+  std::function<void(const CallRecord&)> on_complete;
+
+ private:
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+  void send_current();
+  void on_retry_timer();
+  void complete(bool answered, const SvcResponse* r);
+
+  Transport& transport_;
+  NodeId self_;
+  NodeId server_;
+  ClientConfig config_;
+  bool outstanding_ = false;
+  CallRecord current_;
+  std::uint64_t next_seq_ = 0;
+  TimerId retry_timer_ = kNoTimer;
+  std::vector<CallRecord> records_;
+};
+
+}  // namespace mw

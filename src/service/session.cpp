@@ -1,0 +1,136 @@
+#include "service/session.hpp"
+
+namespace mw {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x31534553u;  // "SES1"
+
+}  // namespace
+
+const char* to_string(SessionVerdict v) {
+  switch (v) {
+    case SessionVerdict::kExecute: return "execute";
+    case SessionVerdict::kReplay: return "replay";
+    case SessionVerdict::kInFlight: return "in-flight";
+    case SessionVerdict::kStale: return "stale";
+  }
+  return "?";
+}
+
+SessionVerdict SessionTable::peek(NodeId client, std::uint64_t seq) const {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end()) return SessionVerdict::kExecute;
+  const Session& s = it->second;
+  if (seq > s.last_seq) return SessionVerdict::kExecute;
+  if (seq < s.last_seq) return SessionVerdict::kStale;
+  if (s.committed) return SessionVerdict::kReplay;
+  if (s.in_flight) return SessionVerdict::kInFlight;
+  // seq == last_seq with neither flag: the horizon was restored from a
+  // snapshot that caught the request mid-execution. Its effect never
+  // reached the log (reconcile would have marked it committed), so the
+  // client's retry may execute again.
+  return SessionVerdict::kExecute;
+}
+
+SessionVerdict SessionTable::begin(NodeId client, std::uint64_t seq) {
+  const SessionVerdict v = peek(client, seq);
+  if (v == SessionVerdict::kReplay) ++replays_;
+  if (v != SessionVerdict::kExecute) return v;
+  Session& s = sessions_[client];
+  s.last_seq = seq;
+  s.in_flight = true;
+  s.committed = false;
+  return SessionVerdict::kExecute;
+}
+
+bool SessionTable::commit(NodeId client, std::uint64_t seq, SvcStatus status,
+                          std::uint64_t value, EffectLog& log) {
+  auto it = sessions_.find(client);
+  if (it == sessions_.end() || it->second.last_seq != seq) return false;
+  Session& s = it->second;
+  s.in_flight = false;
+  s.committed = true;
+  s.status = status;
+  s.value = value;
+  if (status != SvcStatus::kOk) return false;  // failures have no effect
+  if (!s.ledger.admit(seq)) {
+    ++effects_suppressed_;
+    return false;
+  }
+  ++effects_admitted_;
+  log.append({client, seq, value});
+  return true;
+}
+
+const SessionTable::Session* SessionTable::find(NodeId client) const {
+  auto it = sessions_.find(client);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Bytes SessionTable::snapshot() const {
+  ByteWriter w;
+  w.put_u32(kSnapshotMagic);
+  w.put_u64(sessions_.size());
+  for (const auto& [client, s] : sessions_) {
+    w.put_u64(client);
+    w.put_u64(s.last_seq);
+    // An in-flight request restores as neither committed nor in flight:
+    // the execution died with the server, so the retry must re-execute.
+    w.put_u8(s.committed ? 1 : 0);
+    w.put_u8(static_cast<std::uint8_t>(s.status));
+    w.put_u64(s.value);
+    w.put_u64(s.ledger.high_water());
+    w.put_u64(s.ledger.recorded());
+    w.put_u64(s.ledger.suppressed());
+  }
+  return w.take();
+}
+
+bool SessionTable::restore(const Bytes& image) {
+  ByteReader r(std::span<const std::uint8_t>(image.data(), image.size()));
+  if (r.get_u32() != kSnapshotMagic) return false;
+  const std::uint64_t count = r.get_u64();
+  std::map<NodeId, Session> restored;
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const NodeId client = r.get_u64();
+    Session s;
+    s.last_seq = r.get_u64();
+    s.committed = r.get_u8() != 0;
+    const std::uint8_t status = r.get_u8();
+    s.value = r.get_u64();
+    const std::uint64_t next = r.get_u64();
+    const std::uint64_t recorded = r.get_u64();
+    const std::uint64_t suppressed = r.get_u64();
+    if (status > static_cast<std::uint8_t>(SvcStatus::kFailed)) return false;
+    s.status = static_cast<SvcStatus>(status);
+    s.ledger.restore(next, recorded, suppressed);
+    restored.emplace(client, std::move(s));
+  }
+  if (!r.ok() || !r.at_end()) return false;
+  sessions_ = std::move(restored);
+  return true;
+}
+
+std::size_t SessionTable::reconcile(const EffectLog& log) {
+  std::size_t redone = 0;
+  for (const Effect& e : log.entries()) {
+    Session& s = sessions_[e.client];
+    if (e.seq < s.ledger.high_water()) continue;  // already in the image
+    // This effect committed after the snapshot: re-mark it so a retry
+    // replays the cached response instead of executing a second time.
+    if (e.seq >= s.last_seq) {
+      s.last_seq = e.seq;
+      s.in_flight = false;
+      s.committed = true;
+      s.status = SvcStatus::kOk;
+      s.value = e.value;
+    }
+    s.ledger.restore(e.seq + 1, s.ledger.recorded() + 1,
+                     s.ledger.suppressed());
+    ++redone;
+  }
+  return redone;
+}
+
+}  // namespace mw

@@ -1,0 +1,92 @@
+// Per-client at-most-once sessions (oscar's ClientTable shape). Each
+// client runs one monotonically numbered outstanding request at a time;
+// the table decides, per arriving (client, seq), whether to execute,
+// replay the cached response, drop a concurrent duplicate, or reject a
+// stale number — and owns the per-client EffectLedger that makes "commit
+// the effect once" hold even when the *server* restarts mid-stream.
+//
+// Recovery protocol (the part naive snapshots get wrong): a snapshot is
+// taken between event-loop turns and serializes every session including
+// its ledger high-water mark. A commit that lands *after* the snapshot is
+// in the external EffectLog but not in the image — restoring the image
+// alone would let a client retry re-execute it and the ledger would admit
+// the duplicate. reconcile() therefore redo-applies the log: every logged
+// effect at or above a session's restored horizon re-marks that seq as
+// committed (cached for replay) and advances the ledger past it. Requests
+// that were merely *in flight* at the crash restore as uncommitted — the
+// client's retry re-executes them, which is safe precisely because their
+// effect never reached the log.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "service/service.hpp"
+#include "super/restart_policy.hpp"
+
+namespace mw {
+
+/// What the server should do with an arriving (client, seq).
+enum class SessionVerdict {
+  kExecute,   // fresh work: begin() has marked it in flight
+  kReplay,    // committed duplicate: answer from the cached response
+  kInFlight,  // concurrent duplicate: drop — the pending execution's
+              //   response covers the retry that raced it
+  kStale,     // seq below the horizon: late duplicate of a superseded call
+};
+
+const char* to_string(SessionVerdict v);
+
+class SessionTable {
+ public:
+  struct Session {
+    std::uint64_t last_seq = 0;  // highest seq ever begun
+    bool in_flight = false;      // last_seq admitted, not yet committed
+    bool committed = false;      // last_seq has a cached response
+    SvcStatus status = SvcStatus::kOk;
+    std::uint64_t value = 0;
+    EffectLedger ledger;
+  };
+
+  /// Classifies (client, seq) and, for kExecute, marks it in flight and
+  /// advances the horizon. Never call for a request the server is about to
+  /// shed — shedding must leave the session untouched so the client's
+  /// retry of the same seq is still fresh.
+  SessionVerdict begin(NodeId client, std::uint64_t seq);
+
+  /// Same classification without any state change — the admission path
+  /// peeks first so replays and stale duplicates are answered from cache
+  /// even when the server is refusing new work.
+  SessionVerdict peek(NodeId client, std::uint64_t seq) const;
+
+  /// Commits the outcome of an in-flight (client, seq): caches the
+  /// response for future replays and, for successful executions whose
+  /// ledger admits the seq, appends the effect to `log`. Returns true iff
+  /// the effect was appended (exactly-once: at most one true per pair).
+  bool commit(NodeId client, std::uint64_t seq, SvcStatus status,
+              std::uint64_t value, EffectLog& log);
+
+  /// Cached response for a kReplay verdict.
+  const Session* find(NodeId client) const;
+
+  std::size_t size() const { return sessions_.size(); }
+  std::uint64_t replays() const { return replays_; }
+  std::uint64_t effects_admitted() const { return effects_admitted_; }
+  std::uint64_t effects_suppressed() const { return effects_suppressed_; }
+
+  /// Serializes every session (MWSES01). Taken between event-loop turns.
+  Bytes snapshot() const;
+  /// Reinstates a snapshot, replacing all state. False on a bad image.
+  bool restore(const Bytes& image);
+  /// Redo-applies the external effect log over restored state (see the
+  /// file comment); returns how many log entries were re-marked committed.
+  std::size_t reconcile(const EffectLog& log);
+
+ private:
+  std::map<NodeId, Session> sessions_;  // ordered: deterministic snapshot
+  std::uint64_t replays_ = 0;
+  std::uint64_t effects_admitted_ = 0;
+  std::uint64_t effects_suppressed_ = 0;
+};
+
+}  // namespace mw

@@ -102,6 +102,16 @@ class EffectLedger {
   /// The next unseen sequence number (what a checkpoint must persist).
   std::uint64_t high_water() const { return next_; }
 
+  /// Reinstates a checkpointed ledger. Numbers below `next` are treated as
+  /// already recorded — the restored owner replays them without re-emitting
+  /// the effect — so a snapshot only has to persist the three counters.
+  void restore(std::uint64_t next, std::uint64_t recorded = 0,
+               std::uint64_t suppressed = 0) {
+    next_ = next;
+    recorded_ = recorded;
+    suppressed_ = suppressed;
+  }
+
  private:
   std::uint64_t next_ = 0;
   std::uint64_t recorded_ = 0;

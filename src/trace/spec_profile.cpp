@@ -197,6 +197,19 @@ SpecProfile build_spec_profile(const std::vector<TraceEvent>& events,
       case EventKind::kNetPeerSuspect: p.net_peer_suspects++; break;
       case EventKind::kNetPeerDead: p.net_peer_deaths++; break;
       case EventKind::kNetPartition: p.net_partition_drops++; break;
+      case EventKind::kSvcRequest: p.svc_requests++; break;
+      case EventKind::kSvcResponse: p.svc_ok++; break;
+      case EventKind::kSvcReplay: p.svc_replays++; break;
+      case EventKind::kSvcShed: p.svc_sheds++; break;
+      case EventKind::kSvcHedge: p.svc_hedges++; break;
+      case EventKind::kSvcFailover: p.svc_failovers++; break;
+      case EventKind::kSvcBrownout:
+        if (e.a != 0) p.svc_brownout_enters++;
+        break;
+      case EventKind::kSvcBreaker:
+        if (e.b == 1) p.svc_breaker_opens++;
+        break;
+      case EventKind::kSvcLocalFallback: p.svc_local_fallbacks++; break;
       case EventKind::kSchedRevoke: {
         RaceProfile& r = race_for(e.a);
         r.revoked++;
@@ -255,6 +268,17 @@ std::string SpecProfile::to_string() const {
     if (net_peer_suspects + net_peer_deaths > 0)
       os << "  peer health: " << net_peer_suspects << " suspect event(s), "
          << net_peer_deaths << " death(s)\n";
+  }
+  if (svc_requests + svc_sheds + svc_replays > 0) {
+    os << "  service: " << svc_requests << " request(s) admitted, " << svc_ok
+       << " ok, " << svc_replays << " replayed, " << svc_sheds << " shed, "
+       << svc_hedges << " hedge(s), " << svc_failovers << " failover(s)";
+    if (svc_local_fallbacks > 0)
+      os << ", " << svc_local_fallbacks << " local-fallback(s)";
+    os << "\n";
+    if (svc_brownout_enters + svc_breaker_opens > 0)
+      os << "  service health: " << svc_brownout_enters
+         << " brownout(s), " << svc_breaker_opens << " breaker open(s)\n";
   }
   if (!pool_shards.empty()) {
     PoolShardCounters sum;

@@ -103,6 +103,17 @@ struct SpecProfile {
   std::uint64_t net_peer_suspects = 0;
   std::uint64_t net_peer_deaths = 0;
   std::uint64_t net_partition_drops = 0;
+  // Hedged-speculation service (src/service: HedgedServer).
+  std::uint64_t svc_requests = 0;         // executable arrivals admitted
+  std::uint64_t svc_ok = 0;               // OK responses committed
+  std::uint64_t svc_replays = 0;          // duplicates answered from cache
+  std::uint64_t svc_sheds = 0;            // requests refused at admission
+  std::uint64_t svc_hedges = 0;           // hedge attempts dispatched
+  std::uint64_t svc_failovers = 0;        // attempts re-dispatched after a
+                                          //   backend went dead/broke
+  std::uint64_t svc_brownout_enters = 0;  // hedging disabled under load
+  std::uint64_t svc_breaker_opens = 0;    // circuit-breaker open transitions
+  std::uint64_t svc_local_fallbacks = 0;  // degraded to the local kPool race
   // Per-shard frame-pool counters (empty unless a caller folded them in;
   // see PagePool::fold_into and TraceSession::set_profile_hook).
   std::vector<PoolShardCounters> pool_shards;

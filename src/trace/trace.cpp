@@ -227,6 +227,15 @@ const char* kind_name(EventKind k) {
     case EventKind::kNetPeerSuspect: return "net_peer_suspect";
     case EventKind::kNetPeerDead: return "net_peer_dead";
     case EventKind::kNetPartition: return "net_partition";
+    case EventKind::kSvcRequest: return "svc_request";
+    case EventKind::kSvcResponse: return "svc_response";
+    case EventKind::kSvcReplay: return "svc_replay";
+    case EventKind::kSvcShed: return "svc_shed";
+    case EventKind::kSvcHedge: return "svc_hedge";
+    case EventKind::kSvcFailover: return "svc_failover";
+    case EventKind::kSvcBrownout: return "svc_brownout";
+    case EventKind::kSvcBreaker: return "svc_breaker";
+    case EventKind::kSvcLocalFallback: return "svc_local_fallback";
   }
   return "unknown";
 }

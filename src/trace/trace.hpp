@@ -88,6 +88,18 @@ enum class EventKind : std::uint16_t {
   kNetPeerDead = 117,    // a=peer node — declared dead, failover eligible
   kNetPartition = 118,   // a=from node, b=to node — frame blocked by a
                          //   partition (LinkModel pair or "net.partition")
+  // Hedged-speculation service (src/service: HedgedServer and friends).
+  kSvcRequest = 128,       // a=client node, b=request seq — executable arrival
+  kSvcResponse = 129,      // a=client node, b=seq — OK response committed
+  kSvcReplay = 130,        // a=client node, b=seq — duplicate replayed from
+                           //   the session cache (no re-execution)
+  kSvcShed = 131,          // a=client node, b=admission queue depth at shed
+  kSvcHedge = 132,         // a=ticket, b=backend node the hedge went to
+  kSvcFailover = 133,      // a=ticket, b=backend node taking over
+  kSvcBrownout = 134,      // a=1 enter / 0 exit, b=defer-rate (permille)
+  kSvcBreaker = 135,       // a=backend node, b=new state (0 closed, 1 open,
+                           //   2 half-open)
+  kSvcLocalFallback = 136, // a=ticket — degraded to the local kPool race
 };
 
 /// Sentinel for "the emitter had no clock in scope"; the event still

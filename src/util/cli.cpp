@@ -1,9 +1,37 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <string_view>
 
 namespace mw {
+
+namespace {
+
+// Strict full-string parses: the entire value must be consumed and in
+// range, else nullopt. strtoll/strtod's lenient prefix parsing is exactly
+// what we are defending against.
+std::optional<std::int64_t> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::int64_t>(v);
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno == ERANGE || end != s.c_str() + s.size() || !std::isfinite(v))
+    return std::nullopt;
+  return v;
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -31,18 +59,46 @@ std::string Cli::get(const std::string& key, const std::string& def) const {
 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
   auto it = flags_.find(key);
-  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == flags_.end()) return def;
+  return parse_int(it->second).value_or(def);
 }
 
 double Cli::get_double(const std::string& key, double def) const {
   auto it = flags_.find(key);
-  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags_.end()) return def;
+  return parse_double(it->second).value_or(def);
 }
 
 bool Cli::get_bool(const std::string& key, bool def) const {
   auto it = flags_.find(key);
   if (it == flags_.end()) return def;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+VDuration Cli::get_duration(const std::string& key, VDuration def) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return def;
+  return parse_duration(it->second).value_or(def);
+}
+
+std::optional<VDuration> parse_duration(const std::string& text) {
+  std::string_view s(text);
+  // Longest suffix first: "us" must win over "s".
+  std::int64_t scale = 1;
+  if (s.size() >= 2 && s.substr(s.size() - 2) == "us") {
+    s.remove_suffix(2);
+  } else if (s.size() >= 2 && s.substr(s.size() - 2) == "ms") {
+    scale = 1000;
+    s.remove_suffix(2);
+  } else if (!s.empty() && s.back() == 's') {
+    scale = 1'000'000;
+    s.remove_suffix(1);
+  }
+  const auto number = parse_double(std::string(s));
+  if (!number || *number < 0) return std::nullopt;  // durations are ticks >= 0
+  const double ticks = *number * static_cast<double>(scale);
+  if (ticks > static_cast<double>(kVTimeMax)) return std::nullopt;  // overflow
+  return static_cast<VDuration>(ticks);
 }
 
 }  // namespace mw

@@ -1,11 +1,18 @@
 // Minimal command-line flag parsing for the bench/example binaries.
 // Accepts --key=value and --flag forms; positional arguments are collected.
+// Numeric getters are strict: a value that is not entirely a valid number
+// (garbage, trailing junk, overflow) yields the default rather than a
+// silently truncated parse — a mistyped --rate=1e999 or --work=12x must
+// not turn into a plausible-looking run.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "util/vtime.hpp"
 
 namespace mw {
 
@@ -18,6 +25,10 @@ class Cli {
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
+  /// Duration with an optional unit suffix: "500us", "500ms", "2s", or
+  /// fractional "1.5ms"; a bare number is ticks (µs). Negative, overflowed,
+  /// or malformed values yield `def`.
+  VDuration get_duration(const std::string& key, VDuration def) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -25,5 +36,9 @@ class Cli {
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
 };
+
+/// The suffix parser behind Cli::get_duration, exposed for tests and for
+/// parsing duration-shaped config values outside argv.
+std::optional<VDuration> parse_duration(const std::string& text);
 
 }  // namespace mw

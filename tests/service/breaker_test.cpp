@@ -1,0 +1,105 @@
+#include "service/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+BreakerConfig cfg() {
+  BreakerConfig c;
+  c.failure_threshold = 3;
+  c.cooldown = vt_ms(100);
+  return c;
+}
+
+TEST(CircuitBreaker, StaysClosedBelowThreshold) {
+  CircuitBreaker b(cfg());
+  EXPECT_FALSE(b.record_failure(vt_ms(1)));
+  EXPECT_FALSE(b.record_failure(vt_ms(2)));
+  EXPECT_EQ(b.state(vt_ms(3)), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(vt_ms(3)));
+  EXPECT_EQ(b.opens(), 0u);
+}
+
+TEST(CircuitBreaker, ConsecutiveFailuresTrip) {
+  CircuitBreaker b(cfg());
+  b.record_failure(vt_ms(1));
+  b.record_failure(vt_ms(2));
+  EXPECT_TRUE(b.record_failure(vt_ms(3)));  // third in a row trips
+  EXPECT_EQ(b.state(vt_ms(4)), BreakerState::kOpen);
+  EXPECT_FALSE(b.allow(vt_ms(4)));
+  EXPECT_EQ(b.opens(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  CircuitBreaker b(cfg());
+  b.record_failure(vt_ms(1));
+  b.record_failure(vt_ms(2));
+  b.record_success();  // streak broken
+  b.record_failure(vt_ms(3));
+  b.record_failure(vt_ms(4));
+  EXPECT_EQ(b.state(vt_ms(5)), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, CooldownArmsExactlyOneProbe) {
+  CircuitBreaker b(cfg());
+  for (int i = 0; i < 3; ++i) b.record_failure(vt_ms(1));
+  EXPECT_FALSE(b.allow(vt_ms(50)));  // still cooling down
+  // Cooldown elapsed: half-open, one probe passes, the second is refused.
+  EXPECT_EQ(b.state(vt_ms(101 + 1)), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.allow(vt_ms(102)));
+  EXPECT_FALSE(b.allow(vt_ms(103)));
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  CircuitBreaker b(cfg());
+  for (int i = 0; i < 3; ++i) b.record_failure(vt_ms(1));
+  ASSERT_TRUE(b.allow(vt_ms(200)));
+  b.record_success();
+  EXPECT_EQ(b.state(vt_ms(201)), BreakerState::kClosed);
+  EXPECT_TRUE(b.allow(vt_ms(201)));
+  EXPECT_EQ(b.closes(), 1u);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopensWithFreshCooldown) {
+  CircuitBreaker b(cfg());
+  for (int i = 0; i < 3; ++i) b.record_failure(vt_ms(1));
+  ASSERT_TRUE(b.allow(vt_ms(200)));
+  EXPECT_TRUE(b.record_failure(vt_ms(200)));  // failed probe re-opens
+  EXPECT_FALSE(b.allow(vt_ms(250)));          // fresh cooldown from t=200
+  EXPECT_TRUE(b.allow(vt_ms(301)));           // next probe after it
+  EXPECT_EQ(b.opens(), 2u);
+}
+
+TEST(CircuitBreaker, PeerDeathTripsImmediately) {
+  CircuitBreaker b(cfg());
+  EXPECT_TRUE(b.on_peer_dead(vt_ms(10)));  // no failure streak needed
+  EXPECT_EQ(b.state(vt_ms(11)), BreakerState::kOpen);
+  EXPECT_FALSE(b.on_peer_dead(vt_ms(12)));  // already open: not a fresh trip
+}
+
+TEST(CircuitBreaker, ResurrectionSkipsTheCooldown) {
+  CircuitBreaker b(cfg());
+  b.on_peer_dead(vt_ms(10));
+  EXPECT_FALSE(b.allow(vt_ms(20)));
+  b.on_peer_resurrected();  // heard from again: probe now, not at t=110
+  EXPECT_EQ(b.state(vt_ms(21)), BreakerState::kHalfOpen);
+  EXPECT_TRUE(b.allow(vt_ms(21)));
+  b.record_success();
+  EXPECT_EQ(b.state(vt_ms(22)), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, ResurrectionIsANoOpWhenClosed) {
+  CircuitBreaker b(cfg());
+  b.on_peer_resurrected();
+  EXPECT_EQ(b.state(vt_ms(1)), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_STREQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_STREQ(breaker_state_name(BreakerState::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace mw

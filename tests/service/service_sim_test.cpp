@@ -1,0 +1,463 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/runtime_auditor.hpp"
+#include "dist/sim_transport.hpp"
+#include "fault/fault.hpp"
+#include "service/hedged_server.hpp"
+#include "service/service_backend.hpp"
+#include "service/service_client.hpp"
+#include "util/des.hpp"
+
+namespace mw {
+namespace {
+
+// Short wires so a round trip is a few virtual ms, not tens.
+LinkModel svc_link() {
+  LinkModel l;
+  l.latency = vt_us(500);
+  l.per_message_overhead = vt_us(100);
+  return l;
+}
+
+ServiceConfig svc_config() {
+  ServiceConfig c;
+  c.service_mean = vt_ms(1);
+  c.hedge_delay = vt_ms(2);
+  return c;
+}
+
+BackendConfig backend_config(std::uint64_t seed) {
+  BackendConfig c;
+  c.seed = seed;
+  c.service_mean = vt_ms(1);
+  return c;
+}
+
+/// Fast health timings for tests that wait out a backend death.
+PeerHealthConfig fast_health() {
+  PeerHealthConfig h;
+  h.heartbeat_interval = vt_ms(10);
+  h.suspect_after = vt_ms(30);
+  h.dead_after = vt_ms(80);
+  return h;
+}
+
+/// One in-process service cluster: server = 100, backends = 1..n,
+/// clients 200+ created on demand.
+struct SvcCluster {
+  explicit SvcCluster(std::size_t n_backends, ServiceConfig sc = svc_config(),
+                      LinkModel link = svc_link(), std::uint64_t seed = 1)
+      : transport(queue, link, seed), server(transport, 100, effects, sc) {
+    for (std::size_t i = 1; i <= n_backends; ++i) {
+      BackendConfig bc = backend_config(seed + i);
+      bc.health = sc.health;  // beat at the server's expected cadence
+      backends.push_back(
+          std::make_unique<ServiceBackend>(transport, NodeId(i), 100, bc));
+      server.add_backend(NodeId(i));
+    }
+    transport.run_until(vt_ms(2));  // let the first beats land
+  }
+
+  ServiceClient& client(NodeId node, ClientConfig cc = {}) {
+    clients.push_back(
+        std::make_unique<ServiceClient>(transport, node, 100, cc));
+    return *clients.back();
+  }
+
+  void run_for(VDuration d) { transport.run_until(transport.now() + d); }
+
+  EventQueue queue;
+  SimTransport transport;
+  EffectLog effects;
+  HedgedServer server;
+  std::vector<std::unique_ptr<ServiceBackend>> backends;
+  std::vector<std::unique_ptr<ServiceClient>> clients;
+};
+
+TEST(SvcProtocol, FramesRoundTrip) {
+  SvcRequest rq{7, 42, vt_ms(9), 100, 5};
+  auto rq2 = decode_request(encode_request(rq));
+  ASSERT_TRUE(rq2);
+  EXPECT_EQ(rq2->client, 7u);
+  EXPECT_EQ(rq2->seq, 42u);
+  EXPECT_EQ(rq2->deadline, vt_ms(9));
+  EXPECT_EQ(rq2->work, 100u);
+  EXPECT_EQ(rq2->payload, 5u);
+
+  SvcResponse rs{7, 42, SvcStatus::kShed, 11, kSvcFlagLocal};
+  auto rs2 = decode_response(encode_response(rs));
+  ASSERT_TRUE(rs2);
+  EXPECT_EQ(rs2->status, SvcStatus::kShed);
+  EXPECT_EQ(rs2->flags, kSvcFlagLocal);
+
+  SvcExec ex{9, 64, 3, vt_ms(20)};
+  auto ex2 = decode_exec(encode_exec(ex));
+  ASSERT_TRUE(ex2);
+  EXPECT_EQ(ex2->ticket, 9u);
+  EXPECT_EQ(ex2->budget, vt_ms(20));
+
+  SvcExecDone dn{9, 123};
+  auto dn2 = decode_exec_done(encode_exec_done(dn));
+  ASSERT_TRUE(dn2);
+  EXPECT_EQ(dn2->value, 123u);
+}
+
+TEST(SvcProtocol, DecodersRejectGarbage) {
+  EXPECT_EQ(svc_message_tag({}), 0);
+  const Bytes frame = encode_request(SvcRequest{1, 1, 0, 10, 0});
+  Bytes truncated(frame.begin(), frame.end() - 3);
+  EXPECT_FALSE(decode_request(truncated));
+  EXPECT_FALSE(decode_response(frame));  // wrong tag
+  Bytes bad_status = encode_response(SvcResponse{1, 1, SvcStatus::kOk, 0, 0});
+  bad_status[1 + 8 + 8] = 99;  // status byte out of range
+  EXPECT_FALSE(decode_response(bad_status));
+}
+
+TEST(SvcSim, RemoteCallComputesTheReferenceValue) {
+  SvcCluster c(2);
+  ServiceClient& cl = c.client(200);
+  cl.call(100, 7);
+  c.run_for(vt_ms(100));
+  ASSERT_EQ(cl.records().size(), 1u);
+  const CallRecord& r = cl.records()[0];
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, service_reference(7, 100));
+  EXPECT_EQ(r.flags & kSvcFlagLocal, 0);
+  EXPECT_EQ(c.effects.size(), 1u);
+  EXPECT_EQ(c.server.stats().ok, 1u);
+  EXPECT_GE(c.backends[0]->executed() + c.backends[1]->executed(), 1u);
+}
+
+TEST(SvcSim, BackendlessServerFinishesOnTheLocalRace) {
+  RuntimeAuditor auditor;
+  {
+    SvcCluster c(0);
+    ServiceClient& cl = c.client(200);
+    cl.call(64, 3);
+    c.run_for(vt_ms(100));
+    ASSERT_EQ(cl.records().size(), 1u);
+    EXPECT_TRUE(cl.records()[0].ok());
+    EXPECT_EQ(cl.records()[0].value, service_reference(3, 64));
+    EXPECT_NE(cl.records()[0].flags & kSvcFlagLocal, 0);
+    EXPECT_EQ(c.server.stats().local_races, 1u);
+    // No backends configured is the normal single-node mode, not a
+    // degradation event.
+    EXPECT_EQ(c.server.stats().local_fallbacks, 0u);
+  }
+  const ProcessTable empty;
+  const AuditReport report = auditor.run(empty);
+  EXPECT_EQ(report.leaked_pages, 0)
+      << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(SvcSim, SequentialCallsCommitEachEffectOnce) {
+  SvcCluster c(2);
+  ServiceClient& cl = c.client(200);
+  constexpr std::size_t kCalls = 20;
+  cl.on_complete = [&](const CallRecord&) {
+    if (cl.records().size() < kCalls)
+      cl.call(40 + cl.records().size(), cl.records().size());
+  };
+  cl.call(40, 99);
+  while (cl.records().size() < kCalls && c.transport.now() < vt_sec(5))
+    c.run_for(vt_ms(10));
+  ASSERT_EQ(cl.records().size(), kCalls);
+  for (const CallRecord& r : cl.records()) {
+    EXPECT_TRUE(r.ok()) << "seq " << r.seq;
+    EXPECT_EQ(r.value, service_reference(r.payload, r.work));
+  }
+  EXPECT_EQ(c.effects.size(), kCalls);
+  EXPECT_EQ(c.effects.duplicates(), 0u);
+}
+
+TEST(SvcSim, ClientRetransmitsAreAbsorbedAsDuplicates) {
+  // A pathologically impatient client: retransmits every 1 ms while the
+  // round trip takes ~3 ms, so the server sees the same (client, seq)
+  // several times while it is still executing.
+  ClientConfig cc;
+  cc.retry_after = vt_ms(1);
+  cc.backoff_factor = 1.0;
+  cc.retry_cap = vt_ms(1);
+  cc.max_retries = 20;
+  SvcCluster c(2);
+  ServiceClient& cl = c.client(200, cc);
+  cl.call(80, 5);
+  c.run_for(vt_ms(100));
+  ASSERT_EQ(cl.records().size(), 1u);
+  EXPECT_TRUE(cl.records()[0].ok());
+  EXPECT_EQ(cl.records()[0].value, service_reference(5, 80));
+  EXPECT_GT(cl.records()[0].retries, 0u);
+  const ServiceStats& s = c.server.stats();
+  EXPECT_GE(s.in_flight_dups + s.replays, 1u);
+  // Exactly-once despite the duplicates.
+  EXPECT_EQ(c.effects.size(), 1u);
+  EXPECT_EQ(c.effects.duplicates(), 0u);
+}
+
+TEST(SvcSim, NetDupDeliveriesNeverDoubleTheEffect) {
+  FaultInjector inj(7);
+  inj.arm("net.dup",
+          FaultSpec::with_probability(FaultKind::kDuplicateMessage, 1.0));
+  FaultScope scope(inj);
+  SvcCluster c(2);
+  ServiceClient& cl = c.client(200);
+  constexpr std::size_t kCalls = 5;
+  cl.on_complete = [&](const CallRecord&) {
+    if (cl.records().size() < kCalls) cl.call(60, cl.records().size());
+  };
+  cl.call(60, 0);
+  while (cl.records().size() < kCalls && c.transport.now() < vt_sec(5))
+    c.run_for(vt_ms(10));
+  ASSERT_EQ(cl.records().size(), kCalls) << inj.log_string();
+  for (const CallRecord& r : cl.records())
+    EXPECT_EQ(r.value, service_reference(r.payload, r.work));
+  // Every request frame was delivered twice; the second copy is either a
+  // concurrent duplicate or a replay, never a second execution commit.
+  const ServiceStats& s = c.server.stats();
+  EXPECT_GE(s.in_flight_dups + s.replays, 1u) << inj.log_string();
+  EXPECT_EQ(c.effects.size(), kCalls);
+  EXPECT_EQ(c.effects.duplicates(), 0u);
+}
+
+TEST(SvcSim, OverloadShedsInsteadOfCollapsing) {
+  ServiceConfig sc = svc_config();
+  sc.max_inflight = 1;
+  sc.queue_capacity = 1;
+  SvcCluster c(1, sc);
+  for (NodeId node = 200; node < 208; ++node) c.client(node).call(40, node);
+  c.run_for(vt_ms(200));
+  const ServiceStats& s = c.server.stats();
+  // One executing + one queued; the burst's other six are shed with an
+  // explicit response, not absorbed into a collapsing backlog.
+  EXPECT_EQ(s.shed, 6u);
+  EXPECT_EQ(s.ok, 2u);
+  EXPECT_EQ(c.effects.size(), s.ok);
+  std::size_t shed_answers = 0;
+  for (const auto& cl : c.clients) {
+    ASSERT_EQ(cl->records().size(), 1u);
+    const CallRecord& r = cl->records()[0];
+    ASSERT_TRUE(r.answered);
+    if (r.status == SvcStatus::kShed) {
+      ++shed_answers;
+    } else {
+      EXPECT_EQ(r.status, SvcStatus::kOk);
+      EXPECT_EQ(r.value, service_reference(r.payload, r.work));
+    }
+  }
+  EXPECT_EQ(shed_answers, 6u);
+  // Shedding leaves no session state: those seqs are still fresh.
+  EXPECT_EQ(c.effects.duplicates(), 0u);
+}
+
+TEST(SvcSim, SustainedQueueingEntersBrownoutAndRecovers) {
+  ServiceConfig sc = svc_config();
+  sc.max_inflight = 1;
+  sc.queue_capacity = 32;
+  SvcCluster c(1, sc);
+  constexpr VTime kLoadUntil = vt_ms(300);
+  for (NodeId node = 200; node < 206; ++node) {
+    ServiceClient& cl = c.client(node);
+    cl.on_complete = [&c, &cl](const CallRecord&) {
+      if (c.transport.now() < kLoadUntil) cl.call(40, cl.self());
+    };
+    cl.call(40, node);
+  }
+  c.transport.run_until(vt_ms(800));  // load, then drain and recover
+  const ServiceStats& s = c.server.stats();
+  EXPECT_GE(s.brownout_enters, 1u);
+  EXPECT_GE(s.brownout_exits, 1u);
+  EXPECT_FALSE(c.server.brownout());
+  EXPECT_EQ(c.server.queue_depth(), 0u);
+  for (const auto& cl : c.clients) {
+    for (const CallRecord& r : cl->records()) {
+      if (r.status == SvcStatus::kOk) {
+        EXPECT_EQ(r.value, service_reference(r.payload, r.work));
+      }
+    }
+  }
+  EXPECT_EQ(c.effects.duplicates(), 0u);
+}
+
+TEST(SvcSim, HedgeCoversAHungPrimary) {
+  // The first exec is swallowed by a hang fault (the primary backend
+  // accepts it and never answers); the hedge finishes the request well
+  // inside the deadline.
+  FaultInjector inj(1);
+  inj.arm("svc.exec", FaultSpec::once(FaultKind::kHang));
+  FaultScope scope(inj);
+  SvcCluster c(2);
+  ServiceClient& cl = c.client(200);
+  cl.call(90, 9);
+  c.run_for(vt_ms(100));
+  ASSERT_EQ(cl.records().size(), 1u);
+  EXPECT_TRUE(cl.records()[0].ok()) << inj.log_string();
+  EXPECT_EQ(cl.records()[0].value, service_reference(9, 90));
+  EXPECT_LT(cl.records()[0].latency, vt_ms(20));
+  EXPECT_EQ(c.server.stats().hedges, 1u);
+  EXPECT_EQ(c.backends[0]->hung(), 1u);
+  EXPECT_EQ(c.backends[1]->executed(), 1u);
+}
+
+TEST(SvcSim, DeadBackendOpensTheBreakerAndIsRoutedAround) {
+  ServiceConfig sc = svc_config();
+  sc.health = fast_health();
+  SvcCluster c(2, sc);
+  c.backends[0]->kill();
+  c.run_for(vt_ms(200));  // silence crosses dead_after; breaker trips
+  EXPECT_GE(c.server.stats().breaker_opens, 1u);
+  ServiceClient& cl = c.client(200);
+  cl.call(70, 4);
+  c.run_for(vt_ms(100));
+  ASSERT_EQ(cl.records().size(), 1u);
+  EXPECT_TRUE(cl.records()[0].ok());
+  EXPECT_EQ(cl.records()[0].value, service_reference(4, 70));
+  EXPECT_EQ(c.backends[0]->executed(), 0u);  // never routed to the corpse
+  EXPECT_GE(c.backends[1]->executed(), 1u);
+}
+
+TEST(SvcSim, InFlightAttemptFailsOverWhenItsBackendDies) {
+  // Hedging off, long deadline: the request is parked on a backend that
+  // died just before it arrived, and only the PeerHealth -> breaker ->
+  // failover chain can save it.
+  ServiceConfig sc = svc_config();
+  sc.health = fast_health();
+  sc.hedge_budget = 0;
+  sc.default_deadline = vt_ms(400);
+  SvcCluster c(2, sc);
+  c.backends[0]->kill();  // dies silently; health has not noticed yet
+  ClientConfig cc;
+  cc.deadline = vt_ms(400);
+  cc.retry_after = vt_ms(500);  // no retransmit noise in this test
+  ServiceClient& cl = c.client(200, cc);
+  cl.call(55, 6);
+  c.run_for(vt_ms(300));
+  ASSERT_EQ(cl.records().size(), 1u);
+  EXPECT_TRUE(cl.records()[0].ok());
+  EXPECT_EQ(cl.records()[0].value, service_reference(6, 55));
+  EXPECT_GE(cl.records()[0].latency, sc.health.dead_after);  // waited out death
+  EXPECT_EQ(c.server.stats().failovers, 1u);
+  EXPECT_GE(c.server.stats().breaker_opens, 1u);
+  EXPECT_GE(c.backends[1]->executed(), 1u);
+}
+
+TEST(SvcSim, TotalPartitionDegradesToTheLocalRace) {
+  RuntimeAuditor auditor;
+  {
+    ServiceConfig sc = svc_config();
+    sc.health = fast_health();
+    SvcCluster c(2, sc);
+    for (NodeId b = 1; b <= 2; ++b) {
+      c.transport.set_link_blocked(100, b, true);
+      c.transport.set_link_blocked(b, 100, true);
+    }
+    c.run_for(vt_ms(200));  // both backends fall silent and die
+    ServiceClient& cl = c.client(200);
+    cl.call(64, 8);
+    c.run_for(vt_ms(100));
+    ASSERT_EQ(cl.records().size(), 1u);
+    EXPECT_TRUE(cl.records()[0].ok());
+    EXPECT_EQ(cl.records()[0].value, service_reference(8, 64));
+    EXPECT_NE(cl.records()[0].flags & kSvcFlagLocal, 0);
+    EXPECT_GE(c.server.stats().local_fallbacks, 1u);
+    EXPECT_GE(c.server.stats().breaker_opens, 2u);
+  }
+  const ProcessTable empty;
+  const AuditReport report = auditor.run(empty);
+  EXPECT_EQ(report.leaked_pages, 0)
+      << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(SvcSim, SameSeedSameOutcome) {
+  auto run = [] {
+    FaultInjector inj(5);
+    inj.arm("net.drop",
+            FaultSpec::with_probability(FaultKind::kDropMessage, 0.05));
+    inj.arm("net.dup",
+            FaultSpec::with_probability(FaultKind::kDuplicateMessage, 0.05));
+    inj.arm("net.delay",
+            FaultSpec::with_probability(FaultKind::kDelay, 0.1)
+                .delayed(vt_ms(1)));
+    FaultScope scope(inj);
+    ServiceConfig sc = svc_config();
+    sc.brownout_enter = 1e9;  // keep thread-timing noise out of the tuple
+    SvcCluster c(2, sc);
+    ClientConfig cc;
+    cc.max_retries = 8;
+    ServiceClient& cl = c.client(200, cc);
+    constexpr std::size_t kCalls = 10;
+    cl.on_complete = [&](const CallRecord&) {
+      if (cl.records().size() < kCalls) cl.call(50, cl.records().size());
+    };
+    cl.call(50, 42);
+    while (cl.records().size() < kCalls && c.transport.now() < vt_sec(5))
+      c.run_for(vt_ms(10));
+    std::uint64_t value_sum = 0;
+    for (const CallRecord& r : cl.records()) value_sum += r.value;
+    return std::tuple(c.effects.size(), c.server.stats().ok,
+                      c.server.stats().replays, c.server.stats().hedges,
+                      c.server.stats().requests, value_sum,
+                      c.transport.now());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SvcSim, RestartReplaysCommittedWorkInsteadOfReexecuting) {
+  EventQueue queue;
+  SimTransport transport(queue, svc_link(), 1);
+  EffectLog effects;
+  const ServiceConfig sc = svc_config();
+  auto server = std::make_unique<HedgedServer>(transport, 100, effects, sc);
+  ServiceBackend backend(transport, 1, 100, backend_config(2));
+  server->add_backend(1);
+  transport.run_until(vt_ms(2));
+  ServiceClient cl(transport, 200, 100);
+
+  auto call_and_wait = [&](std::uint64_t work, std::uint64_t payload) {
+    const std::size_t before = cl.records().size();
+    cl.call(work, payload);
+    while (cl.records().size() == before && transport.now() < vt_sec(5))
+      transport.run_until(transport.now() + vt_ms(5));
+    ASSERT_TRUE(cl.records().back().ok());
+  };
+  call_and_wait(30, 1);
+  call_and_wait(31, 2);
+  const Bytes image = server->snapshot();
+  call_and_wait(32, 3);  // seq 3 commits AFTER the snapshot (redo-log case)
+  ASSERT_EQ(effects.size(), 3u);
+
+  // Crash the server between event-loop turns; the successor gets the
+  // stale image plus the full external effect log.
+  server.reset();
+  server = std::make_unique<HedgedServer>(transport, 100, effects, sc);
+  ASSERT_TRUE(server->restore(image, effects));
+  server->add_backend(1);
+  transport.run_until(transport.now() + vt_ms(5));
+
+  // A straggler duplicate of the post-snapshot request reaches the new
+  // server — the exact frame a client retry would produce.
+  SvcRequest dup;
+  dup.client = 200;
+  dup.seq = 3;
+  dup.work = 32;
+  dup.payload = 3;
+  const Bytes frame = encode_request(dup);
+  transport.send(200, 100,
+                 std::span<const std::uint8_t>(frame.data(), frame.size()));
+  transport.run_until(transport.now() + vt_ms(20));
+  EXPECT_EQ(server->stats().replays, 1u);
+  EXPECT_EQ(effects.size(), 3u);  // replayed, not re-executed
+  EXPECT_EQ(effects.duplicates(), 0u);
+
+  // The session stream continues seamlessly: the next fresh seq executes.
+  call_and_wait(33, 4);
+  EXPECT_EQ(cl.records().back().value, service_reference(4, 33));
+  EXPECT_EQ(effects.size(), 4u);
+  EXPECT_EQ(effects.duplicates(), 0u);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,188 @@
+// The same service protocol over real UDP sockets and real processes:
+// backends are forked children on loopback, the kill is a real SIGKILL.
+// What the sim cannot prove — survival of kernel buffers, real clocks,
+// and actual process death — is proved here; the exactly-once invariant
+// is checked the same way (EffectLog::duplicates() == 0).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dist/socket_transport.hpp"
+#include "service/hedged_server.hpp"
+#include "service/service_backend.hpp"
+#include "service/service_client.hpp"
+
+namespace mw {
+namespace {
+
+/// SIGKILL + reap every child on scope exit, so a failing assertion can't
+/// leak processes into the test runner.
+struct ChildReaper {
+  std::vector<pid_t> pids;
+  ~ChildReaper() {
+    for (pid_t p : pids) {
+      ::kill(p, SIGKILL);
+      int status = 0;
+      ::waitpid(p, &status, 0);
+    }
+  }
+};
+
+PeerHealthConfig socket_health() {
+  PeerHealthConfig h;
+  h.heartbeat_interval = vt_ms(10);
+  h.suspect_after = vt_ms(60);
+  h.dead_after = vt_ms(150);
+  return h;
+}
+
+/// Forked backend process body: beats and serves kSvcExec over loopback
+/// until the parent kills it (or a 30 s safety budget expires).
+[[noreturn]] void backend_process(NodeId node, std::uint16_t server_port) {
+  SocketTransport transport(node);
+  transport.add_peer(100, server_port);
+  BackendConfig bc;
+  bc.seed = node;
+  bc.service_mean = vt_ms(1);
+  bc.health = socket_health();
+  ServiceBackend backend(transport, node, 100, bc);
+  const VTime budget = transport.now() + vt_sec(30);
+  while (transport.now() < budget)
+    transport.run_until(transport.now() + vt_ms(2));
+  ::_exit(0);
+}
+
+ServiceConfig socket_service_config() {
+  ServiceConfig c;
+  c.health = socket_health();
+  c.hedge_delay = vt_ms(5);
+  c.default_deadline = vt_ms(200);
+  c.service_mean = vt_ms(1);
+  return c;
+}
+
+ClientConfig socket_client_config() {
+  ClientConfig c;
+  c.retry_after = vt_ms(50);
+  c.max_retries = 6;
+  c.deadline = vt_ms(200);
+  return c;
+}
+
+/// Drives the parent transport until `pred` holds or `budget_ms` of wall
+/// time passes.
+bool pump(SocketTransport& transport, const std::function<bool()>& pred,
+          int budget_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    transport.run_until(transport.now() + vt_ms(2));
+  }
+  return true;
+}
+
+TEST(ServiceSocket, MultiProcessRequestsComputeCorrectValues) {
+  // Server and client share the parent's transport (UDP self-loop);
+  // the two backends are real forked processes.
+  SocketTransport transport(100);
+  EffectLog effects;
+  HedgedServer server(transport, 100, effects, socket_service_config());
+  ChildReaper children;
+  for (NodeId node = 1; node <= 2; ++node) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) backend_process(node, transport.port());
+    children.pids.push_back(pid);
+    server.add_backend(node);
+  }
+  // The children's join beats teach the parent their ephemeral ports.
+  ASSERT_TRUE(pump(transport,
+                   [&] {
+                     return transport.knows_peer(1) &&
+                            transport.knows_peer(2);
+                   },
+                   5000));
+
+  ServiceClient client(transport, 200, 100, socket_client_config());
+  constexpr std::size_t kCalls = 10;
+  client.on_complete = [&](const CallRecord&) {
+    if (client.records().size() < kCalls)
+      client.call(30 + client.records().size(), client.records().size());
+  };
+  client.call(30, 7);
+  ASSERT_TRUE(pump(transport,
+                   [&] { return client.records().size() >= kCalls; }, 20000));
+
+  for (const CallRecord& r : client.records()) {
+    EXPECT_TRUE(r.ok()) << "seq " << r.seq;
+    EXPECT_EQ(r.value, service_reference(r.payload, r.work));
+  }
+  EXPECT_EQ(effects.size(), kCalls);
+  EXPECT_EQ(effects.duplicates(), 0u);
+}
+
+TEST(ServiceSocket, SigkilledBackendDoesNotBreakExactlyOnce) {
+  SocketTransport transport(100);
+  EffectLog effects;
+  HedgedServer server(transport, 100, effects, socket_service_config());
+  ChildReaper children;
+  for (NodeId node = 1; node <= 2; ++node) {
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) backend_process(node, transport.port());
+    children.pids.push_back(pid);
+    server.add_backend(node);
+  }
+  ASSERT_TRUE(pump(transport,
+                   [&] {
+                     return transport.knows_peer(1) &&
+                            transport.knows_peer(2);
+                   },
+                   5000));
+
+  ServiceClient client(transport, 200, 100, socket_client_config());
+  constexpr std::size_t kCalls = 12;
+  client.on_complete = [&](const CallRecord&) {
+    if (client.records().size() < kCalls)
+      client.call(40, client.records().size());
+  };
+  client.call(40, 99);
+  ASSERT_TRUE(pump(transport,
+                   [&] { return client.records().size() >= 3; }, 10000));
+
+  // A real SIGKILL mid-load: no shutdown handshake, no flushed answers.
+  const pid_t victim = children.pids[0];
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  children.pids.erase(children.pids.begin());
+
+  ASSERT_TRUE(pump(transport,
+                   [&] { return client.records().size() >= kCalls; }, 30000));
+  std::size_t answered_ok = 0;
+  for (const CallRecord& r : client.records()) {
+    if (r.ok()) {
+      ++answered_ok;
+      EXPECT_EQ(r.value, service_reference(r.payload, r.work));
+    }
+  }
+  // Hedging/failover keeps goodput flowing across the kill; at least the
+  // pre-kill and steady-state post-kill calls must land.
+  EXPECT_GE(answered_ok, kCalls / 2);
+  EXPECT_EQ(effects.duplicates(), 0u);
+  EXPECT_GE(server.stats().hedges + server.stats().failovers +
+                server.stats().local_fallbacks,
+            1u);
+}
+
+}  // namespace
+}  // namespace mw

@@ -1,0 +1,201 @@
+#include "service/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mw {
+namespace {
+
+TEST(SessionTable, FreshSequencesExecuteInOrder) {
+  SessionTable t;
+  EXPECT_EQ(t.begin(7, 1), SessionVerdict::kExecute);
+  EffectLog log;
+  EXPECT_TRUE(t.commit(7, 1, SvcStatus::kOk, 11, log));
+  EXPECT_EQ(t.begin(7, 2), SessionVerdict::kExecute);
+  EXPECT_TRUE(t.commit(7, 2, SvcStatus::kOk, 22, log));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.duplicates(), 0u);
+}
+
+TEST(SessionTable, DuplicateOfCommittedSeqReplaysWithoutReexecution) {
+  SessionTable t;
+  EffectLog log;
+  t.begin(7, 1);
+  t.commit(7, 1, SvcStatus::kOk, 42, log);
+  // The same request arrives again (client retry or net.dup): the verdict
+  // is replay, the cached response carries the original value, and the
+  // effect log does not grow.
+  EXPECT_EQ(t.begin(7, 1), SessionVerdict::kReplay);
+  const SessionTable::Session* s = t.find(7);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->status, SvcStatus::kOk);
+  EXPECT_EQ(s->value, 42u);
+  EXPECT_EQ(t.replays(), 1u);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(SessionTable, ConcurrentDuplicateIsDropped) {
+  SessionTable t;
+  t.begin(7, 1);  // in flight, not yet committed
+  EXPECT_EQ(t.begin(7, 1), SessionVerdict::kInFlight);
+  EXPECT_EQ(t.peek(7, 1), SessionVerdict::kInFlight);
+}
+
+TEST(SessionTable, StaleSequenceIsRefused) {
+  SessionTable t;
+  EffectLog log;
+  t.begin(7, 5);
+  t.commit(7, 5, SvcStatus::kOk, 1, log);
+  EXPECT_EQ(t.begin(7, 3), SessionVerdict::kStale);
+}
+
+TEST(SessionTable, DoubleCommitAdmitsTheEffectOnce) {
+  SessionTable t;
+  EffectLog log;
+  t.begin(7, 1);
+  EXPECT_TRUE(t.commit(7, 1, SvcStatus::kOk, 42, log));
+  // A hedged race can produce two winners internally; the second commit of
+  // the same (client, seq) must be ledger-suppressed.
+  EXPECT_FALSE(t.commit(7, 1, SvcStatus::kOk, 42, log));
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(t.effects_admitted(), 1u);
+  EXPECT_EQ(t.effects_suppressed(), 1u);
+}
+
+TEST(SessionTable, FailedCommitsCacheTheResponseButNoEffect) {
+  SessionTable t;
+  EffectLog log;
+  t.begin(7, 1);
+  EXPECT_FALSE(t.commit(7, 1, SvcStatus::kFailed, 0, log));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(t.begin(7, 1), SessionVerdict::kReplay);
+  EXPECT_EQ(t.find(7)->status, SvcStatus::kFailed);
+}
+
+TEST(SessionTable, SnapshotRoundTripsEverySession) {
+  SessionTable t;
+  EffectLog log;
+  for (NodeId c = 1; c <= 5; ++c) {
+    t.begin(c, 1);
+    t.commit(c, 1, SvcStatus::kOk, c * 10, log);
+  }
+  const Bytes image = t.snapshot();
+  SessionTable u;
+  ASSERT_TRUE(u.restore(image));
+  EXPECT_EQ(u.size(), 5u);
+  for (NodeId c = 1; c <= 5; ++c) {
+    EXPECT_EQ(u.begin(c, 1), SessionVerdict::kReplay);
+    EXPECT_EQ(u.find(c)->value, c * 10);
+    EXPECT_EQ(u.begin(c, 2), SessionVerdict::kExecute);
+  }
+}
+
+TEST(SessionTable, RestoreRejectsCorruptImages) {
+  SessionTable t;
+  EffectLog log;
+  t.begin(1, 1);
+  t.commit(1, 1, SvcStatus::kOk, 1, log);
+  Bytes image = t.snapshot();
+  SessionTable u;
+  EXPECT_FALSE(u.restore(Bytes{}));
+  Bytes truncated(image.begin(), image.end() - 4);
+  EXPECT_FALSE(u.restore(truncated));
+  Bytes magic = image;
+  magic[0] ^= 0xff;
+  EXPECT_FALSE(u.restore(magic));
+  // A failed restore must leave prior state intact.
+  ASSERT_TRUE(u.restore(image));
+  EXPECT_EQ(u.size(), 1u);
+}
+
+TEST(SessionTable, InFlightAtSnapshotReexecutesAfterRestore) {
+  SessionTable t;
+  t.begin(7, 3);  // crash happens before this commits
+  const Bytes image = t.snapshot();
+  SessionTable u;
+  ASSERT_TRUE(u.restore(image));
+  // The effect never reached the log, so the client's retry may execute
+  // again — that is at-most-once, not at-most-zero.
+  EXPECT_EQ(u.begin(7, 3), SessionVerdict::kExecute);
+}
+
+TEST(SessionTable, ReconcileRedoesCommitsNewerThanTheImage) {
+  // Snapshot, then commit twice more (one new client, one new seq), then
+  // "crash": the successor restores the stale image plus the full log.
+  SessionTable t;
+  EffectLog log;
+  t.begin(1, 1);
+  t.commit(1, 1, SvcStatus::kOk, 100, log);
+  const Bytes image = t.snapshot();
+  t.begin(1, 2);
+  t.commit(1, 2, SvcStatus::kOk, 200, log);
+  t.begin(2, 1);
+  t.commit(2, 1, SvcStatus::kOk, 300, log);
+
+  SessionTable u;
+  ASSERT_TRUE(u.restore(image));
+  EXPECT_EQ(u.reconcile(log), 2u);  // the two post-snapshot commits
+  // Without reconcile these would re-execute and duplicate the effect;
+  // with it they replay from cache.
+  EXPECT_EQ(u.begin(1, 2), SessionVerdict::kReplay);
+  EXPECT_EQ(u.find(1)->value, 200u);
+  EXPECT_EQ(u.begin(2, 1), SessionVerdict::kReplay);
+  EXPECT_EQ(u.find(2)->value, 300u);
+  // And a genuinely new request still executes.
+  EXPECT_EQ(u.begin(1, 3), SessionVerdict::kExecute);
+}
+
+TEST(SessionTable, LedgerExactAfterRestoreAndReconcile) {
+  // The ISSUE's satellite: duplicated requests (net.dup shape) around a
+  // restart must leave the ledger exact — one admission per (client, seq),
+  // replays suppressed, no duplicate in the external log.
+  SessionTable t;
+  EffectLog log;
+  t.begin(9, 1);
+  t.commit(9, 1, SvcStatus::kOk, 10, log);
+  t.commit(9, 1, SvcStatus::kOk, 10, log);  // duplicate commit, suppressed
+  const Bytes image = t.snapshot();
+  t.begin(9, 2);
+  t.commit(9, 2, SvcStatus::kOk, 20, log);
+
+  SessionTable u;
+  ASSERT_TRUE(u.restore(image));
+  u.reconcile(log);
+  // Replayed duplicates after restart: no new effects.
+  EXPECT_EQ(u.begin(9, 1), SessionVerdict::kStale);
+  EXPECT_EQ(u.begin(9, 2), SessionVerdict::kReplay);
+  EXPECT_EQ(u.begin(9, 2), SessionVerdict::kReplay);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.duplicates(), 0u);
+  // A third call executes and admits exactly once.
+  EXPECT_EQ(u.begin(9, 3), SessionVerdict::kExecute);
+  EXPECT_TRUE(u.commit(9, 3, SvcStatus::kOk, 30, log));
+  EXPECT_FALSE(u.commit(9, 3, SvcStatus::kOk, 30, log));
+  EXPECT_EQ(log.duplicates(), 0u);
+}
+
+TEST(EffectLedgerRestore, HighWaterCarriesAcrossRestore) {
+  EffectLedger a;
+  EXPECT_TRUE(a.admit(0));
+  EXPECT_TRUE(a.admit(1));
+  EXPECT_FALSE(a.admit(1));
+  EffectLedger b;
+  b.restore(a.high_water(), a.recorded(), a.suppressed());
+  EXPECT_FALSE(b.admit(0));
+  EXPECT_FALSE(b.admit(1));
+  EXPECT_TRUE(b.admit(2));
+  EXPECT_EQ(b.recorded(), 3u);
+  EXPECT_EQ(b.suppressed(), 3u);
+}
+
+TEST(EffectLog, DuplicatesCountsRepeatedPairs) {
+  EffectLog log;
+  log.append({1, 1, 10});
+  log.append({1, 2, 20});
+  log.append({2, 1, 30});
+  EXPECT_EQ(log.duplicates(), 0u);
+  log.append({1, 1, 10});
+  EXPECT_EQ(log.duplicates(), 1u);
+}
+
+}  // namespace
+}  // namespace mw

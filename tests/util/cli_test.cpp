@@ -55,5 +55,54 @@ TEST(Cli, NegativeIntegers) {
   EXPECT_EQ(c.get_int("delta", 0), -12);
 }
 
+TEST(Cli, MalformedNumbersYieldDefault) {
+  // Strict full-string parsing: trailing junk, garbage, and empty values
+  // must not become plausible-looking prefix parses.
+  EXPECT_EQ(make({"--n=12x"}).get_int("n", 7), 7);
+  EXPECT_EQ(make({"--n=abc"}).get_int("n", 7), 7);
+  EXPECT_EQ(make({"--n="}).get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(make({"--x=1.5y"}).get_double("x", 2.5), 2.5);
+  EXPECT_DOUBLE_EQ(make({"--x=."}).get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, OverflowYieldsDefault) {
+  EXPECT_EQ(make({"--n=99999999999999999999999"}).get_int("n", 7), 7);
+  EXPECT_EQ(make({"--n=-99999999999999999999999"}).get_int("n", 7), 7);
+  EXPECT_DOUBLE_EQ(make({"--x=1e999"}).get_double("x", 2.5), 2.5);
+}
+
+TEST(Cli, DurationSuffixes) {
+  EXPECT_EQ(make({"--t=500us"}).get_duration("t", 0), vt_us(500));
+  EXPECT_EQ(make({"--t=500ms"}).get_duration("t", 0), vt_ms(500));
+  EXPECT_EQ(make({"--t=2s"}).get_duration("t", 0), vt_sec(2));
+  EXPECT_EQ(make({"--t=1.5ms"}).get_duration("t", 0), vt_us(1500));
+  EXPECT_EQ(make({"--t=0.25s"}).get_duration("t", 0), vt_ms(250));
+}
+
+TEST(Cli, DurationBareNumberIsTicks) {
+  EXPECT_EQ(make({"--t=1234"}).get_duration("t", 0), 1234);
+  EXPECT_EQ(make({"--t=0"}).get_duration("t", 5), 0);
+}
+
+TEST(Cli, DurationEdgeCases) {
+  // Negative durations, overflow, bare suffixes, and junk all fall back.
+  EXPECT_EQ(make({"--t=-5ms"}).get_duration("t", 42), 42);
+  EXPECT_EQ(make({"--t=1e30s"}).get_duration("t", 42), 42);
+  EXPECT_EQ(make({"--t=ms"}).get_duration("t", 42), 42);
+  EXPECT_EQ(make({"--t=s"}).get_duration("t", 42), 42);
+  EXPECT_EQ(make({"--t=abc"}).get_duration("t", 42), 42);
+  EXPECT_EQ(make({"--t="}).get_duration("t", 42), 42);
+  EXPECT_EQ(make({}).get_duration("t", 42), 42);
+}
+
+TEST(ParseDuration, DirectApi) {
+  EXPECT_EQ(parse_duration("250us").value_or(-1), 250);
+  EXPECT_EQ(parse_duration("3ms").value_or(-1), 3000);
+  EXPECT_FALSE(parse_duration("").has_value());
+  EXPECT_FALSE(parse_duration("-1").has_value());
+  // "us" must win over the bare "s" suffix.
+  EXPECT_EQ(parse_duration("7us").value_or(-1), 7);
+}
+
 }  // namespace
 }  // namespace mw
