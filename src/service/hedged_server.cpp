@@ -341,6 +341,34 @@ void HedgedServer::finish(std::uint64_t ticket, SvcStatus status,
   pump_queue();
 }
 
+std::size_t HedgedServer::shed_pendings_if(
+    const std::function<bool(NodeId)>& pred) {
+  std::vector<std::uint64_t> affected;
+  for (const auto& [ticket, p] : pendings_)
+    if (pred(p.client)) affected.push_back(ticket);
+  for (std::uint64_t ticket : affected) {
+    auto it = pendings_.find(ticket);
+    if (it == pendings_.end()) continue;
+    Pending p = std::move(it->second);
+    pendings_.erase(it);
+    if (p.hedge_timer != kNoTimer) transport_.cancel(p.hedge_timer);
+    if (p.deadline_timer != kNoTimer) transport_.cancel(p.deadline_timer);
+    if (p.local_timer != kNoTimer) transport_.cancel(p.local_timer);
+    if (p.dispatched) {
+      --inflight_;
+    } else {
+      auto q = std::find(queue_.begin(), queue_.end(), ticket);
+      if (q != queue_.end()) queue_.erase(q);
+    }
+    ++stats_.shed;
+    MW_TRACE_EVENT(trace::EventKind::kSvcShed, kNoPid, kNoPid, p.client,
+                   queue_.size(), transport_.now());
+    respond(p.client, p.seq, SvcStatus::kShed, 0, 0);
+  }
+  if (!affected.empty()) pump_queue();
+  return affected.size();
+}
+
 void HedgedServer::respond(NodeId client, std::uint64_t seq, SvcStatus status,
                            std::uint64_t value, std::uint8_t flags) {
   SvcResponse r;

@@ -40,6 +40,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <set>
@@ -129,6 +130,14 @@ class HedgedServer : public TransportReceiver {
   const std::vector<NodeId>& backends() const { return backends_; }
 
   void on_message(NodeId from, std::span<const std::uint8_t> payload) override;
+
+  /// Revokes every pending request whose client matches `pred` *without*
+  /// committing: timers cancelled, admission bookkeeping unwound, the
+  /// client answered kShed so it retries at the session's real owner. The
+  /// cluster layer calls this when a ring change moves ownership away
+  /// mid-flight — committing here could race the new owner into a double
+  /// execution. Returns how many pendings were revoked.
+  std::size_t shed_pendings_if(const std::function<bool(NodeId)>& pred);
 
   /// Session image for restart tests (take between event-loop turns).
   Bytes snapshot() const { return sessions_.snapshot(); }

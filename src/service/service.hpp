@@ -18,6 +18,9 @@
 //                                                       server  -> backend
 //   kSvcExecDone u8=4 | ticket u64 | value u64          backend -> server
 //   kSvcBeat     u8=5                                   backend -> server
+//   kSvcHandoff  u8=6 | from u64 | epoch u64 | len u64
+//                | image bytes                          node    -> node
+//   kSvcHandoffAck u8=7 | from u64 | epoch u64         node    -> node
 //
 // `deadline` and `budget` are relative ticks (virtual on sim, µs on
 // sockets) — absolute times cannot cross transports whose clocks differ.
@@ -82,11 +85,29 @@ struct SvcExecDone {
   std::uint64_t value = 0;
 };
 
+/// Session-ownership transfer between cluster nodes (src/service/cluster).
+/// `image` is an MWSES01 SessionTable snapshot restricted to the clients
+/// whose ownership moved; `epoch` is the sender's ring epoch, so a receiver
+/// can discard a handoff that raced a newer ring change. Retried until the
+/// matching ack arrives — absorb() is idempotent, so duplicates are safe.
+struct SvcHandoff {
+  NodeId from = 0;
+  std::uint64_t epoch = 0;
+  Bytes image;
+};
+
+struct SvcHandoffAck {
+  NodeId from = 0;
+  std::uint64_t epoch = 0;
+};
+
 Bytes encode_request(const SvcRequest& r);
 Bytes encode_response(const SvcResponse& r);
 Bytes encode_exec(const SvcExec& e);
 Bytes encode_exec_done(const SvcExecDone& d);
 Bytes encode_beat();
+Bytes encode_handoff(const SvcHandoff& h);
+Bytes encode_handoff_ack(const SvcHandoffAck& a);
 
 /// First byte of a service payload, or 0 for an empty/foreign frame.
 std::uint8_t svc_message_tag(std::span<const std::uint8_t> payload);
@@ -96,6 +117,8 @@ inline constexpr std::uint8_t kSvcTagResponse = 2;
 inline constexpr std::uint8_t kSvcTagExec = 3;
 inline constexpr std::uint8_t kSvcTagExecDone = 4;
 inline constexpr std::uint8_t kSvcTagBeat = 5;
+inline constexpr std::uint8_t kSvcTagHandoff = 6;
+inline constexpr std::uint8_t kSvcTagHandoffAck = 7;
 
 /// Decoders return nullopt on any truncated or mis-tagged frame — an
 /// unreliable transport may hand the service anything.
@@ -103,6 +126,9 @@ std::optional<SvcRequest> decode_request(std::span<const std::uint8_t> p);
 std::optional<SvcResponse> decode_response(std::span<const std::uint8_t> p);
 std::optional<SvcExec> decode_exec(std::span<const std::uint8_t> p);
 std::optional<SvcExecDone> decode_exec_done(std::span<const std::uint8_t> p);
+std::optional<SvcHandoff> decode_handoff(std::span<const std::uint8_t> p);
+std::optional<SvcHandoffAck> decode_handoff_ack(
+    std::span<const std::uint8_t> p);
 
 /// One committed side effect. The log is the service's *external* durable
 /// sink — it outlives the server object, which is exactly what makes the
@@ -116,7 +142,13 @@ struct Effect {
 
 class EffectLog {
  public:
-  void append(const Effect& e) { entries_.push_back(e); }
+  virtual ~EffectLog() = default;
+  virtual void append(const Effect& e) { entries_.push_back(e); }
+  /// Folds in effects other writers committed since the last call. The
+  /// in-memory log is always current (one process, one object) so the
+  /// default is a no-op; FileEffectLog (src/service/cluster.hpp) overrides
+  /// it to pull records sibling *processes* appended to the shared file.
+  virtual std::size_t refresh() { return 0; }
   const std::vector<Effect>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
 
@@ -124,7 +156,7 @@ class EffectLog {
   /// invariant is `duplicates() == 0`, machine-checked per fault seed.
   std::size_t duplicates() const;
 
- private:
+ protected:
   std::vector<Effect> entries_;
 };
 

@@ -22,6 +22,7 @@ std::uint64_t ServiceClient::call(std::uint64_t work, std::uint64_t payload) {
   current_.payload = payload;
   current_.sent_at = transport_.now();
   outstanding_ = true;
+  if (route) server_ = route(self_, server_, 0);
   send_current();
   return current_.seq;
 }
@@ -55,6 +56,7 @@ void ServiceClient::on_retry_timer() {
     return;
   }
   ++current_.retries;
+  if (route) server_ = route(self_, server_, current_.retries);
   send_current();
 }
 
@@ -64,6 +66,28 @@ void ServiceClient::on_message(NodeId from,
   if (svc_message_tag(payload) != kSvcTagResponse) return;
   auto r = decode_response(payload);
   if (!r || r->client != self_ || r->seq != current_.seq) return;
+  if (r->status == SvcStatus::kShed && route &&
+      current_.retries < config_.max_retries) {
+    // Re-route, same seq: the shed may mean "not the owner anymore".
+    if (retry_timer_ != kNoTimer) {
+      transport_.cancel(retry_timer_);
+      retry_timer_ = kNoTimer;
+    }
+    ++current_.retries;
+    const NodeId prev = server_;
+    server_ = route(self_, server_, current_.retries);
+    if (server_ != prev) {
+      send_current();  // a different node may well be the owner: go now
+    } else {
+      // Rotation wrapped back to the same node — that shed meant genuine
+      // overload, so hammering it immediately would be rude.
+      retry_timer_ = transport_.schedule(config_.retry_after, [this] {
+        retry_timer_ = kNoTimer;
+        if (outstanding_) send_current();
+      });
+    }
+    return;
+  }
   complete(true, &*r);
 }
 

@@ -47,7 +47,21 @@ class ServiceClient : public TransportReceiver {
   ServiceClient& operator=(const ServiceClient&) = delete;
 
   NodeId self() const { return self_; }
+  NodeId server() const { return server_; }
+  /// Retargets subsequent sends (including retries of the current call).
+  void set_server(NodeId server) { server_ = server; }
   bool idle() const { return !outstanding_; }
+
+  /// Cluster routing hook (ClusterRouter::attach). When set it is consulted
+  /// for the target node at every send: attempt 0 on a fresh call, then the
+  /// retry count on each re-send — so a silent (dead) owner is routed
+  /// around with the SAME seq, which is exactly the duplicate the new
+  /// owner's session layer must absorb. A kShed response with this hook set
+  /// does not complete the call either: it burns one retry and re-sends at
+  /// the hook's next choice (a shed from a non-owner is a re-route hint,
+  /// not a terminal answer).
+  std::function<NodeId(NodeId self, NodeId current, std::size_t attempt)>
+      route;
 
   /// Starts the next call (requires idle()). Returns its seq.
   std::uint64_t call(std::uint64_t work, std::uint64_t payload);

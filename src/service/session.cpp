@@ -1,5 +1,7 @@
 #include "service/session.hpp"
 
+#include <algorithm>
+
 namespace mw {
 
 namespace {
@@ -69,10 +71,19 @@ const SessionTable::Session* SessionTable::find(NodeId client) const {
 }
 
 Bytes SessionTable::snapshot() const {
+  return snapshot_clients([](NodeId) { return true; });
+}
+
+Bytes SessionTable::snapshot_clients(
+    const std::function<bool(NodeId)>& pred) const {
   ByteWriter w;
   w.put_u32(kSnapshotMagic);
-  w.put_u64(sessions_.size());
+  std::uint64_t count = 0;
+  for (const auto& [client, s] : sessions_)
+    if (pred(client)) ++count;
+  w.put_u64(count);
   for (const auto& [client, s] : sessions_) {
+    if (!pred(client)) continue;
     w.put_u64(client);
     w.put_u64(s.last_seq);
     // An in-flight request restores as neither committed nor in flight:
@@ -87,11 +98,11 @@ Bytes SessionTable::snapshot() const {
   return w.take();
 }
 
-bool SessionTable::restore(const Bytes& image) {
+bool SessionTable::parse(const Bytes& image,
+                         std::map<NodeId, Session>& out) {
   ByteReader r(std::span<const std::uint8_t>(image.data(), image.size()));
   if (r.get_u32() != kSnapshotMagic) return false;
   const std::uint64_t count = r.get_u64();
-  std::map<NodeId, Session> restored;
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     const NodeId client = r.get_u64();
     Session s;
@@ -105,11 +116,57 @@ bool SessionTable::restore(const Bytes& image) {
     if (status > static_cast<std::uint8_t>(SvcStatus::kFailed)) return false;
     s.status = static_cast<SvcStatus>(status);
     s.ledger.restore(next, recorded, suppressed);
-    restored.emplace(client, std::move(s));
+    out.emplace(client, std::move(s));
   }
-  if (!r.ok() || !r.at_end()) return false;
+  return r.ok() && r.at_end();
+}
+
+bool SessionTable::restore(const Bytes& image) {
+  std::map<NodeId, Session> restored;
+  if (!parse(image, restored)) return false;
   sessions_ = std::move(restored);
   return true;
+}
+
+bool SessionTable::absorb(const Bytes& image) {
+  std::map<NodeId, Session> incoming;
+  if (!parse(image, incoming)) return false;
+  for (auto& [client, in] : incoming) {
+    auto it = sessions_.find(client);
+    if (it == sessions_.end()) {
+      sessions_.emplace(client, std::move(in));
+      continue;
+    }
+    Session& cur = it->second;
+    const bool newer =
+        in.last_seq > cur.last_seq ||
+        (in.last_seq == cur.last_seq && in.committed && !cur.committed);
+    // The ledger horizon is monotone regardless of which side's response
+    // cache wins — an effect admitted anywhere stays suppressed everywhere.
+    const std::uint64_t high =
+        std::max(in.ledger.high_water(), cur.ledger.high_water());
+    const std::uint64_t recorded =
+        std::max(in.ledger.recorded(), cur.ledger.recorded());
+    const std::uint64_t suppressed =
+        std::max(in.ledger.suppressed(), cur.ledger.suppressed());
+    if (newer) cur = std::move(in);
+    cur.ledger.restore(high, recorded, suppressed);
+  }
+  return true;
+}
+
+std::size_t SessionTable::erase_clients(
+    const std::function<bool(NodeId)>& pred) {
+  std::size_t erased = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (pred(it->first)) {
+      it = sessions_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
 }
 
 std::size_t SessionTable::reconcile(const EffectLog& log) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 
 #include "service/service.hpp"
@@ -76,13 +77,28 @@ class SessionTable {
 
   /// Serializes every session (MWSES01). Taken between event-loop turns.
   Bytes snapshot() const;
+  /// Same image format, restricted to clients matching `pred` — the
+  /// cluster's handoff payload carries only the sessions whose ownership
+  /// moved, not the whole table.
+  Bytes snapshot_clients(const std::function<bool(NodeId)>& pred) const;
   /// Reinstates a snapshot, replacing all state. False on a bad image.
   bool restore(const Bytes& image);
+  /// Merges a (partial) snapshot into the live table without touching
+  /// sessions the image does not mention. Per client the *newer* side wins
+  /// (higher last_seq; at a tie, committed beats uncommitted) and the
+  /// ledger horizon never moves backward — so replaying a duplicated or
+  /// stale handoff frame is a no-op. False on a bad image.
+  bool absorb(const Bytes& image);
+  /// Drops every session matching `pred` (ownership moved away; the new
+  /// owner holds the handed-off image). Returns how many were erased.
+  std::size_t erase_clients(const std::function<bool(NodeId)>& pred);
   /// Redo-applies the external effect log over restored state (see the
   /// file comment); returns how many log entries were re-marked committed.
   std::size_t reconcile(const EffectLog& log);
 
  private:
+  static bool parse(const Bytes& image, std::map<NodeId, Session>& out);
+
   std::map<NodeId, Session> sessions_;  // ordered: deterministic snapshot
   std::uint64_t replays_ = 0;
   std::uint64_t effects_admitted_ = 0;

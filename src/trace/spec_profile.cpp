@@ -210,6 +210,10 @@ SpecProfile build_spec_profile(const std::vector<TraceEvent>& events,
         if (e.b == 1) p.svc_breaker_opens++;
         break;
       case EventKind::kSvcLocalFallback: p.svc_local_fallbacks++; break;
+      case EventKind::kSvcClusterEvict: p.svc_cluster_evictions++; break;
+      case EventKind::kSvcClusterRejoin: p.svc_cluster_rejoins++; break;
+      case EventKind::kSvcClusterHandoff: p.svc_cluster_handoffs++; break;
+      case EventKind::kSvcClusterMisroute: p.svc_cluster_misroutes++; break;
       case EventKind::kSchedRevoke: {
         RaceProfile& r = race_for(e.a);
         r.revoked++;
@@ -279,6 +283,12 @@ std::string SpecProfile::to_string() const {
     if (svc_brownout_enters + svc_breaker_opens > 0)
       os << "  service health: " << svc_brownout_enters
          << " brownout(s), " << svc_breaker_opens << " breaker open(s)\n";
+    if (svc_cluster_evictions + svc_cluster_rejoins + svc_cluster_handoffs +
+            svc_cluster_misroutes >
+        0)
+      os << "  cluster: " << svc_cluster_evictions << " eviction(s), "
+         << svc_cluster_rejoins << " rejoin(s), " << svc_cluster_handoffs
+         << " handoff(s), " << svc_cluster_misroutes << " misroute(s)\n";
   }
   if (!pool_shards.empty()) {
     PoolShardCounters sum;

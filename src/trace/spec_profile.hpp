@@ -114,6 +114,11 @@ struct SpecProfile {
   std::uint64_t svc_brownout_enters = 0;  // hedging disabled under load
   std::uint64_t svc_breaker_opens = 0;    // circuit-breaker open transitions
   std::uint64_t svc_local_fallbacks = 0;  // degraded to the local kPool race
+  // Cluster layer (src/service/cluster.hpp: ClusterNode).
+  std::uint64_t svc_cluster_evictions = 0;  // nodes dropped from the ring
+  std::uint64_t svc_cluster_rejoins = 0;    // nodes re-added after probation
+  std::uint64_t svc_cluster_handoffs = 0;   // kSvcHandoff frames sent
+  std::uint64_t svc_cluster_misroutes = 0;  // requests refused as non-owner
   // Per-shard frame-pool counters (empty unless a caller folded them in;
   // see PagePool::fold_into and TraceSession::set_profile_hook).
   std::vector<PoolShardCounters> pool_shards;

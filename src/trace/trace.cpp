@@ -236,6 +236,10 @@ const char* kind_name(EventKind k) {
     case EventKind::kSvcBrownout: return "svc_brownout";
     case EventKind::kSvcBreaker: return "svc_breaker";
     case EventKind::kSvcLocalFallback: return "svc_local_fallback";
+    case EventKind::kSvcClusterEvict: return "svc_cluster_evict";
+    case EventKind::kSvcClusterRejoin: return "svc_cluster_rejoin";
+    case EventKind::kSvcClusterHandoff: return "svc_cluster_handoff";
+    case EventKind::kSvcClusterMisroute: return "svc_cluster_misroute";
   }
   return "unknown";
 }

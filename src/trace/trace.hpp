@@ -100,6 +100,14 @@ enum class EventKind : std::uint16_t {
   kSvcBreaker = 135,       // a=backend node, b=new state (0 closed, 1 open,
                            //   2 half-open)
   kSvcLocalFallback = 136, // a=ticket — degraded to the local kPool race
+
+  // Hedged-service cluster layer (src/service/cluster.hpp).
+  kSvcClusterEvict = 137,    // a=node evicted from the ring, b=epoch after
+  kSvcClusterRejoin = 138,   // a=node re-added after probation, b=epoch after
+  kSvcClusterHandoff = 139,  // a=peer node, b=sessions carried (send side)
+  kSvcClusterMisroute = 140, // a=client, b=owner per the local ring — a
+                             //   request this node refused because it does
+                             //   not own the session
 };
 
 /// Sentinel for "the emitter had no clock in scope"; the event still

@@ -173,6 +173,78 @@ TEST(SessionTable, LedgerExactAfterRestoreAndReconcile) {
   EXPECT_EQ(log.duplicates(), 0u);
 }
 
+TEST(SessionTable, SnapshotClientsFiltersAndEraseClientsDrops) {
+  SessionTable t;
+  EffectLog log;
+  for (NodeId c : {NodeId(200), NodeId(201), NodeId(202)}) {
+    t.begin(c, 1);
+    t.commit(c, 1, SvcStatus::kOk, c * 10, log);
+  }
+  const auto is_201 = [](NodeId c) { return c == 201; };
+  SessionTable u;
+  ASSERT_TRUE(u.restore(t.snapshot_clients(is_201)));
+  EXPECT_EQ(u.size(), 1u);
+  ASSERT_NE(u.find(201), nullptr);
+  EXPECT_EQ(u.find(201)->value, 2010u);
+  EXPECT_EQ(u.find(200), nullptr);
+  EXPECT_EQ(t.erase_clients(is_201), 1u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.find(201), nullptr);
+}
+
+TEST(SessionTable, AbsorbIsIdempotentAndTheNewerSideWins) {
+  SessionTable old_owner;
+  EffectLog log;
+  old_owner.begin(7, 1);
+  old_owner.commit(7, 1, SvcStatus::kOk, 10, log);
+  const Bytes stale = old_owner.snapshot();  // 7 at seq 1
+  old_owner.begin(7, 2);
+  old_owner.commit(7, 2, SvcStatus::kOk, 20, log);
+  const Bytes fresh = old_owner.snapshot();  // 7 at seq 2
+
+  SessionTable n;
+  ASSERT_TRUE(n.absorb(fresh));
+  EXPECT_EQ(n.peek(7, 2), SessionVerdict::kReplay);
+  // A duplicated handoff frame (the retry loop's normal case) is a no-op,
+  // and so is a stale one that raced a newer absorb.
+  ASSERT_TRUE(n.absorb(fresh));
+  ASSERT_TRUE(n.absorb(stale));
+  EXPECT_EQ(n.peek(7, 2), SessionVerdict::kReplay);
+  EXPECT_EQ(n.find(7)->value, 20u);
+  // Unknown clients merge in without touching existing ones.
+  SessionTable other;
+  other.begin(8, 5);
+  other.commit(8, 5, SvcStatus::kOk, 50, log);
+  ASSERT_TRUE(n.absorb(other.snapshot()));
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_EQ(n.peek(8, 5), SessionVerdict::kReplay);
+}
+
+TEST(SessionTable, InFlightAtHandoffReplaysAfterReconcileAtTheNewOwner) {
+  // The ISSUE's satellite edge case: the handoff snapshot is taken while
+  // (7, 1) is still in flight at the old owner, whose commit then lands
+  // before revocation does. The retry arriving at the new owner must
+  // resolve to replay-after-reconcile — never a second execution.
+  SessionTable old_owner;
+  EffectLog log;
+  EXPECT_EQ(old_owner.begin(7, 1), SessionVerdict::kExecute);
+  const Bytes image =
+      old_owner.snapshot_clients([](NodeId c) { return c == 7; });
+  EXPECT_TRUE(old_owner.commit(7, 1, SvcStatus::kOk, 42, log));
+
+  SessionTable new_owner;
+  ASSERT_TRUE(new_owner.absorb(image));
+  // The image alone would re-execute — that is the dangerous path the
+  // log reconcile must close.
+  EXPECT_EQ(new_owner.peek(7, 1), SessionVerdict::kExecute);
+  EXPECT_EQ(new_owner.reconcile(log), 1u);
+  EXPECT_EQ(new_owner.begin(7, 1), SessionVerdict::kReplay);
+  ASSERT_NE(new_owner.find(7), nullptr);
+  EXPECT_EQ(new_owner.find(7)->value, 42u);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.duplicates(), 0u);
+}
+
 TEST(EffectLedgerRestore, HighWaterCarriesAcrossRestore) {
   EffectLedger a;
   EXPECT_TRUE(a.admit(0));

@@ -14,6 +14,15 @@ Two checks over every tracked markdown file:
    uses; top-level statements are fine, they are global definitions),
    ```c++ marks an illustrative fragment the checker skips.
 
+3. Verbatim snippets — a fence preceded by a marker comment
+
+       <!-- verbatim-from: src/service/service.hpp -->
+
+   must reproduce a contiguous run of lines from that file (compared
+   with whitespace normalized, comment-only and blank lines ignored).
+   Use it when a doc quotes a real declaration — a wire-frame struct,
+   a config block — so the quote cannot drift from the source.
+
 Exit code 0 when everything passes; 1 with one line per failure.
 
 Usage: tools/docs_check.py [--compiler g++] [files...]
@@ -31,6 +40,7 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FENCE_RE = re.compile(r"^```(\S*)\s*$")
+VERBATIM_RE = re.compile(r"^<!--\s*verbatim-from:\s*(\S+)\s*-->\s*$")
 
 # Markdown the check owns. Generated or vendored text would go here.
 SKIP_DIRS = {"build", ".git", ".github"}
@@ -129,6 +139,69 @@ def check_snippets(path, text, compiler, errors):
             pathlib.Path(tmp).unlink(missing_ok=True)
 
 
+def normalized(lines):
+    """Whitespace-collapsed lines, blank and comment-only lines dropped."""
+    out = []
+    for line in lines:
+        squashed = " ".join(line.split())
+        if not squashed or squashed.startswith("//"):
+            continue
+        out.append(squashed)
+    return out
+
+
+def verbatim_blocks(text):
+    """Yields (marker_lineno, source_path, snippet_lines)."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = VERBATIM_RE.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        marker_line, source = i + 1, m.group(1)
+        i += 1
+        while i < len(lines) and not lines[i].strip():
+            i += 1
+        if i >= len(lines) or not FENCE_RE.match(lines[i]):
+            yield marker_line, source, None  # marker with no fence = error
+            continue
+        i += 1
+        body = []
+        while i < len(lines) and not FENCE_RE.match(lines[i]):
+            body.append(lines[i])
+            i += 1
+        i += 1
+        yield marker_line, source, body
+
+
+def check_verbatim(path, text, errors):
+    for lineno, source, body in verbatim_blocks(text):
+        where = f"{path.relative_to(REPO)}:{lineno}"
+        if body is None:
+            errors.append(f"{where}: verbatim-from marker not followed by a "
+                          f"code fence")
+            continue
+        target = REPO / source
+        if not target.is_file():
+            errors.append(f"{where}: verbatim-from source '{source}' does "
+                          f"not exist")
+            continue
+        want = normalized(body)
+        if not want:
+            errors.append(f"{where}: verbatim snippet is empty")
+            continue
+        have = normalized(target.read_text(encoding="utf-8").splitlines())
+        n = len(want)
+        if not any(have[j : j + n] == want for j in
+                   range(len(have) - n + 1)):
+            errors.append(
+                f"{where}: snippet has drifted from {source} (no "
+                f"contiguous match for {n} line(s) starting "
+                f"'{want[0][:60]}')"
+            )
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--compiler", default="g++")
@@ -143,12 +216,15 @@ def main():
         check_links(path, text, errors)
         before = len(errors)
         snippet_list = list(cpp_snippets(text))
-        snippets += len(snippet_list)
+        verbatims = list(verbatim_blocks(text))
+        snippets += len(snippet_list) + len(verbatims)
         check_snippets(path, text, args.compiler, errors)
+        check_verbatim(path, text, errors)
         status = "ok" if len(errors) == before else "FAIL"
         print(
             f"{status:4} {path.relative_to(REPO)} "
-            f"({len(snippet_list)} compiled snippet(s))"
+            f"({len(snippet_list)} compiled, {len(verbatims)} verbatim "
+            f"snippet(s))"
         )
 
     for e in errors:
