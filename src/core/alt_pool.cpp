@@ -5,6 +5,7 @@
 // revocation of queued siblings at the sync point.
 #include "core/alt_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -153,8 +154,34 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
     }
   };
 
+  // Effective priorities: in kAdaptive mode the policy engine reorders the
+  // race by learned per-position win rate (with an epsilon-explore floor),
+  // boosting its predicted winner to the hot end of the deque; the
+  // last-ranked position is the "deferred" alternative — still submitted,
+  // but the likeliest to be revoked unrun when the winner prunes. Keyed by
+  // input position, matching observe_race's AltReport.index accounting.
+  // kStatic mode passes the base priorities through unchanged.
+  std::vector<double> base_priority(n);
+  for (std::size_t i = 0; i < n; ++i) base_priority[i] = alts[i].priority;
+  const PolicyPlan plan = rt.policy().plan_race(group, base_priority);
+
+  // Submit hottest-first (plan.order): priorities alone cannot reorder a
+  // race when workers start popping the inbox before the last sibling is
+  // enqueued. Static plans carry the identity order, so this loop walks
+  // `spawned` exactly as before.
+  std::vector<std::size_t> submit_seq(m);
+  for (std::size_t k = 0; k < m; ++k) submit_seq[k] = k;
+  if (plan.order.size() == n) {
+    std::vector<std::size_t> rank(n, 0);
+    for (std::size_t r = 0; r < n; ++r) rank[plan.order[r]] = r;
+    std::stable_sort(submit_seq.begin(), submit_seq.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return rank[spawned[a]] < rank[spawned[b]];
+                     });
+  }
+
   const bool virtual_bodies = sched.deterministic();
-  for (std::size_t k = 0; k < m; ++k) {
+  for (const std::size_t k : submit_seq) {
     const std::size_t i = spawned[k];
     auto body_fn = [&, blk, k, i] {
       const Alternative& alt = alts[i];
@@ -227,7 +254,7 @@ AltOutcome run_alternatives_pool(Runtime& rt, World& parent,
       blk->cv.notify_all();
     };
     SchedTaskRef task =
-        sched.submit(std::move(body_fn), alts[i].priority, group,
+        sched.submit(std::move(body_fn), plan.priority[i], group,
                      sibling_pids[k], std::move(on_skipped), parent.pid(),
                      spawned[k] + 1);
     {

@@ -8,6 +8,7 @@
 #include <mutex>
 
 #include "core/alt.hpp"
+#include "core/spec_policy.hpp"
 #include "core/spec_scheduler.hpp"
 #include "core/world.hpp"
 #include "proc/cost_model.hpp"
@@ -44,6 +45,12 @@ struct RuntimeConfig {
   /// The kPool backend's scheduler: worker count, admission budget,
   /// deterministic mode. Ignored by the other backends.
   SchedConfig pool;
+
+  /// Adaptive speculation policy (core/spec_policy.hpp). Defaults to
+  /// kStatic, which is bit-for-bit today's behavior; kAdaptive closes the
+  /// loop from race outcomes into admission width, alternative ordering,
+  /// and or-parallel split selection. policy.seed 0 derives from `seed`.
+  PolicyConfig policy;
 };
 
 /// Aggregate speculation accounting across a runtime's lifetime: the
@@ -76,10 +83,17 @@ struct RuntimeStats {
 
 class Runtime {
  public:
-  explicit Runtime(RuntimeConfig config = {}) : config_(config) {}
+  explicit Runtime(RuntimeConfig config = {})
+      : config_(config), policy_(resolve_policy(config)) {}
 
   const RuntimeConfig& config() const { return config_; }
   ProcessTable& processes() { return table_; }
+
+  /// The speculation policy engine: every backend feeds it race outcomes
+  /// via record_outcome; the kPool dispatch paths and the or-parallel
+  /// driver consult it for decisions. In kStatic mode the decisions are
+  /// pass-throughs and only the (cheap) observation taps run.
+  SpecPolicy& policy() { return policy_; }
 
   /// Lifetime speculation ledger; updated by every alternative block.
   const RuntimeStats& stats() const { return stats_; }
@@ -87,6 +101,7 @@ class Runtime {
   /// Folds a finished block into the ledger (called by the backends;
   /// thread-safe for nested blocks running on worker threads).
   void record_outcome(const AltOutcome& out) {
+    policy_.observe_race(out);
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++stats_.blocks_run;
     if (out.failed) {
@@ -125,9 +140,11 @@ class Runtime {
   /// lazily from config().sched on first use — a Runtime that never runs a
   /// pool block never spawns a worker thread.
   SpecScheduler& scheduler() {
-    std::call_once(sched_once_,
-                   [this] { sched_ = std::make_unique<SpecScheduler>(
-                                config_.pool); });
+    std::call_once(sched_once_, [this] {
+      SchedConfig sc = config_.pool;
+      sc.policy = &policy_;  // admission consults the runtime's engine
+      sched_ = std::make_unique<SpecScheduler>(sc);
+    });
     return *sched_;
   }
 
@@ -138,7 +155,14 @@ class Runtime {
   }
 
  private:
+  static PolicyConfig resolve_policy(const RuntimeConfig& config) {
+    PolicyConfig pc = config.policy;
+    if (pc.seed == 0) pc.seed = config.seed ^ 0xa02bdbf7bb3c0a7ull;
+    return pc;
+  }
+
   RuntimeConfig config_;
+  SpecPolicy policy_;
   ProcessTable table_;
   std::atomic<std::uint64_t> group_counter_{0};
   std::once_flag sched_once_;

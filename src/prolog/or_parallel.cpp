@@ -124,6 +124,7 @@ struct Shared {
   std::vector<std::string> vars;  // original query variables, in order
   std::atomic<std::uint64_t> total_inferences{0};
   std::atomic<std::uint64_t> worlds_spawned{0};
+  std::atomic<std::uint64_t> splits_vetoed{0};
   // Fresh-variable renaming must be unique across all worlds.
   std::atomic<std::uint64_t> suffix{1000};
 };
@@ -169,8 +170,18 @@ DriveResult drive(Shared& sh, World& world, Branch branch, int depth) {
     }
 
     // A choice point (or a search-requiring builtin): below the spawn
-    // depth the sequential engine takes over; kLeaf always does.
-    if (so.kind == StepKind::kLeaf || depth >= sh.cfg.spawn_depth) {
+    // depth the sequential engine takes over; kLeaf always does. The
+    // runtime's policy engine holds the splitting-strategy decision: in
+    // kAdaptive mode a choice point whose speculation has not been paying
+    // (high wasted-work ratio) is vetoed and searched sequentially too;
+    // kStatic never vetoes.
+    bool veto = false;
+    if (so.kind == StepKind::kChoice && depth < sh.cfg.spawn_depth &&
+        !sh.rt.policy().allow_split(0, so.choices.size())) {
+      veto = true;
+      sh.splits_vetoed.fetch_add(1);
+    }
+    if (so.kind == StepKind::kLeaf || depth >= sh.cfg.spawn_depth || veto) {
       // Leaf: hand the whole remaining search to the sequential engine.
       Solver solver(sh.prog);
       SolveConfig scfg;
@@ -253,6 +264,7 @@ OrParallelResult solve_or_parallel(Runtime& rt, const Program& program,
   out.elapsed = dr.elapsed;
   out.total_inferences = sh.total_inferences.load();
   out.worlds_spawned = sh.worlds_spawned.load();
+  out.splits_vetoed = sh.splits_vetoed.load();
   if (dr.success) {
     // Parse "var=value" lines.
     std::size_t pos = 0;

@@ -42,6 +42,10 @@ struct OrParallelResult {
   /// Inferences the sequential engine would have performed (first-solution
   /// search), for speedup comparisons.
   std::uint64_t sequential_inferences = 0;
+  /// Choice points the runtime's SpecPolicy refused to split (kAdaptive
+  /// only): the splitting-strategy decision delegated to the policy engine.
+  /// These ran on the sequential leaf solver instead.
+  std::uint64_t splits_vetoed = 0;
 };
 
 /// Runs `query` against `program` with OR-parallel committed choice on the

@@ -214,6 +214,11 @@ SpecProfile build_spec_profile(const std::vector<TraceEvent>& events,
       case EventKind::kSvcClusterRejoin: p.svc_cluster_rejoins++; break;
       case EventKind::kSvcClusterHandoff: p.svc_cluster_handoffs++; break;
       case EventKind::kSvcClusterMisroute: p.svc_cluster_misroutes++; break;
+      case EventKind::kPolicyWidth: p.policy_width_updates++; break;
+      case EventKind::kPolicyOrder: p.policy_orders++; break;
+      case EventKind::kPolicyDefer: p.policy_defers++; break;
+      case EventKind::kPolicyExplore: p.policy_explores++; break;
+      case EventKind::kPolicyHedge: p.policy_hedges++; break;
       case EventKind::kSchedRevoke: {
         RaceProfile& r = race_for(e.a);
         r.revoked++;
@@ -290,6 +295,13 @@ std::string SpecProfile::to_string() const {
          << svc_cluster_rejoins << " rejoin(s), " << svc_cluster_handoffs
          << " handoff(s), " << svc_cluster_misroutes << " misroute(s)\n";
   }
+  if (policy_width_updates + policy_orders + policy_defers + policy_explores +
+          policy_hedges >
+      0)
+    os << "  policy: " << policy_orders << " order(s), " << policy_explores
+       << " explore(s), " << policy_defers << " defer(s), "
+       << policy_width_updates << " width update(s), " << policy_hedges
+       << " adaptive hedge(s)\n";
   if (!pool_shards.empty()) {
     PoolShardCounters sum;
     for (const PoolShardCounters& c : pool_shards) {

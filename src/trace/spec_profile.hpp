@@ -119,6 +119,13 @@ struct SpecProfile {
   std::uint64_t svc_cluster_rejoins = 0;    // nodes re-added after probation
   std::uint64_t svc_cluster_handoffs = 0;   // kSvcHandoff frames sent
   std::uint64_t svc_cluster_misroutes = 0;  // requests refused as non-owner
+  // Adaptive speculation policy (src/core/spec_policy.hpp). All zero in
+  // kStatic mode, which emits no policy events.
+  std::uint64_t policy_width_updates = 0;  // admission-width moves
+  std::uint64_t policy_orders = 0;         // race plans with a ranked order
+  std::uint64_t policy_defers = 0;         // last-ranked picks + split vetoes
+  std::uint64_t policy_explores = 0;       // floor/epsilon boosts
+  std::uint64_t policy_hedges = 0;         // p95-derived hedge delays
   // Per-shard frame-pool counters (empty unless a caller folded them in;
   // see PagePool::fold_into and TraceSession::set_profile_hook).
   std::vector<PoolShardCounters> pool_shards;

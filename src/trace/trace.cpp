@@ -240,6 +240,11 @@ const char* kind_name(EventKind k) {
     case EventKind::kSvcClusterRejoin: return "svc_cluster_rejoin";
     case EventKind::kSvcClusterHandoff: return "svc_cluster_handoff";
     case EventKind::kSvcClusterMisroute: return "svc_cluster_misroute";
+    case EventKind::kPolicyWidth: return "policy_width";
+    case EventKind::kPolicyOrder: return "policy_order";
+    case EventKind::kPolicyDefer: return "policy_defer";
+    case EventKind::kPolicyExplore: return "policy_explore";
+    case EventKind::kPolicyHedge: return "policy_hedge";
   }
   return "unknown";
 }

@@ -108,6 +108,17 @@ enum class EventKind : std::uint16_t {
   kSvcClusterMisroute = 140, // a=client, b=owner per the local ring — a
                              //   request this node refused because it does
                              //   not own the session
+
+  // Adaptive speculation policy (src/core/spec_policy.hpp). Emitted only in
+  // kAdaptive mode, so static-mode traces stay bit-for-bit unchanged.
+  kPolicyWidth = 141,   // a=effective admission width (worlds), b=budget —
+                        //   emitted when the width controller moves
+  kPolicyOrder = 142,   // a=group, b=top-ranked position (0-based)
+  kPolicyDefer = 143,   // a=group, b=last-ranked ("deferred") position; for
+                        //   a vetoed or-parallel split, b=fanout refused
+  kPolicyExplore = 144, // a=group, b=explored position (floor or epsilon)
+  kPolicyHedge = 145,   // a=ticket, b=p95-derived hedge delay (ticks) — the
+                        //   cold-start static fallback emits nothing
 };
 
 /// Sentinel for "the emitter had no clock in scope"; the event still

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -27,7 +28,8 @@
 namespace mw {
 namespace {
 
-RuntimeConfig det_pool(std::uint64_t seed, double steal_prob) {
+RuntimeConfig det_pool(std::uint64_t seed, double steal_prob,
+                       PolicyMode policy = PolicyMode::kStatic) {
   RuntimeConfig cfg;
   cfg.backend = AltBackend::kPool;
   cfg.page_size = 256;
@@ -35,6 +37,7 @@ RuntimeConfig det_pool(std::uint64_t seed, double steal_prob) {
   cfg.pool.deterministic_seed = seed;
   cfg.pool.workers = 2;
   cfg.pool.deterministic_steal_prob = steal_prob;
+  cfg.policy.mode = policy;
   return cfg;
 }
 
@@ -148,6 +151,99 @@ TEST(SchedFault, AdmitDelayForcesADeferThenAdmits) {
   EXPECT_EQ(out.winner_name, "w");
   EXPECT_EQ(rt.scheduler().stats().admission_deferred, 1u);
   EXPECT_EQ(rt.scheduler().stats().admission_rejected, 0u);
+}
+
+// ---- Adaptive-policy rows: the same fault points with the closed-loop
+// policy engine steering admission width and submission order. The faults
+// must stay contained and the seed must still replay. ------------------
+
+TEST(SchedFault, AdmitKillStillRejectsWithAdaptivePolicy) {
+  // The admission fault fires before the policy's width decision matters:
+  // adaptive mode must not resurrect a rejected race or leak a world.
+  FaultInjector inj(3);
+  inj.arm("sched.admit", FaultSpec::always(FaultKind::kFailAlternative));
+  FaultScope scope(inj);
+  Runtime rt(det_pool(4, 0.5, PolicyMode::kAdaptive));
+  RuntimeAuditor auditor;
+  World root = rt.make_root("admit-kill-adaptive");
+  auditor.add_world(root);
+  const AltOutcome out = run_alternatives(rt, root, two_way_race(), {});
+  EXPECT_TRUE(out.failed);
+  EXPECT_EQ(out.failure, AltFailure::kAdmissionRejected);
+  for (const AltReport& rep : out.alts) EXPECT_FALSE(rep.spawned);
+  EXPECT_EQ(rt.scheduler().live_worlds(), 0u);
+  const AuditReport audit = auditor.run(rt.processes());
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+}
+
+TEST(SchedFault, AdaptiveRevokeMissStaysExactlyOnceAndClean) {
+  // Revoke misses with the adaptive planner reordering submissions: the
+  // loser still runs at most once and cancels cooperatively.
+  FaultInjector inj(2);
+  inj.arm("sched.revoke", FaultSpec::always(FaultKind::kFailAlternative));
+  FaultScope scope(inj);
+  Runtime rt(det_pool(6, 0.5, PolicyMode::kAdaptive));
+  RuntimeAuditor auditor;
+  World root = rt.make_root("revoke-miss-adaptive");
+  auditor.add_world(root);
+  std::atomic<int> loser_ran{0};
+  for (int r = 0; r < 8; ++r) {
+    std::vector<Alternative> race;
+    race.push_back({"w", nullptr,
+                    [](AltContext& ctx) { ctx.space().store<int>(0, 1); },
+                    nullptr, 1.0});
+    race.push_back({"l", nullptr,
+                    [&](AltContext& ctx) {
+                      ++loser_ran;
+                      ctx.checkpoint();
+                      ctx.fail("lost anyway");
+                    },
+                    nullptr, 0.0});
+    const AltOutcome out = run_alternatives(rt, root, race, {});
+    ASSERT_FALSE(out.failed) << "race " << r;
+    EXPECT_EQ(out.winner_name, "w") << "race " << r;
+  }
+  EXPECT_LE(loser_ran.load(), 8);  // each loser body at most once
+  EXPECT_EQ(rt.scheduler().stats().revoked, 0u);
+  const AuditReport audit = auditor.run(rt.processes());
+  EXPECT_TRUE(audit.clean()) << audit.to_string();
+}
+
+TEST(SchedFault, AdaptiveFaultScheduleReplaysPerSeed) {
+  // Digest replay with the policy in the loop: the same seed drives the
+  // same fault schedule to the same winners, flags, and fire counts even
+  // though the adaptive planner is reordering and learning throughout.
+  auto run_once = [](std::uint64_t seed) {
+    FaultInjector inj(seed);
+    inj.arm("sched.steal",
+            FaultSpec::with_probability(FaultKind::kCrashException, 0.2));
+    FaultScope scope(inj);
+    Runtime rt(det_pool(seed, 0.5, PolicyMode::kAdaptive));
+    World root = rt.make_root("adaptive-replay");
+    std::string fp;
+    for (int r = 0; r < 10; ++r) {
+      const AltOutcome out = run_alternatives(rt, root, two_way_race(), {});
+      fp += out.failed ? 'F' : 'k';
+      fp += out.winner ? std::to_string(*out.winner) : "x";
+      for (const AltReport& a : out.alts)
+        fp += a.ran ? 'r' : (a.revoked ? 'v' : '.');
+      fp += '/';
+    }
+    fp += "fires=" + std::to_string(inj.fires("sched.steal"));
+    fp += " digest=" + inj.schedule_digest();
+    return fp;
+  };
+  const std::uint64_t base = []() {
+    const char* v = std::getenv("MW_FAULT_SEED_BASE");
+    return v ? std::strtoull(v, nullptr, 10) : 1;
+  }();
+  const std::uint64_t count = []() {
+    const char* v = std::getenv("MW_FAULT_SEED_COUNT");
+    return v ? std::strtoull(v, nullptr, 10) : 4;
+  }();
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    EXPECT_EQ(run_once(seed), run_once(seed)) << "seed=" << seed;
+  }
 }
 
 // ---- Supervisor recovery through the pool ----------------------------

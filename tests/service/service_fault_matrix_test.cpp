@@ -54,7 +54,8 @@ struct MatrixOutcome {
   std::string log;
 };
 
-MatrixOutcome run_matrix(std::uint64_t seed) {
+MatrixOutcome run_matrix(std::uint64_t seed,
+                         PolicyMode policy = PolicyMode::kStatic) {
   MatrixOutcome out;
   RuntimeAuditor auditor;
   {
@@ -94,6 +95,9 @@ MatrixOutcome run_matrix(std::uint64_t seed) {
     // thread-timing dependent; the dedicated sim test covers it. Here the
     // replay-determinism invariant wins.
     sc.brownout_enter = 1e9;
+    // Adaptive rows: the hedge delay follows the observed p95 instead of the
+    // static delay. All inputs are sim timestamps, so determinism must hold.
+    sc.policy.mode = policy;
     auto server = std::make_unique<HedgedServer>(transport, 100, effects, sc);
 
     auto make_backend = [&](NodeId node) {
@@ -214,6 +218,42 @@ TEST(ServiceFaultMatrix, SeedReplaysToIdenticalScheduleAndOutcome) {
   const std::uint64_t seed = env_u64("MW_FAULT_SEED_BASE", 1);
   const MatrixOutcome a = run_matrix(seed);
   const MatrixOutcome b = run_matrix(seed);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.effects, b.effects);
+  EXPECT_EQ(a.replays, b.replays);
+  EXPECT_EQ(a.hedges, b.hedges);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.local_fallbacks, b.local_fallbacks);
+}
+
+TEST(ServiceFaultMatrix, AdaptivePolicySweepHoldsExactlyOnce) {
+  // Same chaos matrix, adaptive policy rows: hedge timing now derives from
+  // the latency reservoir, so the decision *values* differ from the static
+  // rows — but exactly-once, correctness, drain, and the auditor must not.
+  const std::uint64_t base = env_u64("MW_FAULT_SEED_BASE", 1);
+  const std::uint64_t count = env_u64("MW_FAULT_SEED_COUNT", 4);
+  for (std::uint64_t seed = base; seed < base + count; ++seed) {
+    const MatrixOutcome r = run_matrix(seed, PolicyMode::kAdaptive);
+    EXPECT_EQ(r.effect_duplicates, 0u)
+        << "seed=" << seed << " digest=" << r.digest << "\n" << r.log;
+    EXPECT_EQ(r.wrong_values, 0u) << "seed=" << seed << "\n" << r.log;
+    EXPECT_GT(r.ok, 0u) << "seed=" << seed << "\n" << r.log;
+    EXPECT_EQ(r.leftover_pendings, 0u) << "seed=" << seed << "\n" << r.log;
+    EXPECT_EQ(r.leaked_pages, 0) << "seed=" << seed;
+    EXPECT_LE(r.effects, static_cast<std::size_t>(r.answered) + 64)
+        << "seed=" << seed;
+  }
+}
+
+TEST(ServiceFaultMatrix, AdaptivePolicySeedReplaysIdentically) {
+  // The policy engine's determinism contract, end to end: with adaptive
+  // hedging enabled, one seed still replays to the identical fault schedule,
+  // effect count, and robustness-path counters.
+  const std::uint64_t seed = env_u64("MW_FAULT_SEED_BASE", 1);
+  const MatrixOutcome a = run_matrix(seed, PolicyMode::kAdaptive);
+  const MatrixOutcome b = run_matrix(seed, PolicyMode::kAdaptive);
   EXPECT_EQ(a.digest, b.digest);
   EXPECT_EQ(a.log, b.log);
   EXPECT_EQ(a.ok, b.ok);
